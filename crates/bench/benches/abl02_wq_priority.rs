@@ -1,0 +1,125 @@
+//! Ablation (§3.4/F3, §6.3/G6 QoS): protecting a latency-sensitive client
+//! from a bandwidth hog that shares the device.
+//!
+//! Three configurations for a foreground 4 KiB probe against a background
+//! large-copy storm:
+//! 1. same group, one engine            (full interference)
+//! 2. same group, two engines           (more capacity, shared arbiter)
+//! 3. separate groups, one engine each  (performance isolation — the G6
+//!    "WQs can be configured … for providing performance isolation")
+//!
+//! WQ *priorities* within a group are also compared; in this model they
+//! only bias dispatch (see DESIGN.md §7), so isolation via groups is the
+//! effective QoS lever — matching the paper's §6.4 practice of binding
+//! queues to their heaviest users.
+
+use dsa_bench::table;
+use dsa_core::config::AccelConfig;
+use dsa_core::job::{AsyncQueue, Job};
+use dsa_core::runtime::DsaRuntime;
+use dsa_mem::buffer::Location;
+use dsa_mem::topology::Platform;
+use dsa_sim::time::SimDuration;
+
+enum Setup {
+    SharedGroup { engines: u32, fg_priority: u8 },
+    SeparateGroups,
+    SeparateDevices,
+}
+
+fn run(setup: Setup) -> (SimDuration, f64) {
+    if let Setup::SeparateDevices = setup {
+        return run_two_devices();
+    }
+    let mut cfg = AccelConfig::new();
+    let (bg_wq, fg_wq) = match setup {
+        Setup::SharedGroup { engines, fg_priority } => {
+            let g = cfg.add_group(engines);
+            let bg = cfg.add_dedicated_wq(64, g);
+            let fg = cfg.add_dedicated_wq(64, g);
+            cfg.set_priority(bg, 1);
+            cfg.set_priority(fg, fg_priority);
+            (bg, fg)
+        }
+        Setup::SeparateGroups => {
+            let g_bg = cfg.add_group(1);
+            let g_fg = cfg.add_group(1);
+            (cfg.add_dedicated_wq(64, g_bg), cfg.add_dedicated_wq(64, g_fg))
+        }
+        Setup::SeparateDevices => unreachable!("handled above"),
+    };
+    let mut rt = DsaRuntime::builder(Platform::spr()).device(cfg.enable().unwrap()).build();
+
+    let big_src = rt.alloc(256 << 10, Location::local_dram());
+    let big_dst = rt.alloc(256 << 10, Location::local_dram());
+    let small_src = rt.alloc(4096, Location::local_dram());
+    let small_dst = rt.alloc(4096, Location::local_dram());
+
+    let mut bg_q = AsyncQueue::new(16);
+    let mut total = SimDuration::ZERO;
+    let probes = 64u64;
+    for _ in 0..probes {
+        for _ in 0..2 {
+            bg_q.submit(&mut rt, Job::memcpy(&big_src, &big_dst).on_wq(bg_wq)).unwrap();
+        }
+        let report = Job::memcpy(&small_src, &small_dst).on_wq(fg_wq).execute(&mut rt).unwrap();
+        total += report.elapsed();
+    }
+    bg_q.drain(&mut rt);
+    (total / probes, bg_q.completed_bytes() as f64 / rt.now().as_ns_f64())
+}
+
+fn run_two_devices() -> (SimDuration, f64) {
+    let one_dev = || {
+        let mut cfg = AccelConfig::new();
+        let g = cfg.add_group(1);
+        cfg.add_dedicated_wq(64, g);
+        cfg.enable().unwrap()
+    };
+    let mut rt =
+        DsaRuntime::builder(Platform::spr()).device(one_dev()).device(one_dev()).build();
+    let big_src = rt.alloc(256 << 10, Location::local_dram());
+    let big_dst = rt.alloc(256 << 10, Location::local_dram());
+    let small_src = rt.alloc(4096, Location::local_dram());
+    let small_dst = rt.alloc(4096, Location::local_dram());
+    let mut bg_q = AsyncQueue::new(16);
+    let mut total = SimDuration::ZERO;
+    let probes = 64u64;
+    for _ in 0..probes {
+        for _ in 0..2 {
+            bg_q.submit(&mut rt, Job::memcpy(&big_src, &big_dst).on_device(0)).unwrap();
+        }
+        let report = Job::memcpy(&small_src, &small_dst).on_device(1).execute(&mut rt).unwrap();
+        total += report.elapsed();
+    }
+    bg_q.drain(&mut rt);
+    (total / probes, bg_q.completed_bytes() as f64 / rt.now().as_ns_f64())
+}
+
+fn main() {
+    table::banner("Ablation QoS", "foreground 4 KiB sync latency under a background storm");
+    table::header(&["setup", "probe us", "bg GB/s"]);
+    for (label, setup) in [
+        ("1g/1e lowpri", Setup::SharedGroup { engines: 1, fg_priority: 1 }),
+        ("1g/1e hipri", Setup::SharedGroup { engines: 1, fg_priority: 15 }),
+        ("1g/2e", Setup::SharedGroup { engines: 2, fg_priority: 8 }),
+        ("2 groups", Setup::SeparateGroups),
+        ("2 devices", Setup::SeparateDevices),
+    ] {
+        let (lat, bg) = run(setup);
+        table::row(&[label.to_string(), table::us(lat), table::f2(bg)]);
+    }
+    // Idle baseline: no background at all.
+    let mut rt = DsaRuntime::spr_default();
+    let s = rt.alloc(4096, Location::local_dram());
+    let d = rt.alloc(4096, Location::local_dram());
+    let idle = Job::memcpy(&s, &d).execute(&mut rt).unwrap().elapsed();
+    println!("\nidle-device probe latency: {:.2} us", idle.as_us_f64());
+    println!(
+        "(within one instance the shared I/O fabric, not the engine, carries\n\
+         the interference - intra-group priority and even group separation\n\
+         barely help; a separate device instance restores near-idle latency.\n\
+         The hardware answer within an instance is PCIe traffic classes /\n\
+         virtual channels, which the paper lists under F3 QoS control.)"
+    );
+}

@@ -1,0 +1,54 @@
+//! Ecosystem demo (§5 "datacenter tax"): VM live migration with DSA —
+//! iterative pre-copy with Create/Apply Delta Record shipping sparse dirty
+//! blocks, swept over the guest's dirtying density.
+
+use dsa_bench::table;
+use dsa_core::runtime::DsaRuntime;
+use dsa_device::config::DeviceConfig;
+use dsa_mem::topology::Platform;
+use dsa_workloads::migration::{Migration, MigrationConfig, MigrationEngine};
+
+fn main() {
+    table::banner(
+        "§5 datacenter tax",
+        "VM live migration: CPU vs DSA total time and downtime",
+    );
+    table::header(&[
+        "density %",
+        "cpu ms",
+        "dsa ms",
+        "speedup",
+        "cpu dt us",
+        "dsa dt us",
+        "delta blks",
+    ]);
+    for density in [0.01f64, 0.05, 0.20, 0.80] {
+        let cfg = MigrationConfig {
+            blocks: 64,
+            block_size: 64 << 10,
+            dirty_density: density,
+            ..MigrationConfig::default()
+        };
+        let run = |engine| {
+            let mut rt = DsaRuntime::builder(Platform::spr())
+                .device(DeviceConfig::full_device())
+                .build();
+            Migration::new(&mut rt, cfg).run(&mut rt, engine).unwrap()
+        };
+        let cpu = run(MigrationEngine::Cpu);
+        let dsa = run(MigrationEngine::Dsa);
+        table::row(&[
+            format!("{:.0}", density * 100.0),
+            format!("{:.3}", cpu.total_time.as_secs_f64() * 1e3),
+            format!("{:.3}", dsa.total_time.as_secs_f64() * 1e3),
+            table::f2(cpu.total_time.as_ns_f64() / dsa.total_time.as_ns_f64()),
+            table::us(cpu.downtime),
+            table::us(dsa.downtime),
+            dsa.delta_blocks.to_string(),
+        ]);
+    }
+    println!(
+        "(sparse dirtying ships as delta records — tiny on the wire; dense\n\
+         dirtying falls back to full block copies, still offloaded)"
+    );
+}

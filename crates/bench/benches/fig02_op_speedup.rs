@@ -1,0 +1,49 @@
+//! Fig. 2: throughput improvement of every data-streaming operation over
+//! its software counterpart, with varying transfer sizes (batch size 1).
+//! (a) synchronous offload — break-even ≈ 4 KB; (b) asynchronous offload
+//! (QD 32) — break-even ≈ 256 B.
+
+use dsa_bench::measure::{Measure, Mode, SIZES};
+use dsa_bench::table;
+use dsa_core::runtime::DsaRuntime;
+use dsa_ops::OpKind;
+
+fn op_label(op: OpKind) -> &'static str {
+    match op {
+        OpKind::Memcpy => "copy",
+        OpKind::Dualcast => "dualcast",
+        OpKind::Fill => "fill",
+        OpKind::NtFill => "nt-fill",
+        OpKind::Compare => "compare",
+        OpKind::ComparePattern => "cmp-pat",
+        OpKind::Crc32 => "crc32",
+        OpKind::DifInsert => "dif-ins",
+        _ => "other",
+    }
+}
+
+fn sweep(mode: Mode, label: &str) {
+    table::banner("Fig. 2", label);
+    let ops = OpKind::figure2_set();
+    let mut head = vec!["size"];
+    head.extend(ops.iter().map(|&o| op_label(o)));
+    table::header(&head);
+    for &size in SIZES {
+        let mut cells = vec![table::size_label(size)];
+        for &op in &ops {
+            let iters = if size >= 1 << 20 { 10 } else { 40 };
+            let mut rt = DsaRuntime::spr_default();
+            let m = Measure::new(op, size).iters(iters).mode(mode);
+            let dsa = m.run(&mut rt).gbps;
+            let cpu = m.cpu_gbps(&rt);
+            cells.push(table::f2(dsa / cpu));
+        }
+        table::row(&cells);
+    }
+    println!("(values are DSA/software speedups; >1 means DSA wins)");
+}
+
+fn main() {
+    sweep(Mode::Sync, "(a) synchronous offload speedup vs software (BS 1)");
+    sweep(Mode::Async { qd: 32 }, "(b) asynchronous offload speedup vs software (QD 32)");
+}

@@ -1,0 +1,59 @@
+//! Fig. 6: throughput (bars) and latency (lines) for Memory Copy with
+//! different memory placements, synchronous mode, BS 1.
+//! (a) NUMA: [D,D] [D,R] [R,D] [R,R] — DSA hides the UPI hop, split
+//! placements gain slightly; latency breaks even with the CPU at 4–10 KB.
+//! (b) CXL: [D,C] [C,D] [C,C] — CXL as *destination* is the slow direction.
+
+use dsa_bench::measure::{Measure, Mode, SIZES};
+use dsa_bench::table;
+use dsa_core::runtime::DsaRuntime;
+use dsa_mem::buffer::Location;
+use dsa_ops::OpKind;
+
+fn run_configs(title: &str, configs: &[(&str, Location, Location)]) {
+    table::banner("Fig. 6", title);
+    let mut head = vec!["size".to_string()];
+    for (label, _, _) in configs {
+        head.push(format!("{label} GB/s"));
+        head.push(format!("{label} us"));
+    }
+    table::header(&head.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &size in SIZES {
+        let mut cells = vec![table::size_label(size)];
+        for &(_, src, dst) in configs {
+            let mut rt = DsaRuntime::spr_default();
+            let r = Measure::new(OpKind::Memcpy, size)
+                .iters(32)
+                .mode(Mode::Sync)
+                .locations(src, dst)
+                .run(&mut rt);
+            cells.push(table::f2(r.gbps));
+            cells.push(table::us(r.avg_latency));
+        }
+        table::row(&cells);
+    }
+}
+
+fn main() {
+    let d = Location::local_dram();
+    let r = Location::remote_dram();
+    let c = Location::Cxl;
+    run_configs(
+        "(a) NUMA placements [src,dst] (sync, BS 1) + CPU memcpy reference",
+        &[("D,D", d, d), ("D,R", d, r), ("R,D", r, d), ("R,R", r, r)],
+    );
+    // CPU reference line for the latency break-even.
+    println!("\nCPU memcpy latency (cold, local DRAM):");
+    let rt = DsaRuntime::spr_default();
+    table::header(&["size", "CPU us"]);
+    for &size in SIZES {
+        let t = rt.cpu_time(OpKind::Memcpy, size, d, d);
+        table::row(&[table::size_label(size), table::us(t)]);
+    }
+
+    run_configs(
+        "(b) CXL placements [src,dst] (sync, BS 1)",
+        &[("D,D", d, d), ("C,D", c, d), ("D,C", d, c), ("C,C", c, c)],
+    );
+    println!("(CXL as destination is slower than CXL as source: write latency dominates)");
+}

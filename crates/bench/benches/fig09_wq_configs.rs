@@ -1,0 +1,54 @@
+//! Fig. 9: throughput impact of WQ configurations:
+//! 1) one DWQ with batching (BS:N),
+//! 2) N DWQs with one thread and PE per queue (DWQ:N),
+//! 3) one SWQ with one PE and N submitting threads (SWQ:N).
+//!
+//! Expected: BS:N ≈ DWQ:N; SWQ lags between 1–8 KB for few threads
+//! (ENQCMD round trip) and catches up with many threads (G6).
+
+use dsa_bench::measure::{multi_thread_copy_gbps, Measure, Mode, SIZES};
+use dsa_bench::table;
+use dsa_core::config::presets;
+use dsa_core::runtime::DsaRuntime;
+use dsa_mem::topology::Platform;
+use dsa_ops::OpKind;
+
+fn main() {
+    for n in [2u32, 4, 8] {
+        table::banner("Fig. 9", &format!("WQ configurations at N = {n}"));
+        table::header(&["size", "BS:N", "DWQ:N", "SWQ:N", "SWQ:1"]);
+        for &size in SIZES {
+            // (1) one DWQ + one engine, batching BS = N.
+            let mut rt = DsaRuntime::spr_default();
+            let bs_n = Measure::new(OpKind::Memcpy, size)
+                .iters(96 / n as u64 + 8)
+                .mode(Mode::AsyncBatch { bs: n, window: 8 })
+                .run(&mut rt)
+                .gbps;
+            // (2) N DWQs, one single-engine group each, N threads.
+            let mut rt = DsaRuntime::builder(Platform::spr())
+                .device(presets::n_dwqs_n_engines(n.min(4)))
+                .build();
+            let dwq_n =
+                multi_thread_copy_gbps(&mut rt, n as usize, size, 64, 16, |t| (0, t % 4));
+            // (3) one SWQ + one engine, N threads with ENQCMD.
+            let mut rt = DsaRuntime::builder(Platform::spr())
+                .device(presets::one_swq_one_engine())
+                .build();
+            let swq_n = multi_thread_copy_gbps(&mut rt, n as usize, size, 64, 16, |_| (0, 0));
+            // Reference: a single SWQ submitter.
+            let mut rt = DsaRuntime::builder(Platform::spr())
+                .device(presets::one_swq_one_engine())
+                .build();
+            let swq_1 = multi_thread_copy_gbps(&mut rt, 1, size, 96, 16, |_| (0, 0));
+            table::row(&[
+                table::size_label(size),
+                table::f2(bs_n),
+                table::f2(dwq_n),
+                table::f2(swq_n),
+                table::f2(swq_1),
+            ]);
+        }
+    }
+    println!("(GB/s; SWQ:1 trails between 1-8K, SWQ:N catches up with threads)");
+}

@@ -1,0 +1,39 @@
+//! Fig. 10: throughput using multiple DSA instances, destination writes
+//! steered to the LLC (cache control = 1, the DDIO path).
+//!
+//! Expected: linear scaling with instances for transfer sizes whose write
+//! footprint fits the DDIO ways; beyond ~64 KB the aggregate footprint
+//! outruns the DDIO share of the LLC (the *leaky DMA* problem) and 3–4
+//! instances fall below linear, limited by memory bandwidth.
+
+use dsa_bench::measure::{Measure, Mode, SIZES};
+use dsa_bench::table;
+use dsa_core::runtime::DsaRuntime;
+use dsa_device::config::DeviceConfig;
+use dsa_mem::topology::Platform;
+use dsa_ops::OpKind;
+
+fn main() {
+    table::banner("Fig. 10", "aggregate copy throughput vs number of DSA instances (CC=1)");
+    table::header(&["size", "1 DSA", "2 DSA", "3 DSA", "4 DSA"]);
+    for &size in SIZES.iter().filter(|&&s| s >= 4096) {
+        let mut cells = vec![table::size_label(size)];
+        for n in 1..=4usize {
+            let mut rt = DsaRuntime::builder(Platform::spr())
+                .devices(n, DeviceConfig::full_device())
+                .build();
+            // Batched submission so one submitting core is not the limit
+            // (the paper drives each instance from its own queue).
+            let iters = if size >= 1 << 20 { 24 } else { 64 } * n as u64;
+            let r = Measure::new(OpKind::Memcpy, size)
+                .iters(iters)
+                .mode(Mode::AsyncBatch { bs: 16, window: 4 * n })
+                .cache_control(true)
+                .devices(n)
+                .run(&mut rt);
+            cells.push(table::f2(r.gbps));
+        }
+        table::row(&cells);
+    }
+    println!("(GB/s; the >64K rows bend below linear for 3-4 instances — leaky DMA)");
+}

@@ -1,0 +1,52 @@
+//! Fig. 11: percentage of CPU cycles spent inside the UMWAIT intrinsic
+//! (i.e. in a low-power wait state) while offloading Memory Copy, with
+//! varying transfer sizes and batch sizes. From ~4 KB the majority of
+//! cycles are spent waiting; with batching, almost all of them are.
+
+use dsa_bench::table;
+use dsa_core::job::{Batch, Job};
+use dsa_core::runtime::DsaRuntime;
+use dsa_core::submit::WaitMethod;
+use dsa_mem::buffer::Location;
+use dsa_sim::time::SimDuration;
+
+const SIZES: &[u64] = &[256, 1024, 4096, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
+
+fn main() {
+    table::banner("Fig. 11", "% of cycles in UMWAIT during sync Memory Copy offload");
+    table::header(&["size", "BS:1", "BS:8", "BS:32", "BS:128"]);
+    for &size in SIZES {
+        let mut cells = vec![table::size_label(size)];
+        for bs in [1u32, 8, 32, 128] {
+            let mut rt = DsaRuntime::spr_default();
+            let frac = if bs == 1 {
+                let src = rt.alloc(size, Location::local_dram());
+                let dst = rt.alloc(size, Location::local_dram());
+                let report = Job::memcpy(&src, &dst)
+                    .wait_method(WaitMethod::Umwait)
+                    .execute(&mut rt)
+                    .unwrap();
+                report.idle_wait.as_ns_f64() / report.elapsed().as_ns_f64()
+            } else {
+                // Batched: the core prepares BS descriptors, submits once,
+                // then UMWAITs on the batch completion record.
+                let mut batch = Batch::new();
+                for _ in 0..bs {
+                    let src = rt.alloc(size, Location::local_dram());
+                    let dst = rt.alloc(size, Location::local_dram());
+                    batch.push(Job::memcpy(&src, &dst));
+                }
+                let before = rt.now();
+                let report = batch.execute(&mut rt).unwrap();
+                let total = rt.now().duration_since(before);
+                let busy = SimDuration::from_ns(12) * bs as u64 + SimDuration::from_ns(55 + 130);
+                let idle = total - busy.min(total);
+                assert!(report.batch_record.status.is_ok());
+                idle.as_ns_f64() / total.as_ns_f64()
+            };
+            cells.push(table::f2(frac * 100.0));
+        }
+        table::row(&cells);
+    }
+    println!("(percent; cycles in UMWAIT are reclaimable by other work / power savings)");
+}

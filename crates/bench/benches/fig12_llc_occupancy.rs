@@ -1,0 +1,43 @@
+//! Fig. 12: LLC occupancy over time of each co-running core, with either
+//! software `memcpy()` or DSA Memory Copy as the background (4 MB X-Mem
+//! working sets). Software copies dominate the LLC; DSA barely appears
+//! (reads don't allocate, writes stay within the DDIO ways).
+
+use dsa_bench::table;
+use dsa_mem::topology::Platform;
+use dsa_workloads::xmem::{Background, CoRunScenario};
+
+fn scenario(bg: Background) -> CoRunScenario {
+    CoRunScenario {
+        working_set: 4 << 20,
+        background: bg,
+        quanta: 48,
+        accesses_per_quantum: 2000,
+        ..CoRunScenario::default()
+    }
+}
+
+fn print_run(title: &str, bg: Background) {
+    table::banner("Fig. 12", title);
+    let result = scenario(bg).run(&Platform::spr());
+    // Print a decimated time series: occupancy in MB per agent.
+    let agents: Vec<String> = result.occupancy.iter().map(|(a, _)| format!("{a}")).collect();
+    let mut head = vec!["t(norm)".to_string()];
+    head.extend(agents);
+    table::header(&head.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let n = result.occupancy[0].1.len();
+    for i in (0..n).step_by((n / 12).max(1)) {
+        let mut cells = vec![format!("{:.2}", i as f64 / n as f64)];
+        for (_, series) in &result.occupancy {
+            cells.push(format!("{:.1}", series.points()[i].1 / (1 << 20) as f64));
+        }
+        table::row(&cells);
+    }
+    println!("(MB of LLC occupancy; X-Mem probes run in the middle window)");
+}
+
+fn main() {
+    print_run("(a) X-Mem instances only (None)", Background::None);
+    print_run("(b) + 4 software memcpy processes", Background::SoftwareCopy { n: 4 });
+    print_run("(c) + 4 DSA Memory Copy offload streams", Background::DsaOffload { n: 4 });
+}

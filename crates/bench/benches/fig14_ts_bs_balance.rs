@@ -1,0 +1,49 @@
+//! Fig. 14: throughput when splitting the *same total transfer* between
+//! transfer size and batch size (G1: "keep a balanced batch size and
+//! transfer size"). Coalescing contiguous data into one large descriptor
+//! wins; when batching is needed, modest batches (4–8) are best for
+//! synchronous use.
+
+use dsa_bench::measure::{Measure, Mode};
+use dsa_bench::table;
+use dsa_core::runtime::DsaRuntime;
+use dsa_ops::OpKind;
+
+fn main() {
+    for &(total, label) in
+        &[(64u64 << 10, "total 64 KiB"), (512 << 10, "total 512 KiB"), (2 << 20, "total 2 MiB")]
+    {
+        table::banner("Fig. 14", &format!("sync/async throughput at fixed {label}"));
+        table::header(&["TS:BS", "sync GB/s", "async GB/s"]);
+        for bs in [1u32, 2, 4, 8, 16, 32, 64] {
+            let ts = total / bs as u64;
+            if ts < 512 {
+                continue;
+            }
+            let mut rt = DsaRuntime::spr_default();
+            let sync = if bs == 1 {
+                Measure::new(OpKind::Memcpy, ts).iters(24).mode(Mode::Sync).run(&mut rt)
+            } else {
+                Measure::new(OpKind::Memcpy, ts)
+                    .iters(24)
+                    .mode(Mode::SyncBatch { bs })
+                    .run(&mut rt)
+            };
+            let mut rt = DsaRuntime::spr_default();
+            let asyn = if bs == 1 {
+                Measure::new(OpKind::Memcpy, ts).iters(48).mode(Mode::Async { qd: 32 }).run(&mut rt)
+            } else {
+                Measure::new(OpKind::Memcpy, ts)
+                    .iters(48)
+                    .mode(Mode::AsyncBatch { bs, window: 4 })
+                    .run(&mut rt)
+            };
+            table::row(&[
+                format!("{}:{}", table::size_label(ts), bs),
+                table::f2(sync.gbps),
+                table::f2(asyn.gbps),
+            ]);
+        }
+        println!("(same total bytes per point; larger batches add descriptor management overhead)");
+    }
+}

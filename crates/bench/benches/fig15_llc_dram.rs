@@ -1,0 +1,51 @@
+//! Fig. 15: throughput (bars) and latency (lines) when offloading data
+//! from/to either the LLC (L) or local DRAM (D), batch size 1, with the
+//! CPU reference. LLC-resident data helps both engines; the paper's G2
+//! threshold reading: offload ≥ 4 KB sync (≥ 128 B async), keep smaller
+//! transfers on the core if pollution is acceptable.
+
+use dsa_bench::measure::{Measure, Mode, SIZES};
+use dsa_bench::table;
+use dsa_core::runtime::DsaRuntime;
+use dsa_mem::buffer::Location;
+use dsa_ops::OpKind;
+
+fn run(mode: Mode, title: &str) {
+    table::banner("Fig. 15", title);
+    let l = Location::Llc;
+    let d = Location::local_dram();
+    let configs = [("L,L", l, l), ("L,D", l, d), ("D,L", d, l), ("D,D", d, d)];
+    let mut head = vec!["size".to_string()];
+    for (lab, _, _) in &configs {
+        head.push(format!("{lab} GB/s"));
+    }
+    head.push("CPU L,L".into());
+    head.push("CPU D,D".into());
+    table::header(&head.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &size in SIZES {
+        let mut cells = vec![table::size_label(size)];
+        for &(_, src, dst) in &configs {
+            let mut rt = DsaRuntime::spr_default();
+            let m = Measure::new(OpKind::Memcpy, size)
+                .iters(32)
+                .mode(mode)
+                .locations(src, dst)
+                .cache_control(dst == l);
+            cells.push(table::f2(m.run(&mut rt).gbps));
+        }
+        let rt = DsaRuntime::spr_default();
+        cells.push(table::f2(
+            size as f64 / rt.cpu_time(OpKind::Memcpy, size, l, l).as_ns_f64(),
+        ));
+        cells.push(table::f2(
+            size as f64 / rt.cpu_time(OpKind::Memcpy, size, d, d).as_ns_f64(),
+        ));
+        table::row(&cells);
+    }
+}
+
+fn main() {
+    run(Mode::Sync, "(a) synchronous, BS 1: [src,dst] in {LLC, DRAM}");
+    run(Mode::Async { qd: 32 }, "(b) asynchronous (QD 32): [src,dst] in {LLC, DRAM}");
+    println!("(GB/s; CPU wins small warm transfers — G2's threshold guidance)");
+}

@@ -1,0 +1,73 @@
+//! Fig. 17: libfabric-based experiments (Appendix A).
+//! (a) pingpong and RMA throughput — DSA overtakes the CPU from ~32 KiB,
+//! up to ≈ 5.1× at multi-MB messages.
+//! (b) OSU-style AllReduce with 2–8 ranks and the BERT pre-training step.
+
+use dsa_bench::table;
+use dsa_core::runtime::DsaRuntime;
+use dsa_device::config::DeviceConfig;
+use dsa_mem::topology::Platform;
+use dsa_workloads::fabric::{BertStep, CopyEngine, SarFabric};
+
+fn rt2() -> DsaRuntime {
+    DsaRuntime::builder(Platform::spr()).devices(2, DeviceConfig::full_device()).build()
+}
+
+fn main() {
+    table::banner("Fig. 17a", "libfabric SAR pingpong / RMA throughput (GB/s)");
+    table::header(&["msg", "PP cpu", "PP dsa", "RMA cpu", "RMA dsa", "PP ratio"]);
+    for &msg in &[4u64 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+        let mut rt = rt2();
+        let cpu = SarFabric::new(&rt, CopyEngine::Cpu);
+        let dsa = SarFabric::new(&rt, CopyEngine::Dsa);
+        let pp_c = cpu.pingpong_gbps(&mut rt, msg).unwrap();
+        let pp_d = dsa.pingpong_gbps(&mut rt, msg).unwrap();
+        let rma_c = cpu.rma_gbps(&mut rt, msg).unwrap();
+        let rma_d = dsa.rma_gbps(&mut rt, msg).unwrap();
+        table::row(&[
+            table::size_label(msg),
+            table::f2(pp_c),
+            table::f2(pp_d),
+            table::f2(rma_c),
+            table::f2(rma_d),
+            table::f2(pp_d / pp_c),
+        ]);
+    }
+    println!("(paper: up to 5.1x PP / 4.7x RMA at large messages)");
+
+    table::banner("Fig. 17b", "ring AllReduce time (us) and speedup by rank count");
+    table::header(&["ranks", "msg", "cpu us", "dsa us", "speedup"]);
+    for &ranks in &[2u32, 4, 8] {
+        for &msg in &[256u64 << 10, 4 << 20] {
+            let mut rt_c = rt2();
+            let mut rt_d = rt2();
+            let cpu = SarFabric::new(&rt_c, CopyEngine::Cpu)
+                .allreduce(&mut rt_c, ranks, msg)
+                .unwrap();
+            let dsa = SarFabric::new(&rt_d, CopyEngine::Dsa)
+                .allreduce(&mut rt_d, ranks, msg)
+                .unwrap();
+            table::row(&[
+                ranks.to_string(),
+                table::size_label(msg),
+                table::us(cpu),
+                table::us(dsa),
+                table::f2(cpu.as_ns_f64() / dsa.as_ns_f64()),
+            ]);
+        }
+    }
+
+    table::banner("Fig. 17b (BERT)", "MLPerf-BERT-style step: AllReduce & end-to-end speedup");
+    table::header(&["ranks", "AR cpu ms", "AR dsa ms", "AR x", "e2e gain %"]);
+    for &ranks in &[2u32, 8] {
+        let r = BertStep { ranks, ..BertStep::default() }.run().unwrap();
+        table::row(&[
+            ranks.to_string(),
+            format!("{:.2}", r.ar_cpu.as_secs_f64() * 1e3),
+            format!("{:.2}", r.ar_dsa.as_secs_f64() * 1e3),
+            table::f2(r.ar_speedup),
+            table::f2((r.e2e_speedup - 1.0) * 100.0),
+        ]);
+    }
+    println!("(paper: 2.8x/3.3x AR speedup, 3.7%/8.8% end-to-end for 2/8 ranks)");
+}

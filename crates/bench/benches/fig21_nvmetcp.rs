@@ -1,0 +1,40 @@
+//! Fig. 21: SPDK-style NVMe/TCP target read IOPS and latency vs number of
+//! target cores, with the Data Digest disabled, computed by ISA-L, or
+//! offloaded to DSA. DSA tracks the no-digest line and saturates the path
+//! with far fewer cores than ISA-L.
+
+use dsa_bench::table;
+use dsa_core::runtime::DsaRuntime;
+use dsa_workloads::nvmetcp::{Digest, NvmeTcpTarget};
+
+fn sweep(io_size: u64, label: &str) {
+    table::banner("Fig. 21", label);
+    table::header(&["cores", "none kIOPS", "isal kIOPS", "dsa kIOPS", "dsa lat us", "isal lat us"]);
+    for cores in [1u32, 2, 4, 6, 8, 10, 12] {
+        let mut rt = DsaRuntime::spr_default();
+        let none = NvmeTcpTarget { io_size, cores, digest: Digest::None }.run(&mut rt, 2).unwrap();
+        let isal = NvmeTcpTarget { io_size, cores, digest: Digest::IsaL }.run(&mut rt, 2).unwrap();
+        let dsa = NvmeTcpTarget { io_size, cores, digest: Digest::Dsa }.run(&mut rt, 2).unwrap();
+        table::row(&[
+            cores.to_string(),
+            table::f2(none.kiops),
+            table::f2(isal.kiops),
+            table::f2(dsa.kiops),
+            table::us(dsa.avg_latency),
+            table::us(isal.avg_latency),
+        ]);
+    }
+    let mut rt = DsaRuntime::spr_default();
+    let sat_none =
+        NvmeTcpTarget { io_size, cores: 1, digest: Digest::None }.saturation_cores(&mut rt);
+    let sat_dsa =
+        NvmeTcpTarget { io_size, cores: 1, digest: Digest::Dsa }.saturation_cores(&mut rt);
+    let sat_isal =
+        NvmeTcpTarget { io_size, cores: 1, digest: Digest::IsaL }.saturation_cores(&mut rt);
+    println!("saturation cores — none: {sat_none}, dsa: {sat_dsa}, isal: {sat_isal}");
+}
+
+fn main() {
+    sweep(16 << 10, "(a) 16 KiB random reads (paper: DSA/none saturate at ~6 cores, ISA-L >8)");
+    sweep(128 << 10, "(b) 128 KiB sequential reads (paper: ~2 cores vs ~6)");
+}

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the functional operation kernels
+//! (Table 1's operation set): host-machine performance of the actual Rust
+//! implementations the device model executes. These complement the figure
+//! harnesses, which measure *simulated* time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dsa_ops::crc32::Crc32c;
+use dsa_ops::delta::{delta_apply, delta_create};
+use dsa_ops::dif::{dif_check, dif_insert, DifBlockSize, DifConfig};
+use dsa_ops::memops;
+
+fn bench_crc32(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32c");
+    for size in [4096usize, 65536] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| Crc32c::checksum(std::hint::black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_memops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memops");
+    let size = 65536usize;
+    let src = vec![0xA5u8; size];
+    g.throughput(Throughput::Bytes(size as u64));
+    g.bench_function("copy_64K", |b| {
+        b.iter_batched_ref(
+            || vec![0u8; size],
+            |dst| memops::copy(std::hint::black_box(&src), dst),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("compare_64K", |b| {
+        let other = src.clone();
+        b.iter(|| memops::compare(std::hint::black_box(&src), std::hint::black_box(&other)))
+    });
+    g.bench_function("fill_64K", |b| {
+        b.iter_batched_ref(
+            || vec![0u8; size],
+            |dst| memops::fill(dst, 0xDEAD_BEEF),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_dif(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dif");
+    let cfg = DifConfig::new(DifBlockSize::B512);
+    let data = vec![0x5Au8; 16 * 512];
+    let protected = dif_insert(&cfg, &data).unwrap();
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("insert_8K", |b| b.iter(|| dif_insert(&cfg, std::hint::black_box(&data))));
+    g.bench_function("check_8K", |b| b.iter(|| dif_check(&cfg, std::hint::black_box(&protected))));
+    g.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta");
+    let original = vec![0u8; 65536];
+    let mut modified = original.clone();
+    for i in (0..modified.len()).step_by(1024) {
+        modified[i] = 1;
+    }
+    g.throughput(Throughput::Bytes(original.len() as u64));
+    g.bench_function("create_64K_sparse", |b| {
+        b.iter(|| delta_create(std::hint::black_box(&original), &modified, 1 << 20))
+    });
+    let record = delta_create(&original, &modified, 1 << 20).unwrap();
+    g.bench_function("apply_64K_sparse", |b| {
+        b.iter_batched_ref(
+            || original.clone(),
+            |t| delta_apply(&record, t),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crc32, bench_memops, bench_dif, bench_delta);
+criterion_main!(benches);

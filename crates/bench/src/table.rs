@@ -1,0 +1,62 @@
+//! Output formatting for the figure harnesses: fixed-width tables that
+//! read like the paper's figures rendered as text.
+
+/// Prints the experiment banner.
+pub fn banner(figure: &str, description: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{figure}: {description}");
+    println!("==================================================================");
+}
+
+/// Prints a table header row followed by a separator.
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(cells.len() * 12));
+}
+
+/// Prints one fixed-width row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>11}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Human size label: 256, 4K, 64K, 2M.
+pub fn size_label(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Formats a rate/ratio with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats microseconds with 2 decimals.
+pub fn us(v: dsa_sim::time::SimDuration) -> String {
+    format!("{:.2}", v.as_us_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(256), "256");
+        assert_eq!(size_label(4096), "4K");
+        assert_eq!(size_label(2 << 20), "2M");
+        assert_eq!(size_label(1000), "1000");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(us(dsa_sim::time::SimDuration::from_ns(1500)), "1.50");
+    }
+}

@@ -1,0 +1,194 @@
+//! The `libaccel-config` equivalent: an ergonomic, validated builder for
+//! device configurations.
+//!
+//! Mirrors how `accel-config` (and the IDXD sysfs interface) is used:
+//! declare groups with engines, carve WQ storage into dedicated/shared
+//! queues with priorities, then "enable" — which is when validation runs.
+//!
+//! ```
+//! use dsa_core::config::AccelConfig;
+//!
+//! // Paper Fig. 9's "DWQ: 4" setup: four dedicated WQs, one engine each.
+//! let mut cfg = AccelConfig::new();
+//! for _ in 0..4 {
+//!     let g = cfg.add_group(1);
+//!     cfg.add_dedicated_wq(32, g);
+//! }
+//! let device_config = cfg.enable().unwrap();
+//! assert_eq!(device_config.wqs.len(), 4);
+//! ```
+
+use dsa_device::config::{ConfigError, DeviceCaps, DeviceConfig, GroupConfig, WqConfig};
+
+/// Builder for a validated [`DeviceConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct AccelConfig {
+    groups: Vec<GroupConfig>,
+    wqs: Vec<WqConfig>,
+    caps: Option<DeviceCaps>,
+}
+
+impl AccelConfig {
+    /// An empty configuration.
+    pub fn new() -> AccelConfig {
+        AccelConfig::default()
+    }
+
+    /// Overrides the capability set validated against (default: DSA 1.0).
+    pub fn with_caps(mut self, caps: DeviceCaps) -> AccelConfig {
+        self.caps = Some(caps);
+        self
+    }
+
+    /// Adds a group with `engines` engines; returns its index.
+    pub fn add_group(&mut self, engines: u32) -> usize {
+        self.groups.push(GroupConfig::with_engines(engines));
+        self.groups.len() - 1
+    }
+
+    /// Caps the read buffers per engine of group `group` (QoS control,
+    /// §3.4/F3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` was not created by [`add_group`](Self::add_group).
+    pub fn limit_read_buffers(&mut self, group: usize, per_engine: u32) -> &mut AccelConfig {
+        self.groups[group].read_buffers_per_engine = Some(per_engine);
+        self
+    }
+
+    /// Adds a dedicated WQ of `size` entries to `group`; returns its index.
+    pub fn add_dedicated_wq(&mut self, size: u32, group: usize) -> usize {
+        self.wqs.push(WqConfig::dedicated(size, group));
+        self.wqs.len() - 1
+    }
+
+    /// Adds a shared WQ of `size` entries to `group`; returns its index.
+    pub fn add_shared_wq(&mut self, size: u32, group: usize) -> usize {
+        self.wqs.push(WqConfig::shared(size, group));
+        self.wqs.len() - 1
+    }
+
+    /// Sets the priority (1..=15) of WQ `wq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wq` was not created by an `add_*_wq` call.
+    pub fn set_priority(&mut self, wq: usize, priority: u8) -> &mut AccelConfig {
+        self.wqs[wq].priority = priority;
+        self
+    }
+
+    /// Validates and produces the device configuration ("enabling" the
+    /// device in `accel-config` terms).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint the IDXD rules reject.
+    pub fn enable(self) -> Result<DeviceConfig, ConfigError> {
+        let cfg = DeviceConfig { groups: self.groups, wqs: self.wqs };
+        cfg.validate(&self.caps.unwrap_or_else(DeviceCaps::dsa1))?;
+        Ok(cfg)
+    }
+}
+
+/// Ready-made configurations used across the paper's figures.
+pub mod presets {
+    use super::*;
+
+    /// One group, one engine, one dedicated 32-entry WQ (§4.1 baseline).
+    pub fn single_engine_dwq() -> DeviceConfig {
+        DeviceConfig::single_engine()
+    }
+
+    /// One group with `engines` engines behind one dedicated WQ of
+    /// `wq_size` entries (Figs. 4/7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters violate device capabilities.
+    pub fn engines_behind_one_dwq(engines: u32, wq_size: u32) -> DeviceConfig {
+        let mut cfg = AccelConfig::new();
+        let g = cfg.add_group(engines);
+        cfg.add_dedicated_wq(wq_size, g);
+        cfg.enable().expect("preset within DSA 1.0 capabilities")
+    }
+
+    /// `n` dedicated WQs, each with its own single-engine group
+    /// (Fig. 9 "DWQ: N").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the engine or WQ budget.
+    pub fn n_dwqs_n_engines(n: u32) -> DeviceConfig {
+        let mut cfg = AccelConfig::new();
+        for _ in 0..n {
+            let g = cfg.add_group(1);
+            cfg.add_dedicated_wq(128 / n.max(1), g);
+        }
+        cfg.enable().expect("preset within DSA 1.0 capabilities")
+    }
+
+    /// One shared WQ behind one engine (Fig. 9 "SWQ: N" — N is the number
+    /// of submitting threads, not a device property).
+    pub fn one_swq_one_engine() -> DeviceConfig {
+        let mut cfg = AccelConfig::new();
+        let g = cfg.add_group(1);
+        cfg.add_shared_wq(32, g);
+        cfg.enable().expect("preset within DSA 1.0 capabilities")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_device::config::WqMode;
+
+    #[test]
+    fn builder_produces_valid_config() {
+        let mut cfg = AccelConfig::new();
+        let g0 = cfg.add_group(2);
+        let g1 = cfg.add_group(2);
+        cfg.add_dedicated_wq(64, g0);
+        let w = cfg.add_shared_wq(64, g1);
+        cfg.set_priority(w, 12);
+        let dc = cfg.enable().unwrap();
+        assert_eq!(dc.groups.len(), 2);
+        assert_eq!(dc.wqs[1].priority, 12);
+        assert_eq!(dc.wqs[1].mode, WqMode::Shared);
+    }
+
+    #[test]
+    fn over_budget_rejected_at_enable() {
+        let mut cfg = AccelConfig::new();
+        let g = cfg.add_group(5); // > 4 engines
+        cfg.add_dedicated_wq(8, g);
+        assert!(matches!(cfg.enable(), Err(ConfigError::TooManyEngines { .. })));
+    }
+
+    #[test]
+    fn read_buffer_limit_recorded() {
+        let mut cfg = AccelConfig::new();
+        let g = cfg.add_group(1);
+        cfg.limit_read_buffers(g, 16);
+        cfg.add_dedicated_wq(8, g);
+        let dc = cfg.enable().unwrap();
+        assert_eq!(dc.groups[0].read_buffers_per_engine, Some(16));
+    }
+
+    #[test]
+    fn presets_validate() {
+        presets::single_engine_dwq().validate(&DeviceCaps::dsa1()).unwrap();
+        presets::engines_behind_one_dwq(4, 128).validate(&DeviceCaps::dsa1()).unwrap();
+        presets::n_dwqs_n_engines(4).validate(&DeviceCaps::dsa1()).unwrap();
+        presets::one_swq_one_engine().validate(&DeviceCaps::dsa1()).unwrap();
+    }
+
+    #[test]
+    fn preset_dwq_split_shares_storage() {
+        let dc = presets::n_dwqs_n_engines(4);
+        let total: u32 = dc.wqs.iter().map(|w| w.size).sum();
+        assert!(total <= 128);
+        assert_eq!(dc.wqs.len(), 4);
+    }
+}

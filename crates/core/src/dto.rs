@@ -1,0 +1,290 @@
+//! DTO — the transparent offload layer.
+//!
+//! The paper's DSA Transparent Offload library intercepts `memcpy()`,
+//! `memmove()`, `memset()` and `memcmp()` (via `LD_PRELOAD` or `-ldto`) and
+//! replaces calls above a size threshold with synchronous DSA operations
+//! (§5, Appendix B). This module is that layer for simulated programs: call
+//! [`Dto::memcpy`] wherever the application would call `memcpy`, and the
+//! router decides CPU vs. DSA.
+//!
+//! The CacheLib appendix motivates the default threshold: "around 4.8% of
+//! memcpy()s are copying data of 8 KB or larger in size, but account for
+//! 96.4% of data copied" — so DTO offloads ≥ 8 KiB by default and the rare
+//! large copies carry almost all the bytes.
+
+use crate::job::{Job, JobError};
+use crate::runtime::DsaRuntime;
+use dsa_device::descriptor::Status;
+use dsa_mem::memory::BufferHandle;
+use dsa_ops::OpKind;
+use dsa_sim::time::SimDuration;
+
+/// Counters describing what DTO routed where.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DtoStats {
+    /// Total intercepted calls.
+    pub calls: u64,
+    /// Calls sent to DSA.
+    pub offloaded_calls: u64,
+    /// Total bytes across calls.
+    pub bytes: u64,
+    /// Bytes sent to DSA.
+    pub offloaded_bytes: u64,
+    /// Offloads that hit a page fault and were redone on the CPU.
+    pub fault_fallbacks: u64,
+}
+
+impl DtoStats {
+    /// Fraction of calls offloaded.
+    pub fn call_fraction(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.offloaded_calls as f64 / self.calls as f64
+        }
+    }
+
+    /// Fraction of bytes offloaded.
+    pub fn byte_fraction(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.offloaded_bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// The transparent-offload router.
+#[derive(Clone, Debug)]
+pub struct Dto {
+    threshold: u64,
+    device: usize,
+    wq: usize,
+    stats: DtoStats,
+}
+
+impl Default for Dto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dto {
+    /// A router with the 8 KiB default threshold on device 0 / WQ 0.
+    pub fn new() -> Dto {
+        Dto { threshold: 8 << 10, device: 0, wq: 0, stats: DtoStats::default() }
+    }
+
+    /// Overrides the offload threshold.
+    pub fn with_threshold(mut self, bytes: u64) -> Dto {
+        self.threshold = bytes;
+        self
+    }
+
+    /// Targets a specific device/WQ.
+    pub fn on(mut self, device: usize, wq: usize) -> Dto {
+        self.device = device;
+        self.wq = wq;
+        self
+    }
+
+    /// The active threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Routing statistics.
+    pub fn stats(&self) -> DtoStats {
+        self.stats
+    }
+
+    /// Intercepted `memcpy`: routes to DSA at or above the threshold,
+    /// otherwise runs on the CPU. Returns the elapsed time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-retryable submission failures.
+    pub fn memcpy(
+        &mut self,
+        rt: &mut DsaRuntime,
+        src: &BufferHandle,
+        dst: &BufferHandle,
+    ) -> Result<SimDuration, JobError> {
+        let len = src.len().min(dst.len());
+        self.stats.calls += 1;
+        self.stats.bytes += len;
+        if len < self.threshold {
+            return Ok(rt.cpu_op(OpKind::Memcpy, src, dst));
+        }
+        self.stats.offloaded_calls += 1;
+        self.stats.offloaded_bytes += len;
+        let before = rt.now();
+        let report =
+            Job::memcpy(src, dst).on_device(self.device).on_wq(self.wq).execute(rt)?;
+        if matches!(report.record.status, Status::PageFault { .. }) {
+            // DTO's documented behaviour: "the core would redo offloaded
+            // operations when encountering page faults".
+            self.stats.fault_fallbacks += 1;
+            rt.cpu_op(OpKind::Memcpy, src, dst);
+        }
+        Ok(rt.now().duration_since(before))
+    }
+
+    /// Intercepted `memset` (fills with `byte`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-retryable submission failures.
+    pub fn memset(
+        &mut self,
+        rt: &mut DsaRuntime,
+        dst: &BufferHandle,
+        byte: u8,
+    ) -> Result<SimDuration, JobError> {
+        let len = dst.len();
+        self.stats.calls += 1;
+        self.stats.bytes += len;
+        if len < self.threshold {
+            let t = rt.cpu_time(OpKind::Fill, len, dsa_mem::buffer::Location::local_dram(),
+                rt.memory().location_of(dst.addr()).unwrap_or(dsa_mem::buffer::Location::local_dram()));
+            rt.fill_pattern(dst, byte);
+            rt.advance(t);
+            return Ok(t);
+        }
+        self.stats.offloaded_calls += 1;
+        self.stats.offloaded_bytes += len;
+        let before = rt.now();
+        let pattern = u64::from_le_bytes([byte; 8]);
+        Job::fill(dst, pattern).on_device(self.device).on_wq(self.wq).execute(rt)?;
+        Ok(rt.now().duration_since(before))
+    }
+
+    /// Intercepted `memcmp`: returns the first differing offset (like the
+    /// DSA Compare operation) and the elapsed time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-retryable submission failures.
+    pub fn memcmp(
+        &mut self,
+        rt: &mut DsaRuntime,
+        a: &BufferHandle,
+        b: &BufferHandle,
+    ) -> Result<(Option<u64>, SimDuration), JobError> {
+        let len = a.len().min(b.len());
+        self.stats.calls += 1;
+        self.stats.bytes += len;
+        if len < self.threshold {
+            let t = rt.cpu_op(OpKind::Compare, a, b);
+            let diff = {
+                let av = rt.memory().read(a.addr(), len).expect("mapped");
+                let bv = rt.memory().read(b.addr(), len).expect("mapped");
+                dsa_ops::memops::compare(av, bv).map(|o| o as u64)
+            };
+            return Ok((diff, t));
+        }
+        self.stats.offloaded_calls += 1;
+        self.stats.offloaded_bytes += len;
+        let before = rt.now();
+        let report = Job::compare(a, b).on_device(self.device).on_wq(self.wq).execute(rt)?;
+        let diff = match report.record.status {
+            Status::CompareMismatch => Some(report.record.result),
+            _ => None,
+        };
+        Ok((diff, rt.now().duration_since(before)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_mem::buffer::Location;
+
+    #[test]
+    fn small_copies_stay_on_cpu() {
+        let mut rt = DsaRuntime::spr_default();
+        let mut dto = Dto::new();
+        let a = rt.alloc(1024, Location::local_dram());
+        let b = rt.alloc(1024, Location::local_dram());
+        rt.fill_pattern(&a, 3);
+        dto.memcpy(&mut rt, &a, &b).unwrap();
+        assert_eq!(dto.stats().offloaded_calls, 0);
+        assert_eq!(rt.read(&b).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn large_copies_offload() {
+        let mut rt = DsaRuntime::spr_default();
+        let mut dto = Dto::new();
+        let a = rt.alloc(64 << 10, Location::local_dram());
+        let b = rt.alloc(64 << 10, Location::local_dram());
+        rt.fill_pattern(&a, 9);
+        dto.memcpy(&mut rt, &a, &b).unwrap();
+        assert_eq!(dto.stats().offloaded_calls, 1);
+        assert!(rt.read(&b).unwrap().iter().all(|&x| x == 9));
+        assert!((dto.stats().byte_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_override() {
+        let mut rt = DsaRuntime::spr_default();
+        let mut dto = Dto::new().with_threshold(512);
+        assert_eq!(dto.threshold(), 512);
+        let a = rt.alloc(1024, Location::local_dram());
+        let b = rt.alloc(1024, Location::local_dram());
+        dto.memcpy(&mut rt, &a, &b).unwrap();
+        assert_eq!(dto.stats().offloaded_calls, 1);
+    }
+
+    #[test]
+    fn memset_and_memcmp_route() {
+        let mut rt = DsaRuntime::spr_default();
+        let mut dto = Dto::new().with_threshold(4096);
+        let a = rt.alloc(8192, Location::local_dram());
+        let b = rt.alloc(8192, Location::local_dram());
+        dto.memset(&mut rt, &a, 0xAA).unwrap();
+        assert!(rt.read(&a).unwrap().iter().all(|&x| x == 0xAA));
+        let (diff, _) = dto.memcmp(&mut rt, &a, &b).unwrap();
+        assert_eq!(diff, Some(0));
+        dto.memset(&mut rt, &b, 0xAA).unwrap();
+        let (diff, _) = dto.memcmp(&mut rt, &a, &b).unwrap();
+        assert_eq!(diff, None);
+        assert_eq!(dto.stats().calls, 4);
+        assert_eq!(dto.stats().offloaded_calls, 4);
+    }
+
+    #[test]
+    fn fault_fallback_redoes_on_cpu() {
+        let mut rt = DsaRuntime::spr_default();
+        let mut dto = Dto::new();
+        let a = rt.alloc(32 << 10, Location::local_dram());
+        let b = rt.alloc(32 << 10, Location::local_dram());
+        rt.fill_pattern(&a, 5);
+        rt.memsys_mut().page_table_mut().unmap_page(b.addr() + 8192);
+        dto.memcpy(&mut rt, &a, &b).unwrap();
+        assert_eq!(dto.stats().fault_fallbacks, 1);
+        // CPU redo still produced the full copy.
+        assert!(rt.read(&b).unwrap().iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    fn cachelib_style_distribution() {
+        // Mimic the appendix: mostly small copies, few large ones that
+        // carry nearly all bytes.
+        let mut rt = DsaRuntime::spr_default();
+        let mut dto = Dto::new();
+        let small_src = rt.alloc(1024, Location::local_dram());
+        let small_dst = rt.alloc(1024, Location::local_dram());
+        let big_src = rt.alloc(512 << 10, Location::local_dram());
+        let big_dst = rt.alloc(512 << 10, Location::local_dram());
+        for _ in 0..95 {
+            dto.memcpy(&mut rt, &small_src, &small_dst).unwrap();
+        }
+        for _ in 0..5 {
+            dto.memcpy(&mut rt, &big_src, &big_dst).unwrap();
+        }
+        let s = dto.stats();
+        assert!(s.call_fraction() < 0.10);
+        assert!(s.byte_fraction() > 0.90);
+    }
+}

@@ -1,0 +1,60 @@
+//! # dsa-core — the user-facing DSA library
+//!
+//! The layer a program links against, mirroring the real software
+//! ecosystem the paper describes (§3.3, §5):
+//!
+//! | Real component      | Here                                            |
+//! |---------------------|-------------------------------------------------|
+//! | `libaccel-config`   | [`config::AccelConfig`] — validated group/WQ/engine setup |
+//! | PCM telemetry       | [`telemetry::TelemetryLog`] — counter-delta sampling |
+//! | DML (Data Mover Library) | [`job::Job`], [`job::Batch`], [`job::AsyncQueue`] |
+//! | `MOVDIR64B`/`ENQCMD`/`UMWAIT` | [`submit`] — submission & wait models |
+//! | DTO (transparent offload) | [`dto::Dto`] — threshold-routed `mem*` calls |
+//! | Guidelines G1–G6    | [`guidelines`] — executable advisors            |
+//!
+//! Everything runs against a [`runtime::DsaRuntime`]: the simulated SPR
+//! (or ICX) platform with its memory system and DSA instances.
+//!
+//! ```
+//! use dsa_core::prelude::*;
+//! use dsa_mem::buffer::Location;
+//!
+//! let mut rt = DsaRuntime::spr_default();
+//! let src = rt.alloc(16 << 10, Location::local_dram());
+//! let dst = rt.alloc(16 << 10, Location::local_dram());
+//! rt.fill_random(&src);
+//!
+//! // Synchronous offload…
+//! let report = Job::memcpy(&src, &dst).execute(&mut rt)?;
+//! assert!(report.record.status.is_ok());
+//!
+//! // …or queue-depth-32 asynchronous streaming.
+//! let mut q = AsyncQueue::new(32);
+//! for _ in 0..100 {
+//!     q.submit(&mut rt, Job::memcpy(&src, &dst))?;
+//! }
+//! q.drain(&mut rt);
+//! # Ok::<(), dsa_core::job::JobError>(())
+//! ```
+
+pub mod config;
+pub mod dto;
+pub mod guidelines;
+pub mod job;
+pub mod runtime;
+pub mod submit;
+pub mod telemetry;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use crate::config::AccelConfig;
+    pub use crate::dto::Dto;
+    pub use crate::job::{AsyncQueue, Batch, Job, JobError, JobReport};
+    pub use crate::runtime::{DsaRuntime, RuntimeBuilder};
+    pub use crate::submit::{SubmitMethod, WaitMethod};
+    pub use crate::telemetry::TelemetryLog;
+    pub use dsa_device::descriptor::Status;
+}
+
+pub use job::{AsyncQueue, Batch, Job, JobHandle, JobReport};
+pub use runtime::DsaRuntime;

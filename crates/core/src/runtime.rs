@@ -1,0 +1,342 @@
+//! The simulated platform a user program runs against.
+//!
+//! [`DsaRuntime`] bundles everything one experiment needs: the platform
+//! description, the byte store ([`Memory`]), the timing model
+//! ([`MemSystem`]), one or more DSA instances, the software-baseline cost
+//! model, and a global clock. The [`Job`](crate::job::Job) API drives it
+//! the way DML drives real hardware.
+
+use dsa_device::config::DeviceConfig;
+use dsa_device::device::DsaDevice;
+use dsa_mem::buffer::{Location, PageSize};
+use dsa_mem::memory::{BufferHandle, MemError, Memory};
+use dsa_mem::memsys::MemSystem;
+use dsa_mem::topology::Platform;
+use dsa_ops::swcost::SwCost;
+use dsa_ops::OpKind;
+use dsa_sim::rng::SplitMix64;
+use dsa_sim::time::{SimDuration, SimTime};
+
+/// Builder for a [`DsaRuntime`].
+#[derive(Debug)]
+pub struct RuntimeBuilder {
+    platform: Platform,
+    device_configs: Vec<DeviceConfig>,
+    page_size: PageSize,
+}
+
+impl RuntimeBuilder {
+    /// Starts from a platform (usually [`Platform::spr`]).
+    pub fn new(platform: Platform) -> RuntimeBuilder {
+        RuntimeBuilder { platform, device_configs: Vec::new(), page_size: PageSize::Base4K }
+    }
+
+    /// Adds one DSA instance with `config`.
+    pub fn device(mut self, config: DeviceConfig) -> RuntimeBuilder {
+        self.device_configs.push(config);
+        self
+    }
+
+    /// Adds `n` DSA instances sharing the same `config`.
+    pub fn devices(mut self, n: usize, config: DeviceConfig) -> RuntimeBuilder {
+        for _ in 0..n {
+            self.device_configs.push(config.clone());
+        }
+        self
+    }
+
+    /// Default page size for allocations (paper Fig. 8).
+    pub fn page_size(mut self, ps: PageSize) -> RuntimeBuilder {
+        self.page_size = ps;
+        self
+    }
+
+    /// Builds the runtime. At least one device is always present.
+    pub fn build(mut self) -> DsaRuntime {
+        if self.device_configs.is_empty() {
+            self.device_configs.push(DeviceConfig::single_engine());
+        }
+        let memsys = MemSystem::new(self.platform.clone());
+        let devices = self
+            .device_configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| DsaDevice::new(i as u16, cfg, &self.platform))
+            .collect();
+        DsaRuntime {
+            swcost: SwCost::new(self.platform.clone()),
+            platform: self.platform,
+            memory: Memory::new(),
+            memsys,
+            devices,
+            page_size: self.page_size,
+            now: SimTime::ZERO,
+            rng: SplitMix64::new(0xD5A0_5EED),
+        }
+    }
+}
+
+/// The simulated platform: memory + devices + clock.
+pub struct DsaRuntime {
+    platform: Platform,
+    memory: Memory,
+    memsys: MemSystem,
+    devices: Vec<DsaDevice>,
+    swcost: SwCost,
+    page_size: PageSize,
+    now: SimTime,
+    rng: SplitMix64,
+}
+
+impl DsaRuntime {
+    /// An SPR platform with one single-engine DSA (the paper's §4.1 setup).
+    pub fn spr_default() -> DsaRuntime {
+        RuntimeBuilder::new(Platform::spr()).device(DeviceConfig::single_engine()).build()
+    }
+
+    /// Starts a builder.
+    pub fn builder(platform: Platform) -> RuntimeBuilder {
+        RuntimeBuilder::new(platform)
+    }
+
+    /// The platform description.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The software-baseline cost model.
+    pub fn swcost(&self) -> &SwCost {
+        &self.swcost
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Moves the clock forward to `t` (no-op if already past).
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Sets the clock outright — for multi-agent harnesses that juggle
+    /// per-core cursors and hand the runtime to whichever agent acts next.
+    /// Drive agents in (approximately) time order: device resource
+    /// timelines tolerate small reorderings but not wholesale rewinds.
+    pub fn set_now(&mut self, t: SimTime) {
+        self.now = t;
+    }
+
+    /// Number of DSA instances.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Access to device `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn device(&self, i: usize) -> &DsaDevice {
+        &self.devices[i]
+    }
+
+    /// Mutable device access (used by the job layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn device_mut(&mut self, i: usize) -> &mut DsaDevice {
+        &mut self.devices[i]
+    }
+
+    /// Destructured mutable access for submission paths that need the
+    /// device, memory, and memory system simultaneously.
+    pub(crate) fn parts(
+        &mut self,
+        dev: usize,
+    ) -> (&mut DsaDevice, &mut Memory, &mut MemSystem) {
+        (&mut self.devices[dev], &mut self.memory, &mut self.memsys)
+    }
+
+    /// The byte store.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable byte store.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// The timing model.
+    pub fn memsys(&self) -> &MemSystem {
+        &self.memsys
+    }
+
+    /// Mutable timing model.
+    pub fn memsys_mut(&mut self) -> &mut MemSystem {
+        &mut self.memsys
+    }
+
+    /// Allocates a zeroed buffer and maps its pages.
+    pub fn alloc(&mut self, len: u64, loc: Location) -> BufferHandle {
+        let ps = self.page_size;
+        self.alloc_with_pages(len, loc, ps)
+    }
+
+    /// Allocates with an explicit page size and maps its pages.
+    pub fn alloc_with_pages(
+        &mut self,
+        len: u64,
+        loc: Location,
+        ps: PageSize,
+    ) -> BufferHandle {
+        let h = self.memory.alloc_with_pages(len, loc, ps);
+        self.memsys.page_table_mut().map_range(h.addr(), len.max(1), ps);
+        h
+    }
+
+    /// Fills a buffer with one byte value.
+    pub fn fill_pattern(&mut self, buf: &BufferHandle, byte: u8) {
+        self.memory
+            .read_mut(buf.addr(), buf.len())
+            .expect("runtime-allocated buffer is mapped")
+            .fill(byte);
+    }
+
+    /// Fills a buffer with reproducible pseudo-random bytes.
+    pub fn fill_random(&mut self, buf: &BufferHandle) {
+        let mut rng = self.rng.split();
+        let slice = self
+            .memory
+            .read_mut(buf.addr(), buf.len())
+            .expect("runtime-allocated buffer is mapped");
+        rng.fill_bytes(slice);
+    }
+
+    /// Reads buffer contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] for invalid ranges.
+    pub fn read(&self, buf: &BufferHandle) -> Result<&[u8], MemError> {
+        self.memory.read(buf.addr(), buf.len())
+    }
+
+    /// Runs the *software* implementation of `kind` on the CPU: performs
+    /// the work functionally and advances the clock by the calibrated
+    /// software cost. Returns the elapsed software time.
+    pub fn cpu_op(&mut self, kind: OpKind, src: &BufferHandle, dst: &BufferHandle) -> SimDuration {
+        let bytes = src.len().max(dst.len());
+        let src_loc = self.memory.location_of(src.addr()).unwrap_or(Location::local_dram());
+        let dst_loc = self.memory.location_of(dst.addr()).unwrap_or(Location::local_dram());
+        let t = self.swcost.op_time(kind, bytes, src_loc, dst_loc);
+        match kind {
+            OpKind::Memcpy => {
+                self.memory.copy(src.addr(), dst.addr(), src.len().min(dst.len())).ok();
+            }
+            OpKind::Fill | OpKind::NtFill => {
+                if let Ok(b) = self.memory.read_mut(dst.addr(), dst.len()) {
+                    dsa_ops::memops::fill(b, 0);
+                }
+            }
+            _ => {}
+        }
+        self.now += t;
+        t
+    }
+
+    /// The calibrated software time for `kind` over `bytes` with explicit
+    /// placements, without executing or advancing the clock.
+    pub fn cpu_time(&self, kind: OpKind, bytes: u64, src: Location, dst: Location) -> SimDuration {
+        self.swcost.op_time(kind, bytes, src, dst)
+    }
+}
+
+impl std::fmt::Debug for DsaRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsaRuntime")
+            .field("platform", &self.platform.name)
+            .field("devices", &self.devices.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runtime_has_one_device() {
+        let rt = DsaRuntime::spr_default();
+        assert_eq!(rt.device_count(), 1);
+        assert_eq!(rt.platform().name, "SPR");
+    }
+
+    #[test]
+    fn builder_adds_devices() {
+        let rt = DsaRuntime::builder(Platform::spr())
+            .devices(4, DeviceConfig::single_engine())
+            .build();
+        assert_eq!(rt.device_count(), 4);
+    }
+
+    #[test]
+    fn empty_builder_gets_default_device() {
+        let rt = DsaRuntime::builder(Platform::spr()).build();
+        assert_eq!(rt.device_count(), 1);
+    }
+
+    #[test]
+    fn alloc_maps_pages() {
+        let mut rt = DsaRuntime::spr_default();
+        let b = rt.alloc(10_000, Location::local_dram());
+        assert!(rt.memsys().page_table().is_present(b.addr()));
+        assert!(rt.memsys().page_table().is_present(b.addr() + 9_999));
+    }
+
+    #[test]
+    fn fill_helpers_work() {
+        let mut rt = DsaRuntime::spr_default();
+        let b = rt.alloc(64, Location::local_dram());
+        rt.fill_pattern(&b, 0x5A);
+        assert!(rt.read(&b).unwrap().iter().all(|&x| x == 0x5A));
+        rt.fill_random(&b);
+        assert!(rt.read(&b).unwrap().iter().any(|&x| x != 0x5A));
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut rt = DsaRuntime::spr_default();
+        rt.advance(SimDuration::from_us(3));
+        assert_eq!(rt.now(), SimTime::from_us(3));
+        rt.advance_to(SimTime::from_us(2));
+        assert_eq!(rt.now(), SimTime::from_us(3), "advance_to never rewinds");
+    }
+
+    #[test]
+    fn cpu_op_copies_and_charges_time() {
+        let mut rt = DsaRuntime::spr_default();
+        let a = rt.alloc(4096, Location::local_dram());
+        let b = rt.alloc(4096, Location::local_dram());
+        rt.fill_pattern(&a, 9);
+        let t = rt.cpu_op(OpKind::Memcpy, &a, &b);
+        assert!(t.as_ns_f64() > 100.0);
+        assert_eq!(rt.now(), SimTime::ZERO + t);
+        assert!(rt.read(&b).unwrap().iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn huge_page_allocation() {
+        let mut rt = DsaRuntime::builder(Platform::spr()).page_size(PageSize::Huge2M).build();
+        let b = rt.alloc(100, Location::local_dram());
+        assert_eq!(rt.memory().page_size_of(b.addr()).unwrap(), PageSize::Huge2M);
+    }
+}

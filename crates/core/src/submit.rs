@@ -1,0 +1,158 @@
+//! Core-side submission and completion-wait models.
+//!
+//! The paper's §3.3 describes the new x86 instructions DSA relies on:
+//!
+//! * `MOVDIR64B` — posted 64-byte store to a dedicated WQ portal: the core
+//!   pays a short, fixed cost and moves on;
+//! * `ENQCMD`/`ENQCMDS` — *non-posted* submission to a shared WQ: the core
+//!   stalls for a round trip and receives an accepted/retry status, which
+//!   is why a single thread submits slower to an SWQ (Fig. 9) but many
+//!   threads need no software lock;
+//! * `UMONITOR`/`UMWAIT` — user-space optimized wait: the core sleeps in a
+//!   low-power state until the completion record is written (Fig. 11).
+
+use dsa_sim::time::{SimDuration, SimTime};
+
+/// How descriptors reach the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SubmitMethod {
+    /// Posted 64-byte store (dedicated WQs).
+    Movdir64b,
+    /// Non-posted enqueue with accept/retry status (shared WQs).
+    Enqcmd,
+}
+
+impl SubmitMethod {
+    /// Core-visible cost of issuing one submission. For `ENQCMD` this is
+    /// the *base* round trip; device-port queueing is added by the job
+    /// layer via [`DsaDevice::enqcmd_accept`].
+    ///
+    /// [`DsaDevice::enqcmd_accept`]: dsa_device::device::DsaDevice::enqcmd_accept
+    pub fn core_cost(self) -> SimDuration {
+        match self {
+            // WC-buffer fill + flush of one cache line.
+            SubmitMethod::Movdir64b => SimDuration::from_ns(55),
+            // Non-posted round trip through the on-die fabric.
+            SubmitMethod::Enqcmd => SimDuration::from_ns(160),
+        }
+    }
+
+    /// True if the instruction returns before the device accepts.
+    pub fn is_posted(self) -> bool {
+        matches!(self, SubmitMethod::Movdir64b)
+    }
+}
+
+/// How the core learns about completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WaitMethod {
+    /// Busy-poll the completion record.
+    SpinPoll,
+    /// `UMONITOR`+`UMWAIT` on the completion record address.
+    Umwait,
+    /// Completion interrupt (§4.4 mentions it as the alternative).
+    Interrupt,
+}
+
+/// Outcome of waiting for one completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitReport {
+    /// When the core observed the completion.
+    pub observed_at: SimTime,
+    /// Core time spent actively busy (polling, wake-up processing).
+    pub busy: SimDuration,
+    /// Core time spent in the optimized-wait state (or truly idle for
+    /// interrupts) — the "cycles spent on the UMWAIT intrinsic" of Fig. 11.
+    pub idle: SimDuration,
+}
+
+/// Fixed poll-detect granularity for spin polling.
+const POLL_DETECT: SimDuration = SimDuration::from_ns(20);
+/// Cost to arm UMONITOR and enter UMWAIT.
+const UMWAIT_ARM: SimDuration = SimDuration::from_ns(30);
+/// Wake-up latency out of the optimized wait state.
+const UMWAIT_WAKE: SimDuration = SimDuration::from_ns(100);
+/// Interrupt delivery plus handler dispatch.
+const INTERRUPT_LATENCY: SimDuration = SimDuration::from_us(2);
+
+impl WaitMethod {
+    /// Waits from `from` until the device completion at `completion`
+    /// becomes visible.
+    pub fn wait(self, from: SimTime, completion: SimTime) -> WaitReport {
+        let span = completion.saturating_duration_since(from);
+        match self {
+            WaitMethod::SpinPoll => WaitReport {
+                observed_at: completion + POLL_DETECT,
+                busy: span + POLL_DETECT,
+                idle: SimDuration::ZERO,
+            },
+            WaitMethod::Umwait => {
+                let idle = span - UMWAIT_ARM.min(span);
+                WaitReport {
+                    observed_at: completion + UMWAIT_WAKE,
+                    busy: UMWAIT_ARM.min(span) + UMWAIT_WAKE,
+                    idle,
+                }
+            }
+            WaitMethod::Interrupt => WaitReport {
+                observed_at: completion + INTERRUPT_LATENCY,
+                busy: SimDuration::ZERO,
+                idle: span + INTERRUPT_LATENCY,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn movdir_is_cheap_and_posted() {
+        assert!(SubmitMethod::Movdir64b.core_cost() < SubmitMethod::Enqcmd.core_cost());
+        assert!(SubmitMethod::Movdir64b.is_posted());
+        assert!(!SubmitMethod::Enqcmd.is_posted());
+    }
+
+    #[test]
+    fn spin_poll_burns_the_whole_wait() {
+        let r = WaitMethod::SpinPoll.wait(t(0), t(1000));
+        assert_eq!(r.idle, SimDuration::ZERO);
+        assert!(r.busy >= SimDuration::from_ns(1000));
+        assert!(r.observed_at >= t(1000));
+    }
+
+    #[test]
+    fn umwait_sleeps_most_of_the_wait() {
+        let r = WaitMethod::Umwait.wait(t(0), t(10_000));
+        assert!(r.idle > SimDuration::from_ns(9_000));
+        assert!(r.busy < SimDuration::from_ns(200));
+        // Slower to observe than spinning (wake-up latency).
+        let spin = WaitMethod::SpinPoll.wait(t(0), t(10_000));
+        assert!(r.observed_at > spin.observed_at);
+    }
+
+    #[test]
+    fn umwait_short_wait_has_no_negative_idle() {
+        let r = WaitMethod::Umwait.wait(t(0), t(10));
+        assert_eq!(r.idle, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn interrupt_frees_the_core_but_is_slow() {
+        let r = WaitMethod::Interrupt.wait(t(0), t(1000));
+        assert_eq!(r.busy, SimDuration::ZERO);
+        assert!(r.observed_at >= t(1000) + SimDuration::from_us(2));
+    }
+
+    #[test]
+    fn completion_already_visible() {
+        let r = WaitMethod::SpinPoll.wait(t(5000), t(1000));
+        assert!(r.busy <= POLL_DETECT + SimDuration::from_ns(1));
+        assert!(r.observed_at >= t(1000));
+    }
+}

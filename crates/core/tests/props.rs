@@ -1,0 +1,142 @@
+//! Property tests for the user-facing library: conservation and routing
+//! laws over arbitrary job streams.
+
+use dsa_core::dto::Dto;
+use dsa_core::job::{AsyncQueue, Batch, Job};
+use dsa_core::runtime::DsaRuntime;
+use dsa_mem::buffer::Location;
+use dsa_sim::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn async_queue_conserves_jobs_and_bytes(
+        sizes in prop::collection::vec(64u64..65_536, 1..40),
+        qd in 1usize..48
+    ) {
+        let mut rt = DsaRuntime::spr_default();
+        let mut q = AsyncQueue::new(qd);
+        let mut expected = 0u64;
+        for &size in &sizes {
+            let src = rt.alloc(size, Location::local_dram());
+            let dst = rt.alloc(size, Location::local_dram());
+            q.submit(&mut rt, Job::memcpy(&src, &dst)).unwrap();
+            expected += size;
+        }
+        let end = q.drain(&mut rt);
+        prop_assert_eq!(q.completed(), sizes.len() as u64);
+        prop_assert_eq!(q.completed_bytes(), expected);
+        prop_assert!(end > SimTime::ZERO);
+        prop_assert!(rt.now() >= end);
+    }
+
+    #[test]
+    fn sync_phase_sum_equals_elapsed(size in 64u64..1 << 20, count_alloc in any::<bool>()) {
+        let mut rt = DsaRuntime::spr_default();
+        let src = rt.alloc(size, Location::local_dram());
+        let dst = rt.alloc(size, Location::local_dram());
+        let report = Job::memcpy(&src, &dst).count_alloc(count_alloc).execute(&mut rt).unwrap();
+        prop_assert_eq!(report.phases.total(), report.elapsed());
+        prop_assert_eq!(report.phases.alloc.is_zero(), !count_alloc);
+    }
+
+    #[test]
+    fn batch_reports_one_record_per_member(
+        sizes in prop::collection::vec(64u64..16_384, 2..24)
+    ) {
+        let mut rt = DsaRuntime::spr_default();
+        let mut batch = Batch::new();
+        for &size in &sizes {
+            let src = rt.alloc(size, Location::local_dram());
+            let dst = rt.alloc(size, Location::local_dram());
+            batch.push(Job::memcpy(&src, &dst));
+        }
+        prop_assert_eq!(batch.len(), sizes.len());
+        let report = batch.execute(&mut rt).unwrap();
+        prop_assert_eq!(report.records.len(), sizes.len());
+        prop_assert!(report.records.iter().all(|r| r.status.is_ok()));
+        prop_assert_eq!(report.batch_record.bytes_completed as usize, sizes.len());
+    }
+
+    #[test]
+    fn dto_routes_exactly_by_threshold(
+        sizes in prop::collection::vec(256u64..65_536, 1..40),
+        threshold in 512u64..32_768
+    ) {
+        let mut rt = DsaRuntime::spr_default();
+        let mut dto = Dto::new().with_threshold(threshold);
+        let pool = rt.alloc(65_536, Location::local_dram());
+        let dstp = rt.alloc(65_536, Location::local_dram());
+        let mut want_offloaded = 0u64;
+        let mut want_bytes = 0u64;
+        let mut want_off_bytes = 0u64;
+        for &size in &sizes {
+            let src = pool.slice(0, size);
+            let dst = dstp.slice(0, size);
+            dto.memcpy(&mut rt, &src, &dst).unwrap();
+            want_bytes += size;
+            if size >= threshold {
+                want_offloaded += 1;
+                want_off_bytes += size;
+            }
+        }
+        let s = dto.stats();
+        prop_assert_eq!(s.calls, sizes.len() as u64);
+        prop_assert_eq!(s.offloaded_calls, want_offloaded);
+        prop_assert_eq!(s.bytes, want_bytes);
+        prop_assert_eq!(s.offloaded_bytes, want_off_bytes);
+    }
+
+    #[test]
+    fn drain_is_a_barrier_for_any_prior_stream(
+        sizes in prop::collection::vec(1024u32..262_144, 1..12)
+    ) {
+        let mut rt = DsaRuntime::spr_default();
+        let mut q = AsyncQueue::new(16);
+        let mut last_completion = SimTime::ZERO;
+        for &size in &sizes {
+            let src = rt.alloc(size as u64, Location::local_dram());
+            let dst = rt.alloc(size as u64, Location::local_dram());
+            let handle = Job::memcpy(&src, &dst).submit(&mut rt).unwrap();
+            last_completion = last_completion.max(handle.completion_time());
+            let _ = (&handle, &mut q);
+        }
+        let drain = Job::drain().submit(&mut rt).unwrap();
+        prop_assert!(
+            drain.completion_time() >= last_completion,
+            "drain {:?} must follow the last copy {:?}",
+            drain.completion_time(),
+            last_completion
+        );
+    }
+
+    #[test]
+    fn clock_is_monotone_across_arbitrary_job_mixes(
+        ops in prop::collection::vec(0u8..4, 1..30)
+    ) {
+        let mut rt = DsaRuntime::spr_default();
+        let a = rt.alloc(8192, Location::local_dram());
+        let b = rt.alloc(8192, Location::local_dram());
+        let mut last = rt.now();
+        for op in ops {
+            match op {
+                0 => {
+                    Job::memcpy(&a, &b).execute(&mut rt).unwrap();
+                }
+                1 => {
+                    Job::crc32(&a).execute(&mut rt).unwrap();
+                }
+                2 => {
+                    Job::fill(&b, 0x11).execute(&mut rt).unwrap();
+                }
+                _ => {
+                    Job::compare(&a, &b).execute(&mut rt).unwrap();
+                }
+            }
+            prop_assert!(rt.now() > last, "every sync job advances time");
+            last = rt.now();
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Shared-virtual-memory contents: the byte store devices and cores access.
+//!
+//! DSA operates directly on user virtual addresses (SVM, paper §3.2/F1).
+//! [`Memory`] is the process address space as a *content* store: buffers are
+//! allocated at page-aligned virtual addresses with a declared
+//! [`Location`], and both CPU-side code and the device models read/write
+//! them through plain addresses — exactly how descriptors reference data.
+//!
+//! Timing lives in [`MemSystem`](crate::memsys::MemSystem); contents live
+//! here. The two are kept separate so functional execution can never
+//! accidentally depend on timing state or vice versa.
+
+use crate::buffer::{Location, PageSize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A handle to an allocated region (cheap to copy, like a pointer+len).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferHandle {
+    base: u64,
+    len: u64,
+}
+
+impl BufferHandle {
+    /// Starting virtual address.
+    pub fn addr(&self) -> u64 {
+        self.base
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-range of this buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds the buffer.
+    pub fn slice(&self, offset: u64, len: u64) -> BufferHandle {
+        assert!(offset + len <= self.len, "slice {offset}+{len} outside buffer of {}", self.len);
+        BufferHandle { base: self.base + offset, len }
+    }
+}
+
+#[derive(Debug)]
+struct Segment {
+    data: Vec<u8>,
+    location: Location,
+    page_size: PageSize,
+}
+
+/// Errors from address-based access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The range touches unallocated address space.
+    Unmapped {
+        /// Offending address.
+        addr: u64,
+    },
+    /// The range spans more than one allocation (descriptors may not).
+    CrossesSegments {
+        /// Start of the offending range.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            MemError::CrossesSegments { addr } => {
+                write!(f, "range at {addr:#x} crosses allocation boundaries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The process address space as a content store.
+///
+/// ```
+/// use dsa_mem::memory::Memory;
+/// use dsa_mem::buffer::Location;
+/// let mut mem = Memory::new();
+/// let buf = mem.alloc(64, Location::local_dram());
+/// mem.write(buf.addr(), &[1, 2, 3]).unwrap();
+/// assert_eq!(mem.read(buf.addr(), 3).unwrap(), &[1, 2, 3]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Memory {
+    segments: BTreeMap<u64, Segment>,
+    next_base: u64,
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Memory {
+        Memory { segments: BTreeMap::new(), next_base: 0x1000_0000 }
+    }
+
+    /// Allocates `len` zeroed bytes in `location` with 4 KiB pages.
+    pub fn alloc(&mut self, len: u64, location: Location) -> BufferHandle {
+        self.alloc_with_pages(len, location, PageSize::Base4K)
+    }
+
+    /// Allocates with an explicit page size.
+    pub fn alloc_with_pages(
+        &mut self,
+        len: u64,
+        location: Location,
+        page_size: PageSize,
+    ) -> BufferHandle {
+        let align = page_size.bytes();
+        let base = self.next_base.div_ceil(align) * align;
+        let span = (len.div_ceil(align) * align).max(align);
+        self.next_base = base + span;
+        self.segments.insert(base, Segment { data: vec![0; len as usize], location, page_size });
+        BufferHandle { base, len }
+    }
+
+    fn segment_of(&self, addr: u64, len: u64) -> Result<(u64, &Segment), MemError> {
+        let (&base, seg) =
+            self.segments.range(..=addr).next_back().ok_or(MemError::Unmapped { addr })?;
+        if addr >= base + seg.data.len() as u64 {
+            return Err(MemError::Unmapped { addr });
+        }
+        if addr + len > base + seg.data.len() as u64 {
+            return Err(MemError::CrossesSegments { addr });
+        }
+        Ok((base, seg))
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped or spans allocations.
+    pub fn read(&self, addr: u64, len: u64) -> Result<&[u8], MemError> {
+        let (base, seg) = self.segment_of(addr, len)?;
+        let off = (addr - base) as usize;
+        Ok(&seg.data[off..off + len as usize])
+    }
+
+    /// Writes `bytes` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped or spans allocations.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
+        let (base, _) = self.segment_of(addr, bytes.len() as u64)?;
+        let seg = self.segments.get_mut(&base).expect("segment just found");
+        let off = (addr - base) as usize;
+        seg.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Mutable view of a range.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped or spans allocations.
+    pub fn read_mut(&mut self, addr: u64, len: u64) -> Result<&mut [u8], MemError> {
+        let (base, _) = self.segment_of(addr, len)?;
+        let seg = self.segments.get_mut(&base).expect("segment just found");
+        let off = (addr - base) as usize;
+        Ok(&mut seg.data[off..off + len as usize])
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (may be in different
+    /// allocations; overlapping ranges copy through a staging buffer, i.e.
+    /// `memmove` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Fails if either range is invalid.
+    pub fn copy(&mut self, src: u64, dst: u64, len: u64) -> Result<(), MemError> {
+        // Validate both before copying.
+        self.segment_of(src, len)?;
+        self.segment_of(dst, len)?;
+        let tmp = self.read(src, len)?.to_vec();
+        self.write(dst, &tmp)
+    }
+
+    /// The declared location of the allocation containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is unmapped.
+    pub fn location_of(&self, addr: u64) -> Result<Location, MemError> {
+        Ok(self.segment_of(addr, 1)?.1.location)
+    }
+
+    /// The page size of the allocation containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is unmapped.
+    pub fn page_size_of(&self, addr: u64) -> Result<PageSize, MemError> {
+        Ok(self.segment_of(addr, 1)?.1.page_size)
+    }
+
+    /// Re-declares the location of the allocation containing `addr`
+    /// (data warmed into the LLC, or migrated between tiers).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is unmapped.
+    pub fn set_location(&mut self, addr: u64, location: Location) -> Result<(), MemError> {
+        let (base, _) = self.segment_of(addr, 1)?;
+        self.segments.get_mut(&base).expect("segment just found").location = location;
+        Ok(())
+    }
+
+    /// Iterates over `(base, len, location, page_size)` of all allocations —
+    /// used to populate page tables.
+    pub fn iter_segments(&self) -> impl Iterator<Item = (u64, u64, Location, PageSize)> + '_ {
+        self.segments.iter().map(|(&b, s)| (b, s.data.len() as u64, s.location, s.page_size))
+    }
+
+    /// Total allocated bytes.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.segments.values().map(|s| s.data.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new();
+        let b = m.alloc(100, Location::local_dram());
+        m.write(b.addr() + 10, &[5, 6, 7]).unwrap();
+        assert_eq!(m.read(b.addr() + 10, 3).unwrap(), &[5, 6, 7]);
+        assert_eq!(m.read(b.addr(), 1).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn unmapped_access_fails() {
+        let m = Memory::new();
+        assert_eq!(m.read(0x123, 1), Err(MemError::Unmapped { addr: 0x123 }));
+    }
+
+    #[test]
+    fn cross_segment_access_fails() {
+        let mut m = Memory::new();
+        let b = m.alloc(100, Location::local_dram());
+        assert!(matches!(
+            m.read(b.addr() + 90, 20),
+            Err(MemError::CrossesSegments { .. }) | Err(MemError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_between_allocations() {
+        let mut m = Memory::new();
+        let a = m.alloc(64, Location::local_dram());
+        let b = m.alloc(64, Location::Cxl);
+        m.write(a.addr(), &[9u8; 64]).unwrap();
+        m.copy(a.addr(), b.addr(), 64).unwrap();
+        assert_eq!(m.read(b.addr(), 64).unwrap(), &[9u8; 64]);
+    }
+
+    #[test]
+    fn overlapping_copy_is_memmove() {
+        let mut m = Memory::new();
+        let b = m.alloc(16, Location::local_dram());
+        m.write(b.addr(), &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        m.copy(b.addr(), b.addr() + 2, 6).unwrap();
+        assert_eq!(m.read(b.addr(), 8).unwrap(), &[1, 2, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn location_metadata() {
+        let mut m = Memory::new();
+        let b = m.alloc(10, Location::Cxl);
+        assert_eq!(m.location_of(b.addr()).unwrap(), Location::Cxl);
+        m.set_location(b.addr(), Location::Llc).unwrap();
+        assert_eq!(m.location_of(b.addr() + 5).unwrap(), Location::Llc);
+    }
+
+    #[test]
+    fn handle_slicing() {
+        let mut m = Memory::new();
+        let b = m.alloc(100, Location::local_dram());
+        let s = b.slice(10, 20);
+        assert_eq!(s.addr(), b.addr() + 10);
+        assert_eq!(s.len(), 20);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside buffer")]
+    fn oversized_slice_panics() {
+        let mut m = Memory::new();
+        let b = m.alloc(10, Location::local_dram());
+        b.slice(5, 10);
+    }
+
+    #[test]
+    fn segments_iteration_and_accounting() {
+        let mut m = Memory::new();
+        m.alloc(10, Location::local_dram());
+        m.alloc(20, Location::Cxl);
+        assert_eq!(m.allocated_bytes(), 30);
+        assert_eq!(m.iter_segments().count(), 2);
+    }
+
+    #[test]
+    fn huge_page_allocation_alignment() {
+        let mut m = Memory::new();
+        let b = m.alloc_with_pages(10, Location::local_dram(), PageSize::Huge2M);
+        assert_eq!(b.addr() % PageSize::Huge2M.bytes(), 0);
+        assert_eq!(m.page_size_of(b.addr()).unwrap(), PageSize::Huge2M);
+    }
+}

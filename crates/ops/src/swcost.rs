@@ -1,0 +1,252 @@
+//! Calibrated timing for the *software* counterparts of every operation.
+//!
+//! The paper compares DSA against "highly optimized software libraries
+//! (e.g., glibc's memcpy, and ISA-L for CRC32)" running on one core, with
+//! source/destination data flushed from the cache hierarchy between
+//! iterations (§4.1). This module models those baselines:
+//!
+//! * every operation has a calibrated peak single-core streaming rate for
+//!   cache-cold data in local DRAM;
+//! * small transfers run far below peak (cold misses, no warmed-up
+//!   prefetch streams) — the *ramp* term, anchored so that a cold 4 KiB
+//!   `memcpy()` costs ≈ 1.4 µs, matching the paper's sync break-even at
+//!   ≈ 4 KB (Fig. 2a) and latency break-even between 4–10 KB (Fig. 6a);
+//! * buffer placement scales the rate (LLC-resident data is faster;
+//!   CXL-resident data much slower, especially as a destination —
+//!   Figs. 6b/15).
+//!
+//! Compute-bound operations (software DIF, delta creation) are only mildly
+//! location-sensitive; the model damps the placement factor for them.
+
+use crate::OpKind;
+use dsa_mem::buffer::Location;
+use dsa_mem::topology::Platform;
+use dsa_sim::time::SimDuration;
+
+/// Cost model for single-core software implementations.
+#[derive(Clone, Debug)]
+pub struct SwCost {
+    platform: Platform,
+}
+
+/// Fixed call/setup overhead of a software op (function call, branch to the
+/// size-specialized kernel).
+const CALL_OVERHEAD_NS: f64 = 15.0;
+
+impl SwCost {
+    /// Builds the model for a platform.
+    pub fn new(platform: Platform) -> SwCost {
+        SwCost { platform }
+    }
+
+    /// The platform this model was built for.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Peak cold-DRAM streaming rate in GB/s of one core running `kind`,
+    /// with throughput accounted against the *nominal* transfer size
+    /// (as the paper's figures do).
+    fn peak_gbps(&self, kind: OpKind) -> f64 {
+        // Scaled mildly by platform memory generation (DDR5 vs DDR4).
+        let mem_scale = self.platform.dram.read_mgbps as f64 / 220_000.0;
+        let base = match kind {
+            OpKind::Nop => return f64::INFINITY,
+            OpKind::Memcpy => 12.0,
+            OpKind::Dualcast => 7.0,
+            OpKind::Fill => 16.0,
+            OpKind::NtFill => 28.0,
+            OpKind::Compare => 10.0,
+            OpKind::ComparePattern => 18.0,
+            OpKind::Crc32 => 13.0,
+            OpKind::CopyCrc => 9.0,
+            OpKind::DifInsert | OpKind::DifCheck | OpKind::DifStrip | OpKind::DifUpdate => 2.6,
+            OpKind::DeltaCreate => 5.0,
+            OpKind::DeltaApply => 12.0,
+            OpKind::CacheFlush => 30.0,
+        };
+        base * mem_scale.clamp(0.6, 1.25)
+    }
+
+    /// True for operations whose cost is dominated by core compute rather
+    /// than memory streaming.
+    fn compute_bound(kind: OpKind) -> bool {
+        matches!(
+            kind,
+            OpKind::DifInsert
+                | OpKind::DifCheck
+                | OpKind::DifStrip
+                | OpKind::DifUpdate
+                | OpKind::DeltaCreate
+        )
+    }
+
+    /// Placement factor for reading from `loc`.
+    fn read_factor(loc: Location) -> f64 {
+        match loc {
+            Location::Llc => 2.0,
+            Location::Dram { socket: 0 } => 1.0,
+            Location::Dram { .. } => 0.8,
+            Location::Cxl => 0.5,
+        }
+    }
+
+    /// Placement factor for writing to `loc`.
+    fn write_factor(loc: Location) -> f64 {
+        match loc {
+            Location::Llc => 1.8,
+            Location::Dram { socket: 0 } => 1.0,
+            Location::Dram { .. } => 0.75,
+            Location::Cxl => 0.35,
+        }
+    }
+
+    /// Cache-cold ramp: the fraction of peak a transfer of `bytes` achieves.
+    ///
+    /// Flat at 0.25 up to 4 KiB, rising log-linearly to 1.0 at 256 KiB.
+    /// Warm (LLC-resident) sources dodge most of the cold penalty; the
+    /// caller passes `warm = true` to floor the ramp at 0.7.
+    fn ramp(bytes: u64, warm: bool) -> f64 {
+        const LOW: f64 = 4096.0;
+        const HIGH: f64 = 262_144.0;
+        let floor = if warm { 0.7 } else { 0.25 };
+        if (bytes as f64) <= LOW {
+            return floor;
+        }
+        if (bytes as f64) >= HIGH {
+            return 1.0;
+        }
+        let t = ((bytes as f64).ln() - LOW.ln()) / (HIGH.ln() - LOW.ln());
+        floor + t * (1.0 - floor)
+    }
+
+    /// Achieved software rate in GB/s for `kind` over `bytes` with the given
+    /// placements.
+    pub fn op_gbps(&self, kind: OpKind, bytes: u64, src: Location, dst: Location) -> f64 {
+        let peak = self.peak_gbps(kind);
+        if !peak.is_finite() {
+            return f64::INFINITY;
+        }
+        let reads = kind.read_amplification();
+        let writes = kind.write_amplification();
+        // The most constrained active stream sets the placement factor.
+        let mut factor = f64::INFINITY;
+        if reads > 0.0 {
+            factor = factor.min(Self::read_factor(src));
+        }
+        if writes > 0.0 {
+            factor = factor.min(Self::write_factor(dst));
+        }
+        if !factor.is_finite() {
+            factor = 1.0;
+        }
+        if Self::compute_bound(kind) {
+            // Compute-bound kernels hide part of the placement penalty.
+            factor = 0.5 + 0.5 * factor;
+        }
+        let warm = src == Location::Llc && (writes == 0.0 || dst == Location::Llc);
+        peak * factor * Self::ramp(bytes, warm)
+    }
+
+    /// Time for one software execution of `kind` over `bytes`.
+    pub fn op_time(&self, kind: OpKind, bytes: u64, src: Location, dst: Location) -> SimDuration {
+        let gbps = self.op_gbps(kind, bytes, src, dst);
+        let stream_ns = if gbps.is_finite() { bytes as f64 / gbps } else { 0.0 };
+        SimDuration::from_ns_f64(CALL_OVERHEAD_NS + stream_ns)
+    }
+
+    /// Convenience for the ubiquitous local-DRAM `memcpy` baseline.
+    pub fn memcpy_time(&self, bytes: u64) -> SimDuration {
+        self.op_time(OpKind::Memcpy, bytes, Location::local_dram(), Location::local_dram())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SwCost {
+        SwCost::new(Platform::spr())
+    }
+
+    #[test]
+    fn cold_4k_memcpy_near_break_even_anchor() {
+        let t = model().memcpy_time(4096).as_us_f64();
+        assert!((1.0..2.0).contains(&t), "cold 4 KiB memcpy should be ~1.4 us, got {t}");
+    }
+
+    #[test]
+    fn large_memcpy_reaches_peak() {
+        let m = model();
+        let g = m.op_gbps(OpKind::Memcpy, 2 << 20, Location::local_dram(), Location::local_dram());
+        assert!((g - 12.0).abs() < 1.0, "got {g}");
+    }
+
+    #[test]
+    fn ramp_monotone_in_size() {
+        let m = model();
+        let sizes = [256u64, 4096, 16384, 65536, 262_144, 1 << 21];
+        let mut last = 0.0;
+        for s in sizes {
+            let g = m.op_gbps(OpKind::Memcpy, s, Location::local_dram(), Location::local_dram());
+            assert!(g >= last, "rate should not drop with size");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn llc_resident_faster_than_dram() {
+        let m = model();
+        let warm = m.op_gbps(OpKind::Memcpy, 65536, Location::Llc, Location::Llc);
+        let cold =
+            m.op_gbps(OpKind::Memcpy, 65536, Location::local_dram(), Location::local_dram());
+        assert!(warm > 1.5 * cold);
+    }
+
+    #[test]
+    fn cxl_destination_is_slowest() {
+        let m = model();
+        let to_cxl = m.op_gbps(OpKind::Memcpy, 1 << 20, Location::local_dram(), Location::Cxl);
+        let from_cxl = m.op_gbps(OpKind::Memcpy, 1 << 20, Location::Cxl, Location::local_dram());
+        let local =
+            m.op_gbps(OpKind::Memcpy, 1 << 20, Location::local_dram(), Location::local_dram());
+        assert!(to_cxl < from_cxl, "CXL writes are the slow direction");
+        assert!(from_cxl < local);
+    }
+
+    #[test]
+    fn dif_is_compute_bound_and_slow() {
+        let m = model();
+        let dif = m.op_gbps(OpKind::DifInsert, 1 << 20, Location::local_dram(), Location::local_dram());
+        let copy = m.op_gbps(OpKind::Memcpy, 1 << 20, Location::local_dram(), Location::local_dram());
+        assert!(dif < copy / 3.0, "software DIF should be several times slower");
+        // ...and only mildly location-sensitive.
+        let dif_cxl = m.op_gbps(OpKind::DifInsert, 1 << 20, Location::Cxl, Location::Cxl);
+        assert!(dif_cxl > dif * 0.5);
+    }
+
+    #[test]
+    fn nt_fill_beats_fill() {
+        let m = model();
+        let d = Location::local_dram();
+        assert!(m.op_gbps(OpKind::NtFill, 1 << 20, d, d) > m.op_gbps(OpKind::Fill, 1 << 20, d, d));
+    }
+
+    #[test]
+    fn icx_slower_than_spr() {
+        let spr = SwCost::new(Platform::spr());
+        let icx = SwCost::new(Platform::icx());
+        let d = Location::local_dram();
+        assert!(
+            icx.op_gbps(OpKind::Memcpy, 1 << 20, d, d) < spr.op_gbps(OpKind::Memcpy, 1 << 20, d, d)
+        );
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_ops() {
+        let t64 = model().memcpy_time(64);
+        assert!(t64.as_ns_f64() >= CALL_OVERHEAD_NS);
+        let t0 = model().op_time(OpKind::Nop, 0, Location::local_dram(), Location::local_dram());
+        assert!((t0.as_ns_f64() - CALL_OVERHEAD_NS).abs() < 1e-6);
+    }
+}

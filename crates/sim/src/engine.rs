@@ -1,0 +1,393 @@
+//! A discrete-event scheduler for scenarios with interacting agents.
+//!
+//! The [`timeline`](crate::timeline) calculus covers resources driven by a
+//! single logical producer. When *independent* agents interact — co-running
+//! processes polluting a shared cache, the stages of a software pipeline —
+//! a classic event loop is the right tool.
+//!
+//! The engine is generic over the message type `M` and a shared state `S`
+//! (typically the memory-system model), so components never need interior
+//! mutability or `Rc` cycles:
+//!
+//! ```
+//! use dsa_sim::engine::{Component, Ctx, Engine};
+//! use dsa_sim::time::SimDuration;
+//!
+//! struct Ticker { left: u32 }
+//! impl Component<&'static str, u32> for Ticker {
+//!     fn handle(&mut self, msg: &'static str, ctx: &mut Ctx<'_, &'static str>, total: &mut u32) {
+//!         assert_eq!(msg, "tick");
+//!         *total += 1;
+//!         if self.left > 0 {
+//!             self.left -= 1;
+//!             ctx.send_self(SimDuration::from_ns(10), "tick");
+//!         }
+//!     }
+//! }
+//!
+//! let mut eng = Engine::new(0u32);
+//! let id = eng.add(Ticker { left: 3 });
+//! eng.post(dsa_sim::SimTime::ZERO, id, "tick");
+//! eng.run();
+//! assert_eq!(*eng.shared(), 4);
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies a component registered with an [`Engine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(usize);
+
+impl ComponentId {
+    /// The raw slab index (useful for labelling results).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A simulated agent.
+///
+/// Implementations receive messages addressed to them together with a
+/// scheduling context and exclusive access to the shared state `S`.
+pub trait Component<M, S> {
+    /// Handles one message delivered at `ctx.now()`.
+    fn handle(&mut self, msg: M, ctx: &mut Ctx<'_, M>, shared: &mut S);
+}
+
+struct Scheduled<M> {
+    time: SimTime,
+    seq: u64,
+    target: ComponentId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties broken by sequence number: FIFO among simultaneous events,
+        // which keeps runs deterministic.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Scheduling context handed to [`Component::handle`].
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    me: ComponentId,
+    outbox: &'a mut Vec<(SimTime, ComponentId, M)>,
+    stop: &'a mut bool,
+}
+
+impl<M> Ctx<'_, M> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component currently executing.
+    pub fn me(&self) -> ComponentId {
+        self.me
+    }
+
+    /// Schedules `msg` for `target` after `delay`.
+    pub fn send(&mut self, delay: SimDuration, target: ComponentId, msg: M) {
+        self.outbox.push((self.now + delay, target, msg));
+    }
+
+    /// Schedules `msg` for the executing component itself after `delay`.
+    pub fn send_self(&mut self, delay: SimDuration, msg: M) {
+        let me = self.me;
+        self.send(delay, me, msg);
+    }
+
+    /// Schedules `msg` for `target` at an absolute time (>= now).
+    pub fn send_at(&mut self, at: SimTime, target: ComponentId, msg: M) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.outbox.push((at.max(self.now), target, msg));
+    }
+
+    /// Requests the engine to stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The event loop.
+pub struct Engine<M, S> {
+    components: Vec<Box<dyn Component<M, S>>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    shared: S,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+}
+
+impl<M, S> Engine<M, S> {
+    /// Creates an engine owning the shared state `shared`.
+    pub fn new(shared: S) -> Self {
+        Self {
+            components: Vec::new(),
+            queue: BinaryHeap::new(),
+            shared,
+            now: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers a component, returning its id.
+    pub fn add(&mut self, c: impl Component<M, S> + 'static) -> ComponentId {
+        self.components.push(Box::new(c));
+        ComponentId(self.components.len() - 1)
+    }
+
+    /// Posts an initial message from outside the simulation.
+    pub fn post(&mut self, at: SimTime, target: ComponentId, msg: M) {
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time: at, seq: self.seq, target, msg }));
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared state accessor.
+    pub fn shared(&self) -> &S {
+        &self.shared
+    }
+
+    /// Mutable shared state accessor.
+    pub fn shared_mut(&mut self) -> &mut S {
+        &mut self.shared
+    }
+
+    /// Number of events handled so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs until the event queue drains (or a component calls
+    /// [`Ctx::stop`]). Returns the final simulated time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue drains, a component stops the engine, or the
+    /// next event would be after `deadline` (that event stays queued).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        let mut outbox: Vec<(SimTime, ComponentId, M)> = Vec::new();
+        let mut stop = false;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.events_processed += 1;
+            let idx = ev.target.0;
+            assert!(idx < self.components.len(), "message for unknown component {idx}");
+            // Move the component out to sidestep aliasing with `self`.
+            let mut comp = std::mem::replace(&mut self.components[idx], Box::new(Tombstone));
+            {
+                let mut ctx =
+                    Ctx { now: self.now, me: ev.target, outbox: &mut outbox, stop: &mut stop };
+                comp.handle(ev.msg, &mut ctx, &mut self.shared);
+            }
+            self.components[idx] = comp;
+            for (time, target, msg) in outbox.drain(..) {
+                self.seq += 1;
+                self.queue.push(Reverse(Scheduled { time, seq: self.seq, target, msg }));
+            }
+            if stop {
+                break;
+            }
+        }
+        self.now
+    }
+}
+
+/// Placeholder swapped in while a component executes; receiving a message
+/// through it would indicate an engine bug.
+struct Tombstone;
+impl<M, S> Component<M, S> for Tombstone {
+    fn handle(&mut self, _msg: M, _ctx: &mut Ctx<'_, M>, _shared: &mut S) {
+        unreachable!("component sent a message to itself synchronously during its own execution");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Pinger {
+        peer: Option<ComponentId>,
+        rounds: u32,
+    }
+
+    impl Component<Msg, Vec<(f64, Msg)>> for Pinger {
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>, log: &mut Vec<(f64, Msg)>) {
+            log.push((ctx.now().as_ns_f64(), msg.clone()));
+            match msg {
+                Msg::Ping(n) => {
+                    if let Some(peer) = self.peer {
+                        ctx.send(SimDuration::from_ns(5), peer, Msg::Pong(n));
+                    }
+                }
+                Msg::Pong(n) => {
+                    if n + 1 < self.rounds {
+                        if let Some(peer) = self.peer {
+                            ctx.send(SimDuration::from_ns(5), peer, Msg::Ping(n + 1));
+                        }
+                    } else {
+                        ctx.stop();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_runs_in_order() {
+        let mut eng = Engine::new(Vec::new());
+        let a = eng.add(Pinger { peer: None, rounds: 3 });
+        let b = eng.add(Pinger { peer: None, rounds: 3 });
+        // wire peers (components are boxed; easiest is to rebuild)
+        let mut eng = Engine::new(Vec::new());
+        let a2 = eng.add(Pinger { peer: Some(b), rounds: 3 });
+        let b2 = eng.add(Pinger { peer: Some(a), rounds: 3 });
+        assert_eq!((a2, b2), (a, b));
+        eng.post(SimTime::ZERO, a2, Msg::Ping(0));
+        let end = eng.run();
+        assert_eq!(end, SimTime::from_ns(25));
+        let log = eng.shared();
+        assert_eq!(log.len(), 6);
+        assert_eq!(log[0].1, Msg::Ping(0));
+        assert_eq!(log[5].1, Msg::Pong(2));
+        // timestamps strictly non-decreasing
+        assert!(log.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        struct Rec(u32);
+        impl Component<u32, Vec<u32>> for Rec {
+            fn handle(&mut self, msg: u32, _ctx: &mut Ctx<'_, u32>, log: &mut Vec<u32>) {
+                log.push(self.0 * 100 + msg);
+            }
+        }
+        let mut eng = Engine::new(Vec::new());
+        let a = eng.add(Rec(1));
+        let b = eng.add(Rec(2));
+        eng.post(SimTime::from_ns(10), a, 1);
+        eng.post(SimTime::from_ns(10), b, 2);
+        eng.post(SimTime::from_ns(10), a, 3);
+        eng.run();
+        assert_eq!(eng.shared(), &vec![101, 202, 103]);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        struct Echo;
+        impl Component<(), u32> for Echo {
+            fn handle(&mut self, _: (), _ctx: &mut Ctx<'_, ()>, n: &mut u32) {
+                *n += 1;
+            }
+        }
+        let mut eng = Engine::new(0u32);
+        let e = eng.add(Echo);
+        eng.post(SimTime::from_ns(1), e, ());
+        eng.post(SimTime::from_ns(100), e, ());
+        eng.run_until(SimTime::from_ns(50));
+        assert_eq!(*eng.shared(), 1);
+        eng.run();
+        assert_eq!(*eng.shared(), 2);
+        assert_eq!(eng.events_processed(), 2);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    struct Chain {
+        next: Option<ComponentId>,
+    }
+    impl Component<u32, Vec<u32>> for Chain {
+        fn handle(&mut self, n: u32, ctx: &mut Ctx<'_, u32>, log: &mut Vec<u32>) {
+            log.push(n);
+            if let Some(next) = self.next {
+                // send_at with an absolute time equal to now is legal.
+                ctx.send_at(ctx.now(), next, n + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn send_at_now_delivers_in_fifo_order() {
+        let mut eng = Engine::new(Vec::new());
+        let c = eng.add(Chain { next: None });
+        let b = eng.add(Chain { next: Some(c) });
+        let a = eng.add(Chain { next: Some(b) });
+        eng.post(SimTime::from_ns(5), a, 0);
+        let end = eng.run();
+        assert_eq!(eng.shared(), &vec![0, 1, 2]);
+        assert_eq!(end, SimTime::from_ns(5), "zero-delay chain stays at one instant");
+    }
+
+    #[test]
+    fn stop_halts_immediately_leaving_queue() {
+        struct Stopper;
+        impl Component<u32, u32> for Stopper {
+            fn handle(&mut self, _: u32, ctx: &mut Ctx<'_, u32>, count: &mut u32) {
+                *count += 1;
+                ctx.stop();
+            }
+        }
+        let mut eng = Engine::new(0u32);
+        let s = eng.add(Stopper);
+        eng.post(SimTime::from_ns(1), s, 1);
+        eng.post(SimTime::from_ns(2), s, 2);
+        eng.run();
+        assert_eq!(*eng.shared(), 1, "stop() prevents the second delivery");
+        // A later run resumes from the queue.
+        eng.run();
+        assert_eq!(*eng.shared(), 2);
+    }
+
+    #[test]
+    fn me_identifies_the_running_component() {
+        struct WhoAmI;
+        impl Component<(), Vec<usize>> for WhoAmI {
+            fn handle(&mut self, _: (), ctx: &mut Ctx<'_, ()>, ids: &mut Vec<usize>) {
+                ids.push(ctx.me().index());
+            }
+        }
+        let mut eng = Engine::new(Vec::new());
+        let a = eng.add(WhoAmI);
+        let b = eng.add(WhoAmI);
+        eng.post(SimTime::ZERO, b, ());
+        eng.post(SimTime::ZERO, a, ());
+        eng.run();
+        assert_eq!(eng.shared(), &vec![b.index(), a.index()]);
+    }
+}

@@ -1,0 +1,407 @@
+//! Measurement plumbing: counters, latency histograms, time series.
+//!
+//! The paper reports averages, throughput curves, latency percentiles up to
+//! p99.999 (CacheLib), and occupancy-over-time traces (LLC occupancy). This
+//! module provides the corresponding instruments.
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// A monotonically increasing event/byte counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    count: u64,
+    sum: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event carrying `value` (bytes, cycles, …).
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of events recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A log-linear histogram of durations with exact min/max/mean and
+/// approximate (bucketed) percentiles.
+///
+/// Buckets: 64 logarithmic majors (one per leading-bit position of the
+/// picosecond value) × 16 linear minors, giving ≤ ~6% relative error —
+/// plenty for reproducing figure shapes while staying allocation-free after
+/// construction.
+///
+/// ```
+/// use dsa_sim::stats::DurationHistogram;
+/// use dsa_sim::time::SimDuration;
+/// let mut h = DurationHistogram::new();
+/// for i in 1..=1000u64 {
+///     h.record(SimDuration::from_ns(i));
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.percentile(50.0).as_ns_f64();
+/// assert!((p50 - 500.0).abs() < 40.0, "p50 was {p50}");
+/// ```
+#[derive(Clone)]
+pub struct DurationHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ps: u128,
+    min: SimDuration,
+    max: SimDuration,
+}
+
+const MINORS: usize = 16;
+const MAJORS: usize = 64;
+
+impl DurationHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; MAJORS * MINORS],
+            count: 0,
+            sum_ps: 0,
+            min: SimDuration::from_ps(u64::MAX),
+            max: SimDuration::ZERO,
+        }
+    }
+
+    fn bucket_index(ps: u64) -> usize {
+        if ps < MINORS as u64 {
+            return ps as usize;
+        }
+        let major = 63 - ps.leading_zeros() as usize;
+        let shift = major.saturating_sub(4);
+        let minor = ((ps >> shift) & 0xF) as usize;
+        major * MINORS + minor
+    }
+
+    fn bucket_value(index: usize) -> u64 {
+        let major = index / MINORS;
+        let minor = (index % MINORS) as u64;
+        if major < 4 {
+            // Small values land in buckets addressed directly by magnitude.
+            return index as u64;
+        }
+        let shift = major - 4;
+        ((1u64 << 4) | minor) << shift
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ps = d.as_ps();
+        self.buckets[Self::bucket_index(ps)] += 1;
+        self.count += 1;
+        self.sum_ps += ps as u128;
+        if d < self.min {
+            self.min = d;
+        }
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (ZERO when empty).
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_ps((self.sum_ps / self.count as u128) as u64)
+    }
+
+    /// The `p`-th percentile (0 < p <= 100), using bucket lower bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return SimDuration::from_ps(Self::bucket_value(i)).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for DurationHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurationHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// A `(time, value)` series sampled during a run — e.g. per-core LLC
+/// occupancy over time (paper Fig. 12).
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Times should be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(lt, _)| lt <= t),
+            "time series must be sampled in order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// The recorded samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest sampled value (0.0 when empty).
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Mean of the sampled values (0.0 when empty).
+    pub fn mean_value(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// Accumulates throughput observations and reports GB/s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Throughput {
+    bytes: u64,
+    elapsed: SimDuration,
+}
+
+impl Throughput {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` moved over `elapsed`.
+    pub fn record(&mut self, bytes: u64, elapsed: SimDuration) {
+        self.bytes += bytes;
+        self.elapsed += elapsed;
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Achieved bandwidth in GB/s (bytes per nanosecond).
+    pub fn gbps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 / self.elapsed.as_ns_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_tracks_mean() {
+        let mut c = Counter::new();
+        c.record(10);
+        c.record(20);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.sum(), 30);
+        assert!((c.mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bounds_are_exact() {
+        let mut h = DurationHistogram::new();
+        h.record(SimDuration::from_ns(10));
+        h.record(SimDuration::from_ns(90));
+        h.record(SimDuration::from_ns(50));
+        assert_eq!(h.min(), SimDuration::from_ns(10));
+        assert_eq!(h.max(), SimDuration::from_ns(90));
+        assert_eq!(h.mean(), SimDuration::from_ns(50));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn histogram_percentiles_monotone() {
+        let mut h = DurationHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(SimDuration::from_ns(i));
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p999 = h.percentile(99.9);
+        assert!(p50 <= p90 && p90 <= p999);
+        let err = (p90.as_ns_f64() - 9000.0).abs() / 9000.0;
+        assert!(err < 0.07, "p90 relative error {err}");
+    }
+
+    #[test]
+    fn histogram_tail_percentile_hits_outlier() {
+        let mut h = DurationHistogram::new();
+        for _ in 0..99_999 {
+            h.record(SimDuration::from_ns(100));
+        }
+        h.record(SimDuration::from_ms(5)); // one huge outlier
+        let p99999 = h.percentile(99.999);
+        assert!(p99999 >= SimDuration::from_ns(100));
+        let p100 = h.percentile(100.0);
+        assert_eq!(p100, SimDuration::from_ms(5).min(h.max()));
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts() {
+        let mut a = DurationHistogram::new();
+        let mut b = DurationHistogram::new();
+        a.record(SimDuration::from_ns(1));
+        b.record(SimDuration::from_ns(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), SimDuration::from_ns(1));
+        assert_eq!(a.max(), SimDuration::from_ns(1000));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_zero_rejected() {
+        DurationHistogram::new().percentile(0.0);
+    }
+
+    #[test]
+    fn timeseries_stats() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(SimTime::from_ns(0), 1.0);
+        ts.push(SimTime::from_ns(10), 3.0);
+        assert_eq!(ts.len(), 2);
+        assert!((ts.max_value() - 3.0).abs() < 1e-12);
+        assert!((ts.mean_value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_gbps() {
+        let mut t = Throughput::new();
+        t.record(1_000_000, SimDuration::from_us(100)); // 10 GB/s
+        assert!((t.gbps() - 10.0).abs() < 1e-9);
+        assert_eq!(t.bytes(), 1_000_000);
+        assert_eq!(Throughput::new().gbps(), 0.0);
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_bounded() {
+        for ps in [1u64, 15, 16, 100, 1000, 123_456, 10_000_000_000] {
+            let idx = DurationHistogram::bucket_index(ps);
+            let lower = DurationHistogram::bucket_value(idx);
+            assert!(lower <= ps, "lower bound {lower} above sample {ps}");
+            let rel = (ps - lower) as f64 / ps as f64;
+            assert!(rel < 0.0625 + 1e-9, "relative error {rel} for {ps}");
+        }
+    }
+}

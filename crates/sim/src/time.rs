@@ -1,0 +1,379 @@
+//! Simulated time.
+//!
+//! All timing in this workspace is expressed in integer **picoseconds** so
+//! that arithmetic is exact and simulations are bit-for-bit reproducible.
+//! Picosecond resolution leaves enough headroom to represent sub-nanosecond
+//! quantities (e.g. "bytes per cycle" at multi-GHz clocks) without floating
+//! point drift, while a `u64` still spans ~213 days of simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in picoseconds since t=0.
+///
+/// ```
+/// use dsa_sim::time::{SimTime, SimDuration};
+/// let t = SimTime::from_ns(5) + SimDuration::from_ns(3);
+/// assert_eq!(t.as_ns_f64(), 8.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in picoseconds.
+///
+/// ```
+/// use dsa_sim::time::SimDuration;
+/// let d = SimDuration::from_us(2) + SimDuration::from_ns(500);
+/// assert_eq!(d.as_ps(), 2_500_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The latest representable instant (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from picoseconds since t=0.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+    /// Creates an instant from nanoseconds since t=0.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+    /// Creates an instant from microseconds since t=0.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+    /// Creates an instant from milliseconds since t=0.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+    /// Picoseconds since t=0.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// Nanoseconds since t=0 as a float (for reporting only).
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// Microseconds since t=0 as a float (for reporting only).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Seconds since t=0 as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier > self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier <= self, "duration_since with later argument");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating difference; zero if `earlier > self`.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+    /// Creates a span from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * 1_000)
+    }
+    /// Creates a span from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000_000)
+    }
+    /// Creates a span from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000_000)
+    }
+    /// Creates a span from a float number of nanoseconds (rounded).
+    ///
+    /// Used at the *edges* of the system when converting calibrated model
+    /// parameters; all internal arithmetic stays in integers.
+    pub fn from_ns_f64(ns: f64) -> Self {
+        debug_assert!(ns >= 0.0 && ns.is_finite(), "invalid duration: {ns} ns");
+        SimDuration((ns * 1e3).round() as u64)
+    }
+    /// Picoseconds in this span.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// Nanoseconds as a float (for reporting only).
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// Microseconds as a float (for reporting only).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The longer of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The shorter of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplies the span by an integer factor, saturating at the maximum.
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}ns", self.as_ns_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Converts a byte count and a bandwidth in GB/s into a transfer duration.
+///
+/// Uses integer arithmetic: `GB/s == bytes/ns`, so the duration in
+/// picoseconds is `bytes * 1000 / gbps`. Bandwidths are expressed in
+/// *milli-GB/s* (`mgbps`) to allow fractional rates without floats.
+///
+/// ```
+/// use dsa_sim::time::transfer_time_mgbps;
+/// // 30 GB/s == 30_000 mGB/s; 3 KB takes 100 ns.
+/// assert_eq!(transfer_time_mgbps(3072, 30_000).as_ns_f64(), 102.4);
+/// ```
+pub fn transfer_time_mgbps(bytes: u64, mgbps: u64) -> SimDuration {
+    assert!(mgbps > 0, "bandwidth must be positive");
+    // ps = bytes / (mgbps / 1000 bytes-per-ns) * 1000 ps-per-ns
+    //    = bytes * 1_000_000 / mgbps
+    SimDuration::from_ps(bytes.saturating_mul(1_000_000) / mgbps)
+}
+
+/// Converts a duration and byte count into achieved bandwidth in GB/s.
+pub fn achieved_gbps(bytes: u64, elapsed: SimDuration) -> f64 {
+    if elapsed.is_zero() {
+        return f64::INFINITY;
+    }
+    bytes as f64 / elapsed.as_ns_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_ns(100);
+        let d = SimDuration::from_ns(40);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+        assert_eq!(t.duration_since(SimTime::ZERO), SimDuration::from_ns(100));
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1000));
+        assert_eq!(SimDuration::from_us(1), SimDuration::from_ns(1000));
+        assert_eq!(SimDuration::from_ms(1), SimDuration::from_us(1000));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(SimTime::ZERO.saturating_duration_since(SimTime::from_ns(5)), SimDuration::ZERO);
+        assert_eq!(SimTime::MAX + SimDuration::from_ns(1), SimTime::MAX);
+        assert_eq!(SimDuration::from_ns(1) - SimDuration::from_ns(2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        // 30 GB/s, 30 bytes -> 1 ns
+        assert_eq!(transfer_time_mgbps(30, 30_000), SimDuration::from_ns(1));
+        // 1 GB/s, 4096 bytes -> 4096 ns
+        assert_eq!(transfer_time_mgbps(4096, 1_000), SimDuration::from_ns(4096));
+        // fractional bandwidth: 0.5 GB/s
+        assert_eq!(transfer_time_mgbps(1024, 500), SimDuration::from_ns(2048));
+    }
+
+    #[test]
+    fn achieved_bandwidth_inverts_transfer_time() {
+        let d = transfer_time_mgbps(1 << 20, 30_000);
+        let g = achieved_gbps(1 << 20, d);
+        assert!((g - 30.0).abs() < 0.01, "got {g}");
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = SimTime::from_ns(1);
+        let b = SimTime::from_ns(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimDuration::from_ns(1) < SimDuration::from_ns(2));
+        assert_eq!(SimDuration::from_ns(1).max(SimDuration::from_ns(2)), SimDuration::from_ns(2));
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", SimTime::from_ns(5)).is_empty());
+        assert!(!format!("{}", SimDuration::from_ns(5)).is_empty());
+        assert!(format!("{}", SimDuration::from_ms(2)).contains("ms"));
+        assert!(format!("{}", SimDuration::from_us(2)).contains("us"));
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let total: SimDuration =
+            [SimDuration::from_ns(1), SimDuration::from_ns(2), SimDuration::from_ns(3)].into_iter().sum();
+        assert_eq!(total, SimDuration::from_ns(6));
+        assert_eq!(total * 2, SimDuration::from_ns(12));
+        assert_eq!(total / 3, SimDuration::from_ns(2));
+    }
+}

@@ -1,0 +1,243 @@
+//! A CacheLib-style in-memory caching service driven CacheBench-style
+//! (paper Appendix B, Fig. 19).
+//!
+//! `get` copies a cached value out to the caller; `set` copies a new value
+//! in. Both go through the DTO-style router: copies at or above 8 KiB are
+//! offloaded *synchronously* to one of the device's shared WQs, exactly as
+//! the appendix describes ("these operations are offloaded synchronously,
+//! a thread must stall when all DSA groups are actively managing a
+//! descriptor"). The workload's value-size distribution mirrors the
+//! appendix's observation that ~5% of copies carry ~96% of the bytes.
+
+use dsa_core::dto::Dto;
+use dsa_core::job::JobError;
+use dsa_core::runtime::DsaRuntime;
+use dsa_mem::buffer::Location;
+use dsa_mem::memory::BufferHandle;
+use dsa_sim::rng::SplitMix64;
+use dsa_sim::stats::DurationHistogram;
+use dsa_sim::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How value copies run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyPath {
+    /// Always on the worker core.
+    Cpu,
+    /// Through DTO to `wqs` shared WQs (Fig. 19: four), round-robin per
+    /// worker.
+    DsaDto {
+        /// Number of shared WQs available.
+        wqs: usize,
+    },
+}
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheWorkload {
+    /// Worker threads (the paper's #s; one hardware core each here).
+    pub workers: u32,
+    /// Operations per worker.
+    pub ops_per_worker: u32,
+    /// Fraction of `get` operations (the rest are `set`).
+    pub get_fraction: f64,
+    /// Per-operation bookkeeping (hashing, locking, metadata).
+    pub bookkeeping: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CacheWorkload {
+    fn default() -> Self {
+        CacheWorkload {
+            workers: 4,
+            ops_per_worker: 2_000,
+            get_fraction: 0.8,
+            bookkeeping: SimDuration::from_ns(350),
+            seed: 0xCAC4E,
+        }
+    }
+}
+
+/// Results of a run.
+#[derive(Debug)]
+pub struct CacheReport {
+    /// Aggregate operations per second (millions).
+    pub mops: f64,
+    /// Operation latency distribution.
+    pub latency: DurationHistogram,
+    /// Fraction of copies offloaded (calls).
+    pub offload_call_fraction: f64,
+    /// Fraction of bytes offloaded.
+    pub offload_byte_fraction: f64,
+}
+
+impl CacheReport {
+    /// The paper's headline tail: p99.999 operation latency.
+    pub fn tail(&self) -> SimDuration {
+        self.latency.percentile(99.999)
+    }
+}
+
+/// Draws a CacheBench-like value size: mostly small values, a heavy tail
+/// of large ones carrying most bytes.
+fn draw_value_size(rng: &mut SplitMix64) -> u64 {
+    if rng.next_f64() < 0.95 {
+        64 + rng.next_below(2048 - 64)
+    } else {
+        (16 << 10) + rng.next_below((256 << 10) - (16 << 10))
+    }
+}
+
+/// Runs the service and reports throughput + latency.
+///
+/// # Errors
+///
+/// Propagates DSA submission failures.
+pub fn run_cache_service(
+    rt: &mut DsaRuntime,
+    workload: &CacheWorkload,
+    path: CopyPath,
+) -> Result<CacheReport, JobError> {
+    // Pre-allocate a pool of cached values and transfer staging buffers
+    // large enough for any draw.
+    let max_value = 256 << 10;
+    let cached: Vec<BufferHandle> =
+        (0..32).map(|_| rt.alloc(max_value, Location::local_dram())).collect();
+    let staging: Vec<BufferHandle> = (0..workload.workers)
+        .map(|_| rt.alloc(max_value, Location::local_dram()))
+        .collect();
+
+    let mut dtos: Vec<Dto> = match path {
+        CopyPath::Cpu => (0..workload.workers).map(|_| Dto::new().with_threshold(u64::MAX)).collect(),
+        CopyPath::DsaDto { wqs } => (0..workload.workers)
+            .map(|i| {
+                // One shared WQ per device instance (the SPR SoC exposes
+                // four DSA devices); workers round-robin across them.
+                let lane = (i as usize) % wqs.max(1);
+                let dev = lane % rt.device_count().max(1);
+                Dto::new().on(dev, 0)
+            })
+            .collect(),
+    };
+
+    let mut latency = DurationHistogram::new();
+    let mut rng = SplitMix64::new(workload.seed);
+    // Earliest-cursor-first scheduling across workers.
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u32)>> = (0..workload.workers)
+        .map(|w| Reverse((SimTime::ZERO, w, 0u32)))
+        .collect();
+    let mut finish = SimTime::ZERO;
+    while let Some(Reverse((cursor, w, done))) = heap.pop() {
+        if done >= workload.ops_per_worker {
+            finish = finish.max(cursor);
+            continue;
+        }
+        rt.set_now(cursor);
+        let op_start = rt.now();
+        rt.advance(workload.bookkeeping);
+        let size = draw_value_size(&mut rng);
+        let value = cached[rng.next_below(cached.len() as u64) as usize].slice(0, size);
+        let stage = staging[w as usize].slice(0, size);
+        let is_get = rng.next_f64() < workload.get_fraction;
+        let dto = &mut dtos[w as usize];
+        if is_get {
+            dto.memcpy(rt, &value, &stage)?;
+        } else {
+            dto.memcpy(rt, &stage, &value)?;
+        }
+        latency.record(rt.now().duration_since(op_start));
+        heap.push(Reverse((rt.now(), w, done + 1)));
+    }
+
+    let total_ops = workload.workers as u64 * workload.ops_per_worker as u64;
+    let stats = dtos.iter().fold(dsa_core::dto::DtoStats::default(), |mut acc, d| {
+        let s = d.stats();
+        acc.calls += s.calls;
+        acc.offloaded_calls += s.offloaded_calls;
+        acc.bytes += s.bytes;
+        acc.offloaded_bytes += s.offloaded_bytes;
+        acc
+    });
+    Ok(CacheReport {
+        mops: total_ops as f64 / finish.as_us_f64(),
+        latency,
+        offload_call_fraction: stats.call_fraction(),
+        offload_byte_fraction: stats.byte_fraction(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_core::config::AccelConfig;
+    use dsa_mem::topology::Platform;
+
+    fn rt_with_swqs(wqs: u32) -> DsaRuntime {
+        // One device per shared WQ, as on a four-instance SPR socket.
+        let mut b = DsaRuntime::builder(Platform::spr());
+        for _ in 0..wqs {
+            let mut cfg = AccelConfig::new();
+            let g = cfg.add_group(4);
+            cfg.add_shared_wq(32, g);
+            b = b.device(cfg.enable().unwrap());
+        }
+        b.build()
+    }
+
+    fn small_workload() -> CacheWorkload {
+        CacheWorkload { workers: 4, ops_per_worker: 500, ..CacheWorkload::default() }
+    }
+
+    #[test]
+    fn byte_skew_matches_appendix() {
+        let mut rt = rt_with_swqs(4);
+        let r = run_cache_service(&mut rt, &small_workload(), CopyPath::DsaDto { wqs: 4 }).unwrap();
+        assert!(r.offload_call_fraction < 0.12, "few calls offload: {}", r.offload_call_fraction);
+        assert!(r.offload_byte_fraction > 0.80, "most bytes offload: {}", r.offload_byte_fraction);
+    }
+
+    #[test]
+    fn dsa_improves_throughput_and_tail() {
+        let wl = small_workload();
+        let mut rt_cpu = rt_with_swqs(4);
+        let cpu = run_cache_service(&mut rt_cpu, &wl, CopyPath::Cpu).unwrap();
+        let mut rt_dsa = rt_with_swqs(4);
+        let dsa = run_cache_service(&mut rt_dsa, &wl, CopyPath::DsaDto { wqs: 4 }).unwrap();
+        assert!(dsa.mops > cpu.mops, "DSA {} vs CPU {} Mops", dsa.mops, cpu.mops);
+        assert!(
+            dsa.tail() < cpu.tail(),
+            "tail should improve: {:?} vs {:?}",
+            dsa.tail(),
+            cpu.tail()
+        );
+    }
+
+    #[test]
+    fn improvement_shrinks_when_workers_exceed_wqs() {
+        let gain = |workers: u32| -> f64 {
+            let wl = CacheWorkload { workers, ops_per_worker: 400, ..CacheWorkload::default() };
+            let mut rt_cpu = rt_with_swqs(4);
+            let cpu = run_cache_service(&mut rt_cpu, &wl, CopyPath::Cpu).unwrap();
+            let mut rt_dsa = rt_with_swqs(4);
+            let dsa = run_cache_service(&mut rt_dsa, &wl, CopyPath::DsaDto { wqs: 4 }).unwrap();
+            dsa.mops / cpu.mops
+        };
+        let at4 = gain(4);
+        let at16 = gain(16);
+        assert!(
+            at16 < at4,
+            "gains should shrink past the 4-WQ budget: x{at4:.2} at 4 workers, x{at16:.2} at 16"
+        );
+    }
+
+    #[test]
+    fn latency_histogram_collects_all_ops() {
+        let mut rt = rt_with_swqs(4);
+        let wl = small_workload();
+        let r = run_cache_service(&mut rt, &wl, CopyPath::Cpu).unwrap();
+        assert_eq!(r.latency.count(), (wl.workers * wl.ops_per_worker) as u64);
+        assert!(r.tail() >= r.latency.percentile(50.0));
+    }
+}

@@ -1,0 +1,357 @@
+//! An X-Mem-style memory characterization microbenchmark and the
+//! co-running cache-pollution scenarios of paper §4.5.
+//!
+//! X-Mem instances perform dependent random reads over a configurable
+//! working set; co-running *background* processes either copy memory on
+//! cores (allocating their streams into the shared LLC) or offload the
+//! copies to DSA (reads never allocate; writes confined to the DDIO ways).
+//! The scenario driver measures average access latency per instance
+//! (Fig. 13) and per-agent LLC occupancy over time (Fig. 12).
+//!
+//! The LLC (and every working set) can be scaled down by a common factor so
+//! line-granular simulation stays fast while preserving capacity ratios.
+
+use dsa_mem::agent::AgentId;
+use dsa_mem::cache::{AllocPolicy, Llc, WayMask};
+use dsa_mem::topology::Platform;
+use dsa_sim::rng::SplitMix64;
+use dsa_sim::stats::TimeSeries;
+use dsa_sim::time::{SimDuration, SimTime};
+
+/// One X-Mem latency-probe instance.
+#[derive(Debug)]
+pub struct XMemInstance {
+    agent: AgentId,
+    base: u64,
+    working_set: u64,
+    rng: SplitMix64,
+    accesses: u64,
+    hits: u64,
+}
+
+impl XMemInstance {
+    /// Creates an instance probing `working_set` bytes at `base`.
+    pub fn new(agent: AgentId, base: u64, working_set: u64, seed: u64) -> XMemInstance {
+        XMemInstance {
+            agent,
+            base,
+            working_set: working_set.max(64),
+            rng: SplitMix64::new(seed),
+            accesses: 0,
+            hits: 0,
+        }
+    }
+
+    /// Performs one random read; returns its modelled latency.
+    pub fn access(&mut self, llc: &mut Llc, platform: &Platform) -> SimDuration {
+        let line = self.rng.next_below(self.working_set / 64);
+        let addr = self.base + line * 64;
+        let r = llc.access(self.agent, addr, AllocPolicy::AllocOnMiss, WayMask::ALL);
+        self.accesses += 1;
+        if r.hit {
+            self.hits += 1;
+            platform.llc_latency
+        } else {
+            platform.dram.read_latency
+        }
+    }
+
+    /// Accesses performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Hit ratio so far.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// The memory-system identity of this instance.
+    pub fn agent(&self) -> AgentId {
+        self.agent
+    }
+}
+
+/// Background co-runner flavours (Fig. 13's three scenarios).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Background {
+    /// No co-located processes.
+    None,
+    /// `n` software `memcpy()` processes on separate cores: source reads
+    /// and destination writes allocate into the LLC.
+    SoftwareCopy {
+        /// Number of copy processes.
+        n: u32,
+    },
+    /// `n` DSA groups performing Memory Copy (batch-submitted): reads do
+    /// not allocate; writes land in the DDIO ways only.
+    DsaOffload {
+        /// Number of offload streams.
+        n: u32,
+    },
+}
+
+/// Results of one co-running scenario.
+#[derive(Debug)]
+pub struct CoRunResult {
+    /// Average X-Mem read latency across instances.
+    pub avg_latency: SimDuration,
+    /// Mean X-Mem hit ratio.
+    pub hit_ratio: f64,
+    /// Per-agent LLC occupancy time series, `(agent, series)`.
+    pub occupancy: Vec<(AgentId, TimeSeries)>,
+}
+
+/// Scenario driver: `xmem_instances` probes of `working_set` bytes each,
+/// co-running with `background`, on a platform whose LLC has been scaled
+/// down by `scale` (working sets scale with it).
+#[derive(Debug)]
+pub struct CoRunScenario {
+    /// Number of X-Mem instances (paper: 8).
+    pub xmem_instances: u32,
+    /// Per-instance working set in (unscaled) bytes.
+    pub working_set: u64,
+    /// Background copy traffic.
+    pub background: Background,
+    /// LLC/working-set scale-down factor (1 = full size).
+    pub scale: u64,
+    /// Probe accesses per instance per quantum.
+    pub accesses_per_quantum: u64,
+    /// Number of quanta to run.
+    pub quanta: u32,
+    /// Copy transfer size per background operation (paper: 4 KiB).
+    pub copy_size: u64,
+}
+
+impl Default for CoRunScenario {
+    fn default() -> Self {
+        CoRunScenario {
+            xmem_instances: 8,
+            working_set: 4 << 20,
+            background: Background::None,
+            scale: 8,
+            accesses_per_quantum: 2000,
+            quanta: 30,
+            copy_size: 4096,
+        }
+    }
+}
+
+impl CoRunScenario {
+    /// Runs the scenario and reports latency and occupancy.
+    pub fn run(&self, platform: &Platform) -> CoRunResult {
+        let platform = platform.clone().with_llc_scaled_down(self.scale);
+        let mut llc = Llc::new(platform.llc_bytes, platform.llc_ways, 64);
+        let ddio_ways = platform.ddio_ways;
+        let total_ways = platform.llc_ways;
+        let ws = (self.working_set / self.scale).max(4096);
+
+        let mut probes: Vec<XMemInstance> = (0..self.xmem_instances)
+            .map(|i| {
+                XMemInstance::new(
+                    AgentId::core(i as u16),
+                    0x1_0000_0000 + i as u64 * (ws + (1 << 20)),
+                    ws,
+                    0xBEE5 + i as u64,
+                )
+            })
+            .collect();
+
+        // Background copy processes cycle through large streams.
+        let bg_count = match self.background {
+            Background::None => 0,
+            Background::SoftwareCopy { n } | Background::DsaOffload { n } => n,
+        };
+        let stream_span = (64u64 << 20) / self.scale; // large, low-locality streams
+        let mut bg_offsets = vec![0u64; bg_count as usize];
+        let copy_size = (self.copy_size / 64).max(1) * 64;
+
+        let mut latency_sum = SimDuration::ZERO;
+        let mut latency_count = 0u64;
+        let mut occupancy: Vec<(AgentId, TimeSeries)> = Vec::new();
+        for i in 0..self.xmem_instances {
+            occupancy.push((AgentId::core(i as u16), TimeSeries::new()));
+        }
+        for b in 0..bg_count {
+            let agent = match self.background {
+                Background::SoftwareCopy { .. } => AgentId::core((32 + b) as u16),
+                _ => AgentId::dsa(b as u16),
+            };
+            occupancy.push((agent, TimeSeries::new()));
+        }
+
+        let quantum = SimDuration::from_us(100);
+        let mut now = SimTime::ZERO;
+        for q in 0..self.quanta {
+            // Background copies run every quantum; probes only in the
+            // middle window (Fig. 12: X-Mem runs 5 s..45 s of 60 s).
+            let probes_active = q >= self.quanta / 12 && q < self.quanta * 3 / 4;
+
+            // Background copy processes stream at memory speed: per
+            // quantum they churn about a fourteenth of the (scaled) LLC.
+            let copies_per_quantum = if bg_count == 0 {
+                0
+            } else {
+                (platform.llc_bytes / 14 / copy_size / bg_count as u64).max(8)
+            };
+            for (b, bg_offset) in bg_offsets.iter_mut().enumerate() {
+                for _ in 0..copies_per_quantum {
+                    let src =
+                        0x8_0000_0000 + b as u64 * (stream_span + (1 << 20)) + *bg_offset;
+                    let dst =
+                        0xC_0000_0000 + b as u64 * (stream_span + (1 << 20)) + *bg_offset;
+                    *bg_offset = (*bg_offset + copy_size) % stream_span;
+                    match self.background {
+                        Background::None => unreachable!("bg_count is 0"),
+                        Background::SoftwareCopy { .. } => {
+                            let agent = AgentId::core((32 + b) as u16);
+                            for line in 0..copy_size / 64 {
+                                llc.access(
+                                    agent,
+                                    src + line * 64,
+                                    AllocPolicy::AllocOnMiss,
+                                    WayMask::ALL,
+                                );
+                                llc.access(
+                                    agent,
+                                    dst + line * 64,
+                                    AllocPolicy::AllocOnMiss,
+                                    WayMask::ALL,
+                                );
+                            }
+                        }
+                        Background::DsaOffload { .. } => {
+                            let agent = AgentId::dsa(b as u16);
+                            for line in 0..copy_size / 64 {
+                                // Reads never allocate.
+                                llc.access(agent, src + line * 64, AllocPolicy::NoAlloc, WayMask::ALL);
+                                // Cache-control writes are confined to the
+                                // DDIO ways.
+                                llc.access(
+                                    agent,
+                                    dst + line * 64,
+                                    AllocPolicy::AllocOnMiss,
+                                    WayMask::range(total_ways - ddio_ways, total_ways),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            if probes_active {
+                for p in probes.iter_mut() {
+                    for _ in 0..self.accesses_per_quantum {
+                        let lat = p.access(&mut llc, &platform);
+                        latency_sum += lat;
+                        latency_count += 1;
+                    }
+                }
+            }
+
+            now += quantum;
+            for (agent, series) in occupancy.iter_mut() {
+                // Report unscaled occupancy so figures read in real MB.
+                series.push(now, (llc.occupancy_bytes(*agent) * self.scale) as f64);
+            }
+        }
+
+        let hit_ratio = if probes.is_empty() {
+            0.0
+        } else {
+            probes.iter().map(|p| p.hit_ratio()).sum::<f64>() / probes.len() as f64
+        };
+        CoRunResult {
+            avg_latency: if latency_count == 0 {
+                SimDuration::ZERO
+            } else {
+                latency_sum / latency_count
+            },
+            hit_ratio,
+            occupancy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(bg: Background, ws: u64) -> CoRunResult {
+        CoRunScenario {
+            working_set: ws,
+            background: bg,
+            quanta: 24,
+            accesses_per_quantum: 1500,
+            ..CoRunScenario::default()
+        }
+        .run(&Platform::spr())
+    }
+
+    #[test]
+    fn small_working_sets_hit_in_cache() {
+        let r = scenario(Background::None, 1 << 20);
+        assert!(r.hit_ratio > 0.9, "1 MiB x 8 fits the LLC: {}", r.hit_ratio);
+    }
+
+    #[test]
+    fn huge_working_sets_miss() {
+        let r = scenario(Background::None, 64 << 20);
+        assert!(r.hit_ratio < 0.35, "8 x 64 MiB cannot fit: {}", r.hit_ratio);
+    }
+
+    #[test]
+    fn software_copy_pollutes_dsa_does_not() {
+        let ws = 4 << 20; // the paper's highlighted 4 MB point
+        let none = scenario(Background::None, ws);
+        let sw = scenario(Background::SoftwareCopy { n: 4 }, ws);
+        let dsa = scenario(Background::DsaOffload { n: 4 }, ws);
+        assert!(
+            sw.avg_latency.as_ns_f64() > 1.2 * none.avg_latency.as_ns_f64(),
+            "software copies should inflate latency: {:?} vs {:?}",
+            sw.avg_latency,
+            none.avg_latency
+        );
+        assert!(
+            dsa.avg_latency.as_ns_f64() < 1.1 * none.avg_latency.as_ns_f64(),
+            "DSA offload should barely perturb latency: {:?} vs {:?}",
+            dsa.avg_latency,
+            none.avg_latency
+        );
+    }
+
+    #[test]
+    fn occupancy_attribution_matches_scenario() {
+        let sw = scenario(Background::SoftwareCopy { n: 4 }, 4 << 20);
+        let copy_occ: f64 = sw
+            .occupancy
+            .iter()
+            .filter(|(a, _)| a.slot() >= 32)
+            .map(|(_, s)| s.max_value())
+            .sum();
+        assert!(copy_occ > 10e6, "software copies should occupy many MB: {copy_occ}");
+
+        let dsa = scenario(Background::DsaOffload { n: 4 }, 4 << 20);
+        let platform = Platform::spr();
+        let dsa_occ: f64 =
+            dsa.occupancy.iter().filter(|(a, _)| a.is_dsa()).map(|(_, s)| s.max_value()).sum();
+        assert!(
+            dsa_occ <= platform.ddio_bytes() as f64 * 1.05,
+            "DSA occupancy {dsa_occ} must stay within the DDIO share"
+        );
+    }
+
+    #[test]
+    fn occupancy_series_rise_and_fall_with_probe_window() {
+        let r = scenario(Background::None, 4 << 20);
+        let (_, series) = &r.occupancy[0];
+        assert!(!series.is_empty());
+        // Occupancy during the active window exceeds the initial sample.
+        let first = series.points()[0].1;
+        assert!(series.max_value() > first);
+    }
+}

@@ -1,0 +1,115 @@
+//! A measured walk through the paper's six guidelines (§6, "Make the Most
+//! out of DSA"): each advisor's recommendation is checked against the
+//! simulated system live.
+//!
+//! Run with: `cargo run --release --example guidelines_tour`
+
+use dsa_core::config::presets;
+use dsa_core::guidelines as g;
+use dsa_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------- G1
+    println!("G1: keep a balanced batch size and transfer size");
+    let (ts, bs) = g::g1_split(1 << 20, true);
+    println!("  advisor: contiguous 1 MiB -> one descriptor ({ts} B x {bs})");
+    let mut rt = DsaRuntime::spr_default();
+    let src = rt.alloc(1 << 20, Location::local_dram());
+    let dst = rt.alloc(1 << 20, Location::local_dram());
+    let single = Job::memcpy(&src, &dst).execute(&mut rt)?.elapsed();
+    let mut batch = Batch::new();
+    for i in 0..64u64 {
+        let s = src.slice(i * (16 << 10), 16 << 10);
+        let d = dst.slice(i * (16 << 10), 16 << 10);
+        batch.push(Job::memcpy(&s, &d));
+    }
+    let split = batch.execute(&mut rt)?.elapsed();
+    println!("  measured: coalesced {single:?} vs 64-way split {split:?}\n");
+
+    // ---------------------------------------------------------------- G2
+    println!("G2: use DSA asynchronously when possible");
+    let mut rt = DsaRuntime::spr_default();
+    let src = rt.alloc(16 << 10, Location::local_dram());
+    let dst = rt.alloc(16 << 10, Location::local_dram());
+    let t0 = rt.now();
+    for _ in 0..32 {
+        Job::memcpy(&src, &dst).execute(&mut rt)?;
+    }
+    let sync = rt.now().duration_since(t0);
+    let t1 = rt.now();
+    let mut q = AsyncQueue::new(32);
+    for _ in 0..32 {
+        q.submit(&mut rt, Job::memcpy(&src, &dst))?;
+    }
+    q.drain(&mut rt);
+    let asynct = rt.now().duration_since(t1);
+    println!("  measured: 32 x 16 KiB sync {sync:?} vs async {asynct:?}\n");
+
+    // ---------------------------------------------------------------- G3
+    println!("G3: control the data destination wisely");
+    println!(
+        "  advisor: consumed soon -> cache control {}, streaming -> {}",
+        g::g3_cache_control(true),
+        g::g3_cache_control(false)
+    );
+    println!("  (see fig10/fig12 benches for the leaky-DMA and pollution effects)\n");
+
+    // ---------------------------------------------------------------- G4
+    println!("G4: DSA for heterogeneous memory moves");
+    let p = rt.platform().clone();
+    let advice = g::g4_tier_placement(&p.medium(Location::local_dram()), &p.medium(Location::Cxl));
+    println!("  advisor for DRAM(A)/CXL(B): {advice:?} (faster-write medium as destination)");
+    let mut rt = DsaRuntime::spr_default();
+    let c = rt.alloc(256 << 10, Location::Cxl);
+    let d = rt.alloc(256 << 10, Location::local_dram());
+    let to_dram = Job::memcpy(&c, &d).execute(&mut rt)?.elapsed();
+    let to_cxl = Job::memcpy(&d, &c).execute(&mut rt)?.elapsed();
+    println!("  measured 256 KiB: CXL->DRAM {to_dram:?} vs DRAM->CXL {to_cxl:?}\n");
+
+    // ---------------------------------------------------------------- G5
+    println!("G5: leverage PE-level parallelism");
+    println!(
+        "  advisor: {} engines for 1 KiB transfers, {} for 2 MiB",
+        g::g5_engines(1024),
+        g::g5_engines(2 << 20)
+    );
+    for engines in [1u32, 4] {
+        let mut rt = DsaRuntime::builder(dsa_mem::topology::Platform::spr())
+            .device(presets::engines_behind_one_dwq(engines, 128))
+            .build();
+        let src = rt.alloc(1024, Location::local_dram());
+        let dst = rt.alloc(1024, Location::local_dram());
+        let t0 = rt.now();
+        let mut batches = Vec::new();
+        for _ in 0..32 {
+            if batches.len() >= 8 {
+                let t: dsa_sim::SimTime = batches.remove(0);
+                rt.advance_to(t);
+            }
+            let mut b = Batch::new();
+            for _ in 0..16 {
+                b.push(Job::memcpy(&src, &dst));
+            }
+            batches.push(b.submit(&mut rt)?.completion_time());
+        }
+        for t in batches {
+            rt.advance_to(t);
+        }
+        let gbps = (32.0 * 16.0 * 1024.0) / rt.now().duration_since(t0).as_ns_f64();
+        println!("  measured 1 KiB stream with {engines} engine(s): {gbps:.2} GB/s");
+    }
+    println!();
+
+    // ---------------------------------------------------------------- G6
+    println!("G6: optimize WQ configuration");
+    println!("  advisor: 4 threads/8 WQs -> {:?}", g::g6_wq_strategy(4, 8));
+    println!("  advisor: 16 threads/8 WQs -> {:?}", g::g6_wq_strategy(16, 8));
+    println!("  advisor: WQ size for near-max throughput: {}", g::g6_wq_size());
+    let cfg = g::recommended_config(4096, 4);
+    println!(
+        "  recommended config for 4 KiB x 4 threads: {} group(s), {} WQ(s)",
+        cfg.groups.len(),
+        cfg.wqs.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The paper's §6.4 case study: DPDK-Vhost packet forwarding with batched,
+//! asynchronous DSA packet-copy offload and in-order delivery.
+//!
+//! Run with: `cargo run --release --example packet_forwarding`
+
+use dsa_core::config::presets;
+use dsa_repro::prelude::*;
+use dsa_workloads::vhost::{CopyMode, Testpmd, Vhost, Virtqueue};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A full DSA instance: 4 engines behind one 128-entry dedicated WQ —
+    // the guideline-recommended setup for many small transfers (G5/G6).
+    let mut rt = DsaRuntime::builder(dsa_mem::topology::Platform::spr())
+        .device(presets::engines_behind_one_dwq(4, 128))
+        .build();
+
+    // --- Functional demo: packets flow through the virtqueue intact and
+    // in order, even though copies complete asynchronously.
+    let vq = Virtqueue::new(&mut rt, 128, 2048);
+    let mut vhost = Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+    let pkts: Vec<_> = (0..32u8)
+        .map(|i| {
+            let b = rt.alloc(2048, Location::Llc);
+            rt.fill_pattern(&b, i + 1);
+            (b, 1500u32)
+        })
+        .collect();
+    let burst = vhost.enqueue_burst(&mut rt, &pkts)?;
+    println!(
+        "enqueued a burst of {} packets with {:?} of core time (one batch descriptor)",
+        burst.enqueued, burst.core_busy
+    );
+    vhost.drain(&mut rt);
+    let used = vhost.virtqueue().used_order();
+    println!("used ring has {} descriptors, in order: {:?}...", used.len(), &used[..4]);
+    for (i, &idx) in used.iter().enumerate() {
+        let buf = *vhost.virtqueue().buffer(idx);
+        assert!(rt.read(&buf)?[..1500].iter().all(|&b| b == i as u8 + 1));
+    }
+    println!("all payloads verified byte-exact\n");
+
+    // --- Fig. 16b in miniature: forwarding rate vs packet size.
+    println!("{:>9} {:>10} {:>10} {:>8}", "pkt size", "CPU Mpps", "DSA Mpps", "ratio");
+    for &size in &[256u32, 512, 1024, 1518] {
+        let run = |mode| {
+            let mut rt = DsaRuntime::builder(dsa_mem::topology::Platform::spr())
+                .device(presets::engines_behind_one_dwq(4, 128))
+                .build();
+            Testpmd { pkt_size: size, bursts: 150, ..Testpmd::default() }
+                .run(&mut rt, mode)
+                .map(|r| r.mpps)
+        };
+        let cpu = run(CopyMode::Cpu)?;
+        let dsa = run(CopyMode::Dsa { device: 0, wq: 0 })?;
+        println!("{size:>9} {cpu:>10.2} {dsa:>10.2} {:>8.2}", dsa / cpu);
+    }
+    println!("\nDSA keeps the forwarding rate flat while CPU copies fall with packet size.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Storage-style integrity offload: CRC32-C Data Digests (the SPDK
+//! NVMe/TCP appendix) and T10-DIF protection — both DSA operations that
+//! show the largest speedups over software.
+//!
+//! Run with: `cargo run --release --example storage_crc`
+
+use dsa_ops::dif::{DifBlockSize, DifConfig};
+use dsa_repro::prelude::*;
+use dsa_workloads::nvmetcp::{Digest, NvmeTcpTarget};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rt = DsaRuntime::spr_default();
+
+    // --- T10-DIF: protect, verify, detect corruption, strip.
+    let raw = rt.alloc(8 * 512, Location::local_dram());
+    let protected = rt.alloc(8 * 520, Location::local_dram());
+    rt.fill_random(&raw);
+    let cfg = DifConfig::new(DifBlockSize::B512);
+
+    let r = Job::dif_insert(&raw, &protected, cfg).execute(&mut rt)?;
+    assert!(r.record.status.is_ok());
+    println!("DIF insert: protected 8 x 512-B blocks ({:?})", r.elapsed());
+
+    let r = Job::dif_check(&protected, cfg).execute(&mut rt)?;
+    assert_eq!(r.record.status, Status::Success);
+    println!("DIF check:  all guards/tags verified");
+
+    // Flip one bit and watch the device catch it.
+    let addr = protected.addr() + 700;
+    let mut byte = rt.memory().read(addr, 1)?.to_vec();
+    byte[0] ^= 0x01;
+    rt.memory_mut().write(addr, &byte)?;
+    let r = Job::dif_check(&protected, cfg).execute(&mut rt)?;
+    assert_eq!(r.record.status, Status::DifError);
+    println!("DIF check:  corruption detected in block {}", r.record.result);
+
+    // --- NVMe/TCP target: IOPS at 4 cores under the three digest modes.
+    println!("\nNVMe/TCP target, 16 KiB random reads, 4 target cores:");
+    for (label, digest) in
+        [("no digest", Digest::None), ("ISA-L", Digest::IsaL), ("DSA", Digest::Dsa)]
+    {
+        let report =
+            NvmeTcpTarget { io_size: 16 << 10, cores: 4, digest }.run(&mut rt, 4)?;
+        println!(
+            "  {label:>10}: {:>8.1} kIOPS, avg latency {:>6.2} us",
+            report.kiops,
+            report.avg_latency.as_us_f64()
+        );
+    }
+    println!(
+        "\nDSA digests track the no-digest line (Fig. 21): the checksum leaves\n\
+         the core, so the target saturates the network with fewer cores."
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Transparent offload (DTO): route `memcpy`/`memset`/`memcmp` calls above
+//! a size threshold to DSA without restructuring the application —
+//! the paper's Appendix B CacheLib enablement story.
+//!
+//! Run with: `cargo run --release --example transparent_offload`
+
+use dsa_core::dto::Dto;
+use dsa_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rt = DsaRuntime::spr_default();
+    let mut dto = Dto::new(); // default threshold: 8 KiB
+
+    // An application-like mix: many small copies, a few large ones.
+    let small_a = rt.alloc(1 << 10, Location::local_dram());
+    let small_b = rt.alloc(1 << 10, Location::local_dram());
+    let big_a = rt.alloc(256 << 10, Location::local_dram());
+    let big_b = rt.alloc(256 << 10, Location::local_dram());
+    rt.fill_random(&small_a);
+    rt.fill_random(&big_a);
+
+    for _ in 0..95 {
+        dto.memcpy(&mut rt, &small_a, &small_b)?;
+    }
+    for _ in 0..5 {
+        dto.memcpy(&mut rt, &big_a, &big_b)?;
+    }
+
+    // memset + memcmp flow through the same router.
+    dto.memset(&mut rt, &big_b, 0x00)?;
+    let (diff, _) = dto.memcmp(&mut rt, &big_a, &big_b)?;
+    assert!(diff.is_some(), "zeroed buffer must differ from random data");
+
+    let s = dto.stats();
+    println!("intercepted calls:        {}", s.calls);
+    println!("offloaded calls:          {} ({:.1}%)", s.offloaded_calls, s.call_fraction() * 100.0);
+    println!("offloaded bytes:          {:.1}%", s.byte_fraction() * 100.0);
+    println!(
+        "\nThe paper's CacheLib observation reproduced: a few percent of the\n\
+         calls carry nearly all the bytes, so a size-thresholded transparent\n\
+         router offloads almost all data movement while leaving small copies\n\
+         on the core."
+    );
+    assert!(s.call_fraction() < 0.15);
+    assert!(s.byte_fraction() > 0.85);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! VM live migration with DSA: iterative pre-copy with delta records —
+//! one of the paper's §5 "datacenter tax" offloads ("VM/container boot-up
+//! and migration").
+//!
+//! Run with: `cargo run --release --example vm_migration`
+
+use dsa_device::config::DeviceConfig;
+use dsa_repro::prelude::*;
+use dsa_workloads::migration::{Migration, MigrationConfig, MigrationEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MigrationConfig {
+        blocks: 64,
+        block_size: 64 << 10,
+        dirtied_per_round: 12,
+        dirty_density: 0.03,
+        ..MigrationConfig::default()
+    };
+    println!(
+        "migrating a {} MiB guest ({} x {} KiB blocks), guest dirties {} blocks/round\n",
+        (cfg.blocks as u64 * cfg.block_size) >> 20,
+        cfg.blocks,
+        cfg.block_size >> 10,
+        cfg.dirtied_per_round
+    );
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "engine", "rounds", "copied MiB", "delta KiB", "downtime us", "total ms"
+    );
+    for engine in [MigrationEngine::Cpu, MigrationEngine::Dsa] {
+        let mut rt = DsaRuntime::builder(dsa_mem::topology::Platform::spr())
+            .device(DeviceConfig::full_device())
+            .build();
+        let report = Migration::new(&mut rt, cfg).run(&mut rt, engine)?;
+        println!(
+            "{:>8} {:>10} {:>12.1} {:>12.1} {:>12.2} {:>12.3}",
+            format!("{engine:?}"),
+            report.rounds,
+            report.copied_bytes as f64 / (1 << 20) as f64,
+            report.delta_bytes as f64 / 1024.0,
+            report.downtime.as_us_f64(),
+            report.total_time.as_secs_f64() * 1e3,
+        );
+    }
+    println!(
+        "\nSparse dirtying ships as Create/Apply Delta Record pairs instead of\n\
+         full block copies; the destination is verified byte-identical after\n\
+         the stop-and-copy round. DSA shortens both total migration time and\n\
+         the downtime window."
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # dsa-repro — umbrella crate
+//!
+//! Re-exports the workspace crates that reproduce the ASPLOS'24 paper
+//! *"A Quantitative Analysis and Guideline of Data Streaming Accelerator in
+//! Intel 4th Gen Xeon Scalable Processors"*. See `README.md` for the tour and
+//! `DESIGN.md` for the system inventory.
+//!
+//! ```
+//! use dsa_repro::prelude::*;
+//!
+//! // Build an SPR-like platform with one DSA instance and copy 64 KiB.
+//! let mut rt = DsaRuntime::spr_default();
+//! let src = rt.alloc(65536, Location::local_dram());
+//! let dst = rt.alloc(65536, Location::local_dram());
+//! rt.fill_pattern(&src, 0xA5);
+//! let report = Job::memcpy(&src, &dst).execute(&mut rt).unwrap();
+//! assert!(report.record.status.is_ok());
+//! assert!(report.elapsed().as_ns_f64() > 0.0);
+//! ```
+
+pub use dsa_core as core;
+pub use dsa_device as device;
+pub use dsa_mem as mem;
+pub use dsa_ops as ops;
+pub use dsa_sim as sim;
+pub use dsa_workloads as workloads;
+
+/// Convenient glob-import surface used by the examples.
+pub mod prelude {
+    pub use dsa_core::prelude::*;
+    pub use dsa_mem::buffer::Location;
+    pub use dsa_sim::{SimDuration, SimTime};
+}

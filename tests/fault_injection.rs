@@ -1,0 +1,220 @@
+//! Failure injection across the stack: page faults, full queues, invalid
+//! configurations, corrupted data, and record overflows must all surface
+//! as the architecture specifies — never as silent success.
+
+use dsa_core::config::AccelConfig;
+use dsa_core::job::{Job, JobError};
+use dsa_core::runtime::DsaRuntime;
+use dsa_device::config::{ConfigError, DeviceCaps};
+use dsa_device::descriptor::{Descriptor, Status};
+use dsa_device::device::{SubmitError, WqId};
+use dsa_mem::buffer::Location;
+use dsa_ops::dif::{DifBlockSize, DifConfig};
+use dsa_sim::SimTime;
+
+#[test]
+fn page_fault_partial_completion_reports_progress() {
+    let mut rt = DsaRuntime::spr_default();
+    let src = rt.alloc(32 << 10, Location::local_dram());
+    let dst = rt.alloc(32 << 10, Location::local_dram());
+    rt.fill_pattern(&src, 0x44);
+    // Third destination page is missing.
+    rt.memsys_mut().page_table_mut().unmap_page(dst.addr() + 2 * 4096);
+    let report = Job::memcpy(&src, &dst).execute(&mut rt).unwrap();
+    match report.record.status {
+        Status::PageFault { addr } => assert_eq!(addr, dst.addr() + 2 * 4096),
+        other => panic!("expected page fault, got {other:?}"),
+    }
+    assert_eq!(report.record.bytes_completed, 2 * 4096);
+}
+
+#[test]
+fn block_on_fault_pays_latency_but_completes() {
+    let mut rt = DsaRuntime::spr_default();
+    let src = rt.alloc(16 << 10, Location::local_dram());
+    let dst = rt.alloc(16 << 10, Location::local_dram());
+    rt.fill_pattern(&src, 0x55);
+    rt.memsys_mut().page_table_mut().unmap_page(dst.addr());
+    rt.memsys_mut().page_table_mut().unmap_page(dst.addr() + 4096);
+
+    let faulting = Job::memcpy(&src, &dst).block_on_fault().execute(&mut rt).unwrap();
+    assert_eq!(faulting.record.status, Status::Success);
+    assert!(rt.read(&dst).unwrap().iter().all(|&b| b == 0x55));
+
+    // Same copy with all pages present is much faster.
+    let mut rt2 = DsaRuntime::spr_default();
+    let src2 = rt2.alloc(16 << 10, Location::local_dram());
+    let dst2 = rt2.alloc(16 << 10, Location::local_dram());
+    let clean = Job::memcpy(&src2, &dst2).execute(&mut rt2).unwrap();
+    assert!(
+        faulting.elapsed().as_ns_f64() > 2.0 * clean.elapsed().as_ns_f64(),
+        "two page faults must be visible in latency: {:?} vs {:?}",
+        faulting.elapsed(),
+        clean.elapsed()
+    );
+}
+
+#[test]
+fn page_fault_storm_counts_every_fault() {
+    let mut rt = DsaRuntime::spr_default();
+    let src = rt.alloc(64 << 10, Location::local_dram());
+    let dst = rt.alloc(64 << 10, Location::local_dram());
+    for page in 0..16 {
+        rt.memsys_mut().page_table_mut().unmap_page(src.addr() + page * 4096);
+    }
+    Job::memcpy(&src, &dst).block_on_fault().execute(&mut rt).unwrap();
+    assert_eq!(rt.device(0).telemetry().page_faults, 16);
+}
+
+#[test]
+fn wq_overflow_is_retryable_not_fatal() {
+    let mut cfg = AccelConfig::new();
+    let g = cfg.add_group(1);
+    cfg.add_dedicated_wq(2, g);
+    let mut rt = DsaRuntime::builder(dsa_mem::topology::Platform::spr())
+        .device(cfg.enable().unwrap())
+        .build();
+    let src = rt.alloc(1 << 20, Location::local_dram());
+    let dst = rt.alloc(1 << 20, Location::local_dram());
+    // Raw device access: fill the 2-entry WQ, third submission must say
+    // WqFull with a usable retry time.
+    let desc = Descriptor::memmove(src.addr(), dst.addr(), 1 << 20);
+    let (dev, memory, memsys) = {
+        // The job layer retries internally; use it to prove overall progress.
+        let mut ok = 0;
+        for _ in 0..6 {
+            let r = Job::memcpy(&src, &dst).execute(&mut rt).unwrap();
+            assert!(r.record.status.is_ok());
+            ok += 1;
+        }
+        assert_eq!(ok, 6);
+        (rt.device_mut(0), (), ())
+    };
+    let _ = (dev, memory, memsys, desc);
+}
+
+#[test]
+fn raw_wq_full_error_paths() {
+    let mut cfg = AccelConfig::new();
+    let g = cfg.add_group(1);
+    cfg.add_dedicated_wq(1, g);
+    let dc = cfg.enable().unwrap();
+    let platform = dsa_mem::topology::Platform::spr();
+    let mut memory = dsa_mem::memory::Memory::new();
+    let mut memsys = dsa_mem::memsys::MemSystem::new(platform.clone());
+    let mut dev = dsa_device::device::DsaDevice::new(0, dc, &platform);
+    let src = memory.alloc(1 << 20, Location::local_dram());
+    let dst = memory.alloc(1 << 20, Location::local_dram());
+    memsys.page_table_mut().map_range(src.addr(), 1 << 20, dsa_mem::buffer::PageSize::Base4K);
+    memsys.page_table_mut().map_range(dst.addr(), 1 << 20, dsa_mem::buffer::PageSize::Base4K);
+    let desc = Descriptor::memmove(src.addr(), dst.addr(), 1 << 20);
+    dev.submit(&mut memory, &mut memsys, WqId(0), &desc, SimTime::ZERO).unwrap();
+    match dev.submit(&mut memory, &mut memsys, WqId(0), &desc, SimTime::ZERO) {
+        Err(SubmitError::WqFull { retry_at }) => {
+            // Retrying at the reported time succeeds.
+            dev.submit(&mut memory, &mut memsys, WqId(0), &desc, retry_at).unwrap();
+        }
+        other => panic!("expected WqFull, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_configurations_rejected_before_use() {
+    // Engine budget.
+    let mut cfg = AccelConfig::new();
+    let g = cfg.add_group(3);
+    let g2 = cfg.add_group(2);
+    cfg.add_dedicated_wq(8, g);
+    cfg.add_dedicated_wq(8, g2);
+    assert!(matches!(cfg.enable(), Err(ConfigError::TooManyEngines { .. })));
+
+    // WQ storage budget.
+    let mut cfg = AccelConfig::new();
+    let g = cfg.add_group(1);
+    cfg.add_dedicated_wq(96, g);
+    cfg.add_shared_wq(64, g);
+    assert!(matches!(cfg.enable(), Err(ConfigError::WqStorageExceeded { .. })));
+
+    // Caps are visible.
+    let caps = DeviceCaps::dsa1();
+    assert_eq!((caps.engines, caps.wqs, caps.wq_total_entries), (4, 8, 128));
+}
+
+#[test]
+fn unmapped_addresses_produce_invalid_descriptor_status() {
+    let mut rt = DsaRuntime::spr_default();
+    let good = rt.alloc(4096, Location::local_dram());
+    // A wild address outside every allocation.
+    let desc = Descriptor::memmove(0x7777_0000_0000, good.addr(), 4096);
+    let report = Job::from_descriptor(desc).execute(&mut rt).unwrap();
+    assert_eq!(report.record.status, Status::InvalidDescriptor);
+    assert_eq!(rt.device(0).telemetry().errors, 1);
+}
+
+#[test]
+fn dif_corruption_and_delta_overflow_reported() {
+    let mut rt = DsaRuntime::spr_default();
+    let cfg = DifConfig::new(DifBlockSize::B512);
+    let raw = rt.alloc(2 * 512, Location::local_dram());
+    let protected = rt.alloc(2 * 520, Location::local_dram());
+    rt.fill_random(&raw);
+    Job::dif_insert(&raw, &protected, cfg).execute(&mut rt).unwrap();
+    // Corrupt the second block's payload.
+    let addr = protected.addr() + 520 + 17;
+    let b = rt.memory().read(addr, 1).unwrap()[0] ^ 0x80;
+    rt.memory_mut().write(addr, &[b]).unwrap();
+    let report = Job::dif_check(&protected, cfg).execute(&mut rt).unwrap();
+    assert_eq!(report.record.status, Status::DifError);
+    assert_eq!(report.record.result, 1, "block index of the corruption");
+
+    // Delta record bigger than its buffer -> overflow with needed size.
+    let orig = rt.alloc(4096, Location::local_dram());
+    let modv = rt.alloc(4096, Location::local_dram());
+    rt.fill_pattern(&modv, 0xFF);
+    let tiny = rt.alloc(32, Location::local_dram());
+    let report = Job::delta_create(&orig, &modv, &tiny).execute(&mut rt).unwrap();
+    assert_eq!(report.record.status, Status::DeltaOverflow);
+    assert_eq!(report.record.result, 4096 / 8 * 10);
+}
+
+#[test]
+fn unknown_targets_surface_as_errors() {
+    let mut rt = DsaRuntime::spr_default();
+    let src = rt.alloc(64, Location::local_dram());
+    let dst = rt.alloc(64, Location::local_dram());
+    assert!(matches!(
+        Job::memcpy(&src, &dst).on_device(9).execute(&mut rt),
+        Err(JobError::UnknownDevice { device: 9 })
+    ));
+    assert!(matches!(
+        Job::memcpy(&src, &dst).on_wq(5).execute(&mut rt),
+        Err(JobError::Submit(SubmitError::UnknownWq { wq: 5 }))
+    ));
+}
+
+#[test]
+fn cbdma_requires_pinning_dsa_does_not() {
+    // The modernization the paper emphasizes (§2, F1): same copy, no
+    // pinning ceremony on DSA.
+    let platform = dsa_mem::topology::Platform::icx();
+    let mut memory = dsa_mem::memory::Memory::new();
+    let mut memsys = dsa_mem::memsys::MemSystem::new(platform);
+    let mut cbdma = dsa_device::cbdma::CbdmaDevice::new(0, 16, dsa_device::timing::CbdmaTiming::icx());
+    let a = memory.alloc(4096, Location::local_dram());
+    let b = memory.alloc(4096, Location::local_dram());
+    assert!(matches!(
+        cbdma.submit_copy(&mut memory, &mut memsys, 0, a.addr(), b.addr(), 4096, SimTime::ZERO),
+        Err(dsa_device::cbdma::CbdmaError::NotPinned { .. })
+    ));
+    cbdma.pin(a.addr(), 4096);
+    cbdma.pin(b.addr(), 4096);
+    cbdma
+        .submit_copy(&mut memory, &mut memsys, 0, a.addr(), b.addr(), 4096, SimTime::ZERO)
+        .unwrap();
+
+    // DSA: no pinning; SVM handles it.
+    let mut rt = DsaRuntime::spr_default();
+    let src = rt.alloc(4096, Location::local_dram());
+    let dst = rt.alloc(4096, Location::local_dram());
+    assert!(Job::memcpy(&src, &dst).execute(&mut rt).unwrap().record.status.is_ok());
+}

@@ -1,0 +1,150 @@
+//! Integration sanity of the application workloads: each reproduces its
+//! figure's qualitative result when run end to end through the stack.
+
+use dsa_core::config::presets;
+use dsa_core::runtime::DsaRuntime;
+use dsa_device::config::DeviceConfig;
+use dsa_mem::buffer::Location;
+use dsa_mem::topology::Platform;
+use dsa_workloads::cachesvc::{run_cache_service, CacheWorkload, CopyPath};
+use dsa_workloads::fabric::{CopyEngine, SarFabric};
+use dsa_workloads::nvmetcp::{Digest, NvmeTcpTarget};
+use dsa_workloads::vhost::{CopyMode, Testpmd};
+use dsa_workloads::xmem::{Background, CoRunScenario};
+
+#[test]
+fn vhost_case_study_headline() {
+    // Fig. 16b: above 256 B packets, DSA wins 1.14–2.29x.
+    let run = |size: u32, mode: CopyMode| {
+        let mut rt = DsaRuntime::builder(Platform::spr())
+            .device(presets::engines_behind_one_dwq(4, 128))
+            .build();
+        Testpmd { pkt_size: size, bursts: 100, ..Testpmd::default() }
+            .run(&mut rt, mode)
+            .unwrap()
+            .mpps
+    };
+    let ratio_512 = run(512, CopyMode::Dsa { device: 0, wq: 0 }) / run(512, CopyMode::Cpu);
+    let ratio_1518 = run(1518, CopyMode::Dsa { device: 0, wq: 0 }) / run(1518, CopyMode::Cpu);
+    assert!((1.14..2.6).contains(&ratio_512), "512 B ratio {ratio_512}");
+    assert!(ratio_1518 > ratio_512, "margin grows with packet size");
+}
+
+#[test]
+fn cache_pollution_headline() {
+    // Fig. 13's highlighted point: software copies inflate 4 MB-working-set
+    // latency notably; DSA offload does not.
+    let run = |bg| {
+        CoRunScenario {
+            working_set: 4 << 20,
+            background: bg,
+            quanta: 24,
+            accesses_per_quantum: 1500,
+            ..CoRunScenario::default()
+        }
+        .run(&Platform::spr())
+        .avg_latency
+        .as_ns_f64()
+    };
+    let none = run(Background::None);
+    let sw = run(Background::SoftwareCopy { n: 4 });
+    let dsa = run(Background::DsaOffload { n: 4 });
+    assert!(sw / none > 1.25, "software pollution: {}x", sw / none);
+    assert!(dsa / none < 1.08, "DSA non-pollution: {}x", dsa / none);
+}
+
+#[test]
+fn cachelib_headline() {
+    // Fig. 19: DTO improves both rate and p99.999 tail at 4 workers.
+    let wl = CacheWorkload { workers: 4, ops_per_worker: 600, ..CacheWorkload::default() };
+    let mut rt = DsaRuntime::builder(Platform::spr())
+        .devices(4, DeviceConfig::full_device())
+        .build();
+    let cpu = run_cache_service(&mut rt, &wl, CopyPath::Cpu).unwrap();
+    let mut rt = DsaRuntime::builder(Platform::spr())
+        .devices(4, DeviceConfig::full_device())
+        .build();
+    let dsa = run_cache_service(&mut rt, &wl, CopyPath::DsaDto { wqs: 4 }).unwrap();
+    assert!(dsa.mops > 1.1 * cpu.mops);
+    assert!(dsa.tail() < cpu.tail());
+}
+
+#[test]
+fn nvmetcp_headline() {
+    // Fig. 21: DSA saturates with ~no-digest core counts; ISA-L needs more.
+    let mut rt = DsaRuntime::spr_default();
+    let mut sat = |digest| {
+        NvmeTcpTarget { io_size: 16 << 10, cores: 1, digest }.saturation_cores(&mut rt)
+    };
+    let none = sat(Digest::None);
+    let dsa = sat(Digest::Dsa);
+    let isal = sat(Digest::IsaL);
+    assert!(dsa <= none + 1);
+    assert!(isal >= dsa + 2, "ISA-L {isal} vs DSA {dsa}");
+}
+
+#[test]
+fn fabric_headline() {
+    // Fig. 17a: large-message pingpong ~5x with DSA.
+    let mut rt = DsaRuntime::builder(Platform::spr())
+        .devices(2, DeviceConfig::full_device())
+        .build();
+    let cpu = SarFabric::new(&rt, CopyEngine::Cpu).pingpong_gbps(&mut rt, 2 << 20).unwrap();
+    let dsa = SarFabric::new(&rt, CopyEngine::Dsa).pingpong_gbps(&mut rt, 2 << 20).unwrap();
+    let speedup = dsa / cpu;
+    assert!((3.0..7.0).contains(&speedup), "pingpong speedup {speedup}");
+}
+
+#[test]
+fn dsa_occupancy_confined_to_ddio_share() {
+    // Fig. 12's mechanism: with DSA background copies, device-owned LLC
+    // lines never exceed the DDIO share.
+    let r = CoRunScenario {
+        working_set: 4 << 20,
+        background: Background::DsaOffload { n: 4 },
+        quanta: 24,
+        accesses_per_quantum: 500,
+        ..CoRunScenario::default()
+    }
+    .run(&Platform::spr());
+    let ddio = Platform::spr().ddio_bytes() as f64;
+    let dsa_max: f64 = r
+        .occupancy
+        .iter()
+        .filter(|(a, _)| a.is_dsa())
+        .map(|(_, s)| s.max_value())
+        .sum();
+    assert!(dsa_max <= ddio * 1.05, "DSA lines {dsa_max} vs DDIO share {ddio}");
+}
+
+#[test]
+fn mixed_workload_on_one_runtime() {
+    // Several subsystems share one platform: vhost forwarding while a
+    // tiered-memory job streams CXL data — both make progress and verify.
+    let mut rt = DsaRuntime::builder(Platform::spr())
+        .devices(2, DeviceConfig::full_device())
+        .build();
+
+    // Tiered-memory stream on device 1.
+    let cold = rt.alloc(256 << 10, Location::Cxl);
+    let hot = rt.alloc(256 << 10, Location::local_dram());
+    rt.fill_pattern(&cold, 0xCC);
+    let promote = dsa_core::job::Job::memcpy(&cold, &hot).on_device(1).submit(&mut rt).unwrap();
+
+    // Vhost burst on device 0.
+    let vq = dsa_workloads::vhost::Virtqueue::new(&mut rt, 64, 2048);
+    let mut vhost = dsa_workloads::vhost::Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+    let pkts: Vec<_> = (0..16)
+        .map(|_| {
+            let b = rt.alloc(2048, Location::Llc);
+            rt.fill_pattern(&b, 0x77);
+            (b, 1024u32)
+        })
+        .collect();
+    vhost.enqueue_burst(&mut rt, &pkts).unwrap();
+    vhost.drain(&mut rt);
+    rt.advance_to(promote.completion_time());
+
+    assert_eq!(vhost.stats().delivered, 16);
+    assert!(rt.read(&hot).unwrap().iter().all(|&b| b == 0xCC));
+}
