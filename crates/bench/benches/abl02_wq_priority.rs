@@ -76,8 +76,7 @@ fn run_two_devices() -> (SimDuration, f64) {
         cfg.add_dedicated_wq(64, g);
         cfg.enable().unwrap()
     };
-    let mut rt =
-        DsaRuntime::builder(Platform::spr()).device(one_dev()).device(one_dev()).build();
+    let mut rt = DsaRuntime::builder(Platform::spr()).device(one_dev()).device(one_dev()).build();
     let big_src = rt.alloc(256 << 10, Location::local_dram());
     let big_dst = rt.alloc(256 << 10, Location::local_dram());
     let small_src = rt.alloc(4096, Location::local_dram());

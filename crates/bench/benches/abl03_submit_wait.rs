@@ -19,9 +19,8 @@ fn main() {
         let dst = rt_d.alloc(size, Location::local_dram());
         let dwq = Job::memcpy(&src, &dst).execute(&mut rt_d).unwrap();
 
-        let mut rt_s = DsaRuntime::builder(Platform::spr())
-            .device(presets::one_swq_one_engine())
-            .build();
+        let mut rt_s =
+            DsaRuntime::builder(Platform::spr()).device(presets::one_swq_one_engine()).build();
         let src = rt_s.alloc(size, Location::local_dram());
         let dst = rt_s.alloc(size, Location::local_dram());
         let swq = Job::memcpy(&src, &dst).execute(&mut rt_s).unwrap();

@@ -9,10 +9,7 @@ use dsa_mem::topology::Platform;
 use dsa_workloads::migration::{Migration, MigrationConfig, MigrationEngine};
 
 fn main() {
-    table::banner(
-        "§5 datacenter tax",
-        "VM live migration: CPU vs DSA total time and downtime",
-    );
+    table::banner("§5 datacenter tax", "VM live migration: CPU vs DSA total time and downtime");
     table::header(&[
         "density %",
         "cpu ms",
@@ -30,9 +27,8 @@ fn main() {
             ..MigrationConfig::default()
         };
         let run = |engine| {
-            let mut rt = DsaRuntime::builder(Platform::spr())
-                .device(DeviceConfig::full_device())
-                .build();
+            let mut rt =
+                DsaRuntime::builder(Platform::spr()).device(DeviceConfig::full_device()).build();
             Migration::new(&mut rt, cfg).run(&mut rt, engine).unwrap()
         };
         let cpu = run(MigrationEngine::Cpu);

@@ -22,11 +22,8 @@ fn main() {
             let mut rt = DsaRuntime::builder(Platform::spr())
                 .device(presets::engines_behind_one_dwq(engines, 128))
                 .build();
-            let mode = if bs == 1 {
-                Mode::Async { qd: 64 }
-            } else {
-                Mode::AsyncBatch { bs, window: 4 }
-            };
+            let mode =
+                if bs == 1 { Mode::Async { qd: 64 } } else { Mode::AsyncBatch { bs, window: 4 } };
             let iters = if ts >= 1 << 20 { 24 } else { 192 / bs.max(1) as u64 + 8 };
             let r = Measure::new(OpKind::Memcpy, ts).iters(iters).mode(mode).run(&mut rt);
             cells.push(table::f2(r.gbps));

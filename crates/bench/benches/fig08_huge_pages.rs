@@ -24,12 +24,7 @@ fn main() {
         let base = run(PageSize::Base4K);
         let huge = run(PageSize::Huge2M);
         let delta = (huge - base) / base * 100.0;
-        table::row(&[
-            table::size_label(size),
-            table::f2(base),
-            table::f2(huge),
-            table::f2(delta),
-        ]);
+        table::row(&[table::size_label(size), table::f2(base), table::f2(huge), table::f2(delta)]);
     }
     println!("(GB/s; deltas should be within noise — paper: 'nearly unaffected')");
 }

@@ -29,17 +29,14 @@ fn main() {
             let mut rt = DsaRuntime::builder(Platform::spr())
                 .device(presets::n_dwqs_n_engines(n.min(4)))
                 .build();
-            let dwq_n =
-                multi_thread_copy_gbps(&mut rt, n as usize, size, 64, 16, |t| (0, t % 4));
+            let dwq_n = multi_thread_copy_gbps(&mut rt, n as usize, size, 64, 16, |t| (0, t % 4));
             // (3) one SWQ + one engine, N threads with ENQCMD.
-            let mut rt = DsaRuntime::builder(Platform::spr())
-                .device(presets::one_swq_one_engine())
-                .build();
+            let mut rt =
+                DsaRuntime::builder(Platform::spr()).device(presets::one_swq_one_engine()).build();
             let swq_n = multi_thread_copy_gbps(&mut rt, n as usize, size, 64, 16, |_| (0, 0));
             // Reference: a single SWQ submitter.
-            let mut rt = DsaRuntime::builder(Platform::spr())
-                .device(presets::one_swq_one_engine())
-                .build();
+            let mut rt =
+                DsaRuntime::builder(Platform::spr()).device(presets::one_swq_one_engine()).build();
             let swq_1 = multi_thread_copy_gbps(&mut rt, 1, size, 96, 16, |_| (0, 0));
             table::row(&[
                 table::size_label(size),

@@ -24,10 +24,7 @@ fn main() {
             let sync = if bs == 1 {
                 Measure::new(OpKind::Memcpy, ts).iters(24).mode(Mode::Sync).run(&mut rt)
             } else {
-                Measure::new(OpKind::Memcpy, ts)
-                    .iters(24)
-                    .mode(Mode::SyncBatch { bs })
-                    .run(&mut rt)
+                Measure::new(OpKind::Memcpy, ts).iters(24).mode(Mode::SyncBatch { bs }).run(&mut rt)
             };
             let mut rt = DsaRuntime::spr_default();
             let asyn = if bs == 1 {

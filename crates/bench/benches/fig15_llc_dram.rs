@@ -34,12 +34,8 @@ fn run(mode: Mode, title: &str) {
             cells.push(table::f2(m.run(&mut rt).gbps));
         }
         let rt = DsaRuntime::spr_default();
-        cells.push(table::f2(
-            size as f64 / rt.cpu_time(OpKind::Memcpy, size, l, l).as_ns_f64(),
-        ));
-        cells.push(table::f2(
-            size as f64 / rt.cpu_time(OpKind::Memcpy, size, d, d).as_ns_f64(),
-        ));
+        cells.push(table::f2(size as f64 / rt.cpu_time(OpKind::Memcpy, size, l, l).as_ns_f64()));
+        cells.push(table::f2(size as f64 / rt.cpu_time(OpKind::Memcpy, size, d, d).as_ns_f64()));
         table::row(&cells);
     }
 }

@@ -24,12 +24,7 @@ fn main() {
         };
         let cpu = run(CopyMode::Cpu);
         let dsa = run(CopyMode::Dsa { device: 0, wq: 0 });
-        table::row(&[
-            size.to_string(),
-            table::f2(cpu),
-            table::f2(dsa),
-            table::f2(dsa / cpu),
-        ]);
+        table::row(&[size.to_string(), table::f2(cpu), table::f2(dsa), table::f2(dsa / cpu)]);
     }
     println!("(paper: DSA ~flat, CPU falls with size; 1.14-2.29x above 256 B)");
 }

@@ -41,12 +41,10 @@ fn main() {
         for &msg in &[256u64 << 10, 4 << 20] {
             let mut rt_c = rt2();
             let mut rt_d = rt2();
-            let cpu = SarFabric::new(&rt_c, CopyEngine::Cpu)
-                .allreduce(&mut rt_c, ranks, msg)
-                .unwrap();
-            let dsa = SarFabric::new(&rt_d, CopyEngine::Dsa)
-                .allreduce(&mut rt_d, ranks, msg)
-                .unwrap();
+            let cpu =
+                SarFabric::new(&rt_c, CopyEngine::Cpu).allreduce(&mut rt_c, ranks, msg).unwrap();
+            let dsa =
+                SarFabric::new(&rt_d, CopyEngine::Dsa).allreduce(&mut rt_d, ranks, msg).unwrap();
             table::row(&[
                 ranks.to_string(),
                 table::size_label(msg),

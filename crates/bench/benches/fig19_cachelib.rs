@@ -21,18 +21,8 @@ fn rt_with_devices(n: u32) -> DsaRuntime {
 }
 
 fn main() {
-    table::banner(
-        "Fig. 19",
-        "CacheLib-style get/set service: throughput & p99.999 tail, 4 SWQs",
-    );
-    table::header(&[
-        "workers",
-        "CPU Mops",
-        "DSA Mops",
-        "rate x",
-        "CPU p5 9s us",
-        "DSA p5 9s us",
-    ]);
+    table::banner("Fig. 19", "CacheLib-style get/set service: throughput & p99.999 tail, 4 SWQs");
+    table::header(&["workers", "CPU Mops", "DSA Mops", "rate x", "CPU p5 9s us", "DSA p5 9s us"]);
     for &workers in &[1u32, 4, 8, 16] {
         let wl = CacheWorkload { workers, ops_per_worker: 1500, ..CacheWorkload::default() };
         let mut rt = rt_with_devices(4);

@@ -1,84 +1,119 @@
-//! Criterion micro-benchmarks of the functional operation kernels
-//! (Table 1's operation set): host-machine performance of the actual Rust
+//! Micro-benchmarks of the functional operation kernels (Table 1's
+//! operation set): host-machine performance of the actual Rust
 //! implementations the device model executes. These complement the figure
 //! harnesses, which measure *simulated* time.
+//!
+//! Self-contained wall-clock harness (`std::time::Instant`, median of
+//! timed batches) so the workspace builds with no external benchmark
+//! dependency; run with `cargo bench --bench ops_micro`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dsa_bench::table;
 use dsa_ops::crc32::Crc32c;
 use dsa_ops::delta::{delta_apply, delta_create};
 use dsa_ops::dif::{dif_check, dif_insert, DifBlockSize, DifConfig};
 use dsa_ops::memops;
+use std::time::Instant;
 
-fn bench_crc32(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crc32c");
+/// Runs `f` in timed batches and reports the median per-call time in
+/// nanoseconds, after a warm-up pass.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    const BATCH: u32 = 16;
+    const SAMPLES: usize = 31;
+    for _ in 0..BATCH {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..BATCH {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / BATCH as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[SAMPLES / 2]
+}
+
+fn report(group: &str, name: &str, bytes: usize, ns: f64) {
+    let gbps = bytes as f64 / ns;
+    table::row(&[group.to_string(), name.to_string(), format!("{ns:.0}"), table::f2(gbps)]);
+}
+
+fn bench_crc32() {
     for size in [4096usize, 65536] {
         let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| {
-            b.iter(|| Crc32c::checksum(std::hint::black_box(&data)))
+        let ns = time_ns(|| {
+            std::hint::black_box(Crc32c::checksum(std::hint::black_box(&data)));
         });
+        report("crc32c", &format!("{size}B"), size, ns);
     }
-    g.finish();
 }
 
-fn bench_memops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memops");
+fn bench_memops() {
     let size = 65536usize;
     let src = vec![0xA5u8; size];
-    g.throughput(Throughput::Bytes(size as u64));
-    g.bench_function("copy_64K", |b| {
-        b.iter_batched_ref(
-            || vec![0u8; size],
-            |dst| memops::copy(std::hint::black_box(&src), dst),
-            BatchSize::SmallInput,
-        )
+    let mut dst = vec![0u8; size];
+    let ns = time_ns(|| {
+        memops::copy(std::hint::black_box(&src), &mut dst);
+        std::hint::black_box(&dst);
     });
-    g.bench_function("compare_64K", |b| {
-        let other = src.clone();
-        b.iter(|| memops::compare(std::hint::black_box(&src), std::hint::black_box(&other)))
+    report("memops", "copy_64K", size, ns);
+
+    let other = src.clone();
+    let ns = time_ns(|| {
+        std::hint::black_box(memops::compare(std::hint::black_box(&src), &other));
     });
-    g.bench_function("fill_64K", |b| {
-        b.iter_batched_ref(
-            || vec![0u8; size],
-            |dst| memops::fill(dst, 0xDEAD_BEEF),
-            BatchSize::SmallInput,
-        )
+    report("memops", "compare_64K", size, ns);
+
+    let ns = time_ns(|| {
+        memops::fill(&mut dst, 0xDEAD_BEEF);
+        std::hint::black_box(&dst);
     });
-    g.finish();
+    report("memops", "fill_64K", size, ns);
 }
 
-fn bench_dif(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dif");
+fn bench_dif() {
     let cfg = DifConfig::new(DifBlockSize::B512);
     let data = vec![0x5Au8; 16 * 512];
     let protected = dif_insert(&cfg, &data).unwrap();
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("insert_8K", |b| b.iter(|| dif_insert(&cfg, std::hint::black_box(&data))));
-    g.bench_function("check_8K", |b| b.iter(|| dif_check(&cfg, std::hint::black_box(&protected))));
-    g.finish();
+    let ns = time_ns(|| {
+        std::hint::black_box(dif_insert(&cfg, std::hint::black_box(&data)).unwrap());
+    });
+    report("dif", "insert_8K", data.len(), ns);
+    let ns = time_ns(|| {
+        dif_check(&cfg, std::hint::black_box(&protected)).unwrap();
+    });
+    report("dif", "check_8K", data.len(), ns);
 }
 
-fn bench_delta(c: &mut Criterion) {
-    let mut g = c.benchmark_group("delta");
+fn bench_delta() {
     let original = vec![0u8; 65536];
     let mut modified = original.clone();
     for i in (0..modified.len()).step_by(1024) {
         modified[i] = 1;
     }
-    g.throughput(Throughput::Bytes(original.len() as u64));
-    g.bench_function("create_64K_sparse", |b| {
-        b.iter(|| delta_create(std::hint::black_box(&original), &modified, 1 << 20))
+    let ns = time_ns(|| {
+        std::hint::black_box(
+            delta_create(std::hint::black_box(&original), &modified, 1 << 20).unwrap(),
+        );
     });
+    report("delta", "create_64K_sparse", original.len(), ns);
     let record = delta_create(&original, &modified, 1 << 20).unwrap();
-    g.bench_function("apply_64K_sparse", |b| {
-        b.iter_batched_ref(
-            || original.clone(),
-            |t| delta_apply(&record, t),
-            BatchSize::SmallInput,
-        )
+    let mut target = original.clone();
+    let ns = time_ns(|| {
+        target.copy_from_slice(&original);
+        delta_apply(&record, &mut target).unwrap();
+        std::hint::black_box(&target);
     });
-    g.finish();
+    report("delta", "apply_64K_sparse", original.len(), ns);
 }
 
-criterion_group!(benches, bench_crc32, bench_memops, bench_dif, bench_delta);
-criterion_main!(benches);
+fn main() {
+    table::banner("ops-micro", "host-machine kernel throughput (wall clock)");
+    table::header(&["group", "bench", "ns/call", "GB/s"]);
+    bench_crc32();
+    bench_memops();
+    bench_dif();
+    bench_delta();
+}

@@ -17,8 +17,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// The canonical transfer-size sweep used across the paper's figures.
-pub const SIZES: &[u64] =
-    &[256, 1024, 4096, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20];
+pub const SIZES: &[u64] = &[256, 1024, 4096, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20];
 
 /// Submission mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,9 +124,7 @@ impl Measure {
             OpKind::DifInsert | OpKind::DifCheck | OpKind::DifStrip | OpKind::DifUpdate => {
                 (self.size / 512).max(1) * 512
             }
-            OpKind::DeltaCreate | OpKind::DeltaApply => {
-                ((self.size / 8).max(1) * 8).min(512 << 10)
-            }
+            OpKind::DeltaCreate | OpKind::DeltaApply => ((self.size / 8).max(1) * 8).min(512 << 10),
             _ => self.size.max(1),
         }
     }
@@ -173,9 +170,7 @@ impl Measure {
                 Job::dif_insert(&s.src, &s.dst, DifConfig::new(DifBlockSize::B512))
             }
             OpKind::DifCheck => Job::dif_check(&s.dif, DifConfig::new(DifBlockSize::B512)),
-            OpKind::DifStrip => {
-                Job::dif_strip(&s.dif, &s.dst, DifConfig::new(DifBlockSize::B512))
-            }
+            OpKind::DifStrip => Job::dif_strip(&s.dif, &s.dst, DifConfig::new(DifBlockSize::B512)),
             OpKind::DifUpdate => {
                 Job::dif_update(&s.dif, &s.dst, DifConfig::new(DifBlockSize::B512))
             }
@@ -318,7 +313,13 @@ struct OpSlots {
 }
 
 impl OpSlots {
-    fn alloc(rt: &mut DsaRuntime, op: OpKind, size: u64, src_loc: Location, dst_loc: Location) -> OpSlots {
+    fn alloc(
+        rt: &mut DsaRuntime,
+        op: OpKind,
+        size: u64,
+        src_loc: Location,
+        dst_loc: Location,
+    ) -> OpSlots {
         let src = rt.alloc(size, src_loc);
         // DIF insert/update write size + 8 bytes per 512-B block.
         let dst_len = match op {
@@ -338,9 +339,8 @@ impl OpSlots {
             OpKind::DifCheck | OpKind::DifStrip | OpKind::DifUpdate => {
                 // Pre-protect data so checks succeed.
                 let raw = vec![0x77u8; size as usize];
-                let protected =
-                    dsa_ops::dif::dif_insert(&DifConfig::new(DifBlockSize::B512), &raw)
-                        .expect("whole blocks");
+                let protected = dsa_ops::dif::dif_insert(&DifConfig::new(DifBlockSize::B512), &raw)
+                    .expect("whole blocks");
                 let h = rt.alloc(protected.len() as u64, src_loc);
                 rt.memory_mut().write(h.addr(), &protected).expect("mapped");
                 h
@@ -369,9 +369,7 @@ pub fn multi_thread_copy_gbps(
     wq_of: impl Fn(usize) -> (usize, usize),
 ) -> f64 {
     let slots: Vec<(BufferHandle, BufferHandle)> = (0..threads * 2)
-        .map(|_| {
-            (rt.alloc(size, Location::local_dram()), rt.alloc(size, Location::local_dram()))
-        })
+        .map(|_| (rt.alloc(size, Location::local_dram()), rt.alloc(size, Location::local_dram())))
         .collect();
     let mut queues: Vec<AsyncQueue> = (0..threads).map(|_| AsyncQueue::new(qd)).collect();
     let mut heap: BinaryHeap<Reverse<(SimTime, usize, u64)>> =
@@ -448,9 +446,8 @@ mod tests {
 
     #[test]
     fn multi_thread_pump_scales_with_dwqs() {
-        let mut rt = DsaRuntime::builder(Platform::spr())
-            .device(presets::n_dwqs_n_engines(4))
-            .build();
+        let mut rt =
+            DsaRuntime::builder(Platform::spr()).device(presets::n_dwqs_n_engines(4)).build();
         let g4 = multi_thread_copy_gbps(&mut rt, 4, 16 << 10, 200, 16, |t| (0, t));
         assert!(g4 > 10.0, "4 threads on 4 DWQs: {g4}");
     }
@@ -476,10 +473,8 @@ mod dif_mode_tests {
         assert!(r.p50_latency > SimDuration::ZERO);
         assert!(r.p99_latency >= r.p50_latency);
         let mut rt = DsaRuntime::spr_default();
-        let a = Measure::new(OpKind::Memcpy, 4096)
-            .iters(16)
-            .mode(Mode::Async { qd: 8 })
-            .run(&mut rt);
+        let a =
+            Measure::new(OpKind::Memcpy, 4096).iters(16).mode(Mode::Async { qd: 8 }).run(&mut rt);
         assert_eq!(a.p50_latency, SimDuration::ZERO, "async modes skip percentiles");
     }
 }

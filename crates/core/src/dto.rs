@@ -119,8 +119,7 @@ impl Dto {
         self.stats.offloaded_calls += 1;
         self.stats.offloaded_bytes += len;
         let before = rt.now();
-        let report =
-            Job::memcpy(src, dst).on_device(self.device).on_wq(self.wq).execute(rt)?;
+        let report = Job::memcpy(src, dst).on_device(self.device).on_wq(self.wq).execute(rt)?;
         if matches!(report.record.status, Status::PageFault { .. }) {
             // DTO's documented behaviour: "the core would redo offloaded
             // operations when encountering page faults".
@@ -145,8 +144,14 @@ impl Dto {
         self.stats.calls += 1;
         self.stats.bytes += len;
         if len < self.threshold {
-            let t = rt.cpu_time(OpKind::Fill, len, dsa_mem::buffer::Location::local_dram(),
-                rt.memory().location_of(dst.addr()).unwrap_or(dsa_mem::buffer::Location::local_dram()));
+            let t = rt.cpu_time(
+                OpKind::Fill,
+                len,
+                dsa_mem::buffer::Location::local_dram(),
+                rt.memory()
+                    .location_of(dst.addr())
+                    .unwrap_or(dsa_mem::buffer::Location::local_dram()),
+            );
             rt.fill_pattern(dst, byte);
             rt.advance(t);
             return Ok(t);

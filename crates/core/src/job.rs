@@ -21,14 +21,15 @@
 
 use crate::runtime::DsaRuntime;
 use crate::submit::{SubmitMethod, WaitMethod};
+use dsa_device::config::WqMode;
 use dsa_device::descriptor::{
     BatchDescriptor, CompletionRecord, Descriptor, Flags, OpParams, Opcode,
 };
 use dsa_device::device::{ExecTimeline, SubmitError, WqId};
-use dsa_device::config::WqMode;
 use dsa_mem::memory::BufferHandle;
 use dsa_ops::dif::DifConfig;
 use dsa_sim::time::{SimDuration, SimTime};
+use dsa_telemetry::{Labels, Track};
 use std::collections::VecDeque;
 
 /// Descriptor allocation cost when not amortized (paper Fig. 5: "the
@@ -391,6 +392,7 @@ impl Job {
         if self.wq >= rt.device(self.device).wq_count() {
             return Err(JobError::Submit(SubmitError::UnknownWq { wq: self.wq }));
         }
+        let job_start = rt.now();
         let mut phases = Phases::default();
         if !self.amortized {
             phases.alloc = DESC_ALLOC;
@@ -433,6 +435,16 @@ impl Job {
             }
         };
         phases.submit = submit_cost;
+        if let Some(hub) = rt.hub().cloned() {
+            let mut t = job_start;
+            if !self.amortized {
+                hub.span(Track::Job, "alloc", t, t + DESC_ALLOC);
+                t += DESC_ALLOC;
+            }
+            hub.span(Track::Job, "prepare", t, t + DESC_PREPARE);
+            hub.span(Track::Job, "submit", t + DESC_PREPARE, rt.now());
+            hub.counter_add("jobs", Labels::wq(self.device as u16, self.wq as u16), 1);
+        }
         Ok((
             JobHandle {
                 record: exec.record,
@@ -485,6 +497,14 @@ impl JobHandle {
     ) -> JobReport {
         let w = wait.wait(rt.now(), self.device_timeline.completed);
         phases.wait = w.observed_at.saturating_duration_since(rt.now());
+        if let Some(hub) = rt.hub().cloned() {
+            hub.span(Track::Job, "wait", rt.now(), w.observed_at);
+            hub.observe(
+                "job_latency",
+                Labels::none(),
+                w.observed_at.saturating_duration_since(started),
+            );
+        }
         rt.advance_to(w.observed_at);
         JobReport {
             record: self.record,

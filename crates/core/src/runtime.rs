@@ -16,6 +16,7 @@ use dsa_ops::swcost::SwCost;
 use dsa_ops::OpKind;
 use dsa_sim::rng::SplitMix64;
 use dsa_sim::time::{SimDuration, SimTime};
+use dsa_telemetry::Hub;
 
 /// Builder for a [`DsaRuntime`].
 #[derive(Debug)]
@@ -72,6 +73,7 @@ impl RuntimeBuilder {
             page_size: self.page_size,
             now: SimTime::ZERO,
             rng: SplitMix64::new(0xD5A0_5EED),
+            hub: None,
         }
     }
 }
@@ -86,6 +88,7 @@ pub struct DsaRuntime {
     page_size: PageSize,
     now: SimTime,
     rng: SplitMix64,
+    hub: Option<Hub>,
 }
 
 impl DsaRuntime {
@@ -107,6 +110,28 @@ impl DsaRuntime {
     /// The software-baseline cost model.
     pub fn swcost(&self) -> &SwCost {
         &self.swcost
+    }
+
+    /// Attaches a telemetry hub: every device emits descriptor lifecycle
+    /// spans and metrics into it, and the job layer stitches job-level
+    /// spans (prepare/submit/wait) on top.
+    pub fn attach_hub(&mut self, hub: Hub) {
+        for d in &mut self.devices {
+            d.attach_hub(hub.clone());
+        }
+        self.hub = Some(hub);
+    }
+
+    /// Enables tracing with a fresh hub and returns a handle to it.
+    pub fn trace(&mut self) -> Hub {
+        let hub = Hub::default();
+        self.attach_hub(hub.clone());
+        hub
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn hub(&self) -> Option<&Hub> {
+        self.hub.as_ref()
     }
 
     /// Current simulated time.
@@ -157,10 +182,7 @@ impl DsaRuntime {
 
     /// Destructured mutable access for submission paths that need the
     /// device, memory, and memory system simultaneously.
-    pub(crate) fn parts(
-        &mut self,
-        dev: usize,
-    ) -> (&mut DsaDevice, &mut Memory, &mut MemSystem) {
+    pub(crate) fn parts(&mut self, dev: usize) -> (&mut DsaDevice, &mut Memory, &mut MemSystem) {
         (&mut self.devices[dev], &mut self.memory, &mut self.memsys)
     }
 
@@ -191,12 +213,7 @@ impl DsaRuntime {
     }
 
     /// Allocates with an explicit page size and maps its pages.
-    pub fn alloc_with_pages(
-        &mut self,
-        len: u64,
-        loc: Location,
-        ps: PageSize,
-    ) -> BufferHandle {
+    pub fn alloc_with_pages(&mut self, len: u64, loc: Location, ps: PageSize) -> BufferHandle {
         let h = self.memory.alloc_with_pages(len, loc, ps);
         self.memsys.page_table_mut().map_range(h.addr(), len.max(1), ps);
         h
@@ -282,9 +299,8 @@ mod tests {
 
     #[test]
     fn builder_adds_devices() {
-        let rt = DsaRuntime::builder(Platform::spr())
-            .devices(4, DeviceConfig::single_engine())
-            .build();
+        let rt =
+            DsaRuntime::builder(Platform::spr()).devices(4, DeviceConfig::single_engine()).build();
         assert_eq!(rt.device_count(), 4);
     }
 

@@ -74,9 +74,12 @@ impl TelemetryLog {
         let s = TelemetrySample {
             at: now,
             interval: now.saturating_duration_since(self.last_at),
-            descriptors: t.descriptors - self.last.descriptors,
-            bytes_read: t.bytes_read - self.last.bytes_read,
-            bytes_written: t.bytes_written - self.last.bytes_written,
+            // Counters never run backwards in normal operation, but a
+            // caller may rebuild/reset a device mid-log; deltas saturate
+            // rather than panic on underflow.
+            descriptors: t.descriptors.saturating_sub(self.last.descriptors),
+            bytes_read: t.bytes_read.saturating_sub(self.last.bytes_read),
+            bytes_written: t.bytes_written.saturating_sub(self.last.bytes_written),
         };
         self.last = t;
         self.last_at = now;
@@ -92,6 +95,32 @@ impl TelemetryLog {
     /// Peak inbound bandwidth across samples, in GB/s.
     pub fn peak_read_gbps(&self) -> f64 {
         self.samples.iter().map(|s| s.read_gbps()).fold(0.0, f64::max)
+    }
+
+    /// Peak outbound bandwidth across samples, in GB/s.
+    pub fn peak_write_gbps(&self) -> f64 {
+        self.samples.iter().map(|s| s.write_gbps()).fold(0.0, f64::max)
+    }
+
+    /// The `p`-th percentile (0.0–1.0) of per-sample inbound bandwidth,
+    /// in GB/s. Returns 0.0 with no samples.
+    pub fn read_gbps_percentile(&self, p: f64) -> f64 {
+        Self::percentile_of(self.samples.iter().map(|s| s.read_gbps()).collect(), p)
+    }
+
+    /// The `p`-th percentile (0.0–1.0) of per-sample outbound bandwidth,
+    /// in GB/s. Returns 0.0 with no samples.
+    pub fn write_gbps_percentile(&self, p: f64) -> f64 {
+        Self::percentile_of(self.samples.iter().map(|s| s.write_gbps()).collect(), p)
+    }
+
+    fn percentile_of(mut vals: Vec<f64>, p: f64) -> f64 {
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("bandwidths are finite"));
+        let rank = (p.clamp(0.0, 1.0) * (vals.len() - 1) as f64).round() as usize;
+        vals[rank]
     }
 }
 
@@ -126,6 +155,57 @@ mod tests {
 
         assert_eq!(log.samples().len(), 2);
         assert!(log.peak_read_gbps() >= s1.read_gbps());
+    }
+
+    #[test]
+    fn write_peak_and_percentiles() {
+        let mut rt = DsaRuntime::spr_default();
+        let src = rt.alloc(32 << 10, Location::local_dram());
+        let dst = rt.alloc(32 << 10, Location::local_dram());
+        let mut log = TelemetryLog::start(&rt, 0);
+
+        // Busy interval, then two idle intervals: the peak comes from the
+        // busy one and the median (p50) from the idle majority.
+        let mut q = AsyncQueue::new(8);
+        for _ in 0..16 {
+            q.submit(&mut rt, Job::memcpy(&src, &dst)).unwrap();
+        }
+        q.drain(&mut rt);
+        log.sample(&rt);
+        for _ in 0..2 {
+            rt.advance(dsa_sim::time::SimDuration::from_us(100));
+            log.sample(&rt);
+        }
+
+        assert!(log.peak_write_gbps() > 1.0, "peak {}", log.peak_write_gbps());
+        assert!((log.peak_write_gbps() - log.write_gbps_percentile(1.0)).abs() < 1e-12);
+        assert_eq!(log.write_gbps_percentile(0.5), 0.0, "idle median");
+        assert!(log.read_gbps_percentile(1.0) >= log.read_gbps_percentile(0.5));
+    }
+
+    #[test]
+    fn percentiles_empty_log_is_zero() {
+        let rt = DsaRuntime::spr_default();
+        let log = TelemetryLog::start(&rt, 0);
+        assert_eq!(log.peak_write_gbps(), 0.0);
+        assert_eq!(log.read_gbps_percentile(0.99), 0.0);
+        assert_eq!(log.write_gbps_percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn sample_saturates_after_counter_rewind() {
+        // Simulate a counter rewind by starting a log against a busy
+        // runtime, then sampling against a fresh (zeroed) one.
+        let mut rt = DsaRuntime::spr_default();
+        let src = rt.alloc(4096, Location::local_dram());
+        let dst = rt.alloc(4096, Location::local_dram());
+        Job::memcpy(&src, &dst).execute(&mut rt).unwrap();
+        let mut log = TelemetryLog::start(&rt, 0);
+        let fresh = DsaRuntime::spr_default();
+        let s = log.sample(&fresh);
+        assert_eq!(s.descriptors, 0, "delta saturates instead of wrapping");
+        assert_eq!(s.bytes_read, 0);
+        assert_eq!(s.bytes_written, 0);
     }
 
     #[test]

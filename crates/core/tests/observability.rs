@@ -1,0 +1,139 @@
+//! End-to-end observability: a memcpy job driven through [`DsaRuntime`]
+//! must produce a Chrome trace with one span per device pipeline phase
+//! whose durations sum to the device timeline, and the hub's histograms
+//! must expose per-WQ completion-latency percentiles.
+
+use dsa_core::job::{AsyncQueue, Job};
+use dsa_core::runtime::DsaRuntime;
+use dsa_mem::buffer::Location;
+use dsa_sim::time::SimDuration;
+use dsa_telemetry::{chrome_trace_json, Labels, Phase};
+
+#[test]
+fn memcpy_produces_one_span_per_phase_summing_to_device_total() {
+    let mut rt = DsaRuntime::spr_default();
+    let hub = rt.trace();
+    let src = rt.alloc(64 << 10, Location::local_dram());
+    let dst = rt.alloc(64 << 10, Location::local_dram());
+    rt.fill_pattern(&src, 0xAB);
+    let report = Job::memcpy(&src, &dst).execute(&mut rt).unwrap();
+    assert!(report.record.status.is_ok());
+
+    // Exactly one descriptor lifecycle was recorded, and its six phases
+    // partition the device-side latency exactly.
+    let spans = hub.descriptor_spans();
+    assert_eq!(spans.len(), 1);
+    let d = spans[0];
+    let phase_sum: SimDuration = Phase::ALL.iter().map(|&p| d.phase_duration(p)).sum();
+    assert_eq!(phase_sum, d.total(), "phases must partition the lifetime");
+    assert_eq!(
+        d.total(),
+        report.device_timeline.total(),
+        "recorded span must match the job's device timeline"
+    );
+    assert_eq!(d.op, "memmove");
+    assert_eq!(d.xfer_size, 64 << 10);
+
+    // The Chrome export carries one complete ("X") event per phase.
+    let json = chrome_trace_json(&hub);
+    for p in Phase::ALL {
+        let needle = format!("{{\"name\":\"{}\",\"cat\":\"descriptor\",\"ph\":\"X\"", p.name());
+        assert_eq!(
+            json.matches(&needle).count(),
+            1,
+            "expected exactly one {} phase event",
+            p.name()
+        );
+    }
+    // And the job layer contributed its own prepare/submit/wait spans.
+    for name in ["prepare", "submit", "wait"] {
+        assert!(
+            json.contains(&format!("{{\"name\":\"{name}\",\"cat\":\"span\"")),
+            "missing job-level {name} span"
+        );
+    }
+}
+
+#[test]
+fn trace_event_durations_sum_to_total_in_microseconds() {
+    let mut rt = DsaRuntime::spr_default();
+    let hub = rt.trace();
+    let src = rt.alloc(1 << 20, Location::local_dram());
+    let dst = rt.alloc(1 << 20, Location::local_dram());
+    let report = Job::memcpy(&src, &dst).execute(&mut rt).unwrap();
+
+    // Parse the "dur" field of every descriptor phase event and check the
+    // sum against the device total (exporter rounds to 3 decimals = ns).
+    let json = chrome_trace_json(&hub);
+    let mut dur_us = 0.0f64;
+    for line in json.lines().filter(|l| l.contains("\"cat\":\"descriptor\"")) {
+        let dur = line.split("\"dur\":").nth(1).unwrap();
+        let dur: f64 = dur.split(',').next().unwrap().parse().unwrap();
+        dur_us += dur;
+    }
+    let total_us = report.device_timeline.total().as_us_f64();
+    assert!(
+        (dur_us - total_us).abs() < 0.01,
+        "phase durations {dur_us} us should sum to device total {total_us} us"
+    );
+}
+
+#[test]
+fn per_wq_p99_descriptor_latency_is_exposed() {
+    let mut rt = DsaRuntime::spr_default();
+    let hub = rt.trace();
+    let src = rt.alloc(32 << 10, Location::local_dram());
+    let dst = rt.alloc(32 << 10, Location::local_dram());
+    let mut q = AsyncQueue::new(16);
+    for _ in 0..64 {
+        q.submit(&mut rt, Job::memcpy(&src, &dst)).unwrap();
+    }
+    q.drain(&mut rt);
+
+    assert_eq!(hub.counter("descriptors", Labels::wq(0, 0)), 64);
+    let p50 = hub.percentile("descriptor_latency", Labels::wq(0, 0), 50.0).unwrap();
+    let p99 = hub.percentile("descriptor_latency", Labels::wq(0, 0), 99.0).unwrap();
+    assert!(p99 >= p50, "p99 {p99} must dominate p50 {p50}");
+
+    // The p99 must bracket the actual recorded maxima: at least the
+    // slowest-but-one lifetime, at most the slowest (log-linear buckets
+    // overshoot by < 1/16 of the value).
+    let mut totals: Vec<SimDuration> = hub.descriptor_spans().iter().map(|d| d.total()).collect();
+    totals.sort();
+    let max = *totals.last().unwrap();
+    assert!(
+        p99 >= totals[totals.len() - 2],
+        "p99 {p99} below 2nd-max {}",
+        totals[totals.len() - 2]
+    );
+    assert!(
+        p99.as_ns_f64() <= max.as_ns_f64() * (1.0 + 1.0 / 16.0) + 1.0,
+        "p99 {p99} far above max {max}"
+    );
+
+    // No descriptors ever flowed through a different WQ label.
+    assert!(hub.percentile("descriptor_latency", Labels::wq(0, 1), 99.0).is_none());
+}
+
+#[test]
+fn wq_depth_and_pe_occupancy_series_recorded() {
+    let mut rt = DsaRuntime::spr_default();
+    let hub = rt.trace();
+    let src = rt.alloc(16 << 10, Location::local_dram());
+    let dst = rt.alloc(16 << 10, Location::local_dram());
+    let mut q = AsyncQueue::new(8);
+    for _ in 0..32 {
+        q.submit(&mut rt, Job::memcpy(&src, &dst)).unwrap();
+    }
+    q.drain(&mut rt);
+
+    hub.with_metrics(|m| {
+        let depth = m.series("wq_depth", Labels::wq(0, 0)).expect("wq depth series");
+        assert_eq!(depth.len(), 32, "one point per admitted descriptor");
+        assert!(depth.max_value() >= 1.0);
+        let occ = m.series("pe_occupancy", Labels::device(0)).expect("occupancy series");
+        assert_eq!(occ.len(), 32);
+        assert!(occ.max_value() <= 1.0, "occupancy is a fraction");
+        assert!(occ.max_value() > 0.5, "streaming keeps the single PE busy");
+    });
+}

@@ -1,70 +1,85 @@
-//! Property tests for the user-facing library: conservation and routing
-//! laws over arbitrary job streams.
+//! Property-style tests for the user-facing library: conservation and
+//! routing laws over arbitrary job streams.
+//!
+//! Randomized inputs come from the in-repo deterministic [`SplitMix64`]
+//! generator so the suite runs offline with no external test-harness
+//! dependency; every case is reproducible from the fixed seeds below.
 
 use dsa_core::dto::Dto;
 use dsa_core::job::{AsyncQueue, Batch, Job};
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
+use dsa_sim::rng::SplitMix64;
 use dsa_sim::time::SimTime;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 16;
 
-    #[test]
-    fn async_queue_conserves_jobs_and_bytes(
-        sizes in prop::collection::vec(64u64..65_536, 1..40),
-        qd in 1usize..48
-    ) {
+#[test]
+fn async_queue_conserves_jobs_and_bytes() {
+    let mut rng = SplitMix64::new(0xC03E_0001);
+    for _ in 0..CASES {
+        let jobs = 1 + rng.next_below(39) as usize;
+        let qd = 1 + rng.next_below(47) as usize;
         let mut rt = DsaRuntime::spr_default();
         let mut q = AsyncQueue::new(qd);
         let mut expected = 0u64;
-        for &size in &sizes {
+        for _ in 0..jobs {
+            let size = 64 + rng.next_below(65_472);
             let src = rt.alloc(size, Location::local_dram());
             let dst = rt.alloc(size, Location::local_dram());
             q.submit(&mut rt, Job::memcpy(&src, &dst)).unwrap();
             expected += size;
         }
         let end = q.drain(&mut rt);
-        prop_assert_eq!(q.completed(), sizes.len() as u64);
-        prop_assert_eq!(q.completed_bytes(), expected);
-        prop_assert!(end > SimTime::ZERO);
-        prop_assert!(rt.now() >= end);
+        assert_eq!(q.completed(), jobs as u64);
+        assert_eq!(q.completed_bytes(), expected);
+        assert!(end > SimTime::ZERO);
+        assert!(rt.now() >= end);
     }
+}
 
-    #[test]
-    fn sync_phase_sum_equals_elapsed(size in 64u64..1 << 20, count_alloc in any::<bool>()) {
+#[test]
+fn sync_phase_sum_equals_elapsed() {
+    let mut rng = SplitMix64::new(0xC03E_0002);
+    for _ in 0..CASES {
+        let size = 64 + rng.next_below((1 << 20) - 64);
+        let count_alloc = rng.next_u64() & 1 == 0;
         let mut rt = DsaRuntime::spr_default();
         let src = rt.alloc(size, Location::local_dram());
         let dst = rt.alloc(size, Location::local_dram());
         let report = Job::memcpy(&src, &dst).count_alloc(count_alloc).execute(&mut rt).unwrap();
-        prop_assert_eq!(report.phases.total(), report.elapsed());
-        prop_assert_eq!(report.phases.alloc.is_zero(), !count_alloc);
+        assert_eq!(report.phases.total(), report.elapsed());
+        assert_eq!(report.phases.alloc.is_zero(), !count_alloc);
     }
+}
 
-    #[test]
-    fn batch_reports_one_record_per_member(
-        sizes in prop::collection::vec(64u64..16_384, 2..24)
-    ) {
+#[test]
+fn batch_reports_one_record_per_member() {
+    let mut rng = SplitMix64::new(0xC03E_0003);
+    for _ in 0..CASES {
+        let members = 2 + rng.next_below(22) as usize;
         let mut rt = DsaRuntime::spr_default();
         let mut batch = Batch::new();
-        for &size in &sizes {
+        for _ in 0..members {
+            let size = 64 + rng.next_below(16_320);
             let src = rt.alloc(size, Location::local_dram());
             let dst = rt.alloc(size, Location::local_dram());
             batch.push(Job::memcpy(&src, &dst));
         }
-        prop_assert_eq!(batch.len(), sizes.len());
+        assert_eq!(batch.len(), members);
         let report = batch.execute(&mut rt).unwrap();
-        prop_assert_eq!(report.records.len(), sizes.len());
-        prop_assert!(report.records.iter().all(|r| r.status.is_ok()));
-        prop_assert_eq!(report.batch_record.bytes_completed as usize, sizes.len());
+        assert_eq!(report.records.len(), members);
+        assert!(report.records.iter().all(|r| r.status.is_ok()));
+        assert_eq!(report.batch_record.bytes_completed as usize, members);
     }
+}
 
-    #[test]
-    fn dto_routes_exactly_by_threshold(
-        sizes in prop::collection::vec(256u64..65_536, 1..40),
-        threshold in 512u64..32_768
-    ) {
+#[test]
+fn dto_routes_exactly_by_threshold() {
+    let mut rng = SplitMix64::new(0xC03E_0004);
+    for _ in 0..CASES {
+        let calls = 1 + rng.next_below(39) as usize;
+        let threshold = 512 + rng.next_below(32_256);
         let mut rt = DsaRuntime::spr_default();
         let mut dto = Dto::new().with_threshold(threshold);
         let pool = rt.alloc(65_536, Location::local_dram());
@@ -72,7 +87,8 @@ proptest! {
         let mut want_offloaded = 0u64;
         let mut want_bytes = 0u64;
         let mut want_off_bytes = 0u64;
-        for &size in &sizes {
+        for _ in 0..calls {
+            let size = 256 + rng.next_below(65_280);
             let src = pool.slice(0, size);
             let dst = dstp.slice(0, size);
             dto.memcpy(&mut rt, &src, &dst).unwrap();
@@ -83,45 +99,48 @@ proptest! {
             }
         }
         let s = dto.stats();
-        prop_assert_eq!(s.calls, sizes.len() as u64);
-        prop_assert_eq!(s.offloaded_calls, want_offloaded);
-        prop_assert_eq!(s.bytes, want_bytes);
-        prop_assert_eq!(s.offloaded_bytes, want_off_bytes);
+        assert_eq!(s.calls, calls as u64);
+        assert_eq!(s.offloaded_calls, want_offloaded);
+        assert_eq!(s.bytes, want_bytes);
+        assert_eq!(s.offloaded_bytes, want_off_bytes);
     }
+}
 
-    #[test]
-    fn drain_is_a_barrier_for_any_prior_stream(
-        sizes in prop::collection::vec(1024u32..262_144, 1..12)
-    ) {
+#[test]
+fn drain_is_a_barrier_for_any_prior_stream() {
+    let mut rng = SplitMix64::new(0xC03E_0005);
+    for _ in 0..CASES {
+        let jobs = 1 + rng.next_below(11) as usize;
         let mut rt = DsaRuntime::spr_default();
-        let mut q = AsyncQueue::new(16);
         let mut last_completion = SimTime::ZERO;
-        for &size in &sizes {
-            let src = rt.alloc(size as u64, Location::local_dram());
-            let dst = rt.alloc(size as u64, Location::local_dram());
+        for _ in 0..jobs {
+            let size = 1024 + rng.next_below(261_120);
+            let src = rt.alloc(size, Location::local_dram());
+            let dst = rt.alloc(size, Location::local_dram());
             let handle = Job::memcpy(&src, &dst).submit(&mut rt).unwrap();
             last_completion = last_completion.max(handle.completion_time());
-            let _ = (&handle, &mut q);
         }
         let drain = Job::drain().submit(&mut rt).unwrap();
-        prop_assert!(
+        assert!(
             drain.completion_time() >= last_completion,
             "drain {:?} must follow the last copy {:?}",
             drain.completion_time(),
             last_completion
         );
     }
+}
 
-    #[test]
-    fn clock_is_monotone_across_arbitrary_job_mixes(
-        ops in prop::collection::vec(0u8..4, 1..30)
-    ) {
+#[test]
+fn clock_is_monotone_across_arbitrary_job_mixes() {
+    let mut rng = SplitMix64::new(0xC03E_0006);
+    for _ in 0..CASES {
+        let ops = 1 + rng.next_below(29) as usize;
         let mut rt = DsaRuntime::spr_default();
         let a = rt.alloc(8192, Location::local_dram());
         let b = rt.alloc(8192, Location::local_dram());
         let mut last = rt.now();
-        for op in ops {
-            match op {
+        for _ in 0..ops {
+            match rng.next_below(4) {
                 0 => {
                     Job::memcpy(&a, &b).execute(&mut rt).unwrap();
                 }
@@ -135,7 +154,7 @@ proptest! {
                     Job::compare(&a, &b).execute(&mut rt).unwrap();
                 }
             }
-            prop_assert!(rt.now() > last, "every sync job advances time");
+            assert!(rt.now() > last, "every sync job advances time");
             last = rt.now();
         }
     }

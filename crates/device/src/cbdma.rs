@@ -17,6 +17,7 @@ use dsa_mem::memory::Memory;
 use dsa_mem::memsys::{AgentId, MemSystem, WritePolicy};
 use dsa_sim::time::{transfer_time_mgbps, SimDuration, SimTime};
 use dsa_sim::timeline::{BwResource, Timeline};
+use dsa_telemetry::{Hub, Labels, Track};
 
 /// Errors from CBDMA usage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +69,7 @@ pub struct CbdmaDevice {
     channels: Vec<Timeline>,
     fabric: BwResource,
     pinned: Vec<(u64, u64)>,
+    hub: Option<Hub>,
 }
 
 impl CbdmaDevice {
@@ -84,7 +86,14 @@ impl CbdmaDevice {
             channels: (0..channels).map(|_| Timeline::new()).collect(),
             fabric: BwResource::new(timing.fabric_mgbps),
             pinned: Vec::new(),
+            hub: None,
         }
+    }
+
+    /// Attaches a telemetry hub; completed copies emit pipeline spans
+    /// (doorbell → ring fetch → read → write → completion) into it.
+    pub fn attach_hub(&mut self, hub: Hub) {
+        self.hub = Some(hub);
     }
 
     /// Device id.
@@ -150,6 +159,19 @@ impl CbdmaDevice {
         let mw = memsys.write(agent, dst_loc, arrived, len, WritePolicy::Memory);
         let data_done = fw.end.max(mw.interval.end).max(chan.end);
         let completed = data_done + self.timing.completion + memsys.platform().llc_latency;
+        if let Some(hub) = &self.hub {
+            let track = Track::CbdmaChan { device: self.id, chan: channel as u16 };
+            hub.span(track, "doorbell", now, submitted);
+            hub.span(track, "ring_fetch", submitted, fetch_done);
+            hub.span(track, "wait", fetch_done, chan.start);
+            hub.span(track, "read", chan.start, arrived);
+            hub.span(track, "write", arrived, data_done);
+            hub.span(track, "complete", data_done, completed);
+            let labels = Labels::wq(self.id, channel as u16);
+            hub.counter_add("cbdma_copies", labels, 1);
+            hub.counter_add("cbdma_bytes", labels, len);
+            hub.observe("cbdma_latency", labels, completed - submitted);
+        }
         Ok(CbdmaExecution { submitted, completed })
     }
 

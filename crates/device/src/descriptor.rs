@@ -74,6 +74,29 @@ impl Opcode {
             Opcode::CacheFlush => OpKind::CacheFlush,
         }
     }
+
+    /// Short lowercase mnemonic (trace-event span names).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Nop => "nop",
+            Opcode::Batch => "batch",
+            Opcode::Drain => "drain",
+            Opcode::Memmove => "memmove",
+            Opcode::Fill => "fill",
+            Opcode::Compare => "compare",
+            Opcode::ComparePattern => "compare-pattern",
+            Opcode::CreateDelta => "create-delta",
+            Opcode::ApplyDelta => "apply-delta",
+            Opcode::Dualcast => "dualcast",
+            Opcode::CrcGen => "crc-gen",
+            Opcode::CopyCrc => "copy-crc",
+            Opcode::DifCheck => "dif-check",
+            Opcode::DifInsert => "dif-insert",
+            Opcode::DifStrip => "dif-strip",
+            Opcode::DifUpdate => "dif-update",
+            Opcode::CacheFlush => "cache-flush",
+        }
+    }
 }
 
 /// Descriptor flag bits (subset of the specification's flags).

@@ -14,7 +14,9 @@
 //! [`Memory`], so offloaded CRCs, DIFs and delta records are bit-exact.
 
 use crate::config::{DeviceCaps, DeviceConfig, WqMode};
-use crate::descriptor::{BatchDescriptor, CompletionRecord, Descriptor, Flags, OpParams, Opcode, Status};
+use crate::descriptor::{
+    BatchDescriptor, CompletionRecord, Descriptor, Flags, OpParams, Opcode, Status,
+};
 use crate::timing::DsaTiming;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::Memory;
@@ -24,6 +26,7 @@ use dsa_mem::translate::TranslationCache;
 use dsa_ops::{crc32::Crc32c, delta, dif, memops};
 use dsa_sim::time::{transfer_time_mgbps, SimDuration, SimTime};
 use dsa_sim::timeline::{BwResource, MultiServer, SlidingWindow};
+use dsa_telemetry::{DescriptorSpan, Hub, Labels, Track};
 
 /// Identifies a WQ within one device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -203,6 +206,7 @@ pub struct DsaDevice {
     trace: std::collections::VecDeque<TraceEntry>,
     trace_capacity: usize,
     trace_seq: u64,
+    hub: Option<Hub>,
 }
 
 /// Chunk size for the intra-descriptor read→write pipeline.
@@ -264,7 +268,19 @@ impl DsaDevice {
             trace: std::collections::VecDeque::new(),
             trace_capacity: 0,
             trace_seq: 0,
+            hub: None,
         }
+    }
+
+    /// Attaches a telemetry hub; every descriptor processed from now on
+    /// emits a lifecycle span plus per-WQ/per-PE metrics into it.
+    pub fn attach_hub(&mut self, hub: Hub) {
+        self.hub = Some(hub);
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn hub(&self) -> Option<&Hub> {
+        self.hub.as_ref()
     }
 
     /// Keeps the last `capacity` processed descriptors in a trace ring
@@ -366,7 +382,10 @@ impl DsaDevice {
     ) -> Result<Execution, SubmitError> {
         self.check_wq(wq)?;
         if desc.xfer_size as u64 > self.caps.max_transfer as u64 {
-            return Err(SubmitError::TooLarge { size: desc.xfer_size as u64, max: self.caps.max_transfer });
+            return Err(SubmitError::TooLarge {
+                size: desc.xfer_size as u64,
+                max: self.caps.max_transfer,
+            });
         }
         if desc.opcode == Opcode::Batch {
             return Err(SubmitError::NestedBatch);
@@ -404,10 +423,11 @@ impl DsaDevice {
         if descs.iter().any(|d| d.opcode == Opcode::Batch) {
             return Err(SubmitError::NestedBatch);
         }
-        if let Some(d) =
-            descs.iter().find(|d| d.xfer_size as u64 > self.caps.max_transfer as u64)
-        {
-            return Err(SubmitError::TooLarge { size: d.xfer_size as u64, max: self.caps.max_transfer });
+        if let Some(d) = descs.iter().find(|d| d.xfer_size as u64 > self.caps.max_transfer as u64) {
+            return Err(SubmitError::TooLarge {
+                size: d.xfer_size as u64,
+                max: self.caps.max_transfer,
+            });
         }
         let submitted = now + self.timing.portal_accept;
         let slot = self.wqs[wq.0].window.available_at(submitted);
@@ -418,10 +438,23 @@ impl DsaDevice {
 
         // Batch engine fetches the descriptor array from memory in one read.
         let list_loc = memory.location_of(batch.desc_list_addr).unwrap_or(Location::local_dram());
-        let fetch =
-            memsys.read(self.agent(), list_loc, admitted + self.timing.batch_fixed, 64 * descs.len() as u64);
+        let fetch = memsys.read(
+            self.agent(),
+            list_loc,
+            admitted + self.timing.batch_fixed,
+            64 * descs.len() as u64,
+        );
         self.telemetry.batches += 1;
         self.telemetry.bytes_read += 64 * descs.len() as u64;
+        if let Some(hub) = &self.hub {
+            hub.span(
+                Track::Wq { device: self.id, wq: wq.0 as u16 },
+                "batch_fetch",
+                admitted,
+                fetch.end,
+            );
+            hub.counter_add("batches", Labels::wq(self.id, wq.0 as u16), 1);
+        }
 
         // Sub-descriptors dispatch across the group's engines; a FENCE flag
         // orders a descriptor after all prior completions in the batch.
@@ -519,6 +552,9 @@ impl DsaDevice {
                 ready += memsys.platform().page_fault.saturating_mul(outcome.faults);
             }
         }
+        // Span boundary: translation (ATC/IOMMU walks + fault service) ends
+        // here; data streaming starts.
+        let translated = ready;
 
         // Stream the data: read chunks race the engine's MLP limit and the
         // platform memory system; writes chase the reads chunk by chunk.
@@ -544,6 +580,7 @@ impl DsaDevice {
             (Location::Dram { socket: a }, Location::Dram { socket: b }) if a == b);
 
         let mut data_done = ready;
+        let mut read_done = ready;
         let mut remaining_r = bytes_read;
         let mut remaining_w = bytes_written;
         let mut chunk_ready = ready;
@@ -559,6 +596,7 @@ impl DsaDevice {
                 let g = &mut self.groups[group_idx];
                 g.mlp_free = g.mlp_free.max(chunk_ready) + transfer_time_mgbps(r, mlp_mgbps);
                 arrived = f.end.max(m.end).max(g.mlp_free);
+                read_done = read_done.max(arrived);
                 self.telemetry.bytes_read += r;
             }
             if w > 0 {
@@ -575,7 +613,8 @@ impl DsaDevice {
                 self.telemetry.bytes_written += w;
             }
             data_done = data_done.max(arrived);
-            chunk_ready = arrived.min(chunk_ready + transfer_time_mgbps(r.max(w), self.timing.pe_mgbps));
+            chunk_ready =
+                arrived.min(chunk_ready + transfer_time_mgbps(r.max(w), self.timing.pe_mgbps));
         }
         let mut data_done = data_done.max(pe.end);
         // Drain semantics: completes only after everything previously
@@ -585,8 +624,7 @@ impl DsaDevice {
         }
 
         // Completion record: always LLC-directed (paper §6.2/G3).
-        let completed =
-            data_done + self.timing.completion_write + memsys.platform().llc_latency;
+        let completed = data_done + self.timing.completion_write + memsys.platform().llc_latency;
         self.last_completion = self.last_completion.max(completed);
         if !outcome.record.status.is_ok() {
             self.telemetry.errors += 1;
@@ -612,6 +650,34 @@ impl DsaDevice {
                 completed,
                 status: outcome.record.status,
             });
+        }
+        if let Some(hub) = &self.hub {
+            let servers = self.groups[group_idx].engines.servers();
+            // The engine pool is indistinguishable (earliest-free wins),
+            // so attribute work round-robin for per-PE metrics.
+            let pe_idx = ((self.telemetry.descriptors - 1) % servers as u64) as u16;
+            hub.record_descriptor(DescriptorSpan {
+                device: self.id,
+                wq: wq.0 as u16,
+                pe: pe_idx,
+                seq: self.telemetry.descriptors,
+                op: desc.opcode.mnemonic(),
+                xfer_size: desc.xfer_size,
+                marks: [
+                    submitted, admitted, dispatched, translated, read_done, data_done, completed,
+                ],
+            });
+            // Utilization timelines: WQ depth at admission (FIFO view of
+            // tracked holders) and the group's cumulative PE occupancy.
+            hub.series_push(
+                "wq_depth",
+                Labels::wq(self.id, wq.0 as u16),
+                admitted,
+                self.wqs[wq.0].window.in_flight() as f64,
+            );
+            let busy = self.groups[group_idx].engines.busy_time();
+            let util = busy.as_ns_f64() / (servers as f64 * completed.as_ns_f64()).max(1.0);
+            hub.series_push("pe_occupancy", Labels::device(self.id), completed, util.min(1.0));
         }
 
         Execution {
@@ -710,13 +776,15 @@ impl DsaDevice {
         FunctionalOutcome { record, bytes_valid, faults }
     }
 
-    fn run_op(&mut self, memory: &mut Memory, memsys: &mut MemSystem, desc: &Descriptor) -> CompletionRecord {
+    fn run_op(
+        &mut self,
+        memory: &mut Memory,
+        memsys: &mut MemSystem,
+        desc: &Descriptor,
+    ) -> CompletionRecord {
         let len = desc.xfer_size as u64;
-        let invalid = CompletionRecord {
-            status: Status::InvalidDescriptor,
-            bytes_completed: 0,
-            result: 0,
-        };
+        let invalid =
+            CompletionRecord { status: Status::InvalidDescriptor, bytes_completed: 0, result: 0 };
         match desc.opcode {
             Opcode::Nop | Opcode::Drain => CompletionRecord::success(0),
             Opcode::Batch => invalid,
@@ -1050,7 +1118,8 @@ mod tests {
     fn fill_and_compare_pattern() {
         let mut rig = Rig::new(DeviceConfig::single_engine());
         let dst = rig.alloc(128, Location::local_dram());
-        let exec = rig.submit(&Descriptor::fill(dst, 128, 0x1122_3344_5566_7788), SimTime::ZERO).unwrap();
+        let exec =
+            rig.submit(&Descriptor::fill(dst, 128, 0x1122_3344_5566_7788), SimTime::ZERO).unwrap();
         assert_eq!(exec.record.status, Status::Success);
         let d = Descriptor {
             opcode: Opcode::ComparePattern,
@@ -1272,7 +1341,14 @@ mod tests {
         };
         let exec = rig2
             .dev
-            .submit_batch(&mut rig2.memory, &mut rig2.memsys, WqId(0), &batch, &descs, SimTime::ZERO)
+            .submit_batch(
+                &mut rig2.memory,
+                &mut rig2.memsys,
+                WqId(0),
+                &batch,
+                &descs,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(
             exec.completed < serial_done,
@@ -1357,7 +1433,14 @@ mod tests {
         };
         let err = rig
             .dev
-            .submit_batch(&mut rig.memory, &mut rig.memsys, WqId(0), &batch, std::slice::from_ref(&d), SimTime::ZERO)
+            .submit_batch(
+                &mut rig.memory,
+                &mut rig.memsys,
+                WqId(0),
+                &batch,
+                std::slice::from_ref(&d),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, SubmitError::BadBatchSize { count: 1 }));
     }
@@ -1473,7 +1556,14 @@ mod drain_tests {
             flags: Flags::REQUEST_COMPLETION,
         };
         let exec = dev
-            .submit_batch(&mut memory, &mut memsys, WqId(0), &batch, &[first, second], SimTime::ZERO)
+            .submit_batch(
+                &mut memory,
+                &mut memsys,
+                WqId(0),
+                &batch,
+                &[first, second],
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!(exec.records.iter().all(|r| r.status == Status::Success));
         assert!(memory.read(c.addr(), 256 << 10).unwrap().iter().all(|&x| x == 7));
@@ -1528,6 +1618,70 @@ mod trace_tests {
         assert!(entries.iter().all(|e| e.opcode == Opcode::Memmove));
         assert!(entries.iter().all(|e| e.completed > e.submitted));
         assert_eq!(entries.last().unwrap().xfer_size, 64 * 7);
+    }
+
+    #[test]
+    fn shrinking_capacity_truncates_then_rotates() {
+        let platform = Platform::spr();
+        let mut memory = Memory::new();
+        let mut memsys = MemSystem::new(platform.clone());
+        let mut dev = DsaDevice::new(0, DeviceConfig::single_engine(), &platform);
+        dev.set_trace_capacity(8);
+        let src = memory.alloc(4096, Location::local_dram());
+        let dst = memory.alloc(4096, Location::local_dram());
+        memsys.page_table_mut().map_range(src.addr(), 4096, PageSize::Base4K);
+        memsys.page_table_mut().map_range(dst.addr(), 4096, PageSize::Base4K);
+        for _ in 0..6 {
+            let d = Descriptor::memmove(src.addr(), dst.addr(), 256);
+            dev.submit(&mut memory, &mut memsys, WqId(0), &d, SimTime::ZERO).unwrap();
+        }
+        assert_eq!(dev.trace().count(), 6);
+
+        // Shrinking truncates the ring down to the new capacity at once.
+        dev.set_trace_capacity(2);
+        assert_eq!(dev.trace().count(), 2);
+
+        // Subsequent submissions rotate within the smaller capacity and
+        // the sequence numbering keeps advancing monotonically.
+        for _ in 0..3 {
+            let d = Descriptor::memmove(src.addr(), dst.addr(), 256);
+            dev.submit(&mut memory, &mut memsys, WqId(0), &d, SimTime::ZERO).unwrap();
+        }
+        let entries: Vec<&TraceEntry> = dev.trace().collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries.last().unwrap().seq, 9, "9 descriptors traced in total");
+        assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq));
+
+        // Capacity zero empties the ring and disables tracing again.
+        dev.set_trace_capacity(0);
+        assert_eq!(dev.trace().count(), 0);
+    }
+
+    #[test]
+    fn trace_iterates_oldest_to_newest() {
+        let platform = Platform::spr();
+        let mut memory = Memory::new();
+        let mut memsys = MemSystem::new(platform.clone());
+        let mut dev = DsaDevice::new(0, DeviceConfig::single_engine(), &platform);
+        dev.set_trace_capacity(16);
+        let src = memory.alloc(4096, Location::local_dram());
+        let dst = memory.alloc(4096, Location::local_dram());
+        memsys.page_table_mut().map_range(src.addr(), 4096, PageSize::Base4K);
+        memsys.page_table_mut().map_range(dst.addr(), 4096, PageSize::Base4K);
+        let mut at = SimTime::ZERO;
+        for _ in 0..5 {
+            let d = Descriptor::memmove(src.addr(), dst.addr(), 1024);
+            let exec = dev.submit(&mut memory, &mut memsys, WqId(0), &d, at).unwrap();
+            at = exec.timeline.completed;
+        }
+        let entries: Vec<&TraceEntry> = dev.trace().collect();
+        assert_eq!(entries.len(), 5);
+        assert!(
+            entries.windows(2).all(|w| w[0].submitted <= w[1].submitted
+                && w[0].completed <= w[1].completed
+                && w[0].seq < w[1].seq),
+            "trace() yields entries oldest first"
+        );
     }
 
     #[test]

@@ -1,5 +1,9 @@
-//! Property tests for the device model: functional equivalence with the
-//! software kernels and timing-invariant ordering for arbitrary work.
+//! Property-style tests for the device model: functional equivalence with
+//! the software kernels and timing-invariant ordering for arbitrary work.
+//!
+//! Randomized inputs come from the in-repo deterministic [`SplitMix64`]
+//! generator so the suite runs offline with no external test-harness
+//! dependency; every case is reproducible from the fixed seeds below.
 
 use dsa_device::config::DeviceConfig;
 use dsa_device::descriptor::{Descriptor, Flags, OpParams, Opcode, Status};
@@ -9,8 +13,10 @@ use dsa_mem::memory::Memory;
 use dsa_mem::memsys::MemSystem;
 use dsa_mem::topology::Platform;
 use dsa_ops::crc32::Crc32c;
+use dsa_sim::rng::SplitMix64;
 use dsa_sim::time::SimTime;
-use proptest::prelude::*;
+
+const CASES: usize = 24;
 
 struct Rig {
     memory: Memory,
@@ -46,28 +52,36 @@ impl Rig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_bytes(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
 
-    #[test]
-    fn memmove_is_exact_for_any_size(
-        data in prop::collection::vec(any::<u8>(), 1..16384)
-    ) {
+#[test]
+fn memmove_is_exact_for_any_size() {
+    let mut rng = SplitMix64::new(0xDE7_0001);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(16383) as usize;
+        let data = random_bytes(&mut rng, n);
         let mut rig = Rig::new();
         let src = rig.alloc(data.len() as u64);
         let dst = rig.alloc(data.len() as u64);
         rig.memory.write(src, &data).unwrap();
         let exec = rig.submit_at(&Descriptor::memmove(src, dst, data.len() as u32), SimTime::ZERO);
-        prop_assert_eq!(exec.record.status, Status::Success);
-        prop_assert_eq!(exec.record.bytes_completed as usize, data.len());
-        prop_assert_eq!(rig.memory.read(dst, data.len() as u64).unwrap(), &data[..]);
+        assert_eq!(exec.record.status, Status::Success);
+        assert_eq!(exec.record.bytes_completed as usize, data.len());
+        assert_eq!(rig.memory.read(dst, data.len() as u64).unwrap(), &data[..]);
     }
+}
 
-    #[test]
-    fn device_crc_always_matches_software(
-        data in prop::collection::vec(any::<u8>(), 1..8192),
-        seed in any::<u32>()
-    ) {
+#[test]
+fn device_crc_always_matches_software() {
+    let mut rng = SplitMix64::new(0xDE7_0002);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(8191) as usize;
+        let data = random_bytes(&mut rng, n);
+        let seed = rng.next_u64() as u32;
         let mut rig = Rig::new();
         let src = rig.alloc(data.len() as u64);
         rig.memory.write(src, &data).unwrap();
@@ -83,18 +97,20 @@ proptest! {
         let exec = rig.submit_at(&desc, SimTime::ZERO);
         let mut sw = if seed == 0 { Crc32c::new() } else { Crc32c::with_seed(seed) };
         sw.update(&data);
-        prop_assert_eq!(exec.record.result as u32, sw.finish());
+        assert_eq!(exec.record.result as u32, sw.finish());
     }
+}
 
-    #[test]
-    fn compare_offset_matches_std(
-        a in prop::collection::vec(any::<u8>(), 1..4096),
-        flip in any::<Option<prop::sample::Index>>()
-    ) {
+#[test]
+fn compare_offset_matches_std() {
+    let mut rng = SplitMix64::new(0xDE7_0003);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(4095) as usize;
+        let a = random_bytes(&mut rng, n);
         let mut rig = Rig::new();
         let mut b = a.clone();
-        if let Some(idx) = &flip {
-            let i = idx.index(b.len());
+        if rng.next_u64() & 1 == 0 {
+            let i = rng.next_below(b.len() as u64) as usize;
             b[i] ^= 0x5A;
         }
         let pa = rig.alloc(a.len() as u64);
@@ -103,104 +119,111 @@ proptest! {
         rig.memory.write(pb, &b).unwrap();
         let exec = rig.submit_at(&Descriptor::compare(pa, pb, a.len() as u32), SimTime::ZERO);
         match a.iter().zip(&b).position(|(x, y)| x != y) {
-            None => prop_assert_eq!(exec.record.status, Status::Success),
+            None => assert_eq!(exec.record.status, Status::Success),
             Some(off) => {
-                prop_assert_eq!(exec.record.status, Status::CompareMismatch);
-                prop_assert_eq!(exec.record.result as usize, off);
+                assert_eq!(exec.record.status, Status::CompareMismatch);
+                assert_eq!(exec.record.result as usize, off);
             }
         }
     }
+}
 
-    #[test]
-    fn timeline_phases_are_ordered_for_any_workload(
-        sizes in prop::collection::vec(64u32..262_144, 1..24),
-        gaps in prop::collection::vec(0u64..2000, 1..24)
-    ) {
+#[test]
+fn timeline_phases_are_ordered_for_any_workload() {
+    let mut rng = SplitMix64::new(0xDE7_0004);
+    for _ in 0..CASES {
+        let jobs = 1 + rng.next_below(23) as usize;
         let mut rig = Rig::new();
         let mut now = SimTime::ZERO;
         let mut last_completion = SimTime::ZERO;
-        for (size, gap) in sizes.iter().zip(&gaps) {
-            let src = rig.alloc(*size as u64);
-            let dst = rig.alloc(*size as u64);
-            now += dsa_sim::time::SimDuration::from_ns(*gap);
-            let exec = rig.submit_at(&Descriptor::memmove(src, dst, *size), now);
+        for _ in 0..jobs {
+            let size = 64 + rng.next_below(262_080) as u32;
+            let gap = rng.next_below(2_000);
+            let src = rig.alloc(size as u64);
+            let dst = rig.alloc(size as u64);
+            now += dsa_sim::time::SimDuration::from_ns(gap);
+            let exec = rig.submit_at(&Descriptor::memmove(src, dst, size), now);
             let t = exec.timeline;
-            prop_assert!(t.submitted <= t.admitted);
-            prop_assert!(t.admitted <= t.dispatched);
-            prop_assert!(t.dispatched <= t.data_done);
-            prop_assert!(t.data_done < t.completed);
+            assert!(t.submitted <= t.admitted);
+            assert!(t.admitted <= t.dispatched);
+            assert!(t.dispatched <= t.data_done);
+            assert!(t.data_done < t.completed);
             // Completion records become visible in nondecreasing order per
             // single-WQ FIFO submission of equal-priority work only when
             // sizes are equal; in general completion must at least follow
             // this descriptor's own submission.
-            prop_assert!(t.completed > t.submitted);
+            assert!(t.completed > t.submitted);
             last_completion = last_completion.max(t.completed);
         }
-        prop_assert_eq!(rig.dev.last_completion(), last_completion);
+        assert_eq!(rig.dev.last_completion(), last_completion);
     }
+}
 
-    #[test]
-    fn telemetry_byte_accounting_is_exact(
-        sizes in prop::collection::vec(64u32..65_536, 1..16)
-    ) {
+#[test]
+fn telemetry_byte_accounting_is_exact() {
+    let mut rng = SplitMix64::new(0xDE7_0005);
+    for _ in 0..CASES {
+        let jobs = 1 + rng.next_below(15) as usize;
         let mut rig = Rig::new();
         let mut expected = 0u64;
-        for size in &sizes {
-            let src = rig.alloc(*size as u64);
-            let dst = rig.alloc(*size as u64);
-            rig.submit_at(&Descriptor::memmove(src, dst, *size), SimTime::ZERO);
-            expected += *size as u64;
+        for _ in 0..jobs {
+            let size = 64 + rng.next_below(65_472) as u32;
+            let src = rig.alloc(size as u64);
+            let dst = rig.alloc(size as u64);
+            rig.submit_at(&Descriptor::memmove(src, dst, size), SimTime::ZERO);
+            expected += size as u64;
         }
         let t = rig.dev.telemetry();
-        prop_assert_eq!(t.bytes_read, expected);
-        prop_assert_eq!(t.bytes_written, expected);
-        prop_assert_eq!(t.descriptors, sizes.len() as u64);
+        assert_eq!(t.bytes_read, expected);
+        assert_eq!(t.bytes_written, expected);
+        assert_eq!(t.descriptors, jobs as u64);
     }
+}
 
-    #[test]
-    fn throughput_never_exceeds_the_fabric_cap(
-        sizes in prop::collection::vec(4096u32..1 << 20, 4..16)
-    ) {
+#[test]
+fn throughput_never_exceeds_the_fabric_cap() {
+    let mut rng = SplitMix64::new(0xDE7_0006);
+    for _ in 0..CASES {
+        let jobs = 4 + rng.next_below(12) as usize;
         let mut rig = Rig::new();
         let mut last = SimTime::ZERO;
         let mut bytes = 0u64;
-        for size in &sizes {
-            let src = rig.alloc(*size as u64);
-            let dst = rig.alloc(*size as u64);
-            let exec = rig.submit_at(&Descriptor::memmove(src, dst, *size), SimTime::ZERO);
+        for _ in 0..jobs {
+            let size = 4096 + rng.next_below((1 << 20) - 4096) as u32;
+            let src = rig.alloc(size as u64);
+            let dst = rig.alloc(size as u64);
+            let exec = rig.submit_at(&Descriptor::memmove(src, dst, size), SimTime::ZERO);
             last = last.max(exec.timeline.completed);
-            bytes += *size as u64;
+            bytes += size as u64;
         }
         let gbps = bytes as f64 / last.as_ns_f64();
-        prop_assert!(gbps <= 30.5, "exceeded the 30 GB/s fabric: {gbps}");
+        assert!(gbps <= 30.5, "exceeded the 30 GB/s fabric: {gbps}");
     }
 }
 
 mod wire_format {
     use dsa_device::descriptor::{Descriptor, Flags, OpParams, Opcode};
     use dsa_ops::dif::{DifBlockSize, DifConfig};
-    use proptest::prelude::*;
+    use dsa_sim::rng::SplitMix64;
 
-    fn arb_opcode() -> impl Strategy<Value = Opcode> {
-        prop::sample::select(vec![
-            Opcode::Nop,
-            Opcode::Drain,
-            Opcode::Memmove,
-            Opcode::Fill,
-            Opcode::Compare,
-            Opcode::ComparePattern,
-            Opcode::CreateDelta,
-            Opcode::ApplyDelta,
-            Opcode::Dualcast,
-            Opcode::CrcGen,
-            Opcode::CopyCrc,
-            Opcode::DifCheck,
-            Opcode::DifInsert,
-            Opcode::DifStrip,
-            Opcode::DifUpdate,
-            Opcode::CacheFlush,
-        ])
-    }
+    const OPCODES: [Opcode; 16] = [
+        Opcode::Nop,
+        Opcode::Drain,
+        Opcode::Memmove,
+        Opcode::Fill,
+        Opcode::Compare,
+        Opcode::ComparePattern,
+        Opcode::CreateDelta,
+        Opcode::ApplyDelta,
+        Opcode::Dualcast,
+        Opcode::CrcGen,
+        Opcode::CopyCrc,
+        Opcode::DifCheck,
+        Opcode::DifInsert,
+        Opcode::DifStrip,
+        Opcode::DifUpdate,
+        Opcode::CacheFlush,
+    ];
 
     fn params_for(op: Opcode, seed: u64) -> OpParams {
         match op {
@@ -227,17 +250,13 @@ mod wire_format {
         }
     }
 
-    proptest! {
-        #[test]
-        fn descriptor_wire_roundtrip(
-            op in arb_opcode(),
-            src in any::<u64>(),
-            dst in any::<u64>(),
-            xfer in any::<u32>(),
-            completion in any::<u64>(),
-            flag_bits in 0u32..32,
-            seed in any::<u64>()
-        ) {
+    #[test]
+    fn descriptor_wire_roundtrip() {
+        let mut rng = SplitMix64::new(0xDE7_0007);
+        for _ in 0..256 {
+            let op = OPCODES[rng.next_below(OPCODES.len() as u64) as usize];
+            let flag_bits = rng.next_below(32) as u32;
+            let seed = rng.next_u64();
             let mut flags = Flags::empty();
             for bit in 0..5 {
                 if flag_bits & (1 << bit) != 0 {
@@ -254,14 +273,14 @@ mod wire_format {
             let d = Descriptor {
                 opcode: op,
                 flags,
-                src,
-                dst,
-                xfer_size: xfer,
-                completion_addr: completion,
+                src: rng.next_u64(),
+                dst: rng.next_u64(),
+                xfer_size: rng.next_u64() as u32,
+                completion_addr: rng.next_u64(),
                 params: params_for(op, seed),
             };
             let parsed = Descriptor::from_bytes(&d.to_bytes()).expect("valid opcode");
-            prop_assert_eq!(parsed, d);
+            assert_eq!(parsed, d);
         }
     }
 

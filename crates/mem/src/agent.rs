@@ -97,7 +97,8 @@ mod tests {
 
     #[test]
     fn slots_are_distinct() {
-        let ids = [AgentId::core(0), AgentId::core(5), AgentId::dsa(0), AgentId::io(3), AgentId::NONE];
+        let ids =
+            [AgentId::core(0), AgentId::core(5), AgentId::dsa(0), AgentId::io(3), AgentId::NONE];
         for (i, a) in ids.iter().enumerate() {
             for (j, b) in ids.iter().enumerate() {
                 assert_eq!(a.slot() == b.slot(), i == j);

@@ -73,8 +73,7 @@ struct Entry {
     valid: bool,
 }
 
-const INVALID: Entry =
-    Entry { tag: 0, owner: AgentId::NONE, last_use: 0, valid: false };
+const INVALID: Entry = Entry { tag: 0, owner: AgentId::NONE, last_use: 0, valid: false };
 
 /// The set-associative LLC.
 ///

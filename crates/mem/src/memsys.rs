@@ -68,9 +68,8 @@ const SPILL_TRAFFIC_HALVES: u64 = 4;
 impl MemSystem {
     /// Builds the memory system of `platform`.
     pub fn new(platform: Platform) -> MemSystem {
-        let dram = (0..platform.sockets)
-            .map(|_| BwResource::new(platform.dram.read_mgbps))
-            .collect();
+        let dram =
+            (0..platform.sockets).map(|_| BwResource::new(platform.dram.read_mgbps)).collect();
         let cxl_read = platform.cxl.map(|m| BwResource::new(m.read_mgbps));
         let cxl_write = platform.cxl.map(|m| BwResource::new(m.write_mgbps));
         let upi = BwResource::new(platform.upi_mgbps);
@@ -228,9 +227,8 @@ impl MemSystem {
                             end = end.max(iv.end + self.platform.llc_latency);
                         }
                         if spilled > 0 {
-                            let iv = self
-                                .dram[s]
-                                .transfer(ready, spilled * SPILL_TRAFFIC_HALVES / 2);
+                            let iv =
+                                self.dram[s].transfer(ready, spilled * SPILL_TRAFFIC_HALVES / 2);
                             start = start.min(iv.start);
                             end = end.max(iv.end + lat);
                         }
@@ -320,7 +318,8 @@ mod tests {
         let mut m = sys();
         let r = m.read(AgentId::dsa(0), Location::Cxl, SimTime::ZERO, 1 << 20);
         let mut m2 = sys();
-        let w = m2.write(AgentId::dsa(0), Location::Cxl, SimTime::ZERO, 1 << 20, WritePolicy::Memory);
+        let w =
+            m2.write(AgentId::dsa(0), Location::Cxl, SimTime::ZERO, 1 << 20, WritePolicy::Memory);
         assert!(w.interval.end > r.end, "CXL writes are the slow direction");
     }
 
@@ -412,7 +411,13 @@ mod coverage_tests {
         let mut end = SimTime::ZERO;
         for _ in 0..64 {
             end = m
-                .write(AgentId::dsa(0), Location::remote_dram(), SimTime::ZERO, chunk, WritePolicy::Memory)
+                .write(
+                    AgentId::dsa(0),
+                    Location::remote_dram(),
+                    SimTime::ZERO,
+                    chunk,
+                    WritePolicy::Memory,
+                )
                 .interval
                 .end;
         }
@@ -447,7 +452,14 @@ mod coverage_tests {
         let mut m = MemSystem::new(Platform::spr());
         // Location::Llc with Memory policy: charged on the LLC pipe but no
         // DDIO accounting (completion records behave this way).
-        let w = m.write_at(AgentId::dsa(0), Location::Llc, SimTime::ZERO, 0x1000, 4096, WritePolicy::Memory);
+        let w = m.write_at(
+            AgentId::dsa(0),
+            Location::Llc,
+            SimTime::ZERO,
+            0x1000,
+            4096,
+            WritePolicy::Memory,
+        );
         assert_eq!(w.ddio_spill, 0.0);
     }
 

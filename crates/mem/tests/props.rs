@@ -1,56 +1,65 @@
-//! Property tests for the memory-system model: cache conservation laws,
-//! address-space safety, translation consistency, DDIO spill bounds.
+//! Property-style tests for the memory-system model: cache conservation
+//! laws, address-space safety, translation consistency, DDIO spill bounds.
+//!
+//! Randomized inputs come from the in-repo deterministic [`SplitMix64`]
+//! generator so the suite runs offline with no external test-harness
+//! dependency; every case is reproducible from the fixed seeds below.
 
 use dsa_mem::agent::AgentId;
 use dsa_mem::buffer::{Location, PageSize};
 use dsa_mem::cache::{AllocPolicy, DdioTracker, Llc, WayMask};
 use dsa_mem::memory::Memory;
 use dsa_mem::translate::{PageTable, TranslationCache};
+use dsa_sim::rng::SplitMix64;
 use dsa_sim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 32;
 
-    #[test]
-    fn llc_occupancy_is_conserved(
-        accesses in prop::collection::vec((0u16..4, 0u64..1 << 16, any::<bool>()), 1..500)
-    ) {
+#[test]
+fn llc_occupancy_is_conserved() {
+    let mut rng = SplitMix64::new(0x3E3_0001);
+    for _ in 0..CASES {
+        let accesses = 1 + rng.next_below(499) as usize;
         let mut llc = Llc::new(64 << 10, 8, 64);
-        for (agent, addr, invalidate) in accesses {
-            let policy = if invalidate {
+        for _ in 0..accesses {
+            let agent = rng.next_below(4) as u16;
+            let addr = rng.next_below(1 << 16);
+            let policy = if rng.next_u64() & 1 == 0 {
                 AllocPolicy::NoAllocInvalidate
             } else {
                 AllocPolicy::AllocOnMiss
             };
             llc.access(AgentId::core(agent), addr, policy, WayMask::ALL);
             // Invariants after every access:
-            prop_assert!(llc.total_occupancy_bytes() <= llc.capacity_bytes());
-            let per_agent: u64 =
-                (0..4).map(|a| llc.occupancy_bytes(AgentId::core(a))).sum();
-            prop_assert_eq!(per_agent, llc.total_occupancy_bytes());
+            assert!(llc.total_occupancy_bytes() <= llc.capacity_bytes());
+            let per_agent: u64 = (0..4).map(|a| llc.occupancy_bytes(AgentId::core(a))).sum();
+            assert_eq!(per_agent, llc.total_occupancy_bytes());
         }
     }
+}
 
-    #[test]
-    fn llc_way_mask_confines_each_agent(
-        accesses in prop::collection::vec(0u64..1 << 18, 1..400)
-    ) {
+#[test]
+fn llc_way_mask_confines_each_agent() {
+    let mut rng = SplitMix64::new(0x3E3_0002);
+    for _ in 0..CASES {
         // Agent 0 restricted to 2 of 8 ways; it can never hold more than
         // 2/8 of the cache.
         let mut llc = Llc::new(32 << 10, 8, 64);
         let mask = WayMask::range(0, 2);
-        for addr in accesses {
+        for _ in 0..1 + rng.next_below(399) {
+            let addr = rng.next_below(1 << 18);
             llc.access(AgentId::io(0), addr, AllocPolicy::AllocOnMiss, mask);
-            prop_assert!(llc.occupancy_bytes(AgentId::io(0)) <= llc.capacity_bytes() / 4);
+            assert!(llc.occupancy_bytes(AgentId::io(0)) <= llc.capacity_bytes() / 4);
         }
     }
+}
 
-    #[test]
-    fn llc_flush_leaves_no_trace(
-        base in 0u64..1 << 20,
-        lines in 1u64..64
-    ) {
+#[test]
+fn llc_flush_leaves_no_trace() {
+    let mut rng = SplitMix64::new(0x3E3_0003);
+    for _ in 0..CASES {
+        let base = rng.next_below(1 << 20);
+        let lines = 1 + rng.next_below(63);
         let mut llc = Llc::new(64 << 10, 8, 64);
         let a = AgentId::core(0);
         for i in 0..lines {
@@ -59,32 +68,36 @@ proptest! {
         llc.flush_range(base, lines * 64);
         for i in 0..lines {
             let r = llc.access(a, base + i * 64, AllocPolicy::NoAlloc, WayMask::ALL);
-            prop_assert!(!r.hit, "line {i} survived a flush");
+            assert!(!r.hit, "line {i} survived a flush");
         }
     }
+}
 
-    #[test]
-    fn memory_roundtrips_at_arbitrary_offsets(
-        len in 1u64..8192,
-        writes in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..50)
-    ) {
+#[test]
+fn memory_roundtrips_at_arbitrary_offsets() {
+    let mut rng = SplitMix64::new(0x3E3_0004);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(8191);
         let mut m = Memory::new();
         let buf = m.alloc(len, Location::local_dram());
         let mut shadow = vec![0u8; len as usize];
-        for (idx, val) in writes {
-            let off = idx.index(len as usize) as u64;
+        for _ in 0..1 + rng.next_below(49) {
+            let off = rng.next_below(len);
+            let val = rng.next_u64() as u8;
             m.write(buf.addr() + off, &[val]).unwrap();
             shadow[off as usize] = val;
         }
-        prop_assert_eq!(m.read(buf.addr(), len).unwrap(), &shadow[..]);
+        assert_eq!(m.read(buf.addr(), len).unwrap(), &shadow[..]);
     }
+}
 
-    #[test]
-    fn memory_copy_is_memmove(
-        len in 8u64..256,
-        src_off in 0u64..64,
-        dst_off in 0u64..64
-    ) {
+#[test]
+fn memory_copy_is_memmove() {
+    let mut rng = SplitMix64::new(0x3E3_0005);
+    for _ in 0..CASES {
+        let len = 8 + rng.next_below(248);
+        let src_off = rng.next_below(64);
+        let dst_off = rng.next_below(64);
         let mut m = Memory::new();
         let buf = m.alloc(512, Location::local_dram());
         let data: Vec<u8> = (0..512u32).map(|i| i as u8).collect();
@@ -92,68 +105,81 @@ proptest! {
         let mut shadow = data.clone();
         m.copy(buf.addr() + src_off, buf.addr() + dst_off, len).unwrap();
         shadow.copy_within(src_off as usize..(src_off + len) as usize, dst_off as usize);
-        prop_assert_eq!(m.read(buf.addr(), 512).unwrap(), &shadow[..]);
+        assert_eq!(m.read(buf.addr(), 512).unwrap(), &shadow[..]);
     }
+}
 
-    #[test]
-    fn out_of_range_accesses_always_fail(
-        len in 1u64..4096,
-        over in 1u64..4096
-    ) {
+#[test]
+fn out_of_range_accesses_always_fail() {
+    let mut rng = SplitMix64::new(0x3E3_0006);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(4095);
+        let over = 1 + rng.next_below(4095);
         let mut m = Memory::new();
         let buf = m.alloc(len, Location::local_dram());
-        prop_assert!(m.read(buf.addr() + len + over + (4 << 20), 1).is_err());
-        prop_assert!(m.read(buf.addr(), len + (4 << 20)).is_err());
+        assert!(m.read(buf.addr() + len + over + (4 << 20), 1).is_err());
+        assert!(m.read(buf.addr(), len + (4 << 20)).is_err());
     }
+}
 
-    #[test]
-    fn translation_hits_iff_page_cached(
-        pages in prop::collection::vec(0u64..32, 1..100)
-    ) {
+#[test]
+fn translation_hits_iff_page_cached() {
+    let mut rng = SplitMix64::new(0x3E3_0007);
+    for _ in 0..CASES {
         let mut pt = PageTable::new();
         pt.map_range(0, 32 * 4096, PageSize::Base4K);
         let mut atc = TranslationCache::new(64, SimDuration::from_ns(100));
         let mut seen = std::collections::HashSet::new();
-        for p in pages {
+        for _ in 0..1 + rng.next_below(99) {
+            let p = rng.next_below(32);
             let out = atc.translate(&pt, p * 4096 + 123);
-            prop_assert!(!out.fault);
+            assert!(!out.fault);
             // With capacity 64 > 32 pages, a page hits iff seen before.
-            prop_assert_eq!(out.hit, seen.contains(&p));
-            prop_assert_eq!(out.cost.is_zero(), out.hit);
+            assert_eq!(out.hit, seen.contains(&p));
+            assert_eq!(out.cost.is_zero(), out.hit);
             seen.insert(p);
         }
     }
+}
 
-    #[test]
-    fn huge_pages_never_translate_slower(
-        addrs in prop::collection::vec(0u64..(8 << 20), 1..200)
-    ) {
+#[test]
+fn huge_pages_never_translate_slower() {
+    let mut rng = SplitMix64::new(0x3E3_0008);
+    for _ in 0..CASES {
         let mut pt4k = PageTable::new();
         pt4k.map_range(0, 8 << 20, PageSize::Base4K);
         let mut pt2m = PageTable::new();
         pt2m.map_range(0, 8 << 20, PageSize::Huge2M);
         let mut atc4k = TranslationCache::new(32, SimDuration::from_ns(100));
         let mut atc2m = TranslationCache::new(32, SimDuration::from_ns(100));
-        for &a in &addrs {
+        for _ in 0..1 + rng.next_below(199) {
+            let a = rng.next_below(8 << 20);
             atc4k.translate(&pt4k, a);
             atc2m.translate(&pt2m, a);
         }
-        prop_assert!(atc2m.misses() <= atc4k.misses(),
-            "2M pages can only reduce walk count: {} vs {}", atc2m.misses(), atc4k.misses());
+        assert!(
+            atc2m.misses() <= atc4k.misses(),
+            "2M pages can only reduce walk count: {} vs {}",
+            atc2m.misses(),
+            atc4k.misses()
+        );
     }
+}
 
-    #[test]
-    fn ddio_spill_fraction_is_bounded_and_monotone(
-        writes in prop::collection::vec((0u64..1 << 24, 1u64..1 << 18), 1..100)
-    ) {
+#[test]
+fn ddio_spill_fraction_is_bounded_and_monotone() {
+    let mut rng = SplitMix64::new(0x3E3_0009);
+    for _ in 0..CASES {
         let mut t = DdioTracker::new(1 << 20, SimDuration::from_ms(10));
         let mut last = 0.0f64;
-        for (addr, bytes) in writes {
+        for _ in 0..1 + rng.next_below(99) {
+            let addr = rng.next_below(1 << 24);
+            let bytes = 1 + rng.next_below((1 << 18) - 1);
             let f = t.write(SimTime::ZERO, addr, bytes);
-            prop_assert!((0.0..=1.0).contains(&f), "spill fraction {f}");
+            assert!((0.0..=1.0).contains(&f), "spill fraction {f}");
             // Within one window the footprint only grows, so the spill
             // fraction is non-decreasing.
-            prop_assert!(f >= last - 1e-12);
+            assert!(f >= last - 1e-12);
             last = f;
         }
     }

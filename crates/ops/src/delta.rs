@@ -171,10 +171,7 @@ pub fn delta_create(
         if a != b {
             needed += DeltaEntry::SIZE;
             if needed <= max_record_bytes {
-                let entry = DeltaEntry {
-                    offset: i as u16,
-                    data: b.try_into().expect("8 bytes"),
-                };
+                let entry = DeltaEntry { offset: i as u16, data: b.try_into().expect("8 bytes") };
                 bytes.extend_from_slice(&entry.to_bytes());
             }
         }
@@ -197,7 +194,10 @@ pub fn delta_apply(record: &DeltaRecord, target: &mut [u8]) -> Result<(), DeltaE
     for e in record.iter() {
         let start = e.offset as usize * 8;
         if start + 8 > target.len() {
-            return Err(DeltaError::OffsetOutOfRange { offset: e.offset, target_len: target.len() });
+            return Err(DeltaError::OffsetOutOfRange {
+                offset: e.offset,
+                target_len: target.len(),
+            });
         }
     }
     for e in record.iter() {
@@ -274,10 +274,7 @@ mod tests {
         let rec = DeltaRecord::from_bytes(&entry.to_bytes()).unwrap();
         let mut target = vec![0u8; 64];
         let before = target.clone();
-        assert!(matches!(
-            delta_apply(&rec, &mut target),
-            Err(DeltaError::OffsetOutOfRange { .. })
-        ));
+        assert!(matches!(delta_apply(&rec, &mut target), Err(DeltaError::OffsetOutOfRange { .. })));
         assert_eq!(target, before);
     }
 

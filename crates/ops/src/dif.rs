@@ -358,7 +358,8 @@ mod tests {
 
     #[test]
     fn all_block_sizes_roundtrip() {
-        for bs in [DifBlockSize::B512, DifBlockSize::B520, DifBlockSize::B4096, DifBlockSize::B4104] {
+        for bs in [DifBlockSize::B512, DifBlockSize::B520, DifBlockSize::B4096, DifBlockSize::B4104]
+        {
             let cfg = DifConfig::new(bs);
             let data: Vec<u8> = (0..bs.bytes() * 3).map(|i| (i % 251) as u8).collect();
             let protected = dif_insert(&cfg, &data).unwrap();

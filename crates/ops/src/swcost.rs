@@ -198,8 +198,7 @@ mod tests {
     fn llc_resident_faster_than_dram() {
         let m = model();
         let warm = m.op_gbps(OpKind::Memcpy, 65536, Location::Llc, Location::Llc);
-        let cold =
-            m.op_gbps(OpKind::Memcpy, 65536, Location::local_dram(), Location::local_dram());
+        let cold = m.op_gbps(OpKind::Memcpy, 65536, Location::local_dram(), Location::local_dram());
         assert!(warm > 1.5 * cold);
     }
 
@@ -217,8 +216,10 @@ mod tests {
     #[test]
     fn dif_is_compute_bound_and_slow() {
         let m = model();
-        let dif = m.op_gbps(OpKind::DifInsert, 1 << 20, Location::local_dram(), Location::local_dram());
-        let copy = m.op_gbps(OpKind::Memcpy, 1 << 20, Location::local_dram(), Location::local_dram());
+        let dif =
+            m.op_gbps(OpKind::DifInsert, 1 << 20, Location::local_dram(), Location::local_dram());
+        let copy =
+            m.op_gbps(OpKind::Memcpy, 1 << 20, Location::local_dram(), Location::local_dram());
         assert!(dif < copy / 3.0, "software DIF should be several times slower");
         // ...and only mildly location-sensitive.
         let dif_cxl = m.op_gbps(OpKind::DifInsert, 1 << 20, Location::Cxl, Location::Cxl);

@@ -1,168 +1,195 @@
-//! Property tests for the functional operations: round-trip and
+//! Property-style tests for the functional operations: round-trip and
 //! consistency laws over arbitrary data.
+//!
+//! Randomized inputs come from the in-repo deterministic [`SplitMix64`]
+//! generator so the suite runs offline with no external test-harness
+//! dependency; every case is reproducible from the fixed seeds below.
 
 use dsa_ops::crc32::{Crc32Ieee, Crc32c};
 use dsa_ops::delta::{delta_apply, delta_create};
 use dsa_ops::dif::{dif_check, dif_insert, dif_strip, dif_update, DifBlockSize, DifConfig};
 use dsa_ops::memops;
-use proptest::prelude::*;
+use dsa_sim::rng::SplitMix64;
 
-proptest! {
-    #[test]
-    fn crc32c_incremental_equals_oneshot(
-        data in prop::collection::vec(any::<u8>(), 0..4096),
-        split in 0usize..4096
-    ) {
-        let split = split.min(data.len());
+const CASES: usize = 48;
+
+fn random_bytes(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn crc32c_incremental_equals_oneshot() {
+    let mut rng = SplitMix64::new(0x0B5_0001);
+    for _ in 0..CASES {
+        let n_data = rng.next_below(4096) as usize;
+        let data = random_bytes(&mut rng, n_data);
+        let split = (rng.next_below(4096) as usize).min(data.len());
         let oneshot = Crc32c::checksum(&data);
         let mut inc = Crc32c::new();
         inc.update(&data[..split]);
         inc.update(&data[split..]);
-        prop_assert_eq!(inc.finish(), oneshot);
+        assert_eq!(inc.finish(), oneshot);
         // Same property for the IEEE polynomial.
         let oneshot = Crc32Ieee::checksum(&data);
         let mut inc = Crc32Ieee::new();
         inc.update(&data[..split]);
         inc.update(&data[split..]);
-        prop_assert_eq!(inc.finish(), oneshot);
+        assert_eq!(inc.finish(), oneshot);
     }
+}
 
-    #[test]
-    fn crc32c_seed_chaining(
-        a in prop::collection::vec(any::<u8>(), 1..2048),
-        b in prop::collection::vec(any::<u8>(), 1..2048)
-    ) {
+#[test]
+fn crc32c_seed_chaining() {
+    let mut rng = SplitMix64::new(0x0B5_0002);
+    for _ in 0..CASES {
+        let n_a = 1 + rng.next_below(2047) as usize;
+        let a = random_bytes(&mut rng, n_a);
+        let n_b = 1 + rng.next_below(2047) as usize;
+        let b = random_bytes(&mut rng, n_b);
         let mut whole = Crc32c::new();
         whole.update(&a);
         whole.update(&b);
         let first = Crc32c::checksum(&a);
         let mut chained = Crc32c::with_seed(first);
         chained.update(&b);
-        prop_assert_eq!(chained.finish(), whole.finish());
+        assert_eq!(chained.finish(), whole.finish());
     }
+}
 
-    #[test]
-    fn crc_detects_any_single_bit_flip(
-        data in prop::collection::vec(any::<u8>(), 1..1024),
-        pos in any::<prop::sample::Index>(),
-        bit in 0u8..8
-    ) {
+#[test]
+fn crc_detects_any_single_bit_flip() {
+    let mut rng = SplitMix64::new(0x0B5_0003);
+    for _ in 0..CASES {
+        let n_data = 1 + rng.next_below(1023) as usize;
+        let data = random_bytes(&mut rng, n_data);
+        let i = rng.next_below(data.len() as u64) as usize;
+        let bit = rng.next_below(8) as u8;
         let mut corrupted = data.clone();
-        let i = pos.index(data.len());
         corrupted[i] ^= 1 << bit;
-        prop_assert_ne!(Crc32c::checksum(&data), Crc32c::checksum(&corrupted));
+        assert_ne!(Crc32c::checksum(&data), Crc32c::checksum(&corrupted));
     }
+}
 
-    #[test]
-    fn delta_roundtrip_arbitrary_mutations(
-        base in prop::collection::vec(any::<u8>(), 1..64usize),
-        mutations in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..32)
-    ) {
+#[test]
+fn delta_roundtrip_arbitrary_mutations() {
+    let mut rng = SplitMix64::new(0x0B5_0004);
+    for _ in 0..CASES {
+        let n_base = 1 + rng.next_below(63) as usize;
+        let base = random_bytes(&mut rng, n_base);
         let original: Vec<u8> = base.iter().copied().cycle().take(base.len() * 8).collect();
         let mut modified = original.clone();
-        for (idx, val) in &mutations {
-            let i = idx.index(modified.len());
-            modified[i] = *val;
+        for _ in 0..rng.next_below(32) {
+            let i = rng.next_below(modified.len() as u64) as usize;
+            modified[i] = rng.next_u64() as u8;
         }
         let record = delta_create(&original, &modified, original.len() / 8 * 10).unwrap();
         let mut patched = original.clone();
         delta_apply(&record, &mut patched).unwrap();
         // Record is minimal: one entry per differing 8-byte unit.
-        let diff_units = original
-            .chunks(8)
-            .zip(modified.chunks(8))
-            .filter(|(a, b)| a != b)
-            .count();
-        prop_assert_eq!(record.entries(), diff_units);
-        prop_assert_eq!(patched, modified);
+        let diff_units = original.chunks(8).zip(modified.chunks(8)).filter(|(a, b)| a != b).count();
+        assert_eq!(record.entries(), diff_units);
+        assert_eq!(patched, modified);
     }
+}
 
-    #[test]
-    fn delta_record_size_field_is_exact(
-        len_units in 1usize..64,
-        flips in prop::collection::vec(any::<prop::sample::Index>(), 0..16)
-    ) {
+#[test]
+fn delta_record_size_field_is_exact() {
+    let mut rng = SplitMix64::new(0x0B5_0005);
+    for _ in 0..CASES {
+        let len_units = 1 + rng.next_below(63) as usize;
         let original = vec![0u8; len_units * 8];
         let mut modified = original.clone();
-        for f in &flips {
-            let i = f.index(len_units);
+        for _ in 0..rng.next_below(16) {
+            let i = rng.next_below(len_units as u64) as usize;
             modified[i * 8] = 0xFF;
         }
         let record = delta_create(&original, &modified, len_units * 10).unwrap();
-        prop_assert_eq!(record.size_bytes(), record.entries() * 10);
+        assert_eq!(record.size_bytes(), record.entries() * 10);
     }
+}
 
-    #[test]
-    fn dif_roundtrip_all_block_sizes(
-        blocks in 1usize..4,
-        seed in any::<u64>(),
-        app_tag in any::<u16>(),
-        ref_tag in any::<u32>()
-    ) {
+#[test]
+fn dif_roundtrip_all_block_sizes() {
+    let mut rng = SplitMix64::new(0x0B5_0006);
+    for _ in 0..12 {
+        let blocks = 1 + rng.next_below(3) as usize;
+        let app_tag = rng.next_u64() as u16;
+        let ref_tag = rng.next_u64() as u32;
         for bs in [DifBlockSize::B512, DifBlockSize::B520, DifBlockSize::B4096] {
             let cfg = DifConfig { block: bs, app_tag, starting_ref_tag: ref_tag };
-            let mut data = vec![0u8; bs.bytes() * blocks];
-            let mut x = seed | 1;
-            for b in data.iter_mut() {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                *b = (x >> 33) as u8;
-            }
+            let data = random_bytes(&mut rng, bs.bytes() * blocks);
             let protected = dif_insert(&cfg, &data).unwrap();
-            prop_assert_eq!(protected.len(), data.len() + blocks * 8);
+            assert_eq!(protected.len(), data.len() + blocks * 8);
             dif_check(&cfg, &protected).unwrap();
             let stripped = dif_strip(&cfg, &protected).unwrap();
-            prop_assert_eq!(&stripped, &data);
+            assert_eq!(&stripped, &data);
             // Update to new tags verifies under the new config only.
-            let dst = DifConfig { block: bs, app_tag: app_tag.wrapping_add(1), starting_ref_tag: ref_tag.wrapping_add(7) };
+            let dst = DifConfig {
+                block: bs,
+                app_tag: app_tag.wrapping_add(1),
+                starting_ref_tag: ref_tag.wrapping_add(7),
+            };
             let updated = dif_update(&cfg, &dst, &protected).unwrap();
             dif_check(&dst, &updated).unwrap();
         }
     }
+}
 
-    #[test]
-    fn dif_detects_any_payload_corruption(
-        block_data in prop::collection::vec(any::<u8>(), 512..513),
-        pos in any::<prop::sample::Index>(),
-        bit in 0u8..8
-    ) {
+#[test]
+fn dif_detects_any_payload_corruption() {
+    let mut rng = SplitMix64::new(0x0B5_0007);
+    for _ in 0..CASES {
+        let block_data = random_bytes(&mut rng, 512);
         let cfg = DifConfig::new(DifBlockSize::B512);
         let mut protected = dif_insert(&cfg, &block_data).unwrap();
-        let i = pos.index(512); // corrupt payload, not the PI
-        protected[i] ^= 1 << bit;
-        prop_assert!(dif_check(&cfg, &protected).is_err());
+        let i = rng.next_below(512) as usize; // corrupt payload, not the PI
+        protected[i] ^= 1 << rng.next_below(8);
+        assert!(dif_check(&cfg, &protected).is_err());
     }
+}
 
-    #[test]
-    fn fill_then_compare_pattern_always_matches(
-        len in 0usize..512,
-        pattern in any::<u64>()
-    ) {
+#[test]
+fn fill_then_compare_pattern_always_matches() {
+    let mut rng = SplitMix64::new(0x0B5_0008);
+    for _ in 0..CASES {
+        let len = rng.next_below(512) as usize;
+        let pattern = rng.next_u64();
         let mut buf = vec![0u8; len];
         memops::fill(&mut buf, pattern);
-        prop_assert_eq!(memops::compare_pattern(&buf, pattern), None);
+        assert_eq!(memops::compare_pattern(&buf, pattern), None);
     }
+}
 
-    #[test]
-    fn compare_agrees_with_std(
-        a in prop::collection::vec(any::<u8>(), 0..512),
-        b_seed in any::<u64>()
-    ) {
+#[test]
+fn compare_agrees_with_std() {
+    let mut rng = SplitMix64::new(0x0B5_0009);
+    for _ in 0..CASES {
+        let n_a = rng.next_below(512) as usize;
+        let a = random_bytes(&mut rng, n_a);
         // Derive b from a with a possible mutation.
+        let b_seed = rng.next_u64();
         let mut b = a.clone();
-        if !b.is_empty() && b_seed % 3 == 0 {
+        if !b.is_empty() && b_seed.is_multiple_of(3) {
             let i = (b_seed as usize / 3) % b.len();
             b[i] = b[i].wrapping_add(1);
         }
         let expected = a.iter().zip(&b).position(|(x, y)| x != y);
-        prop_assert_eq!(memops::compare(&a, &b), expected);
+        assert_eq!(memops::compare(&a, &b), expected);
     }
+}
 
-    #[test]
-    fn dualcast_produces_identical_copies(src in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn dualcast_produces_identical_copies() {
+    let mut rng = SplitMix64::new(0x0B5_000A);
+    for _ in 0..CASES {
+        let n_src = rng.next_below(512) as usize;
+        let src = random_bytes(&mut rng, n_src);
         let mut d1 = vec![0u8; src.len()];
         let mut d2 = vec![0xFFu8; src.len()];
         memops::dualcast(&src, &mut d1, &mut d2);
-        prop_assert_eq!(&d1, &src);
-        prop_assert_eq!(&d2, &src);
+        assert_eq!(&d1, &src);
+        assert_eq!(&d2, &src);
     }
 }

@@ -371,7 +371,9 @@ mod tests {
     #[test]
     fn duration_sum_and_scale() {
         let total: SimDuration =
-            [SimDuration::from_ns(1), SimDuration::from_ns(2), SimDuration::from_ns(3)].into_iter().sum();
+            [SimDuration::from_ns(1), SimDuration::from_ns(2), SimDuration::from_ns(3)]
+                .into_iter()
+                .sum();
         assert_eq!(total, SimDuration::from_ns(6));
         assert_eq!(total * 2, SimDuration::from_ns(12));
         assert_eq!(total / 3, SimDuration::from_ns(2));

@@ -1,123 +1,145 @@
-//! Property tests for the simulation substrate: conservation laws and
-//! ordering invariants that must hold for arbitrary request streams.
+//! Property-style tests for the simulation substrate: conservation laws
+//! and ordering invariants that must hold for arbitrary request streams.
+//!
+//! Randomized inputs come from the in-repo deterministic [`SplitMix64`]
+//! generator so the suite runs offline with no external test-harness
+//! dependency; every case is reproducible from the fixed seeds below.
 
+use dsa_sim::rng::SplitMix64;
 use dsa_sim::stats::DurationHistogram;
 use dsa_sim::time::{transfer_time_mgbps, SimDuration, SimTime};
 use dsa_sim::timeline::{BwResource, MultiServer, SlidingWindow, Timeline};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn timeline_never_overlaps_and_conserves_busy(
-        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)
-    ) {
+const CASES: usize = 48;
+
+#[test]
+fn timeline_never_overlaps_and_conserves_busy() {
+    let mut rng = SplitMix64::new(0x51AD_0001);
+    for _ in 0..CASES {
+        let reqs = 1 + rng.next_below(99) as usize;
         let mut t = Timeline::new();
         let mut last_end = SimTime::ZERO;
         let mut total = SimDuration::ZERO;
-        for (ready, dur) in reqs {
+        for _ in 0..reqs {
+            let ready = rng.next_below(10_000);
+            let dur = 1 + rng.next_below(499);
             let iv = t.reserve(SimTime::from_ns(ready), SimDuration::from_ns(dur));
             // FIFO: intervals are disjoint and ordered.
-            prop_assert!(iv.start >= last_end);
-            prop_assert!(iv.start >= SimTime::from_ns(ready));
-            prop_assert_eq!(iv.duration(), SimDuration::from_ns(dur));
+            assert!(iv.start >= last_end);
+            assert!(iv.start >= SimTime::from_ns(ready));
+            assert_eq!(iv.duration(), SimDuration::from_ns(dur));
             last_end = iv.end;
             total += SimDuration::from_ns(dur);
         }
-        prop_assert_eq!(t.busy_time(), total);
+        assert_eq!(t.busy_time(), total);
     }
+}
 
-    #[test]
-    fn multiserver_start_after_ready_and_k_bounded(
-        k in 1usize..8,
-        reqs in prop::collection::vec((0u64..5_000, 1u64..300), 1..80)
-    ) {
+#[test]
+fn multiserver_start_after_ready_and_k_bounded() {
+    let mut rng = SplitMix64::new(0x51AD_0002);
+    for _ in 0..CASES {
+        let k = 1 + rng.next_below(7) as usize;
+        let reqs = 1 + rng.next_below(79) as usize;
         let mut m = MultiServer::new(k);
         let mut intervals = Vec::new();
-        for (ready, dur) in &reqs {
-            let iv = m.reserve(SimTime::from_ns(*ready), SimDuration::from_ns(*dur));
-            prop_assert!(iv.start >= SimTime::from_ns(*ready));
+        for _ in 0..reqs {
+            let ready = rng.next_below(5_000);
+            let dur = 1 + rng.next_below(299);
+            let iv = m.reserve(SimTime::from_ns(ready), SimDuration::from_ns(dur));
+            assert!(iv.start >= SimTime::from_ns(ready));
             intervals.push(iv);
         }
         // At any interval start, at most k intervals are concurrently open.
         for iv in &intervals {
-            let overlapping = intervals
-                .iter()
-                .filter(|o| o.start <= iv.start && iv.start < o.end)
-                .count();
-            prop_assert!(overlapping <= k, "{} concurrent on {} servers", overlapping, k);
+            let overlapping =
+                intervals.iter().filter(|o| o.start <= iv.start && iv.start < o.end).count();
+            assert!(overlapping <= k, "{overlapping} concurrent on {k} servers");
         }
     }
+}
 
-    #[test]
-    fn bw_resource_conserves_capacity(
-        mgbps in 1_000u64..100_000,
-        reqs in prop::collection::vec((0u64..100_000, 64u64..1 << 20), 1..60)
-    ) {
+#[test]
+fn bw_resource_conserves_capacity() {
+    let mut rng = SplitMix64::new(0x51AD_0003);
+    for _ in 0..CASES {
+        let mgbps = 1_000 + rng.next_below(99_000);
+        let reqs = 1 + rng.next_below(59) as usize;
         let mut p = BwResource::new(mgbps);
         let mut total_bytes = 0u64;
         let mut max_end = SimTime::ZERO;
         let mut min_ready = u64::MAX;
-        for (ready, bytes) in &reqs {
-            let iv = p.transfer(SimTime::from_ns(*ready), *bytes);
-            prop_assert!(iv.start >= SimTime::from_ns(*ready), "never starts before ready");
-            prop_assert_eq!(iv.duration(), transfer_time_mgbps(*bytes, mgbps));
+        for _ in 0..reqs {
+            let ready = rng.next_below(100_000);
+            let bytes = 64 + rng.next_below((1 << 20) - 64);
+            let iv = p.transfer(SimTime::from_ns(ready), bytes);
+            assert!(iv.start >= SimTime::from_ns(ready), "never starts before ready");
+            assert_eq!(iv.duration(), transfer_time_mgbps(bytes, mgbps));
             total_bytes += bytes;
             max_end = max_end.max(iv.end);
-            min_ready = min_ready.min(*ready);
+            min_ready = min_ready.min(ready);
         }
-        prop_assert_eq!(p.bytes_served(), total_bytes);
+        assert_eq!(p.bytes_served(), total_bytes);
         // Work conservation: finishing no later than serial service after
         // the last ready time, and no earlier than perfect pipelining.
         let serial = transfer_time_mgbps(total_bytes, mgbps);
-        prop_assert!(max_end <= SimTime::from_ns(100_000) + serial);
-        prop_assert!(max_end >= SimTime::from_ns(min_ready) + transfer_time_mgbps(64, mgbps));
+        assert!(max_end <= SimTime::from_ns(100_000) + serial);
+        assert!(max_end >= SimTime::from_ns(min_ready) + transfer_time_mgbps(64, mgbps));
     }
+}
 
-    #[test]
-    fn sliding_window_never_exceeds_capacity(
-        cap in 1usize..16,
-        items in prop::collection::vec((0u64..1_000, 1u64..500), 1..60)
-    ) {
+#[test]
+fn sliding_window_never_exceeds_capacity() {
+    let mut rng = SplitMix64::new(0x51AD_0004);
+    for _ in 0..CASES {
+        let cap = 1 + rng.next_below(15) as usize;
+        let items = 1 + rng.next_below(59) as usize;
         let mut w = SlidingWindow::new(cap);
         let mut clock = SimTime::ZERO;
-        for (gap, hold) in items {
+        for _ in 0..items {
+            let gap = rng.next_below(1_000);
+            let hold = 1 + rng.next_below(499);
             clock += SimDuration::from_ns(gap);
             let admitted = w.acquire(clock);
-            prop_assert!(admitted >= clock);
+            assert!(admitted >= clock);
             w.release(admitted + SimDuration::from_ns(hold));
         }
-        prop_assert!(w.max_in_flight() <= cap);
+        assert!(w.max_in_flight() <= cap);
     }
+}
 
-    #[test]
-    fn histogram_percentiles_are_monotone_and_bounded(
-        samples in prop::collection::vec(1u64..10_000_000, 1..500)
-    ) {
+#[test]
+fn histogram_percentiles_are_monotone_and_bounded() {
+    let mut rng = SplitMix64::new(0x51AD_0005);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(499) as usize;
         let mut h = DurationHistogram::new();
-        for &s in &samples {
-            h.record(SimDuration::from_ns(s));
+        for _ in 0..n {
+            h.record(SimDuration::from_ns(1 + rng.next_below(9_999_999)));
         }
         let mut last = SimDuration::ZERO;
         for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.999, 100.0] {
             let v = h.percentile(p);
-            prop_assert!(v >= last, "percentile must be monotone in p");
-            prop_assert!(v >= h.min() && v <= h.max());
+            assert!(v >= last, "percentile must be monotone in p");
+            assert!(v >= h.min() && v <= h.max());
             last = v;
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.count(), n as u64);
         let mean = h.mean();
-        prop_assert!(mean >= h.min() && mean <= h.max());
+        assert!(mean >= h.min() && mean <= h.max());
     }
+}
 
-    #[test]
-    fn transfer_time_is_linear_in_bytes(
-        bytes in 1u64..1 << 24,
-        mgbps in 100u64..200_000
-    ) {
+#[test]
+fn transfer_time_is_linear_in_bytes() {
+    let mut rng = SplitMix64::new(0x51AD_0006);
+    for _ in 0..256 {
+        let bytes = 1 + rng.next_below((1 << 24) - 1);
+        let mgbps = 100 + rng.next_below(199_900);
         let one = transfer_time_mgbps(bytes, mgbps);
         let two = transfer_time_mgbps(bytes * 2, mgbps);
         // Within integer rounding of a factor of two.
         let diff = (two.as_ps() as i128 - 2 * one.as_ps() as i128).abs();
-        prop_assert!(diff <= 2, "doubling bytes doubles time (got diff {diff})");
+        assert!(diff <= 2, "doubling bytes doubles time (got diff {diff})");
     }
 }

@@ -1,0 +1,359 @@
+//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`),
+//! a machine-readable metrics CSV, and a PCM-style text dashboard.
+
+use crate::hub::Hub;
+use crate::metrics::{Labels, Metric};
+use crate::span::{Event, Phase, Track};
+use dsa_sim::time::SimTime;
+use std::fmt::Write as _;
+
+/// Process IDs used in the Chrome trace: one synthetic "process" per
+/// hardware unit so Perfetto groups tracks sensibly.
+fn track_pid_tid(track: Track, workloads: &mut Vec<&'static str>) -> (u64, u64) {
+    match track {
+        Track::Job => (1, 0),
+        Track::Wq { device, wq } => (100 + device as u64, wq as u64),
+        Track::CbdmaChan { device, chan } => (200 + device as u64, chan as u64),
+        Track::Workload(name) => {
+            let idx = match workloads.iter().position(|w| *w == name) {
+                Some(i) => i,
+                None => {
+                    workloads.push(name);
+                    workloads.len() - 1
+                }
+            };
+            (300, idx as u64)
+        }
+    }
+}
+
+fn ts_us(t: SimTime) -> f64 {
+    t.as_ns_f64() / 1000.0
+}
+
+fn push_event(out: &mut String, line: &str, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+    out.push_str(line);
+}
+
+/// Serializes the hub's event log as Chrome trace-event JSON (the array
+/// form), one event per line. Load the result in Perfetto or
+/// `chrome://tracing`. Timestamps are microseconds of simulated time.
+pub fn chrome_trace_json(hub: &Hub) -> String {
+    hub.with_events(|events| {
+        let mut out = String::from("[\n");
+        let mut first = true;
+        let mut workloads: Vec<&'static str> = Vec::new();
+        let mut seen_tracks: Vec<(Track, u64, u64)> = Vec::new();
+        let mut note = |track: Track, workloads: &mut Vec<&'static str>| {
+            let (pid, tid) = track_pid_tid(track, workloads);
+            if !seen_tracks.iter().any(|(t, _, _)| *t == track) {
+                seen_tracks.push((track, pid, tid));
+            }
+            (pid, tid)
+        };
+
+        for e in events {
+            match e {
+                Event::Descriptor(d) => {
+                    let (pid, tid) =
+                        note(Track::Wq { device: d.device, wq: d.wq }, &mut workloads);
+                    for p in Phase::ALL {
+                        let (start, end) = d.phase_bounds(p);
+                        let line = format!(
+                            r#"{{"name":"{}","cat":"descriptor","ph":"X","pid":{pid},"tid":{tid},"ts":{:.3},"dur":{:.3},"args":{{"seq":{},"op":"{}","xfer":{},"pe":{}}}}}"#,
+                            p.name(),
+                            ts_us(start),
+                            (end - start).as_ns_f64() / 1000.0,
+                            d.seq,
+                            d.op,
+                            d.xfer_size,
+                            d.pe,
+                        );
+                        push_event(&mut out, &line, &mut first);
+                    }
+                }
+                Event::Span(s) => {
+                    let (pid, tid) = note(s.track, &mut workloads);
+                    let line = format!(
+                        r#"{{"name":"{}","cat":"span","ph":"X","pid":{pid},"tid":{tid},"ts":{:.3},"dur":{:.3}}}"#,
+                        s.name,
+                        ts_us(s.start),
+                        (s.end - s.start).as_ns_f64() / 1000.0,
+                    );
+                    push_event(&mut out, &line, &mut first);
+                }
+                Event::Instant { track, name, at } => {
+                    let (pid, tid) = note(*track, &mut workloads);
+                    let line = format!(
+                        r#"{{"name":"{name}","cat":"marker","ph":"i","s":"t","pid":{pid},"tid":{tid},"ts":{:.3}}}"#,
+                        ts_us(*at),
+                    );
+                    push_event(&mut out, &line, &mut first);
+                }
+            }
+        }
+
+        // Metadata names after the fact (position in the array is
+        // irrelevant to the importer).
+        for (track, pid, tid) in &seen_tracks {
+            let (pname, tname) = match track {
+                Track::Job => ("software".to_string(), "jobs".to_string()),
+                Track::Wq { device, wq } => (format!("dsa{device}"), format!("wq{wq}")),
+                Track::CbdmaChan { device, chan } => {
+                    (format!("cbdma{device}"), format!("chan{chan}"))
+                }
+                Track::Workload(name) => ("workloads".to_string(), (*name).to_string()),
+            };
+            let line = format!(
+                r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"{pname}"}}}}"#
+            );
+            push_event(&mut out, &line, &mut first);
+            let line = format!(
+                r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{tname}"}}}}"#
+            );
+            push_event(&mut out, &line, &mut first);
+        }
+
+        out.push_str("\n]\n");
+        out
+    })
+}
+
+fn label_cell(v: Option<u16>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_default()
+}
+
+/// Serializes the metrics registry as CSV. Histogram columns are
+/// nanoseconds; series rows report point count, mean, and max.
+pub fn metrics_csv(hub: &Hub) -> String {
+    hub.with_metrics(|metrics| {
+        let mut out =
+            String::from("name,device,wq,pe,kind,count,value,min,mean,p50,p90,p99,p999,max\n");
+        for (name, labels, metric) in metrics.iter() {
+            let (d, w, p) =
+                (label_cell(labels.device), label_cell(labels.wq), label_cell(labels.pe));
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name},{d},{w},{p},counter,,{c},,,,,,,");
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name},{d},{w},{p},gauge,,{g},,,,,,,");
+                }
+                Metric::Histogram(h) => {
+                    if h.count() == 0 {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name},{d},{w},{p},histogram,{},,{:.0},{:.0},{:.0},{:.0},{:.0},{:.0},{:.0}",
+                        h.count(),
+                        h.min().as_ns_f64(),
+                        h.mean().as_ns_f64(),
+                        h.percentile(50.0).as_ns_f64(),
+                        h.percentile(90.0).as_ns_f64(),
+                        h.percentile(99.0).as_ns_f64(),
+                        h.percentile(99.9).as_ns_f64(),
+                        h.max().as_ns_f64(),
+                    );
+                }
+                Metric::Series(s) => {
+                    if s.is_empty() {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name},{d},{w},{p},series,{},{:.3},,{:.3},,,,,{:.3}",
+                        s.len(),
+                        s.mean_value(),
+                        s.mean_value(),
+                        s.max_value(),
+                    );
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Renders a PCM-style text dashboard: per-WQ traffic counters and
+/// latency percentiles, the way `pcm` prints per-socket DSA tables.
+pub fn pcm_dashboard(hub: &Hub) -> String {
+    hub.with_events(|events| {
+        // Wall-clock window covered by the trace.
+        let mut t0 = SimTime::ZERO;
+        let mut t1 = SimTime::ZERO;
+        let mut any = false;
+        for e in events {
+            let (s, en) = match e {
+                Event::Descriptor(d) => (d.marks[0], d.marks[6]),
+                Event::Span(s) => (s.start, s.end),
+                Event::Instant { at, .. } => (*at, *at),
+            };
+            if !any {
+                t0 = s;
+                any = true;
+            }
+            t0 = t0.min(s);
+            t1 = t1.max(en);
+        }
+        let elapsed = (t1 - t0).as_ns_f64().max(1.0);
+
+        hub.with_metrics(|metrics| {
+            let mut out = String::new();
+            let _ = writeln!(out, "DSA telemetry dashboard (PCM-style)");
+            let _ = writeln!(out, "window: {:.2} us of simulated time", elapsed / 1000.0);
+            let _ = writeln!(
+                out,
+                "{:>4} {:>4} {:>12} {:>14} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                "dev",
+                "wq",
+                "descriptors",
+                "bytes",
+                "GB/s",
+                "p50(us)",
+                "p90(us)",
+                "p99(us)",
+                "p999(us)"
+            );
+            let mut wq_keys: Vec<Labels> = Vec::new();
+            for (name, labels, _) in metrics.iter() {
+                if name == "descriptors" && labels.wq.is_some() && !wq_keys.contains(&labels) {
+                    wq_keys.push(labels);
+                }
+            }
+            for labels in wq_keys {
+                let descriptors = metrics.counter("descriptors", labels);
+                let bytes = metrics.counter("bytes", labels);
+                let pct = |p: f64| {
+                    metrics
+                        .percentile("descriptor_latency", labels, p)
+                        .map(|d| format!("{:.2}", d.as_us_f64()))
+                        .unwrap_or_else(|| "-".to_string())
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>4} {:>4} {:>12} {:>14} {:>8.2} {:>9} {:>9} {:>9} {:>9}",
+                    labels.device.unwrap_or(0),
+                    labels.wq.unwrap_or(0),
+                    descriptors,
+                    bytes,
+                    bytes as f64 / elapsed,
+                    pct(50.0),
+                    pct(90.0),
+                    pct(99.0),
+                    pct(99.9),
+                );
+            }
+
+            // Utilization series (WQ depth, PE occupancy) summary.
+            let mut header_done = false;
+            for (name, labels, metric) in metrics.iter() {
+                if let Metric::Series(s) = metric {
+                    if s.is_empty() {
+                        continue;
+                    }
+                    if !header_done {
+                        let _ = writeln!(
+                            out,
+                            "{:>24} {:>4} {:>4} {:>4} {:>8} {:>9} {:>9}",
+                            "series", "dev", "wq", "pe", "points", "mean", "max"
+                        );
+                        header_done = true;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{:>24} {:>4} {:>4} {:>4} {:>8} {:>9.2} {:>9.2}",
+                        name,
+                        label_cell(labels.device),
+                        label_cell(labels.wq),
+                        label_cell(labels.pe),
+                        s.len(),
+                        s.mean_value(),
+                        s.max_value(),
+                    );
+                }
+            }
+            out
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::DescriptorSpan;
+    use dsa_sim::time::SimTime;
+
+    fn hub_with_one_descriptor() -> Hub {
+        let hub = Hub::new();
+        hub.record_descriptor(DescriptorSpan {
+            device: 0,
+            wq: 2,
+            pe: 1,
+            seq: 7,
+            op: "memmove",
+            xfer_size: 4096,
+            marks: [100, 140, 200, 230, 700, 900, 955].map(SimTime::from_ns),
+        });
+        hub
+    }
+
+    #[test]
+    fn chrome_json_has_one_span_per_phase() {
+        let hub = hub_with_one_descriptor();
+        let json = chrome_trace_json(&hub);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        for p in Phase::ALL {
+            assert!(
+                json.contains(&format!(r#""name":"{}","cat":"descriptor""#, p.name())),
+                "missing phase {} in {json}",
+                p.name()
+            );
+        }
+        // Durations (µs·1000 = ns) sum to the 855 ns total.
+        let total: f64 = json
+            .lines()
+            .filter(|l| l.contains(r#""cat":"descriptor""#))
+            .map(|l| {
+                let dur = l.split(r#""dur":"#).nth(1).unwrap();
+                dur.split(',').next().unwrap().parse::<f64>().unwrap()
+            })
+            .sum();
+        assert!((total * 1000.0 - 855.0).abs() < 1e-6, "phase durations sum to {total}us");
+        // Track metadata present.
+        assert!(json.contains(r#""name":"process_name""#));
+        assert!(json.contains(r#""name":"wq2""#));
+    }
+
+    #[test]
+    fn csv_contains_histogram_and_counter_rows() {
+        let hub = hub_with_one_descriptor();
+        let csv = metrics_csv(&hub);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "name,device,wq,pe,kind,count,value,min,mean,p50,p90,p99,p999,max"
+        );
+        assert!(csv.contains("descriptors,0,2,,counter,,1,"));
+        assert!(csv.lines().any(|l| l.starts_with("descriptor_latency,0,2,,histogram,1,")));
+        // Every data row has the full column count.
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 14, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn dashboard_lists_each_wq_once() {
+        let hub = hub_with_one_descriptor();
+        hub.series_push("wq_depth", Labels::wq(0, 2), SimTime::from_ns(100), 1.0);
+        let text = pcm_dashboard(&hub);
+        assert!(text.contains("DSA telemetry dashboard"));
+        assert_eq!(text.matches("4096").count(), 1, "one row for wq2: {text}");
+        assert!(text.contains("wq_depth"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Unified observability for the DSA reproduction: descriptor lifecycle
+//! **spans**, a labelled **metrics registry**, and **exporters**.
+//!
+//! The paper's methodology is observability: it reads PCM hardware
+//! counters to chart per-DSA traffic (§5) and decomposes offload latency
+//! into software/queueing/processing phases (Fig. 5). This crate gives
+//! the model stack one shared sink for the same signals:
+//!
+//! * [`Hub`] — a cheaply cloneable handle every layer (device, runtime,
+//!   workloads) can hold; single-threaded interior mutability matches the
+//!   deterministic simulation.
+//! * [`span`] — per-descriptor lifecycle spans (submit → WQ wait →
+//!   address translate → read → write → completion record) plus generic
+//!   named spans for jobs and workload stages.
+//! * [`metrics`] — counters, gauges, and log-linear histograms
+//!   (p50/p90/p99/p999) keyed by device/WQ/PE labels, plus utilization
+//!   time series (WQ depth, PE occupancy).
+//! * [`export`] — Chrome trace-event JSON loadable in Perfetto /
+//!   `chrome://tracing`, a machine-readable metrics CSV, and a PCM-style
+//!   text dashboard.
+
+pub mod export;
+pub mod hub;
+pub mod metrics;
+pub mod span;
+
+pub use export::{chrome_trace_json, metrics_csv, pcm_dashboard};
+pub use hub::Hub;
+pub use metrics::{Labels, Metric, Metrics};
+pub use span::{DescriptorSpan, Event, Phase, Span, Track};

@@ -105,12 +105,13 @@ pub fn run_cache_service(
     let max_value = 256 << 10;
     let cached: Vec<BufferHandle> =
         (0..32).map(|_| rt.alloc(max_value, Location::local_dram())).collect();
-    let staging: Vec<BufferHandle> = (0..workload.workers)
-        .map(|_| rt.alloc(max_value, Location::local_dram()))
-        .collect();
+    let staging: Vec<BufferHandle> =
+        (0..workload.workers).map(|_| rt.alloc(max_value, Location::local_dram())).collect();
 
     let mut dtos: Vec<Dto> = match path {
-        CopyPath::Cpu => (0..workload.workers).map(|_| Dto::new().with_threshold(u64::MAX)).collect(),
+        CopyPath::Cpu => {
+            (0..workload.workers).map(|_| Dto::new().with_threshold(u64::MAX)).collect()
+        }
         CopyPath::DsaDto { wqs } => (0..workload.workers)
             .map(|i| {
                 // One shared WQ per device instance (the SPR SoC exposes
@@ -125,9 +126,8 @@ pub fn run_cache_service(
     let mut latency = DurationHistogram::new();
     let mut rng = SplitMix64::new(workload.seed);
     // Earliest-cursor-first scheduling across workers.
-    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u32)>> = (0..workload.workers)
-        .map(|w| Reverse((SimTime::ZERO, w, 0u32)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u32)>> =
+        (0..workload.workers).map(|w| Reverse((SimTime::ZERO, w, 0u32))).collect();
     let mut finish = SimTime::ZERO;
     while let Some(Reverse((cursor, w, done))) = heap.pop() {
         if done >= workload.ops_per_worker {

@@ -66,7 +66,8 @@ impl SarFabric {
                 // copy-out (no CMA). Small messages reuse hot bounce
                 // buffers (LLC-resident); multi-chunk messages churn
                 // through cold memory.
-                let loc = if msg_bytes <= SAR_CHUNK { Location::Llc } else { Location::local_dram() };
+                let loc =
+                    if msg_bytes <= SAR_CHUNK { Location::Llc } else { Location::local_dram() };
                 let t_in = self.swcost.op_time(OpKind::Memcpy, msg_bytes, loc, loc);
                 let t_out = self.swcost.op_time(OpKind::Memcpy, msg_bytes, loc, loc);
                 rt.advance(t_in + t_out);
@@ -219,13 +220,13 @@ impl BertStep {
         };
         let mut rt_cpu = mk_rt();
         let cpu_fabric = SarFabric::new(&rt_cpu, CopyEngine::Cpu);
-        let ar_cpu =
-            cpu_fabric.allreduce(&mut rt_cpu, self.ranks, self.grad_bytes)? + self.framework_overhead;
+        let ar_cpu = cpu_fabric.allreduce(&mut rt_cpu, self.ranks, self.grad_bytes)?
+            + self.framework_overhead;
 
         let mut rt_dsa = mk_rt();
         let dsa_fabric = SarFabric::new(&rt_dsa, CopyEngine::Dsa);
-        let ar_dsa =
-            dsa_fabric.allreduce(&mut rt_dsa, self.ranks, self.grad_bytes)? + self.framework_overhead;
+        let ar_dsa = dsa_fabric.allreduce(&mut rt_dsa, self.ranks, self.grad_bytes)?
+            + self.framework_overhead;
 
         let e2e_cpu = self.compute + ar_cpu;
         let e2e_dsa = self.compute + ar_dsa;
@@ -270,7 +271,8 @@ mod tests {
         let mut rt = rt2();
         let cpu = SarFabric::new(&rt, CopyEngine::Cpu);
         let dsa = SarFabric::new(&rt, CopyEngine::Dsa);
-        let at_16k = dsa.rma_gbps(&mut rt, 16 << 10).unwrap() / cpu.rma_gbps(&mut rt, 16 << 10).unwrap();
+        let at_16k =
+            dsa.rma_gbps(&mut rt, 16 << 10).unwrap() / cpu.rma_gbps(&mut rt, 16 << 10).unwrap();
         let at_128k =
             dsa.rma_gbps(&mut rt, 128 << 10).unwrap() / cpu.rma_gbps(&mut rt, 128 << 10).unwrap();
         assert!(at_128k > 1.0, "DSA should win by 128 KiB: {at_128k}");

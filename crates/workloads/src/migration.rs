@@ -17,6 +17,7 @@ use dsa_mem::memory::BufferHandle;
 use dsa_ops::OpKind;
 use dsa_sim::rng::SplitMix64;
 use dsa_sim::time::{SimDuration, SimTime};
+use dsa_telemetry::Track;
 
 /// Who moves the bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,7 +98,10 @@ impl Migration {
     /// Panics if `block_size` is not a positive multiple of 8 or exceeds
     /// the delta-record range (512 KiB).
     pub fn new(rt: &mut DsaRuntime, cfg: MigrationConfig) -> Migration {
-        assert!(cfg.block_size > 0 && cfg.block_size.is_multiple_of(8), "blocks must be 8-byte multiples");
+        assert!(
+            cfg.block_size > 0 && cfg.block_size.is_multiple_of(8),
+            "blocks must be 8-byte multiples"
+        );
         assert!(cfg.block_size <= 512 << 10, "delta records address at most 512 KiB");
         let mut rng = SplitMix64::new(cfg.seed);
         let src_blocks: Vec<BufferHandle> = (0..cfg.blocks)
@@ -140,8 +144,7 @@ impl Migration {
         rt: &mut DsaRuntime,
         engine: MigrationEngine,
     ) -> Result<(u64, u64, u64), JobError> {
-        let dirty: Vec<usize> =
-            (0..self.cfg.blocks).filter(|&b| self.dirty[b]).collect();
+        let dirty: Vec<usize> = (0..self.cfg.blocks).filter(|&b| self.dirty[b]).collect();
         let mut copied = 0u64;
         let mut delta = 0u64;
         let mut delta_blocks = 0u64;
@@ -166,8 +169,7 @@ impl Migration {
                             let rec_len = report.record.result as u32;
                             if (rec_len as u64) < self.cfg.block_size / 2 {
                                 // Ship the record, apply remotely.
-                                Job::delta_apply(&rec, rec_len, &self.dst_blocks[b])
-                                    .execute(rt)?;
+                                Job::delta_apply(&rec, rec_len, &self.dst_blocks[b]).execute(rt)?;
                                 delta += rec_len as u64;
                                 delta_blocks += 1;
                             } else {
@@ -207,6 +209,7 @@ impl Migration {
         let mut rounds = 0u32;
 
         // Round 0: bulk copy of everything — batched when offloaded.
+        let round0_start = rt.now();
         if engine == MigrationEngine::Dsa {
             let mut batch = Batch::new();
             for (s, d) in self.src_blocks.iter().zip(&self.dst_blocks) {
@@ -221,6 +224,9 @@ impl Migration {
             delta += d;
             delta_blocks += db;
         }
+        if let Some(hub) = rt.hub().cloned() {
+            hub.span(Track::Workload("migration"), "round 0 (bulk)", round0_start, rt.now());
+        }
 
         // Iterative pre-copy while the guest runs: the guest keeps
         // dirtying; we ship until the residual dirty set is small (or we
@@ -231,11 +237,15 @@ impl Migration {
             if dirty_now <= self.cfg.downtime_threshold || rounds >= self.cfg.max_rounds {
                 break;
             }
+            let round_start = rt.now();
             let (c, d, db) = self.ship_dirty(rt, engine)?;
             copied += c;
             delta += d;
             delta_blocks += db;
             rounds += 1;
+            if let Some(hub) = rt.hub().cloned() {
+                hub.span(Track::Workload("migration"), "pre-copy round", round_start, rt.now());
+            }
         }
 
         // Stop-and-copy: the guest is paused; this round is the downtime.
@@ -245,6 +255,9 @@ impl Migration {
         delta += d;
         delta_blocks += db;
         let downtime = rt.now().duration_since(pause);
+        if let Some(hub) = rt.hub().cloned() {
+            hub.span(Track::Workload("migration"), "stop-and-copy", pause, rt.now());
+        }
 
         // Verify: destination is byte-identical to the (now quiescent) guest.
         for (s, dst) in self.src_blocks.iter().zip(&self.dst_blocks) {
@@ -332,7 +345,8 @@ mod tests {
 
     #[test]
     fn dsa_migrates_faster_than_cpu() {
-        let cfg = MigrationConfig { blocks: 32, block_size: 64 << 10, ..MigrationConfig::default() };
+        let cfg =
+            MigrationConfig { blocks: 32, block_size: 64 << 10, ..MigrationConfig::default() };
         let mut r1 = rt();
         let cpu = Migration::new(&mut r1, cfg).run(&mut r1, MigrationEngine::Cpu).unwrap();
         let mut r2 = rt();

@@ -24,6 +24,7 @@ use dsa_mem::memory::BufferHandle;
 use dsa_ops::swcost::SwCost;
 use dsa_ops::OpKind;
 use dsa_sim::time::{SimDuration, SimTime};
+use dsa_telemetry::Track;
 use std::collections::VecDeque;
 
 /// How packet payloads are copied into guest buffers.
@@ -199,6 +200,7 @@ impl Vhost {
 
         // Stage 1: completion check + in-order used write-back.
         self.reap(rt);
+        let reaped = rt.now();
 
         // Stage 2: fetch available descriptors and submit copies.
         match self.mode {
@@ -257,7 +259,8 @@ impl Vhost {
                         .on_wq(wq)
                         .cache_control()
                         .submit(rt)?;
-                    self.inflight.push_back(InFlight { desc_idx: idx, completion: h.completion_time() });
+                    self.inflight
+                        .push_back(InFlight { desc_idx: idx, completion: h.completion_time() });
                     self.stats.bytes += len as u64;
                     report.enqueued += 1;
                 } else if !idxs.is_empty() {
@@ -266,10 +269,8 @@ impl Vhost {
                     // batch record; order within our model follows
                     // submission order.
                     for (idx, len) in idxs {
-                        self.inflight.push_back(InFlight {
-                            desc_idx: idx,
-                            completion: handle.data_done(),
-                        });
+                        self.inflight
+                            .push_back(InFlight { desc_idx: idx, completion: handle.data_done() });
                         self.stats.bytes += len as u64;
                         report.enqueued += 1;
                     }
@@ -277,6 +278,11 @@ impl Vhost {
             }
         }
         report.core_busy = rt.now().duration_since(start);
+        if let Some(hub) = rt.hub().cloned() {
+            let track = Track::Workload("vhost-enqueue");
+            hub.span(track, "reap", start, reaped);
+            hub.span(track, "fetch+submit", reaped, rt.now());
+        }
         Ok(report)
     }
 
@@ -297,7 +303,9 @@ impl Vhost {
         mbufs: &[(BufferHandle, u32)],
     ) -> Result<Vec<u16>, JobError> {
         // Stage 1: completion check + in-order used write-back.
+        let start = rt.now();
         self.reap(rt);
+        let reaped = rt.now();
 
         // Stage 2: fetch offered descriptors and submit guest->host copies.
         let mut taken = Vec::new();
@@ -347,21 +355,25 @@ impl Vhost {
                         .on_wq(wq)
                         .cache_control()
                         .submit(rt)?;
-                    self.inflight.push_back(InFlight { desc_idx: idx, completion: h.completion_time() });
+                    self.inflight
+                        .push_back(InFlight { desc_idx: idx, completion: h.completion_time() });
                     self.stats.bytes += len as u64;
                     taken.push(idx);
                 } else if !idxs.is_empty() {
                     let handle = batch.submit(rt)?;
                     for (idx, len) in idxs {
-                        self.inflight.push_back(InFlight {
-                            desc_idx: idx,
-                            completion: handle.data_done(),
-                        });
+                        self.inflight
+                            .push_back(InFlight { desc_idx: idx, completion: handle.data_done() });
                         self.stats.bytes += len as u64;
                         taken.push(idx);
                     }
                 }
             }
+        }
+        if let Some(hub) = rt.hub().cloned() {
+            let track = Track::Workload("vhost-dequeue");
+            hub.span(track, "reap", start, reaped);
+            hub.span(track, "fetch+submit", reaped, rt.now());
         }
         Ok(taken)
     }
@@ -423,8 +435,7 @@ impl Testpmd {
         // A pool of hot packet buffers (NIC RX ring, LLC-resident).
         let pool: Vec<BufferHandle> =
             (0..self.burst).map(|_| rt.alloc(self.pkt_size as u64, Location::Llc)).collect();
-        let burst: Vec<(BufferHandle, u32)> =
-            pool.iter().map(|b| (*b, self.pkt_size)).collect();
+        let burst: Vec<(BufferHandle, u32)> = pool.iter().map(|b| (*b, self.pkt_size)).collect();
 
         let start = rt.now();
         for _ in 0..self.bursts {
@@ -453,9 +464,7 @@ mod tests {
     use dsa_mem::topology::Platform;
 
     fn rt_with_full_device() -> DsaRuntime {
-        DsaRuntime::builder(Platform::spr())
-            .device(presets::engines_behind_one_dwq(4, 128))
-            .build()
+        DsaRuntime::builder(Platform::spr()).device(presets::engines_behind_one_dwq(4, 128)).build()
     }
 
     #[test]
@@ -565,9 +574,7 @@ mod dequeue_tests {
     use dsa_mem::topology::Platform;
 
     fn rt4() -> DsaRuntime {
-        DsaRuntime::builder(Platform::spr())
-            .device(presets::engines_behind_one_dwq(4, 128))
-            .build()
+        DsaRuntime::builder(Platform::spr()).device(presets::engines_behind_one_dwq(4, 128)).build()
     }
 
     #[test]

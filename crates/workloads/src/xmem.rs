@@ -200,10 +200,8 @@ impl CoRunScenario {
             };
             for (b, bg_offset) in bg_offsets.iter_mut().enumerate() {
                 for _ in 0..copies_per_quantum {
-                    let src =
-                        0x8_0000_0000 + b as u64 * (stream_span + (1 << 20)) + *bg_offset;
-                    let dst =
-                        0xC_0000_0000 + b as u64 * (stream_span + (1 << 20)) + *bg_offset;
+                    let src = 0x8_0000_0000 + b as u64 * (stream_span + (1 << 20)) + *bg_offset;
+                    let dst = 0xC_0000_0000 + b as u64 * (stream_span + (1 << 20)) + *bg_offset;
                     *bg_offset = (*bg_offset + copy_size) % stream_span;
                     match self.background {
                         Background::None => unreachable!("bg_count is 0"),
@@ -228,7 +226,12 @@ impl CoRunScenario {
                             let agent = AgentId::dsa(b as u16);
                             for line in 0..copy_size / 64 {
                                 // Reads never allocate.
-                                llc.access(agent, src + line * 64, AllocPolicy::NoAlloc, WayMask::ALL);
+                                llc.access(
+                                    agent,
+                                    src + line * 64,
+                                    AllocPolicy::NoAlloc,
+                                    WayMask::ALL,
+                                );
                                 // Cache-control writes are confined to the
                                 // DDIO ways.
                                 llc.access(
@@ -327,12 +330,8 @@ mod tests {
     #[test]
     fn occupancy_attribution_matches_scenario() {
         let sw = scenario(Background::SoftwareCopy { n: 4 }, 4 << 20);
-        let copy_occ: f64 = sw
-            .occupancy
-            .iter()
-            .filter(|(a, _)| a.slot() >= 32)
-            .map(|(_, s)| s.max_value())
-            .sum();
+        let copy_occ: f64 =
+            sw.occupancy.iter().filter(|(a, _)| a.slot() >= 32).map(|(_, s)| s.max_value()).sum();
         assert!(copy_occ > 10e6, "software copies should occupy many MB: {copy_occ}");
 
         let dsa = scenario(Background::DsaOffload { n: 4 }, 4 << 20);

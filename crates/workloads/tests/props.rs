@@ -1,24 +1,28 @@
-//! Property tests for the workloads: ordering and integrity invariants
-//! under arbitrary traffic.
+//! Property-style tests for the workloads: ordering and integrity
+//! invariants under arbitrary traffic.
+//!
+//! Randomized inputs come from the in-repo deterministic [`SplitMix64`]
+//! generator so the suite runs offline with no external test-harness
+//! dependency; every case is reproducible from the fixed seeds below.
 
 use dsa_core::config::presets;
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::BufferHandle;
 use dsa_mem::topology::Platform;
+use dsa_sim::rng::SplitMix64;
 use dsa_workloads::vhost::{CopyMode, Vhost, Virtqueue};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Whatever burst pattern arrives, the used ring preserves submission
-    /// order and every delivered payload is intact.
-    #[test]
-    fn vhost_inorder_delivery_under_arbitrary_bursts(
-        bursts in prop::collection::vec((1usize..16, 64u32..1500), 1..8),
-        engines in 1u32..5
-    ) {
+/// Whatever burst pattern arrives, the used ring preserves submission
+/// order and every delivered payload is intact.
+#[test]
+fn vhost_inorder_delivery_under_arbitrary_bursts() {
+    let mut rng = SplitMix64::new(0x1105_0001);
+    for _ in 0..12 {
+        let engines = 1 + rng.next_below(4) as u32;
+        let bursts: Vec<(usize, u32)> = (0..1 + rng.next_below(7))
+            .map(|_| (1 + rng.next_below(15) as usize, 64 + rng.next_below(1436) as u32))
+            .collect();
         let mut rt = DsaRuntime::builder(Platform::spr())
             .device(presets::engines_behind_one_dwq(engines, 128))
             .build();
@@ -38,33 +42,33 @@ proptest! {
                 })
                 .collect();
             let report = vhost.enqueue_burst(&mut rt, &pkts).unwrap();
-            prop_assert_eq!(report.enqueued, count);
-            prop_assert_eq!(report.dropped, 0);
+            assert_eq!(report.enqueued, count);
+            assert_eq!(report.dropped, 0);
         }
         vhost.drain(&mut rt);
 
         let used = vhost.virtqueue().used_order().to_vec();
-        prop_assert_eq!(used.len(), expected_payloads.len());
+        assert_eq!(used.len(), expected_payloads.len());
         // In-order: descriptors were popped from a fresh queue 0,1,2,...
         for (i, &idx) in used.iter().enumerate() {
-            prop_assert_eq!(idx as usize, i, "used ring out of order");
+            assert_eq!(idx as usize, i, "used ring out of order");
             let buf = *vhost.virtqueue().buffer(idx);
             let (stamp, len) = expected_payloads[i];
             let data = rt.read(&buf).unwrap();
-            prop_assert!(
-                data[..len as usize].iter().all(|&b| b == stamp),
-                "payload {} corrupted", i
-            );
+            assert!(data[..len as usize].iter().all(|&b| b == stamp), "payload {i} corrupted");
         }
-        prop_assert_eq!(vhost.stats().delivered, expected_payloads.len() as u64);
+        assert_eq!(vhost.stats().delivered, expected_payloads.len() as u64);
     }
+}
 
-    /// CPU and DSA modes deliver identical payload bytes for the same
-    /// traffic (the offload is transparent to correctness).
-    #[test]
-    fn vhost_modes_agree_functionally(
-        lens in prop::collection::vec(64u32..2000, 1..12)
-    ) {
+/// CPU and DSA modes deliver identical payload bytes for the same
+/// traffic (the offload is transparent to correctness).
+#[test]
+fn vhost_modes_agree_functionally() {
+    let mut rng = SplitMix64::new(0x1105_0002);
+    for _ in 0..12 {
+        let lens: Vec<u32> =
+            (0..1 + rng.next_below(11)).map(|_| 64 + rng.next_below(1936) as u32).collect();
         let deliver = |mode: CopyMode| {
             let mut rt = DsaRuntime::builder(Platform::spr())
                 .device(presets::engines_behind_one_dwq(4, 128))
@@ -87,6 +91,6 @@ proptest! {
                 .map(|&idx| rt.read(vhost.virtqueue().buffer(idx)).unwrap().to_vec())
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(deliver(CopyMode::Cpu), deliver(CopyMode::Dsa { device: 0, wq: 0 }));
+        assert_eq!(deliver(CopyMode::Cpu), deliver(CopyMode::Dsa { device: 0, wq: 0 }));
     }
 }

@@ -2,8 +2,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dsa_repro::prelude::*;
 use dsa_ops::crc32::Crc32c;
+use dsa_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An SPR-like platform with one DSA instance (one engine, one 32-entry

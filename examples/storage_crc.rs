@@ -39,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, digest) in
         [("no digest", Digest::None), ("ISA-L", Digest::IsaL), ("DSA", Digest::Dsa)]
     {
-        let report =
-            NvmeTcpTarget { io_size: 16 << 10, cores: 4, digest }.run(&mut rt, 4)?;
+        let report = NvmeTcpTarget { io_size: 16 << 10, cores: 4, digest }.run(&mut rt, 4)?;
         println!(
             "  {label:>10}: {:>8.1} kIOPS, avg latency {:>6.2} us",
             report.kiops,

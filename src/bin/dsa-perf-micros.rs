@@ -33,6 +33,8 @@ struct Options {
     huge_pages: bool,
     platform: &'static str,
     compare_cpu: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -53,6 +55,8 @@ impl Default for Options {
             huge_pages: false,
             platform: "spr",
             compare_cpu: true,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -77,6 +81,10 @@ OPTIONS:
     --huge-pages       map buffers with 2 MiB pages
     --platform <p>     spr|icx (default spr)
     --no-cpu           skip the software-baseline comparison
+    --trace <file>     write a Chrome trace-event JSON (Perfetto /
+                       chrome://tracing) of descriptor lifecycle spans
+    --metrics <file>   write the metrics registry as CSV (counters,
+                       gauges, histogram percentiles, time series)
     --help             this text
 ";
 
@@ -141,6 +149,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--no-cpu" => o.compare_cpu = false,
+            "--trace" => o.trace_out = Some(val("--trace")?.clone()),
+            "--metrics" => o.metrics_out = Some(val("--metrics")?.clone()),
             "--help" | "-h" => {
                 print!("{HELP}");
                 std::process::exit(0);
@@ -199,6 +209,8 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let hub =
+        if o.trace_out.is_some() || o.metrics_out.is_some() { Some(rt.trace()) } else { None };
     let m = Measure::new(o.op, o.size)
         .iters(o.iters)
         .mode(mode)
@@ -246,6 +258,23 @@ fn main() {
         t.bytes_read as f64 / (1 << 20) as f64,
         t.bytes_written as f64 / (1 << 20) as f64,
     );
+    if let Some(hub) = &hub {
+        if let Some(path) = &o.trace_out {
+            if let Err(e) = std::fs::write(path, dsa_telemetry::chrome_trace_json(hub)) {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("trace:           {path} ({} events)", hub.event_count());
+        }
+        if let Some(path) = &o.metrics_out {
+            if let Err(e) = std::fs::write(path, dsa_telemetry::metrics_csv(hub)) {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("metrics:         {path}");
+        }
+        print!("{}", dsa_telemetry::pcm_dashboard(hub));
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +312,17 @@ mod tests {
         assert!(o.cache_control && o.shared_wq && o.huge_pages && !o.compare_cpu);
         assert_eq!((o.devices, o.engines, o.wq_size), (2, 4, 64));
         assert_eq!(o.platform, "icx");
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse() {
+        let o = parse_args(&argv("--trace out.json --metrics out.csv")).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("out.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("out.csv"));
+        let o = parse_args(&[]).unwrap();
+        assert!(o.trace_out.is_none() && o.metrics_out.is_none());
+        assert!(parse_args(&argv("--trace")).is_err(), "missing value");
+        assert!(parse_args(&argv("--metrics")).is_err(), "missing value");
     }
 
     #[test]

@@ -13,9 +13,8 @@ use dsa_workloads::migration::{Migration, MigrationConfig, MigrationEngine};
 use dsa_workloads::xmem::{Background, CoRunScenario};
 
 fn mixed_run() -> (SimTime, u64, Vec<u32>) {
-    let mut rt = DsaRuntime::builder(Platform::spr())
-        .devices(2, DeviceConfig::full_device())
-        .build();
+    let mut rt =
+        DsaRuntime::builder(Platform::spr()).devices(2, DeviceConfig::full_device()).build();
     let src = rt.alloc(64 << 10, Location::local_dram());
     let dst = rt.alloc(64 << 10, Location::local_dram());
     rt.fill_random(&src);
@@ -62,9 +61,8 @@ fn workload_scenarios_are_deterministic() {
     assert_eq!(a.hit_ratio, b.hit_ratio);
 
     let run_mig = || {
-        let mut rt = DsaRuntime::builder(Platform::spr())
-            .device(DeviceConfig::full_device())
-            .build();
+        let mut rt =
+            DsaRuntime::builder(Platform::spr()).device(DeviceConfig::full_device()).build();
         let cfg = MigrationConfig { blocks: 8, block_size: 16 << 10, ..MigrationConfig::default() };
         let r = Migration::new(&mut rt, cfg).run(&mut rt, MigrationEngine::Dsa).unwrap();
         (r.total_time, r.copied_bytes, r.delta_bytes)

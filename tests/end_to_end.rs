@@ -118,9 +118,7 @@ fn four_devices_scale_nearly_linearly_below_the_ddio_knee() {
 fn swq_is_shared_across_processes_without_locks() {
     // Two "processes" (interleaved submitters) share one SWQ; both make
     // progress and all data lands correctly.
-    let mut rt = DsaRuntime::builder(Platform::spr())
-        .device(presets::one_swq_one_engine())
-        .build();
+    let mut rt = DsaRuntime::builder(Platform::spr()).device(presets::one_swq_one_engine()).build();
     let a_src = rt.alloc(8192, Location::local_dram());
     let a_dst = rt.alloc(8192, Location::local_dram());
     let b_src = rt.alloc(8192, Location::local_dram());
@@ -147,8 +145,7 @@ fn umwait_saves_cycles_interrupt_frees_core() {
     let dst = rt.alloc(1 << 20, Location::local_dram());
     let spin = Job::memcpy(&src, &dst).wait_method(WaitMethod::SpinPoll).execute(&mut rt).unwrap();
     let umwait = Job::memcpy(&src, &dst).wait_method(WaitMethod::Umwait).execute(&mut rt).unwrap();
-    let intr =
-        Job::memcpy(&src, &dst).wait_method(WaitMethod::Interrupt).execute(&mut rt).unwrap();
+    let intr = Job::memcpy(&src, &dst).wait_method(WaitMethod::Interrupt).execute(&mut rt).unwrap();
     assert_eq!(spin.idle_wait.as_ps(), 0);
     assert!(umwait.idle_wait.as_ns_f64() > 0.9 * umwait.phases.wait.as_ns_f64());
     // Interrupts are slowest to observe but fully idle.
@@ -206,8 +203,8 @@ fn completion_record_lands_in_memory_for_polling() {
     // Status byte starts 0 (not complete).
     assert_eq!(rt.memory().read(record_buf.addr(), 1).unwrap()[0], 0);
 
-    let desc = Descriptor::memmove(src.addr(), dst.addr(), 4096)
-        .with_completion_addr(record_buf.addr());
+    let desc =
+        Descriptor::memmove(src.addr(), dst.addr(), 4096).with_completion_addr(record_buf.addr());
     let report = Job::from_descriptor(desc).execute(&mut rt).unwrap();
     assert!(report.record.status.is_ok());
 

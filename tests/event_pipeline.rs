@@ -62,9 +62,8 @@ impl Component<Msg, Shared> for Offloader {
         let Msg::Ship(n) = msg else { panic!("offloader only ships") };
         // The engine's clock is authoritative: sync the runtime to it.
         shared.rt.advance_to(ctx.now());
-        let handle = Job::memcpy(&shared.src, &shared.dst)
-            .submit(&mut shared.rt)
-            .expect("submission");
+        let handle =
+            Job::memcpy(&shared.src, &shared.dst).submit(&mut shared.rt).expect("submission");
         shared.bursts_shipped += 1;
         let done = handle.completion_time();
         ctx.send_at(done.max(ctx.now()), self.consumer, Msg::Done(n, done));
@@ -110,11 +109,7 @@ fn event_driven_pipeline_completes_all_bursts() {
     // each component its id before its sender needs it).
     let consumer = eng.add(Consumer);
     let offloader = eng.add(Offloader { consumer });
-    let producer = eng.add(Producer {
-        offloader,
-        remaining: 24,
-        period: SimDuration::from_us(2),
-    });
+    let producer = eng.add(Producer { offloader, remaining: 24, period: SimDuration::from_us(2) });
     eng.post(SimTime::ZERO, producer, Msg::Produce);
     let end = eng.run();
 

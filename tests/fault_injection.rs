@@ -199,7 +199,8 @@ fn cbdma_requires_pinning_dsa_does_not() {
     let platform = dsa_mem::topology::Platform::icx();
     let mut memory = dsa_mem::memory::Memory::new();
     let mut memsys = dsa_mem::memsys::MemSystem::new(platform);
-    let mut cbdma = dsa_device::cbdma::CbdmaDevice::new(0, 16, dsa_device::timing::CbdmaTiming::icx());
+    let mut cbdma =
+        dsa_device::cbdma::CbdmaDevice::new(0, 16, dsa_device::timing::CbdmaTiming::icx());
     let a = memory.alloc(4096, Location::local_dram());
     let b = memory.alloc(4096, Location::local_dram());
     assert!(matches!(

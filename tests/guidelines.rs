@@ -83,7 +83,8 @@ fn g2_async_advice_matches_measurement() {
     let src = rt.alloc(1024, Location::local_dram());
     let dst = rt.alloc(1024, Location::local_dram());
     let dsa = Job::memcpy(&src, &dst).execute(&mut rt).unwrap().elapsed();
-    let cpu = rt.cpu_time(dsa_ops::OpKind::Memcpy, 1024, Location::local_dram(), Location::local_dram());
+    let cpu =
+        rt.cpu_time(dsa_ops::OpKind::Memcpy, 1024, Location::local_dram(), Location::local_dram());
     assert!(cpu < dsa, "1 KiB: CPU {cpu:?} should beat sync DSA {dsa:?}");
 }
 

@@ -57,13 +57,11 @@ fn cache_pollution_headline() {
 fn cachelib_headline() {
     // Fig. 19: DTO improves both rate and p99.999 tail at 4 workers.
     let wl = CacheWorkload { workers: 4, ops_per_worker: 600, ..CacheWorkload::default() };
-    let mut rt = DsaRuntime::builder(Platform::spr())
-        .devices(4, DeviceConfig::full_device())
-        .build();
+    let mut rt =
+        DsaRuntime::builder(Platform::spr()).devices(4, DeviceConfig::full_device()).build();
     let cpu = run_cache_service(&mut rt, &wl, CopyPath::Cpu).unwrap();
-    let mut rt = DsaRuntime::builder(Platform::spr())
-        .devices(4, DeviceConfig::full_device())
-        .build();
+    let mut rt =
+        DsaRuntime::builder(Platform::spr()).devices(4, DeviceConfig::full_device()).build();
     let dsa = run_cache_service(&mut rt, &wl, CopyPath::DsaDto { wqs: 4 }).unwrap();
     assert!(dsa.mops > 1.1 * cpu.mops);
     assert!(dsa.tail() < cpu.tail());
@@ -73,9 +71,8 @@ fn cachelib_headline() {
 fn nvmetcp_headline() {
     // Fig. 21: DSA saturates with ~no-digest core counts; ISA-L needs more.
     let mut rt = DsaRuntime::spr_default();
-    let mut sat = |digest| {
-        NvmeTcpTarget { io_size: 16 << 10, cores: 1, digest }.saturation_cores(&mut rt)
-    };
+    let mut sat =
+        |digest| NvmeTcpTarget { io_size: 16 << 10, cores: 1, digest }.saturation_cores(&mut rt);
     let none = sat(Digest::None);
     let dsa = sat(Digest::Dsa);
     let isal = sat(Digest::IsaL);
@@ -86,9 +83,8 @@ fn nvmetcp_headline() {
 #[test]
 fn fabric_headline() {
     // Fig. 17a: large-message pingpong ~5x with DSA.
-    let mut rt = DsaRuntime::builder(Platform::spr())
-        .devices(2, DeviceConfig::full_device())
-        .build();
+    let mut rt =
+        DsaRuntime::builder(Platform::spr()).devices(2, DeviceConfig::full_device()).build();
     let cpu = SarFabric::new(&rt, CopyEngine::Cpu).pingpong_gbps(&mut rt, 2 << 20).unwrap();
     let dsa = SarFabric::new(&rt, CopyEngine::Dsa).pingpong_gbps(&mut rt, 2 << 20).unwrap();
     let speedup = dsa / cpu;
@@ -108,12 +104,8 @@ fn dsa_occupancy_confined_to_ddio_share() {
     }
     .run(&Platform::spr());
     let ddio = Platform::spr().ddio_bytes() as f64;
-    let dsa_max: f64 = r
-        .occupancy
-        .iter()
-        .filter(|(a, _)| a.is_dsa())
-        .map(|(_, s)| s.max_value())
-        .sum();
+    let dsa_max: f64 =
+        r.occupancy.iter().filter(|(a, _)| a.is_dsa()).map(|(_, s)| s.max_value()).sum();
     assert!(dsa_max <= ddio * 1.05, "DSA lines {dsa_max} vs DDIO share {ddio}");
 }
 
@@ -121,9 +113,8 @@ fn dsa_occupancy_confined_to_ddio_share() {
 fn mixed_workload_on_one_runtime() {
     // Several subsystems share one platform: vhost forwarding while a
     // tiered-memory job streams CXL data — both make progress and verify.
-    let mut rt = DsaRuntime::builder(Platform::spr())
-        .devices(2, DeviceConfig::full_device())
-        .build();
+    let mut rt =
+        DsaRuntime::builder(Platform::spr()).devices(2, DeviceConfig::full_device()).build();
 
     // Tiered-memory stream on device 1.
     let cold = rt.alloc(256 << 10, Location::Cxl);
