@@ -3,10 +3,11 @@
 //! blocks, swept over the guest's dirtying density.
 
 use dsa_bench::table;
+use dsa_core::backend::Engine;
 use dsa_core::runtime::DsaRuntime;
 use dsa_device::config::DeviceConfig;
 use dsa_mem::topology::Platform;
-use dsa_workloads::migration::{Migration, MigrationConfig, MigrationEngine};
+use dsa_workloads::migration::{Migration, MigrationConfig};
 
 fn main() {
     table::banner("§5 datacenter tax", "VM live migration: CPU vs DSA total time and downtime");
@@ -31,8 +32,8 @@ fn main() {
                 DsaRuntime::builder(Platform::spr()).device(DeviceConfig::full_device()).build();
             Migration::new(&mut rt, cfg).run(&mut rt, engine).unwrap()
         };
-        let cpu = run(MigrationEngine::Cpu);
-        let dsa = run(MigrationEngine::Dsa);
+        let cpu = run(Engine::Cpu);
+        let dsa = run(Engine::dsa());
         table::row(&[
             format!("{:.0}", density * 100.0),
             format!("{:.3}", cpu.total_time.as_secs_f64() * 1e3),

@@ -4,26 +4,27 @@
 //! 1.14–2.29× above 256-byte packets.
 
 use dsa_bench::table;
+use dsa_core::backend::Engine;
 use dsa_core::config::presets;
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::topology::Platform;
-use dsa_workloads::vhost::{CopyMode, Testpmd};
+use dsa_workloads::vhost::Testpmd;
 
 fn main() {
     table::banner("Fig. 16b", "vhost forwarding rate (Mpps) vs packet size");
     table::header(&["pkt size", "CPU Mpps", "DSA Mpps", "DSA/CPU"]);
     for &size in &[64u32, 128, 256, 512, 1024, 1518] {
-        let run = |mode: CopyMode| -> f64 {
+        let run = |engine: Engine| -> f64 {
             let mut rt = DsaRuntime::builder(Platform::spr())
                 .device(presets::engines_behind_one_dwq(4, 128))
                 .build();
             Testpmd { pkt_size: size, bursts: 200, ..Testpmd::default() }
-                .run(&mut rt, mode)
+                .run(&mut rt, engine)
                 .expect("forwarding run failed")
                 .mpps
         };
-        let cpu = run(CopyMode::Cpu);
-        let dsa = run(CopyMode::Dsa { device: 0, wq: 0 });
+        let cpu = run(Engine::Cpu);
+        let dsa = run(Engine::dsa());
         table::row(&[size.to_string(), table::f2(cpu), table::f2(dsa), table::f2(dsa / cpu)]);
     }
     println!("(paper: DSA ~flat, CPU falls with size; 1.14-2.29x above 256 B)");

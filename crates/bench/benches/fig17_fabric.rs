@@ -4,10 +4,11 @@
 //! (b) OSU-style AllReduce with 2–8 ranks and the BERT pre-training step.
 
 use dsa_bench::table;
+use dsa_core::backend::Engine;
 use dsa_core::runtime::DsaRuntime;
 use dsa_device::config::DeviceConfig;
 use dsa_mem::topology::Platform;
-use dsa_workloads::fabric::{BertStep, CopyEngine, SarFabric};
+use dsa_workloads::fabric::{BertStep, SarFabric};
 
 fn rt2() -> DsaRuntime {
     DsaRuntime::builder(Platform::spr()).devices(2, DeviceConfig::full_device()).build()
@@ -18,8 +19,8 @@ fn main() {
     table::header(&["msg", "PP cpu", "PP dsa", "RMA cpu", "RMA dsa", "PP ratio"]);
     for &msg in &[4u64 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20] {
         let mut rt = rt2();
-        let cpu = SarFabric::new(&rt, CopyEngine::Cpu);
-        let dsa = SarFabric::new(&rt, CopyEngine::Dsa);
+        let cpu = SarFabric::new(Engine::Cpu);
+        let dsa = SarFabric::new(Engine::dsa());
         let pp_c = cpu.pingpong_gbps(&mut rt, msg).unwrap();
         let pp_d = dsa.pingpong_gbps(&mut rt, msg).unwrap();
         let rma_c = cpu.rma_gbps(&mut rt, msg).unwrap();
@@ -41,10 +42,8 @@ fn main() {
         for &msg in &[256u64 << 10, 4 << 20] {
             let mut rt_c = rt2();
             let mut rt_d = rt2();
-            let cpu =
-                SarFabric::new(&rt_c, CopyEngine::Cpu).allreduce(&mut rt_c, ranks, msg).unwrap();
-            let dsa =
-                SarFabric::new(&rt_d, CopyEngine::Dsa).allreduce(&mut rt_d, ranks, msg).unwrap();
+            let cpu = SarFabric::new(Engine::Cpu).allreduce(&mut rt_c, ranks, msg).unwrap();
+            let dsa = SarFabric::new(Engine::dsa()).allreduce(&mut rt_d, ranks, msg).unwrap();
             table::row(&[
                 ranks.to_string(),
                 table::size_label(msg),

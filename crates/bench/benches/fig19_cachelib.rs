@@ -5,9 +5,10 @@
 
 use dsa_bench::table;
 use dsa_core::config::AccelConfig;
+use dsa_core::dispatch::DispatchPolicy;
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::topology::Platform;
-use dsa_workloads::cachesvc::{run_cache_service, CacheWorkload, CopyPath};
+use dsa_workloads::cachesvc::{run_cache_service, CacheWorkload};
 
 fn rt_with_devices(n: u32) -> DsaRuntime {
     let mut b = DsaRuntime::builder(Platform::spr());
@@ -26,9 +27,9 @@ fn main() {
     for &workers in &[1u32, 4, 8, 16] {
         let wl = CacheWorkload { workers, ops_per_worker: 1500, ..CacheWorkload::default() };
         let mut rt = rt_with_devices(4);
-        let cpu = run_cache_service(&mut rt, &wl, CopyPath::Cpu).unwrap();
+        let cpu = run_cache_service(&mut rt, &wl, DispatchPolicy::CpuOnly).unwrap();
         let mut rt = rt_with_devices(4);
-        let dsa = run_cache_service(&mut rt, &wl, CopyPath::DsaDto { wqs: 4 }).unwrap();
+        let dsa = run_cache_service(&mut rt, &wl, DispatchPolicy::Threshold(8 << 10)).unwrap();
         table::row(&[
             workers.to_string(),
             table::f2(cpu.mops),

@@ -4,17 +4,20 @@
 //! with far fewer cores than ISA-L.
 
 use dsa_bench::table;
+use dsa_core::backend::Engine;
 use dsa_core::runtime::DsaRuntime;
-use dsa_workloads::nvmetcp::{Digest, NvmeTcpTarget};
+use dsa_workloads::nvmetcp::NvmeTcpTarget;
 
 fn sweep(io_size: u64, label: &str) {
     table::banner("Fig. 21", label);
     table::header(&["cores", "none kIOPS", "isal kIOPS", "dsa kIOPS", "dsa lat us", "isal lat us"]);
     for cores in [1u32, 2, 4, 6, 8, 10, 12] {
         let mut rt = DsaRuntime::spr_default();
-        let none = NvmeTcpTarget { io_size, cores, digest: Digest::None }.run(&mut rt, 2).unwrap();
-        let isal = NvmeTcpTarget { io_size, cores, digest: Digest::IsaL }.run(&mut rt, 2).unwrap();
-        let dsa = NvmeTcpTarget { io_size, cores, digest: Digest::Dsa }.run(&mut rt, 2).unwrap();
+        let none = NvmeTcpTarget { io_size, cores, digest: None }.run(&mut rt, 2).unwrap();
+        let isal =
+            NvmeTcpTarget { io_size, cores, digest: Some(Engine::Cpu) }.run(&mut rt, 2).unwrap();
+        let dsa =
+            NvmeTcpTarget { io_size, cores, digest: Some(Engine::dsa()) }.run(&mut rt, 2).unwrap();
         table::row(&[
             cores.to_string(),
             table::f2(none.kiops),
@@ -25,12 +28,11 @@ fn sweep(io_size: u64, label: &str) {
         ]);
     }
     let mut rt = DsaRuntime::spr_default();
-    let sat_none =
-        NvmeTcpTarget { io_size, cores: 1, digest: Digest::None }.saturation_cores(&mut rt);
+    let sat_none = NvmeTcpTarget { io_size, cores: 1, digest: None }.saturation_cores(&mut rt);
     let sat_dsa =
-        NvmeTcpTarget { io_size, cores: 1, digest: Digest::Dsa }.saturation_cores(&mut rt);
+        NvmeTcpTarget { io_size, cores: 1, digest: Some(Engine::dsa()) }.saturation_cores(&mut rt);
     let sat_isal =
-        NvmeTcpTarget { io_size, cores: 1, digest: Digest::IsaL }.saturation_cores(&mut rt);
+        NvmeTcpTarget { io_size, cores: 1, digest: Some(Engine::Cpu) }.saturation_cores(&mut rt);
     println!("saturation cores — none: {sat_none}, dsa: {sat_dsa}, isal: {sat_isal}");
 }
 

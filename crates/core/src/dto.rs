@@ -7,16 +7,20 @@
 //! [`Dto::memcpy`] wherever the application would call `memcpy`, and the
 //! router decides CPU vs. DSA.
 //!
+//! Since the backend refactor, `Dto` is a thin veneer over
+//! [`Dispatcher`](crate::dispatch::Dispatcher): DTO's fixed byte threshold
+//! is simply [`DispatchPolicy::Threshold`], one policy among several.
+//!
 //! The CacheLib appendix motivates the default threshold: "around 4.8% of
 //! memcpy()s are copying data of 8 KB or larger in size, but account for
 //! 96.4% of data copied" — so DTO offloads ≥ 8 KiB by default and the rare
 //! large copies carry almost all the bytes.
 
-use crate::job::{Job, JobError};
+use crate::backend::DsaBackend;
+use crate::dispatch::{DispatchPolicy, Dispatcher};
+use crate::job::JobError;
 use crate::runtime::DsaRuntime;
-use dsa_device::descriptor::Status;
 use dsa_mem::memory::BufferHandle;
-use dsa_ops::OpKind;
 use dsa_sim::time::SimDuration;
 
 /// Counters describing what DTO routed where.
@@ -57,10 +61,10 @@ impl DtoStats {
 /// The transparent-offload router.
 #[derive(Clone, Debug)]
 pub struct Dto {
+    dispatcher: Dispatcher,
     threshold: u64,
     device: usize,
     wq: usize,
-    stats: DtoStats,
 }
 
 impl Default for Dto {
@@ -72,20 +76,33 @@ impl Default for Dto {
 impl Dto {
     /// A router with the 8 KiB default threshold on device 0 / WQ 0.
     pub fn new() -> Dto {
-        Dto { threshold: 8 << 10, device: 0, wq: 0, stats: DtoStats::default() }
+        let threshold = 8 << 10;
+        Dto {
+            dispatcher: Dispatcher::new().with_policy(DispatchPolicy::Threshold(threshold)),
+            threshold,
+            device: 0,
+            wq: 0,
+        }
+    }
+
+    fn rebuild(self) -> Dto {
+        let dispatcher = Dispatcher::new()
+            .with_policy(DispatchPolicy::Threshold(self.threshold))
+            .with_backend(DsaBackend::with_pool(vec![self.device]).on_wq(self.wq));
+        Dto { dispatcher, ..self }
     }
 
     /// Overrides the offload threshold.
     pub fn with_threshold(mut self, bytes: u64) -> Dto {
         self.threshold = bytes;
-        self
+        self.rebuild()
     }
 
     /// Targets a specific device/WQ.
     pub fn on(mut self, device: usize, wq: usize) -> Dto {
         self.device = device;
         self.wq = wq;
-        self
+        self.rebuild()
     }
 
     /// The active threshold.
@@ -95,7 +112,14 @@ impl Dto {
 
     /// Routing statistics.
     pub fn stats(&self) -> DtoStats {
-        self.stats
+        let d = self.dispatcher.stats();
+        DtoStats {
+            calls: d.calls(),
+            offloaded_calls: d.offloaded_calls(),
+            bytes: d.cpu_bytes + d.offloaded_bytes,
+            offloaded_bytes: d.offloaded_bytes,
+            fault_fallbacks: d.fault_fallbacks,
+        }
     }
 
     /// Intercepted `memcpy`: routes to DSA at or above the threshold,
@@ -110,23 +134,7 @@ impl Dto {
         src: &BufferHandle,
         dst: &BufferHandle,
     ) -> Result<SimDuration, JobError> {
-        let len = src.len().min(dst.len());
-        self.stats.calls += 1;
-        self.stats.bytes += len;
-        if len < self.threshold {
-            return Ok(rt.cpu_op(OpKind::Memcpy, src, dst));
-        }
-        self.stats.offloaded_calls += 1;
-        self.stats.offloaded_bytes += len;
-        let before = rt.now();
-        let report = Job::memcpy(src, dst).on_device(self.device).on_wq(self.wq).execute(rt)?;
-        if matches!(report.record.status, Status::PageFault { .. }) {
-            // DTO's documented behaviour: "the core would redo offloaded
-            // operations when encountering page faults".
-            self.stats.fault_fallbacks += 1;
-            rt.cpu_op(OpKind::Memcpy, src, dst);
-        }
-        Ok(rt.now().duration_since(before))
+        self.dispatcher.memcpy(rt, src, dst)
     }
 
     /// Intercepted `memset` (fills with `byte`).
@@ -140,28 +148,7 @@ impl Dto {
         dst: &BufferHandle,
         byte: u8,
     ) -> Result<SimDuration, JobError> {
-        let len = dst.len();
-        self.stats.calls += 1;
-        self.stats.bytes += len;
-        if len < self.threshold {
-            let t = rt.cpu_time(
-                OpKind::Fill,
-                len,
-                dsa_mem::buffer::Location::local_dram(),
-                rt.memory()
-                    .location_of(dst.addr())
-                    .unwrap_or(dsa_mem::buffer::Location::local_dram()),
-            );
-            rt.fill_pattern(dst, byte);
-            rt.advance(t);
-            return Ok(t);
-        }
-        self.stats.offloaded_calls += 1;
-        self.stats.offloaded_bytes += len;
-        let before = rt.now();
-        let pattern = u64::from_le_bytes([byte; 8]);
-        Job::fill(dst, pattern).on_device(self.device).on_wq(self.wq).execute(rt)?;
-        Ok(rt.now().duration_since(before))
+        self.dispatcher.memset(rt, dst, byte)
     }
 
     /// Intercepted `memcmp`: returns the first differing offset (like the
@@ -176,27 +163,7 @@ impl Dto {
         a: &BufferHandle,
         b: &BufferHandle,
     ) -> Result<(Option<u64>, SimDuration), JobError> {
-        let len = a.len().min(b.len());
-        self.stats.calls += 1;
-        self.stats.bytes += len;
-        if len < self.threshold {
-            let t = rt.cpu_op(OpKind::Compare, a, b);
-            let diff = {
-                let av = rt.memory().read(a.addr(), len).expect("mapped");
-                let bv = rt.memory().read(b.addr(), len).expect("mapped");
-                dsa_ops::memops::compare(av, bv).map(|o| o as u64)
-            };
-            return Ok((diff, t));
-        }
-        self.stats.offloaded_calls += 1;
-        self.stats.offloaded_bytes += len;
-        let before = rt.now();
-        let report = Job::compare(a, b).on_device(self.device).on_wq(self.wq).execute(rt)?;
-        let diff = match report.record.status {
-            Status::CompareMismatch => Some(report.record.result),
-            _ => None,
-        };
-        Ok((diff, rt.now().duration_since(before)))
+        self.dispatcher.memcmp(rt, a, b)
     }
 }
 

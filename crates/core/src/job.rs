@@ -37,8 +37,9 @@ use std::collections::VecDeque;
 /// real-world use these descriptors are often pre-allocated").
 const DESC_ALLOC: SimDuration = SimDuration::from_ns(900);
 /// Writing the handful of descriptor fields (two stores in the amortized
-/// case; §4.2 calls this "low-cost").
-const DESC_PREPARE: SimDuration = SimDuration::from_ns(12);
+/// case; §4.2 calls this "low-cost"). Shared with the backend layer so
+/// dispatch estimates track what submission actually charges.
+pub(crate) const DESC_PREPARE: SimDuration = SimDuration::from_ns(12);
 
 /// Errors surfaced by job execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -11,6 +11,8 @@
 //! | `MOVDIR64B`/`ENQCMD`/`UMWAIT` | [`submit`] — submission & wait models |
 //! | DTO (transparent offload) | [`dto::Dto`] — threshold-routed `mem*` calls |
 //! | Guidelines G1–G6    | [`guidelines`] — executable advisors            |
+//! | Offload runtimes (DML backends) | [`backend`] — CPU/DSA/CBDMA behind one trait |
+//! | G1–G3 as live policy | [`dispatch::Dispatcher`] — per-call backend routing |
 //!
 //! Everything runs against a [`runtime::DsaRuntime`]: the simulated SPR
 //! (or ICX) platform with its memory system and DSA instances.
@@ -37,7 +39,9 @@
 //! # Ok::<(), dsa_core::job::JobError>(())
 //! ```
 
+pub mod backend;
 pub mod config;
+pub mod dispatch;
 pub mod dto;
 pub mod guidelines;
 pub mod job;
@@ -47,7 +51,11 @@ pub mod telemetry;
 
 /// The types most programs need.
 pub mod prelude {
+    pub use crate::backend::{
+        CbdmaBackend, CpuBackend, DsaBackend, Engine, OffloadBackend, OffloadRequest, PoolPolicy,
+    };
     pub use crate::config::AccelConfig;
+    pub use crate::dispatch::{Decision, DispatchPolicy, DispatchStats, Dispatcher};
     pub use crate::dto::Dto;
     pub use crate::job::{AsyncQueue, Batch, Job, JobError, JobReport};
     pub use crate::runtime::{DsaRuntime, RuntimeBuilder};

@@ -194,6 +194,7 @@ struct WqState {
 /// One DSA instance.
 pub struct DsaDevice {
     id: u16,
+    socket: u8,
     caps: DeviceCaps,
     timing: DsaTiming,
     fabric_rd: BwResource,
@@ -256,6 +257,7 @@ impl DsaDevice {
             .collect();
         DsaDevice {
             id,
+            socket: (id % u16::from(platform.sockets.max(1))) as u8,
             caps,
             timing,
             fabric_rd: BwResource::new(timing.fabric_mgbps),
@@ -333,6 +335,43 @@ impl DsaDevice {
     /// (drain semantics).
     pub fn last_completion(&self) -> SimTime {
         self.last_completion
+    }
+
+    /// The socket this instance hangs off (instances are distributed
+    /// round-robin across the platform's sockets, as on real two-die SPR
+    /// parts with two DSA instances per socket).
+    pub fn socket(&self) -> u8 {
+        self.socket
+    }
+
+    /// Descriptors occupying slots of WQ `wq` whose completion lies after
+    /// `now` — the WQ occupancy a load balancer sees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wq` is out of range.
+    pub fn wq_pending(&self, wq: WqId, now: SimTime) -> usize {
+        self.wqs[wq.0].window.pending_at(now)
+    }
+
+    /// Descriptors still in flight across all WQs at `now`.
+    pub fn pending_descriptors(&self, now: SimTime) -> usize {
+        self.wqs.iter().map(|w| w.window.pending_at(now)).sum()
+    }
+
+    /// The earliest instant any engine of any group could begin new work.
+    pub fn engines_next_free(&self) -> SimTime {
+        self.groups.iter().map(|g| g.engines.next_free()).min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Cumulative busy time summed over every engine of every group.
+    pub fn engines_busy_time(&self) -> SimDuration {
+        self.groups.iter().map(|g| g.engines.busy_time()).fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Total engines across all groups.
+    pub fn engine_count(&self) -> usize {
+        self.groups.iter().map(|g| g.engines.servers()).sum()
     }
 
     /// Reserves the device-side ENQCMD acceptance port of `wq` for a

@@ -294,6 +294,13 @@ impl SlidingWindow {
         self.releases.len()
     }
 
+    /// Number of tracked holders whose release lies after `now` — the true
+    /// occupancy at `now` (unlike [`in_flight`](SlidingWindow::in_flight),
+    /// which never shrinks below the high-water FIFO view).
+    pub fn pending_at(&self, now: SimTime) -> usize {
+        self.releases.iter().filter(|&&t| t > now).count()
+    }
+
     /// Returns the earliest instant >= `ready` at which a slot is free.
     ///
     /// Must be paired with exactly one later call to

@@ -2,14 +2,16 @@
 //! (paper Appendix B, Fig. 19).
 //!
 //! `get` copies a cached value out to the caller; `set` copies a new value
-//! in. Both go through the DTO-style router: copies at or above 8 KiB are
+//! in. Both go through a per-worker [`Dispatcher`]: with the DTO-style
+//! [`DispatchPolicy::Threshold`] policy, copies at or above 8 KiB are
 //! offloaded *synchronously* to one of the device's shared WQs, exactly as
 //! the appendix describes ("these operations are offloaded synchronously,
 //! a thread must stall when all DSA groups are actively managing a
 //! descriptor"). The workload's value-size distribution mirrors the
 //! appendix's observation that ~5% of copies carry ~96% of the bytes.
 
-use dsa_core::dto::Dto;
+use dsa_core::backend::DsaBackend;
+use dsa_core::dispatch::{DispatchPolicy, DispatchStats, Dispatcher};
 use dsa_core::job::JobError;
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
@@ -19,19 +21,6 @@ use dsa_sim::stats::DurationHistogram;
 use dsa_sim::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-/// How value copies run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CopyPath {
-    /// Always on the worker core.
-    Cpu,
-    /// Through DTO to `wqs` shared WQs (Fig. 19: four), round-robin per
-    /// worker.
-    DsaDto {
-        /// Number of shared WQs available.
-        wqs: usize,
-    },
-}
 
 /// Workload parameters.
 #[derive(Clone, Copy, Debug)]
@@ -98,7 +87,7 @@ fn draw_value_size(rng: &mut SplitMix64) -> u64 {
 pub fn run_cache_service(
     rt: &mut DsaRuntime,
     workload: &CacheWorkload,
-    path: CopyPath,
+    policy: DispatchPolicy,
 ) -> Result<CacheReport, JobError> {
     // Pre-allocate a pool of cached values and transfer staging buffers
     // large enough for any draw.
@@ -108,20 +97,14 @@ pub fn run_cache_service(
     let staging: Vec<BufferHandle> =
         (0..workload.workers).map(|_| rt.alloc(max_value, Location::local_dram())).collect();
 
-    let mut dtos: Vec<Dto> = match path {
-        CopyPath::Cpu => {
-            (0..workload.workers).map(|_| Dto::new().with_threshold(u64::MAX)).collect()
-        }
-        CopyPath::DsaDto { wqs } => (0..workload.workers)
-            .map(|i| {
-                // One shared WQ per device instance (the SPR SoC exposes
-                // four DSA devices); workers round-robin across them.
-                let lane = (i as usize) % wqs.max(1);
-                let dev = lane % rt.device_count().max(1);
-                Dto::new().on(dev, 0)
-            })
-            .collect(),
-    };
+    // One dispatcher per worker, each pinned to one device instance (the
+    // SPR SoC exposes four DSA devices); workers round-robin across them.
+    let mut workers: Vec<Dispatcher> = (0..workload.workers)
+        .map(|i| {
+            let dev = (i as usize) % rt.device_count().max(1);
+            Dispatcher::new().with_policy(policy).with_backend(DsaBackend::with_pool(vec![dev]))
+        })
+        .collect();
 
     let mut latency = DurationHistogram::new();
     let mut rng = SplitMix64::new(workload.seed);
@@ -141,22 +124,23 @@ pub fn run_cache_service(
         let value = cached[rng.next_below(cached.len() as u64) as usize].slice(0, size);
         let stage = staging[w as usize].slice(0, size);
         let is_get = rng.next_f64() < workload.get_fraction;
-        let dto = &mut dtos[w as usize];
+        let d = &mut workers[w as usize];
         if is_get {
-            dto.memcpy(rt, &value, &stage)?;
+            d.memcpy(rt, &value, &stage)?;
         } else {
-            dto.memcpy(rt, &stage, &value)?;
+            d.memcpy(rt, &stage, &value)?;
         }
         latency.record(rt.now().duration_since(op_start));
         heap.push(Reverse((rt.now(), w, done + 1)));
     }
 
     let total_ops = workload.workers as u64 * workload.ops_per_worker as u64;
-    let stats = dtos.iter().fold(dsa_core::dto::DtoStats::default(), |mut acc, d| {
+    let stats = workers.iter().fold(DispatchStats::default(), |mut acc, d| {
         let s = d.stats();
-        acc.calls += s.calls;
-        acc.offloaded_calls += s.offloaded_calls;
-        acc.bytes += s.bytes;
+        acc.cpu_calls += s.cpu_calls;
+        acc.sync_offloads += s.sync_offloads;
+        acc.async_offloads += s.async_offloads;
+        acc.cpu_bytes += s.cpu_bytes;
         acc.offloaded_bytes += s.offloaded_bytes;
         acc
     });
@@ -193,7 +177,8 @@ mod tests {
     #[test]
     fn byte_skew_matches_appendix() {
         let mut rt = rt_with_swqs(4);
-        let r = run_cache_service(&mut rt, &small_workload(), CopyPath::DsaDto { wqs: 4 }).unwrap();
+        let r = run_cache_service(&mut rt, &small_workload(), DispatchPolicy::Threshold(8 << 10))
+            .unwrap();
         assert!(r.offload_call_fraction < 0.12, "few calls offload: {}", r.offload_call_fraction);
         assert!(r.offload_byte_fraction > 0.80, "most bytes offload: {}", r.offload_byte_fraction);
     }
@@ -202,9 +187,9 @@ mod tests {
     fn dsa_improves_throughput_and_tail() {
         let wl = small_workload();
         let mut rt_cpu = rt_with_swqs(4);
-        let cpu = run_cache_service(&mut rt_cpu, &wl, CopyPath::Cpu).unwrap();
+        let cpu = run_cache_service(&mut rt_cpu, &wl, DispatchPolicy::CpuOnly).unwrap();
         let mut rt_dsa = rt_with_swqs(4);
-        let dsa = run_cache_service(&mut rt_dsa, &wl, CopyPath::DsaDto { wqs: 4 }).unwrap();
+        let dsa = run_cache_service(&mut rt_dsa, &wl, DispatchPolicy::Threshold(8 << 10)).unwrap();
         assert!(dsa.mops > cpu.mops, "DSA {} vs CPU {} Mops", dsa.mops, cpu.mops);
         assert!(
             dsa.tail() < cpu.tail(),
@@ -219,9 +204,10 @@ mod tests {
         let gain = |workers: u32| -> f64 {
             let wl = CacheWorkload { workers, ops_per_worker: 400, ..CacheWorkload::default() };
             let mut rt_cpu = rt_with_swqs(4);
-            let cpu = run_cache_service(&mut rt_cpu, &wl, CopyPath::Cpu).unwrap();
+            let cpu = run_cache_service(&mut rt_cpu, &wl, DispatchPolicy::CpuOnly).unwrap();
             let mut rt_dsa = rt_with_swqs(4);
-            let dsa = run_cache_service(&mut rt_dsa, &wl, CopyPath::DsaDto { wqs: 4 }).unwrap();
+            let dsa =
+                run_cache_service(&mut rt_dsa, &wl, DispatchPolicy::Threshold(8 << 10)).unwrap();
             dsa.mops / cpu.mops
         };
         let at4 = gain(4);
@@ -236,7 +222,7 @@ mod tests {
     fn latency_histogram_collects_all_ops() {
         let mut rt = rt_with_swqs(4);
         let wl = small_workload();
-        let r = run_cache_service(&mut rt, &wl, CopyPath::Cpu).unwrap();
+        let r = run_cache_service(&mut rt, &wl, DispatchPolicy::CpuOnly).unwrap();
         assert_eq!(r.latency.count(), (wl.workers * wl.ops_per_worker) as u64);
         assert!(r.tail() >= r.latency.percentile(50.0));
     }

@@ -16,21 +16,16 @@
 //! DSA mode drives one device per copy direction (sender-side and
 //! receiver-side), as the shm provider does on a multi-instance SoC.
 
+use dsa_core::backend::Engine;
 use dsa_core::job::{AsyncQueue, Job, JobError};
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
-use dsa_ops::swcost::SwCost;
 use dsa_ops::OpKind;
 use dsa_sim::time::{SimDuration, SimTime};
 
 /// Which engine moves SAR segments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CopyEngine {
-    /// The progress thread copies (baseline).
-    Cpu,
-    /// DSA devices 0 (sender side) and 1 (receiver side).
-    Dsa,
-}
+#[deprecated(since = "0.2.0", note = "use `dsa_core::backend::Engine`")]
+pub type CopyEngine = Engine;
 
 /// SAR segment size (libfabric shm default-scale bounce buffers).
 const SAR_CHUNK: u64 = 64 << 10;
@@ -42,14 +37,15 @@ const REDUCE_MGBPS: u64 = 8_000;
 /// The SAR transport between two local endpoints.
 #[derive(Debug)]
 pub struct SarFabric {
-    engine: CopyEngine,
-    swcost: SwCost,
+    engine: Engine,
 }
 
 impl SarFabric {
-    /// Creates a transport using `engine` for bulk copies.
-    pub fn new(rt: &DsaRuntime, engine: CopyEngine) -> SarFabric {
-        SarFabric { engine, swcost: SwCost::new(rt.platform().clone()) }
+    /// Creates a transport using `engine` for bulk copies. `Engine::Dsa`
+    /// names the sender-side device; the receiver side uses the next one
+    /// (as the shm provider does on a multi-instance SoC).
+    pub fn new(engine: Engine) -> SarFabric {
+        SarFabric { engine }
     }
 
     /// Moves one `msg_bytes` message through SAR; returns the one-way time.
@@ -61,25 +57,26 @@ impl SarFabric {
         let start = rt.now();
         rt.advance(PROTO_OVERHEAD);
         match self.engine {
-            CopyEngine::Cpu => {
+            Engine::Cpu => {
                 // The single progress thread serializes copy-in then
                 // copy-out (no CMA). Small messages reuse hot bounce
                 // buffers (LLC-resident); multi-chunk messages churn
                 // through cold memory.
                 let loc =
                     if msg_bytes <= SAR_CHUNK { Location::Llc } else { Location::local_dram() };
-                let t_in = self.swcost.op_time(OpKind::Memcpy, msg_bytes, loc, loc);
-                let t_out = self.swcost.op_time(OpKind::Memcpy, msg_bytes, loc, loc);
+                let t_in = rt.cpu_time(OpKind::Memcpy, msg_bytes, loc, loc);
+                let t_out = rt.cpu_time(OpKind::Memcpy, msg_bytes, loc, loc);
                 rt.advance(t_in + t_out);
             }
-            CopyEngine::Dsa => {
+            Engine::Dsa { device, wq } => {
                 // Chunked, asynchronous, two devices: receiver-side copy of
                 // chunk i starts once chunk i landed in the bounce buffer.
                 let chunks = msg_bytes.div_ceil(SAR_CHUNK).max(1);
                 let src = rt.alloc(SAR_CHUNK, Location::local_dram());
                 let bounce = rt.alloc(SAR_CHUNK, Location::local_dram());
                 let dst = rt.alloc(SAR_CHUNK, Location::local_dram());
-                let recv_dev = 1usize.min(rt.device_count() - 1);
+                let send_dev = device.min(rt.device_count() - 1);
+                let recv_dev = (device + 1).min(rt.device_count() - 1);
                 let mut in_q = AsyncQueue::new(32);
                 let mut out_q = AsyncQueue::new(32);
                 let mut first_chunk_in: Option<SimTime> = None;
@@ -88,11 +85,11 @@ impl SarFabric {
                     let s = src.slice(0, len);
                     let b = bounce.slice(0, len);
                     let d = dst.slice(0, len);
-                    in_q.submit(rt, Job::memcpy(&s, &b).on_device(0))?;
+                    in_q.submit(rt, Job::memcpy(&s, &b).on_device(send_dev).on_wq(wq))?;
                     if first_chunk_in.is_none() {
                         first_chunk_in = Some(rt.now());
                     }
-                    out_q.submit(rt, Job::memcpy(&b, &d).on_device(recv_dev))?;
+                    out_q.submit(rt, Job::memcpy(&b, &d).on_device(recv_dev).on_wq(wq))?;
                 }
                 let in_done = in_q.drain(rt);
                 rt.advance_to(in_done);
@@ -219,12 +216,12 @@ impl BertStep {
                 .build()
         };
         let mut rt_cpu = mk_rt();
-        let cpu_fabric = SarFabric::new(&rt_cpu, CopyEngine::Cpu);
+        let cpu_fabric = SarFabric::new(Engine::Cpu);
         let ar_cpu = cpu_fabric.allreduce(&mut rt_cpu, self.ranks, self.grad_bytes)?
             + self.framework_overhead;
 
         let mut rt_dsa = mk_rt();
-        let dsa_fabric = SarFabric::new(&rt_dsa, CopyEngine::Dsa);
+        let dsa_fabric = SarFabric::new(Engine::dsa());
         let ar_dsa = dsa_fabric.allreduce(&mut rt_dsa, self.ranks, self.grad_bytes)?
             + self.framework_overhead;
 
@@ -252,8 +249,8 @@ mod tests {
     #[test]
     fn dsa_wins_big_messages_loses_small() {
         let mut rt = rt2();
-        let cpu = SarFabric::new(&rt, CopyEngine::Cpu);
-        let dsa = SarFabric::new(&rt, CopyEngine::Dsa);
+        let cpu = SarFabric::new(Engine::Cpu);
+        let dsa = SarFabric::new(Engine::dsa());
         let small_cpu = cpu.pingpong_gbps(&mut rt, 4 << 10).unwrap();
         let small_dsa = dsa.pingpong_gbps(&mut rt, 4 << 10).unwrap();
         assert!(small_cpu > small_dsa * 0.6, "small messages are close or CPU-favoured");
@@ -269,8 +266,8 @@ mod tests {
     #[test]
     fn crossover_near_32k() {
         let mut rt = rt2();
-        let cpu = SarFabric::new(&rt, CopyEngine::Cpu);
-        let dsa = SarFabric::new(&rt, CopyEngine::Dsa);
+        let cpu = SarFabric::new(Engine::Cpu);
+        let dsa = SarFabric::new(Engine::dsa());
         let at_16k =
             dsa.rma_gbps(&mut rt, 16 << 10).unwrap() / cpu.rma_gbps(&mut rt, 16 << 10).unwrap();
         let at_128k =
@@ -283,8 +280,8 @@ mod tests {
     fn allreduce_speedup_grows_with_message() {
         let mut rt_c = rt2();
         let mut rt_d = rt2();
-        let cpu = SarFabric::new(&rt_c, CopyEngine::Cpu);
-        let dsa = SarFabric::new(&rt_d, CopyEngine::Dsa);
+        let cpu = SarFabric::new(Engine::Cpu);
+        let dsa = SarFabric::new(Engine::dsa());
         let big_c = cpu.allreduce(&mut rt_c, 4, 8 << 20).unwrap();
         let big_d = dsa.allreduce(&mut rt_d, 4, 8 << 20).unwrap();
         let speedup = big_c.as_ns_f64() / big_d.as_ns_f64();
@@ -313,7 +310,7 @@ mod tests {
     #[should_panic(expected = "at least two ranks")]
     fn allreduce_rank_validation() {
         let mut rt = rt2();
-        let f = SarFabric::new(&rt, CopyEngine::Cpu);
+        let f = SarFabric::new(Engine::Cpu);
         let _ = f.allreduce(&mut rt, 1, 1024);
     }
 }

@@ -16,14 +16,19 @@
 //!   "datacenter tax": VM/container migration offload).
 
 //!
+//! All workloads pick their data mover through the shared
+//! [`dsa_core::backend::Engine`] (or a [`dsa_core::dispatch::DispatchPolicy`]
+//! where routing is per-call) instead of per-workload engine enums.
+//!
 //! ```
+//! use dsa_core::backend::Engine;
 //! use dsa_core::runtime::DsaRuntime;
-//! use dsa_workloads::vhost::{CopyMode, Virtqueue, Vhost};
+//! use dsa_workloads::vhost::{Virtqueue, Vhost};
 //! use dsa_mem::buffer::Location;
 //!
 //! let mut rt = DsaRuntime::spr_default();
 //! let vq = Virtqueue::new(&mut rt, 16, 2048);
-//! let mut vhost = Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+//! let mut vhost = Vhost::new(vq, Engine::Dsa { device: 0, wq: 0 });
 //! let pkt = rt.alloc(2048, Location::Llc);
 //! rt.fill_pattern(&pkt, 0x42);
 //! vhost.enqueue_burst(&mut rt, &[(pkt, 1024)]).unwrap();

@@ -10,6 +10,7 @@
 //! When the dirty set is small enough the VM pauses and the final round's
 //! duration is the migration *downtime*.
 
+use dsa_core::backend::Engine;
 use dsa_core::job::{Batch, Job, JobError};
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
@@ -20,13 +21,8 @@ use dsa_sim::time::{SimDuration, SimTime};
 use dsa_telemetry::Track;
 
 /// Who moves the bytes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MigrationEngine {
-    /// `memcpy`/word-diffing on a core.
-    Cpu,
-    /// DSA batches: block copies + delta create/apply.
-    Dsa,
-}
+#[deprecated(since = "0.2.0", note = "use `dsa_core::backend::Engine`")]
+pub type MigrationEngine = Engine;
 
 /// Migration parameters.
 #[derive(Clone, Copy, Debug)]
@@ -142,14 +138,14 @@ impl Migration {
     fn ship_dirty(
         &mut self,
         rt: &mut DsaRuntime,
-        engine: MigrationEngine,
+        engine: Engine,
     ) -> Result<(u64, u64, u64), JobError> {
         let dirty: Vec<usize> = (0..self.cfg.blocks).filter(|&b| self.dirty[b]).collect();
         let mut copied = 0u64;
         let mut delta = 0u64;
         let mut delta_blocks = 0u64;
         match engine {
-            MigrationEngine::Cpu => {
+            Engine::Cpu => {
                 for &b in &dirty {
                     // A core diffs and copies: charge a compare + a copy of
                     // the block (conservative software pre-copy).
@@ -158,28 +154,38 @@ impl Migration {
                     copied += self.cfg.block_size;
                 }
             }
-            MigrationEngine::Dsa => {
+            Engine::Dsa { device, wq } => {
                 for &b in &dirty {
                     // Create a delta against the destination's last copy.
                     let rec = self.scratch_records[b];
                     let report = Job::delta_create(&self.dst_blocks[b], &self.src_blocks[b], &rec)
+                        .on_device(device)
+                        .on_wq(wq)
                         .execute(rt)?;
                     match report.record.status {
                         dsa_device::descriptor::Status::Success => {
                             let rec_len = report.record.result as u32;
                             if (rec_len as u64) < self.cfg.block_size / 2 {
                                 // Ship the record, apply remotely.
-                                Job::delta_apply(&rec, rec_len, &self.dst_blocks[b]).execute(rt)?;
+                                Job::delta_apply(&rec, rec_len, &self.dst_blocks[b])
+                                    .on_device(device)
+                                    .on_wq(wq)
+                                    .execute(rt)?;
                                 delta += rec_len as u64;
                                 delta_blocks += 1;
                             } else {
                                 Job::memcpy(&self.src_blocks[b], &self.dst_blocks[b])
+                                    .on_device(device)
+                                    .on_wq(wq)
                                     .execute(rt)?;
                                 copied += self.cfg.block_size;
                             }
                         }
                         _ => {
-                            Job::memcpy(&self.src_blocks[b], &self.dst_blocks[b]).execute(rt)?;
+                            Job::memcpy(&self.src_blocks[b], &self.dst_blocks[b])
+                                .on_device(device)
+                                .on_wq(wq)
+                                .execute(rt)?;
                             copied += self.cfg.block_size;
                         }
                     }
@@ -197,11 +203,7 @@ impl Migration {
     /// # Errors
     ///
     /// Propagates DSA submission failures.
-    pub fn run(
-        mut self,
-        rt: &mut DsaRuntime,
-        engine: MigrationEngine,
-    ) -> Result<MigrationReport, JobError> {
+    pub fn run(mut self, rt: &mut DsaRuntime, engine: Engine) -> Result<MigrationReport, JobError> {
         let start = rt.now();
         let mut copied = 0u64;
         let mut delta = 0u64;
@@ -210,8 +212,8 @@ impl Migration {
 
         // Round 0: bulk copy of everything — batched when offloaded.
         let round0_start = rt.now();
-        if engine == MigrationEngine::Dsa {
-            let mut batch = Batch::new();
+        if let Engine::Dsa { device, wq } = engine {
+            let mut batch = Batch::new().on_device(device).on_wq(wq);
             for (s, d) in self.src_blocks.iter().zip(&self.dst_blocks) {
                 batch.push(Job::memcpy(s, d));
             }
@@ -302,7 +304,7 @@ mod tests {
     fn migration_verifies_byte_exact_dsa() {
         let mut r = rt();
         let m = Migration::new(&mut r, small_cfg());
-        let report = m.run(&mut r, MigrationEngine::Dsa).unwrap();
+        let report = m.run(&mut r, Engine::dsa()).unwrap();
         assert!(report.copied_bytes > 0);
         assert!(report.total_time > SimDuration::ZERO);
     }
@@ -311,7 +313,7 @@ mod tests {
     fn migration_verifies_byte_exact_cpu() {
         let mut r = rt();
         let m = Migration::new(&mut r, small_cfg());
-        let report = m.run(&mut r, MigrationEngine::Cpu).unwrap();
+        let report = m.run(&mut r, Engine::Cpu).unwrap();
         assert!(report.copied_bytes > 0);
         assert_eq!(report.delta_bytes, 0, "CPU path ships full blocks");
     }
@@ -324,7 +326,7 @@ mod tests {
             ..small_cfg()
         };
         let m = Migration::new(&mut r, cfg);
-        let report = m.run(&mut r, MigrationEngine::Dsa).unwrap();
+        let report = m.run(&mut r, Engine::dsa()).unwrap();
         assert!(report.delta_blocks > 0, "sparse dirt must ship as deltas");
         assert!(
             report.delta_bytes < report.copied_bytes,
@@ -339,7 +341,7 @@ mod tests {
         let mut r = rt();
         let cfg = MigrationConfig { dirty_density: 0.9, ..small_cfg() };
         let m = Migration::new(&mut r, cfg);
-        let report = m.run(&mut r, MigrationEngine::Dsa).unwrap();
+        let report = m.run(&mut r, Engine::dsa()).unwrap();
         assert_eq!(report.delta_blocks, 0, "dense dirt makes records larger than copies");
     }
 
@@ -348,9 +350,9 @@ mod tests {
         let cfg =
             MigrationConfig { blocks: 32, block_size: 64 << 10, ..MigrationConfig::default() };
         let mut r1 = rt();
-        let cpu = Migration::new(&mut r1, cfg).run(&mut r1, MigrationEngine::Cpu).unwrap();
+        let cpu = Migration::new(&mut r1, cfg).run(&mut r1, Engine::Cpu).unwrap();
         let mut r2 = rt();
-        let dsa = Migration::new(&mut r2, cfg).run(&mut r2, MigrationEngine::Dsa).unwrap();
+        let dsa = Migration::new(&mut r2, cfg).run(&mut r2, Engine::dsa()).unwrap();
         assert!(
             dsa.total_time < cpu.total_time,
             "DSA {:?} vs CPU {:?}",

@@ -2,33 +2,24 @@
 //! (paper Appendix C, Fig. 21).
 //!
 //! For every read I/O the target produces a PDU whose Data Digest is a
-//! CRC32-C over the payload. The digest can be skipped (`None`), computed
-//! with an ISA-L-style vectorized software kernel on the target core, or
-//! offloaded to DSA through the acceleration framework (batched when
-//! possible, polled in user space; the framework falls back to software
-//! when the device is unavailable).
+//! CRC32-C over the payload. The digest strategy is `Option<Engine>`:
+//! skipped entirely (`None`), computed with an ISA-L-style vectorized
+//! software kernel on the target core (`Some(Engine::Cpu)`), or offloaded
+//! to DSA through the acceleration framework (`Some(Engine::Dsa { .. })`,
+//! batched when possible, polled in user space; the framework falls back
+//! to software when the device is unavailable).
 //!
 //! The harness measures IOPS versus the number of target cores, with the
 //! aggregate capped by the network/SSD path, and the average request
 //! latency — reproducing Fig. 21's "DSA ≈ no-digest, both saturate with
 //! fewer cores than ISA-L" result.
 
+use dsa_core::backend::Engine;
 use dsa_core::job::{Job, JobError};
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
 use dsa_ops::crc32::Crc32c;
 use dsa_sim::time::SimDuration;
-
-/// Data Digest strategy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Digest {
-    /// Data Digest disabled.
-    None,
-    /// ISA-L-style software CRC32-C on the target core.
-    IsaL,
-    /// CRC32-C offloaded to DSA (device 0).
-    Dsa,
-}
 
 /// Target configuration.
 #[derive(Clone, Copy, Debug)]
@@ -37,8 +28,10 @@ pub struct NvmeTcpTarget {
     pub io_size: u64,
     /// Target cores polling for work.
     pub cores: u32,
-    /// Digest strategy.
-    pub digest: Digest,
+    /// Digest strategy: `None` disables the Data Digest, `Some(Engine::Cpu)`
+    /// runs the ISA-L-style software kernel, `Some(Engine::Dsa { .. })`
+    /// offloads to the named device/WQ.
+    pub digest: Option<Engine>,
 }
 
 /// Results of a target run.
@@ -84,17 +77,17 @@ impl NvmeTcpTarget {
         let expected = Crc32c::checksum(rt.read(&payload).unwrap());
 
         let digest_core_cost = match self.digest {
-            Digest::None => SimDuration::ZERO,
-            Digest::IsaL => {
+            None => SimDuration::ZERO,
+            Some(Engine::Cpu) => {
                 // Verify once functionally, then charge the ISA-L rate.
                 assert_eq!(Crc32c::checksum(rt.read(&payload).unwrap()), expected);
                 dsa_sim::time::transfer_time_mgbps(self.io_size, ISAL_CRC_MGBPS)
             }
-            Digest::Dsa => {
+            Some(Engine::Dsa { device, wq }) => {
                 // Offloaded: the core pays submit + poll; the checksum is
                 // produced by the device. Measure it on a real descriptor.
                 let before = rt.now();
-                let report = Job::crc32(&payload).execute(rt)?;
+                let report = Job::crc32(&payload).on_device(device).on_wq(wq).execute(rt)?;
                 assert_eq!(report.record.result as u32, expected, "device CRC must match");
                 let sync_cost = rt.now().duration_since(before);
                 // Batched + polled asynchronously in steady state: the
@@ -118,9 +111,9 @@ impl NvmeTcpTarget {
 
         // Run a token number of real I/Os through the device path so the
         // functional pipeline is exercised end to end.
-        if self.digest == Digest::Dsa {
+        if let Some(Engine::Dsa { device, wq }) = self.digest {
             for _ in 0..ios.min(8) {
-                let report = Job::crc32(&payload).execute(rt)?;
+                let report = Job::crc32(&payload).on_device(device).on_wq(wq).execute(rt)?;
                 assert_eq!(report.record.result as u32, expected);
             }
         }
@@ -155,9 +148,9 @@ mod tests {
     fn digest_ordering_none_dsa_isal() {
         let mut r = rt();
         let mk = |digest| NvmeTcpTarget { io_size: 16 << 10, cores: 4, digest };
-        let none = mk(Digest::None).run(&mut r, 4).unwrap();
-        let dsa = mk(Digest::Dsa).run(&mut r, 4).unwrap();
-        let isal = mk(Digest::IsaL).run(&mut r, 4).unwrap();
+        let none = mk(None).run(&mut r, 4).unwrap();
+        let dsa = mk(Some(Engine::dsa())).run(&mut r, 4).unwrap();
+        let isal = mk(Some(Engine::Cpu)).run(&mut r, 4).unwrap();
         assert!(none.kiops >= dsa.kiops, "no digest is the upper bound");
         assert!(dsa.kiops > isal.kiops, "DSA should beat ISA-L: {} vs {}", dsa.kiops, isal.kiops);
         // DSA latency close to no-digest (Fig. 21b: "nearly equivalent").
@@ -170,9 +163,9 @@ mod tests {
     fn saturation_cores_ordering_16k() {
         let mut r = rt();
         let mk = |digest| NvmeTcpTarget { io_size: 16 << 10, cores: 1, digest };
-        let none = mk(Digest::None).saturation_cores(&mut r);
-        let dsa = mk(Digest::Dsa).saturation_cores(&mut r);
-        let isal = mk(Digest::IsaL).saturation_cores(&mut r);
+        let none = mk(None).saturation_cores(&mut r);
+        let dsa = mk(Some(Engine::dsa())).saturation_cores(&mut r);
+        let isal = mk(Some(Engine::Cpu)).saturation_cores(&mut r);
         assert!(dsa <= none + 1, "DSA saturates about as early as no-digest");
         assert!(isal > dsa, "ISA-L needs more cores: {isal} vs {dsa}");
         // Fig. 21: saturation around 6 cores for 16 KiB random reads.
@@ -183,9 +176,9 @@ mod tests {
     #[test]
     fn large_sequential_needs_fewer_cores() {
         let mut r = rt();
-        let small = NvmeTcpTarget { io_size: 16 << 10, cores: 1, digest: Digest::Dsa }
+        let small = NvmeTcpTarget { io_size: 16 << 10, cores: 1, digest: Some(Engine::dsa()) }
             .saturation_cores(&mut r);
-        let large = NvmeTcpTarget { io_size: 128 << 10, cores: 1, digest: Digest::Dsa }
+        let large = NvmeTcpTarget { io_size: 128 << 10, cores: 1, digest: Some(Engine::dsa()) }
             .saturation_cores(&mut r);
         assert!(large < small, "128 KiB saturates with fewer cores: {large} vs {small}");
         assert!(large <= 3, "Fig. 21: ~2 cores for 128 KiB sequential, got {large}");
@@ -194,7 +187,7 @@ mod tests {
     #[test]
     fn iops_scale_until_saturation() {
         let mut r = rt();
-        let mk = |cores| NvmeTcpTarget { io_size: 16 << 10, cores, digest: Digest::Dsa };
+        let mk = |cores| NvmeTcpTarget { io_size: 16 << 10, cores, digest: Some(Engine::dsa()) };
         let one = mk(1).run(&mut r, 1).unwrap();
         let two = mk(2).run(&mut r, 1).unwrap();
         assert!((two.kiops / one.kiops - 2.0).abs() < 0.05, "linear below saturation");

@@ -17,29 +17,19 @@
 //! [`Testpmd`] drives the backend like the paper's DPDK-TestPMD macfwd
 //! setup with 100 GbE traffic (Fig. 16b).
 
+use dsa_core::backend::Engine;
 use dsa_core::job::{Batch, Job, JobError};
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::BufferHandle;
-use dsa_ops::swcost::SwCost;
 use dsa_ops::OpKind;
 use dsa_sim::time::{SimDuration, SimTime};
 use dsa_telemetry::Track;
 use std::collections::VecDeque;
 
 /// How packet payloads are copied into guest buffers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CopyMode {
-    /// `rte_memcpy` on the vhost core (the baseline).
-    Cpu,
-    /// Batched, asynchronous DSA offload.
-    Dsa {
-        /// Device index.
-        device: usize,
-        /// WQ index on that device.
-        wq: usize,
-    },
-}
+#[deprecated(since = "0.2.0", note = "use `dsa_core::backend::Engine`")]
+pub type CopyMode = Engine;
 
 /// The descriptor ring exposed by the guest.
 #[derive(Debug)]
@@ -125,10 +115,9 @@ pub struct VhostStats {
 #[derive(Debug)]
 pub struct Vhost {
     vq: Virtqueue,
-    mode: CopyMode,
+    engine: Engine,
     inflight: VecDeque<InFlight>,
     stats: VhostStats,
-    swcost: SwCost,
 }
 
 /// Cost of writing back one used descriptor (~10 bytes, §6.4: "not worth
@@ -140,15 +129,9 @@ const REORDER_SCAN: SimDuration = SimDuration::from_ns(4);
 const AVAIL_FETCH: SimDuration = SimDuration::from_ns(6);
 
 impl Vhost {
-    /// Creates a backend over `vq` using `mode` for packet copies.
-    pub fn new(rt: &DsaRuntime, vq: Virtqueue, mode: CopyMode) -> Vhost {
-        Vhost {
-            vq,
-            mode,
-            inflight: VecDeque::new(),
-            stats: VhostStats::default(),
-            swcost: SwCost::new(rt.platform().clone()),
-        }
+    /// Creates a backend over `vq` using `engine` for packet copies.
+    pub fn new(vq: Virtqueue, engine: Engine) -> Vhost {
+        Vhost { vq, engine, inflight: VecDeque::new(), stats: VhostStats::default() }
     }
 
     /// Statistics so far.
@@ -203,8 +186,8 @@ impl Vhost {
         let reaped = rt.now();
 
         // Stage 2: fetch available descriptors and submit copies.
-        match self.mode {
-            CopyMode::Cpu => {
+        match self.engine {
+            Engine::Cpu => {
                 for (pkt, len) in pkts {
                     rt.advance(AVAIL_FETCH);
                     let Some(idx) = self.vq.avail.pop_front() else {
@@ -213,12 +196,7 @@ impl Vhost {
                         continue;
                     };
                     let dst = self.vq.buffers[idx as usize];
-                    let t = self.swcost.op_time(
-                        OpKind::Memcpy,
-                        *len as u64,
-                        Location::Llc,
-                        Location::Llc,
-                    );
+                    let t = rt.cpu_time(OpKind::Memcpy, *len as u64, Location::Llc, Location::Llc);
                     rt.memory_mut()
                         .copy(pkt.addr(), dst.addr(), (*len as u64).min(dst.len()))
                         .expect("vhost buffers are mapped");
@@ -231,7 +209,7 @@ impl Vhost {
                     report.enqueued += 1;
                 }
             }
-            CopyMode::Dsa { device, wq } => {
+            Engine::Dsa { device, wq } => {
                 let mut batch = Batch::new().on_device(device).on_wq(wq).cache_control();
                 let mut idxs = Vec::new();
                 for (pkt, len) in pkts {
@@ -309,18 +287,13 @@ impl Vhost {
 
         // Stage 2: fetch offered descriptors and submit guest->host copies.
         let mut taken = Vec::new();
-        match self.mode {
-            CopyMode::Cpu => {
+        match self.engine {
+            Engine::Cpu => {
                 for (mbuf, len) in mbufs {
                     rt.advance(AVAIL_FETCH);
                     let Some(idx) = self.vq.avail.pop_front() else { break };
                     let src = self.vq.buffers[idx as usize];
-                    let t = self.swcost.op_time(
-                        OpKind::Memcpy,
-                        *len as u64,
-                        Location::Llc,
-                        Location::Llc,
-                    );
+                    let t = rt.cpu_time(OpKind::Memcpy, *len as u64, Location::Llc, Location::Llc);
                     rt.memory_mut()
                         .copy(src.addr(), mbuf.addr(), (*len as u64).min(mbuf.len()))
                         .expect("vhost buffers are mapped");
@@ -332,7 +305,7 @@ impl Vhost {
                     taken.push(idx);
                 }
             }
-            CopyMode::Dsa { device, wq } => {
+            Engine::Dsa { device, wq } => {
                 let mut batch = Batch::new().on_device(device).on_wq(wq).cache_control();
                 let mut idxs = Vec::new();
                 for (mbuf, len) in mbufs {
@@ -429,9 +402,9 @@ impl Testpmd {
     /// # Errors
     ///
     /// Propagates DSA submission failures.
-    pub fn run(&self, rt: &mut DsaRuntime, mode: CopyMode) -> Result<ForwardingReport, JobError> {
+    pub fn run(&self, rt: &mut DsaRuntime, engine: Engine) -> Result<ForwardingReport, JobError> {
         let vq = Virtqueue::new(rt, 512, self.pkt_size as u64);
-        let mut vhost = Vhost::new(rt, vq, mode);
+        let mut vhost = Vhost::new(vq, engine);
         // A pool of hot packet buffers (NIC RX ring, LLC-resident).
         let pool: Vec<BufferHandle> =
             (0..self.burst).map(|_| rt.alloc(self.pkt_size as u64, Location::Llc)).collect();
@@ -471,7 +444,7 @@ mod tests {
     fn packets_arrive_intact_and_in_order() {
         let mut rt = rt_with_full_device();
         let vq = Virtqueue::new(&mut rt, 64, 2048);
-        let mut vhost = Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+        let mut vhost = Vhost::new(vq, Engine::dsa());
         let pkts: Vec<(BufferHandle, u32)> = (0..8)
             .map(|i| {
                 let b = rt.alloc(2048, Location::Llc);
@@ -499,7 +472,7 @@ mod tests {
     fn cpu_mode_delivers_synchronously() {
         let mut rt = DsaRuntime::spr_default();
         let vq = Virtqueue::new(&mut rt, 64, 2048);
-        let mut vhost = Vhost::new(&rt, vq, CopyMode::Cpu);
+        let mut vhost = Vhost::new(vq, Engine::Cpu);
         let b = rt.alloc(2048, Location::Llc);
         rt.fill_pattern(&b, 0xEE);
         let report = vhost.enqueue_burst(&mut rt, &[(b, 1024)]).unwrap();
@@ -512,7 +485,7 @@ mod tests {
     fn queue_exhaustion_drops() {
         let mut rt = rt_with_full_device();
         let vq = Virtqueue::new(&mut rt, 4, 2048);
-        let mut vhost = Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+        let mut vhost = Vhost::new(vq, Engine::dsa());
         let pkts: Vec<(BufferHandle, u32)> =
             (0..6).map(|_| (rt.alloc(2048, Location::Llc), 512)).collect();
         let report = vhost.enqueue_burst(&mut rt, &pkts).unwrap();
@@ -522,18 +495,18 @@ mod tests {
 
     #[test]
     fn dsa_forwarding_flat_cpu_drops_with_size() {
-        let rate = |size: u32, mode: CopyMode| -> f64 {
+        let rate = |size: u32, engine: Engine| -> f64 {
             let mut rt = rt_with_full_device();
             Testpmd { pkt_size: size, bursts: 120, ..Testpmd::default() }
-                .run(&mut rt, mode)
+                .run(&mut rt, engine)
                 .unwrap()
                 .mpps
         };
-        let dsa = CopyMode::Dsa { device: 0, wq: 0 };
+        let dsa = Engine::dsa();
         let dsa_small = rate(256, dsa);
         let dsa_large = rate(1518, dsa);
-        let cpu_small = rate(256, CopyMode::Cpu);
-        let cpu_large = rate(1518, CopyMode::Cpu);
+        let cpu_small = rate(256, Engine::Cpu);
+        let cpu_large = rate(1518, Engine::Cpu);
         // DSA mode stays roughly flat; CPU mode degrades with size.
         assert!(
             dsa_large > 0.8 * dsa_small,
@@ -552,7 +525,7 @@ mod tests {
     fn burst_core_cost_is_small_in_dsa_mode() {
         let mut rt = rt_with_full_device();
         let vq = Virtqueue::new(&mut rt, 128, 2048);
-        let mut vhost = Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+        let mut vhost = Vhost::new(vq, Engine::dsa());
         let pkts: Vec<(BufferHandle, u32)> =
             (0..32).map(|_| (rt.alloc(2048, Location::Llc), 1518)).collect();
         let report = vhost.enqueue_burst(&mut rt, &pkts).unwrap();
@@ -594,7 +567,7 @@ mod dequeue_tests {
         for &idx in &idxs {
             vq.offer(idx);
         }
-        let mut vhost = Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+        let mut vhost = Vhost::new(vq, Engine::dsa());
         let mbufs: Vec<(BufferHandle, u32)> =
             (0..4).map(|_| (rt.alloc(2048, Location::Llc), 1200u32)).collect();
         let taken = vhost.dequeue_burst(&mut rt, &mbufs).unwrap();
@@ -620,7 +593,7 @@ mod dequeue_tests {
         rt.fill_pattern(&buf, 0x99);
         vq.avail.clear();
         vq.offer(0);
-        let mut vhost = Vhost::new(&rt, vq, CopyMode::Cpu);
+        let mut vhost = Vhost::new(vq, Engine::Cpu);
         let mbuf = (rt.alloc(2048, Location::Llc), 800u32);
         let taken = vhost.dequeue_burst(&mut rt, &[mbuf]).unwrap();
         assert_eq!(taken, vec![0]);
@@ -633,7 +606,7 @@ mod dequeue_tests {
         let mut rt = rt4();
         let mut vq = Virtqueue::new(&mut rt, 8, 2048);
         vq.avail.clear(); // guest offered nothing
-        let mut vhost = Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+        let mut vhost = Vhost::new(vq, Engine::dsa());
         let mbufs: Vec<(BufferHandle, u32)> =
             (0..2).map(|_| (rt.alloc(2048, Location::Llc), 512u32)).collect();
         let taken = vhost.dequeue_burst(&mut rt, &mbufs).unwrap();

@@ -144,8 +144,10 @@ impl Default for CoRunScenario {
 impl CoRunScenario {
     /// Runs the scenario and reports latency and occupancy.
     pub fn run(&self, platform: &Platform) -> CoRunResult {
-        let platform = platform.clone().with_llc_scaled_down(self.scale);
-        let mut llc = Llc::new(platform.llc_bytes, platform.llc_ways, 64);
+        // Scaling only divides the LLC capacity — compute it locally
+        // instead of cloning the whole Platform per run.
+        let llc_bytes = platform.llc_bytes / self.scale.max(1);
+        let mut llc = Llc::new(llc_bytes, platform.llc_ways, 64);
         let ddio_ways = platform.ddio_ways;
         let total_ways = platform.llc_ways;
         let ws = (self.working_set / self.scale).max(4096);
@@ -196,7 +198,7 @@ impl CoRunScenario {
             let copies_per_quantum = if bg_count == 0 {
                 0
             } else {
-                (platform.llc_bytes / 14 / copy_size / bg_count as u64).max(8)
+                (llc_bytes / 14 / copy_size / bg_count as u64).max(8)
             };
             for (b, bg_offset) in bg_offsets.iter_mut().enumerate() {
                 for _ in 0..copies_per_quantum {
@@ -249,7 +251,7 @@ impl CoRunScenario {
             if probes_active {
                 for p in probes.iter_mut() {
                     for _ in 0..self.accesses_per_quantum {
-                        let lat = p.access(&mut llc, &platform);
+                        let lat = p.access(&mut llc, platform);
                         latency_sum += lat;
                         latency_count += 1;
                     }

@@ -5,13 +5,14 @@
 //! generator so the suite runs offline with no external test-harness
 //! dependency; every case is reproducible from the fixed seeds below.
 
+use dsa_core::backend::Engine;
 use dsa_core::config::presets;
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::BufferHandle;
 use dsa_mem::topology::Platform;
 use dsa_sim::rng::SplitMix64;
-use dsa_workloads::vhost::{CopyMode, Vhost, Virtqueue};
+use dsa_workloads::vhost::{Vhost, Virtqueue};
 
 /// Whatever burst pattern arrives, the used ring preserves submission
 /// order and every delivered payload is intact.
@@ -27,7 +28,7 @@ fn vhost_inorder_delivery_under_arbitrary_bursts() {
             .device(presets::engines_behind_one_dwq(engines, 128))
             .build();
         let vq = Virtqueue::new(&mut rt, 256, 2048);
-        let mut vhost = Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+        let mut vhost = Vhost::new(vq, Engine::dsa());
 
         let mut seq = 0u8;
         let mut expected_payloads = Vec::new();
@@ -69,12 +70,12 @@ fn vhost_modes_agree_functionally() {
     for _ in 0..12 {
         let lens: Vec<u32> =
             (0..1 + rng.next_below(11)).map(|_| 64 + rng.next_below(1936) as u32).collect();
-        let deliver = |mode: CopyMode| {
+        let deliver = |engine: Engine| {
             let mut rt = DsaRuntime::builder(Platform::spr())
                 .device(presets::engines_behind_one_dwq(4, 128))
                 .build();
             let vq = Virtqueue::new(&mut rt, 64, 2048);
-            let mut vhost = Vhost::new(&rt, vq, mode);
+            let mut vhost = Vhost::new(vq, engine);
             let pkts: Vec<(BufferHandle, u32)> = lens
                 .iter()
                 .enumerate()
@@ -91,6 +92,6 @@ fn vhost_modes_agree_functionally() {
                 .map(|&idx| rt.read(vhost.virtqueue().buffer(idx)).unwrap().to_vec())
                 .collect::<Vec<_>>()
         };
-        assert_eq!(deliver(CopyMode::Cpu), deliver(CopyMode::Dsa { device: 0, wq: 0 }));
+        assert_eq!(deliver(Engine::Cpu), deliver(Engine::dsa()));
     }
 }

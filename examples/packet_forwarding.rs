@@ -3,9 +3,10 @@
 //!
 //! Run with: `cargo run --release --example packet_forwarding`
 
+use dsa_core::backend::Engine;
 use dsa_core::config::presets;
 use dsa_repro::prelude::*;
-use dsa_workloads::vhost::{CopyMode, Testpmd, Vhost, Virtqueue};
+use dsa_workloads::vhost::{Testpmd, Vhost, Virtqueue};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A full DSA instance: 4 engines behind one 128-entry dedicated WQ —
@@ -17,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Functional demo: packets flow through the virtqueue intact and
     // in order, even though copies complete asynchronously.
     let vq = Virtqueue::new(&mut rt, 128, 2048);
-    let mut vhost = Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+    let mut vhost = Vhost::new(vq, Engine::dsa());
     let pkts: Vec<_> = (0..32u8)
         .map(|i| {
             let b = rt.alloc(2048, Location::Llc);
@@ -50,8 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .run(&mut rt, mode)
                 .map(|r| r.mpps)
         };
-        let cpu = run(CopyMode::Cpu)?;
-        let dsa = run(CopyMode::Dsa { device: 0, wq: 0 })?;
+        let cpu = run(Engine::Cpu)?;
+        let dsa = run(Engine::dsa())?;
         println!("{size:>9} {cpu:>10.2} {dsa:>10.2} {:>8.2}", dsa / cpu);
     }
     println!("\nDSA keeps the forwarding rate flat while CPU copies fall with packet size.");

@@ -46,6 +46,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         q.completed(),
     );
 
+    // --- Policy dispatch: let the runtime pick CPU vs. DSA per call.
+    // The dispatcher compares cost estimates (guideline G2) and keeps
+    // decision counters.
+    let mut dispatcher = Dispatcher::all_devices(&rt);
+    let tiny_a = rt.alloc(256, Location::local_dram());
+    let tiny_b = rt.alloc(256, Location::local_dram());
+    dispatcher.memcpy(&mut rt, &tiny_a, &tiny_b)?; // too small: stays on the core
+    dispatcher.memcpy(&mut rt, &src, &dst)?; // 64 KiB: offloads
+    let ds = dispatcher.stats();
+    println!(
+        "dispatcher: {} calls -> {} on CPU, {} offloaded sync, {} offloaded async",
+        ds.calls(),
+        ds.cpu_calls,
+        ds.sync_offloads,
+        ds.async_offloads,
+    );
+
     // --- Compare with the single-core software baseline.
     let cpu = rt.cpu_time(
         dsa_ops::OpKind::Memcpy,

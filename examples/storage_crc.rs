@@ -4,9 +4,10 @@
 //!
 //! Run with: `cargo run --release --example storage_crc`
 
+use dsa_core::backend::Engine;
 use dsa_ops::dif::{DifBlockSize, DifConfig};
 use dsa_repro::prelude::*;
-use dsa_workloads::nvmetcp::{Digest, NvmeTcpTarget};
+use dsa_workloads::nvmetcp::NvmeTcpTarget;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rt = DsaRuntime::spr_default();
@@ -37,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- NVMe/TCP target: IOPS at 4 cores under the three digest modes.
     println!("\nNVMe/TCP target, 16 KiB random reads, 4 target cores:");
     for (label, digest) in
-        [("no digest", Digest::None), ("ISA-L", Digest::IsaL), ("DSA", Digest::Dsa)]
+        [("no digest", None), ("ISA-L", Some(Engine::Cpu)), ("DSA", Some(Engine::dsa()))]
     {
         let report = NvmeTcpTarget { io_size: 16 << 10, cores: 4, digest }.run(&mut rt, 4)?;
         println!(

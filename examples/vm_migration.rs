@@ -4,9 +4,10 @@
 //!
 //! Run with: `cargo run --release --example vm_migration`
 
+use dsa_core::backend::Engine;
 use dsa_device::config::DeviceConfig;
 use dsa_repro::prelude::*;
-use dsa_workloads::migration::{Migration, MigrationConfig, MigrationEngine};
+use dsa_workloads::migration::{Migration, MigrationConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MigrationConfig {
@@ -28,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "engine", "rounds", "copied MiB", "delta KiB", "downtime us", "total ms"
     );
-    for engine in [MigrationEngine::Cpu, MigrationEngine::Dsa] {
+    for engine in [Engine::Cpu, Engine::dsa()] {
         let mut rt = DsaRuntime::builder(dsa_mem::topology::Platform::spr())
             .device(DeviceConfig::full_device())
             .build();

@@ -3,13 +3,14 @@
 //! after run. This is what makes the calibrated figures in EXPERIMENTS.md
 //! stable artifacts rather than samples.
 
+use dsa_core::backend::Engine;
 use dsa_core::job::{AsyncQueue, Batch, Job};
 use dsa_core::runtime::DsaRuntime;
 use dsa_device::config::DeviceConfig;
 use dsa_mem::buffer::Location;
 use dsa_mem::topology::Platform;
 use dsa_sim::time::SimTime;
-use dsa_workloads::migration::{Migration, MigrationConfig, MigrationEngine};
+use dsa_workloads::migration::{Migration, MigrationConfig};
 use dsa_workloads::xmem::{Background, CoRunScenario};
 
 fn mixed_run() -> (SimTime, u64, Vec<u32>) {
@@ -64,7 +65,7 @@ fn workload_scenarios_are_deterministic() {
         let mut rt =
             DsaRuntime::builder(Platform::spr()).device(DeviceConfig::full_device()).build();
         let cfg = MigrationConfig { blocks: 8, block_size: 16 << 10, ..MigrationConfig::default() };
-        let r = Migration::new(&mut rt, cfg).run(&mut rt, MigrationEngine::Dsa).unwrap();
+        let r = Migration::new(&mut rt, cfg).run(&mut rt, Engine::dsa()).unwrap();
         (r.total_time, r.copied_bytes, r.delta_bytes)
     };
     assert_eq!(run_mig(), run_mig());

@@ -1,12 +1,16 @@
 //! The paper's guidelines G1–G6, checked against the simulated system:
 //! following each advisor's advice must actually win in measurement.
 
+use dsa_core::backend::{DsaBackend, PoolPolicy};
 use dsa_core::config::presets;
+use dsa_core::dispatch::{Decision, DispatchPolicy, Dispatcher};
 use dsa_core::guidelines::{self, ExecutionAdvice, TierPlacement, WqStrategy};
 use dsa_core::job::{AsyncQueue, Batch, Job};
 use dsa_core::runtime::DsaRuntime;
+use dsa_device::config::DeviceConfig;
 use dsa_mem::buffer::Location;
 use dsa_mem::topology::Platform;
+use dsa_ops::OpKind;
 use dsa_sim::time::SimDuration;
 
 fn copy_total_with_split(total: u64, bs: u32) -> SimDuration {
@@ -153,6 +157,98 @@ fn g5_engine_advice_matches_measured_scaling() {
     let one = gbps(1, 1 << 20);
     let four = gbps(4, 1 << 20);
     assert!(four < 1.15 * one, "large TS should not scale: {one} -> {four}");
+}
+
+/// Mean steady-state per-copy time at `size` under a fixed routing policy.
+fn measured_per_copy(policy: DispatchPolicy, size: u64) -> f64 {
+    let mut rt = DsaRuntime::spr_default();
+    let mut d = Dispatcher::new().with_policy(policy);
+    let src = rt.alloc(size, Location::local_dram());
+    let dst = rt.alloc(size, Location::local_dram());
+    rt.fill_random(&src);
+    // Warm the ATC: the first execution pays IOMMU walks that steady-state
+    // dispatch (what the estimates predict) does not.
+    d.memcpy(&mut rt, &src, &dst).unwrap();
+    let start = rt.now();
+    for _ in 0..16 {
+        d.memcpy(&mut rt, &src, &dst).unwrap();
+    }
+    rt.now().duration_since(start).as_ns_f64() / 16.0
+}
+
+#[test]
+fn dispatcher_sync_choice_matches_measured_faster_option() {
+    // G2 as live policy: across the ≈4 KiB sync break-even, the adaptive
+    // dispatcher must route each size to whichever side measures faster
+    // (ties near the crossover may go either way within 10%).
+    let d = Location::local_dram();
+    for size in [512u64, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 64 << 10] {
+        let cpu = measured_per_copy(DispatchPolicy::CpuOnly, size);
+        let dsa = measured_per_copy(DispatchPolicy::DsaOnly, size);
+        let rt = DsaRuntime::spr_default();
+        let dispatcher = Dispatcher::new(); // Adaptive, sync-only
+        let decision = dispatcher.decide(&rt, OpKind::Memcpy, size, d, d);
+        let measured_faster = if cpu <= dsa { Decision::Cpu } else { Decision::DsaSync };
+        if decision != measured_faster {
+            // Disagreement is only tolerable when the two options are
+            // within 10% of each other (estimate noise at the crossover).
+            let ratio = cpu.max(dsa) / cpu.min(dsa);
+            assert!(
+                ratio < 1.10,
+                "{size} B: dispatcher chose {decision:?} but measurement says \
+                 cpu {cpu:.0} ns vs dsa {dsa:.0} ns"
+            );
+        }
+    }
+    // Anchor points are unambiguous: 1 KiB stays on the core, 16 KiB
+    // offloads (Fig. 2a's sync break-even sits near 4 KiB between them).
+    let rt = DsaRuntime::spr_default();
+    let dispatcher = Dispatcher::new();
+    assert_eq!(dispatcher.decide(&rt, OpKind::Memcpy, 1 << 10, d, d), Decision::Cpu);
+    assert_eq!(dispatcher.decide(&rt, OpKind::Memcpy, 16 << 10, d, d), Decision::DsaSync);
+}
+
+#[test]
+fn dispatcher_async_break_even_near_256b() {
+    // With async offload available, the core only pays descriptor prepare
+    // + portal write, so the break-even drops to ≈256 B (Fig. 2b).
+    let rt = DsaRuntime::spr_default();
+    let d = Location::local_dram();
+    let dispatcher = Dispatcher::new().with_async_depth(32);
+    assert_eq!(
+        dispatcher.decide(&rt, OpKind::Memcpy, 64, d, d),
+        Decision::Cpu,
+        "64 B: software memcpy is cheaper than a descriptor submission"
+    );
+    assert_eq!(
+        dispatcher.decide(&rt, OpKind::Memcpy, 256, d, d),
+        Decision::DsaAsync,
+        "256 B: submission is already cheaper than copying on the core"
+    );
+}
+
+#[test]
+fn dispatcher_pool_policies_follow_load_and_locality() {
+    let mut rt = DsaRuntime::builder(Platform::spr())
+        .device(DeviceConfig::full_device())
+        .device(DeviceConfig::full_device())
+        .build();
+
+    // Least-loaded: queue work onto device 0, the policy must steer the
+    // next pick to the idle device 1.
+    let src = rt.alloc(1 << 20, Location::local_dram());
+    let dst = rt.alloc(1 << 20, Location::local_dram());
+    Job::memcpy(&src, &dst).on_device(0).submit(&mut rt).unwrap();
+    let ll = DsaBackend::all_devices(&rt).with_policy(PoolPolicy::LeastLoaded);
+    assert_eq!(ll.peek(&rt, Location::local_dram()), 1, "avoid the busy instance");
+
+    // NUMA-local: device sockets alternate on the SPR platform, so the
+    // destination socket selects its local instance.
+    let nl = DsaBackend::all_devices(&rt).with_policy(PoolPolicy::NumaLocal);
+    let s0 = nl.peek(&rt, Location::Dram { socket: 0 });
+    let s1 = nl.peek(&rt, Location::Dram { socket: 1 });
+    assert_eq!(rt.device(s0).socket(), 0);
+    assert_eq!(rt.device(s1).socket(), 1);
 }
 
 #[test]

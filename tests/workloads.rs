@@ -1,31 +1,33 @@
 //! Integration sanity of the application workloads: each reproduces its
 //! figure's qualitative result when run end to end through the stack.
 
+use dsa_core::backend::Engine;
 use dsa_core::config::presets;
+use dsa_core::dispatch::DispatchPolicy;
 use dsa_core::runtime::DsaRuntime;
 use dsa_device::config::DeviceConfig;
 use dsa_mem::buffer::Location;
 use dsa_mem::topology::Platform;
-use dsa_workloads::cachesvc::{run_cache_service, CacheWorkload, CopyPath};
-use dsa_workloads::fabric::{CopyEngine, SarFabric};
-use dsa_workloads::nvmetcp::{Digest, NvmeTcpTarget};
-use dsa_workloads::vhost::{CopyMode, Testpmd};
+use dsa_workloads::cachesvc::{run_cache_service, CacheWorkload};
+use dsa_workloads::fabric::SarFabric;
+use dsa_workloads::nvmetcp::NvmeTcpTarget;
+use dsa_workloads::vhost::Testpmd;
 use dsa_workloads::xmem::{Background, CoRunScenario};
 
 #[test]
 fn vhost_case_study_headline() {
     // Fig. 16b: above 256 B packets, DSA wins 1.14–2.29x.
-    let run = |size: u32, mode: CopyMode| {
+    let run = |size: u32, engine: Engine| {
         let mut rt = DsaRuntime::builder(Platform::spr())
             .device(presets::engines_behind_one_dwq(4, 128))
             .build();
         Testpmd { pkt_size: size, bursts: 100, ..Testpmd::default() }
-            .run(&mut rt, mode)
+            .run(&mut rt, engine)
             .unwrap()
             .mpps
     };
-    let ratio_512 = run(512, CopyMode::Dsa { device: 0, wq: 0 }) / run(512, CopyMode::Cpu);
-    let ratio_1518 = run(1518, CopyMode::Dsa { device: 0, wq: 0 }) / run(1518, CopyMode::Cpu);
+    let ratio_512 = run(512, Engine::dsa()) / run(512, Engine::Cpu);
+    let ratio_1518 = run(1518, Engine::dsa()) / run(1518, Engine::Cpu);
     assert!((1.14..2.6).contains(&ratio_512), "512 B ratio {ratio_512}");
     assert!(ratio_1518 > ratio_512, "margin grows with packet size");
 }
@@ -59,10 +61,10 @@ fn cachelib_headline() {
     let wl = CacheWorkload { workers: 4, ops_per_worker: 600, ..CacheWorkload::default() };
     let mut rt =
         DsaRuntime::builder(Platform::spr()).devices(4, DeviceConfig::full_device()).build();
-    let cpu = run_cache_service(&mut rt, &wl, CopyPath::Cpu).unwrap();
+    let cpu = run_cache_service(&mut rt, &wl, DispatchPolicy::CpuOnly).unwrap();
     let mut rt =
         DsaRuntime::builder(Platform::spr()).devices(4, DeviceConfig::full_device()).build();
-    let dsa = run_cache_service(&mut rt, &wl, CopyPath::DsaDto { wqs: 4 }).unwrap();
+    let dsa = run_cache_service(&mut rt, &wl, DispatchPolicy::Threshold(8 << 10)).unwrap();
     assert!(dsa.mops > 1.1 * cpu.mops);
     assert!(dsa.tail() < cpu.tail());
 }
@@ -73,9 +75,9 @@ fn nvmetcp_headline() {
     let mut rt = DsaRuntime::spr_default();
     let mut sat =
         |digest| NvmeTcpTarget { io_size: 16 << 10, cores: 1, digest }.saturation_cores(&mut rt);
-    let none = sat(Digest::None);
-    let dsa = sat(Digest::Dsa);
-    let isal = sat(Digest::IsaL);
+    let none = sat(None);
+    let dsa = sat(Some(Engine::dsa()));
+    let isal = sat(Some(Engine::Cpu));
     assert!(dsa <= none + 1);
     assert!(isal >= dsa + 2, "ISA-L {isal} vs DSA {dsa}");
 }
@@ -85,8 +87,8 @@ fn fabric_headline() {
     // Fig. 17a: large-message pingpong ~5x with DSA.
     let mut rt =
         DsaRuntime::builder(Platform::spr()).devices(2, DeviceConfig::full_device()).build();
-    let cpu = SarFabric::new(&rt, CopyEngine::Cpu).pingpong_gbps(&mut rt, 2 << 20).unwrap();
-    let dsa = SarFabric::new(&rt, CopyEngine::Dsa).pingpong_gbps(&mut rt, 2 << 20).unwrap();
+    let cpu = SarFabric::new(Engine::Cpu).pingpong_gbps(&mut rt, 2 << 20).unwrap();
+    let dsa = SarFabric::new(Engine::dsa()).pingpong_gbps(&mut rt, 2 << 20).unwrap();
     let speedup = dsa / cpu;
     assert!((3.0..7.0).contains(&speedup), "pingpong speedup {speedup}");
 }
@@ -124,7 +126,7 @@ fn mixed_workload_on_one_runtime() {
 
     // Vhost burst on device 0.
     let vq = dsa_workloads::vhost::Virtqueue::new(&mut rt, 64, 2048);
-    let mut vhost = dsa_workloads::vhost::Vhost::new(&rt, vq, CopyMode::Dsa { device: 0, wq: 0 });
+    let mut vhost = dsa_workloads::vhost::Vhost::new(vq, Engine::dsa());
     let pkts: Vec<_> = (0..16)
         .map(|_| {
             let b = rt.alloc(2048, Location::Llc);
