@@ -1,119 +1,102 @@
 //! Micro-benchmarks of the functional operation kernels (Table 1's
-//! operation set): host-machine performance of the actual Rust
-//! implementations the device model executes. These complement the figure
-//! harnesses, which measure *simulated* time.
+//! operation set), reported deterministically.
 //!
-//! Self-contained wall-clock harness (`std::time::Instant`, median of
-//! timed batches) so the workspace builds with no external benchmark
-//! dependency; run with `cargo bench --bench ops_micro`.
+//! Each kernel is executed once functionally (so the real Rust
+//! implementation runs and its output is checked), but the reported
+//! per-call time comes from the calibrated software-cost model
+//! (`DsaRuntime::cpu_time`, the same `SwCost` the simulator charges) —
+//! not from the host's wall clock. Results are therefore identical on
+//! every machine and every run; run with `cargo bench --bench ops_micro`.
 
 use dsa_bench::table;
+use dsa_core::prelude::*;
+use dsa_mem::buffer::Location;
 use dsa_ops::crc32::Crc32c;
 use dsa_ops::delta::{delta_apply, delta_create};
 use dsa_ops::dif::{dif_check, dif_insert, DifBlockSize, DifConfig};
-use dsa_ops::memops;
-use std::time::Instant;
+use dsa_ops::{memops, OpKind};
 
-/// Runs `f` in timed batches and reports the median per-call time in
-/// nanoseconds, after a warm-up pass.
-fn time_ns(mut f: impl FnMut()) -> f64 {
-    const BATCH: u32 = 16;
-    const SAMPLES: usize = 31;
-    for _ in 0..BATCH {
-        f();
-    }
-    let mut samples: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..BATCH {
-                f();
-            }
-            start.elapsed().as_nanos() as f64 / BATCH as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[SAMPLES / 2]
+/// Modeled per-call time in nanoseconds for `op` over `bytes` of
+/// DRAM-resident data on the default SPR platform.
+fn modeled_ns(rt: &DsaRuntime, op: OpKind, bytes: usize) -> f64 {
+    rt.cpu_time(op, bytes as u64, Location::local_dram(), Location::local_dram()).as_ns_f64()
 }
 
 fn report(group: &str, name: &str, bytes: usize, ns: f64) {
-    let gbps = bytes as f64 / ns;
+    let gbps = bytes as f64 / ns.max(f64::MIN_POSITIVE);
     table::row(&[group.to_string(), name.to_string(), format!("{ns:.0}"), table::f2(gbps)]);
 }
 
-fn bench_crc32() {
+fn bench_crc32(rt: &DsaRuntime) {
     for size in [4096usize, 65536] {
         let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
-        let ns = time_ns(|| {
-            std::hint::black_box(Crc32c::checksum(std::hint::black_box(&data)));
-        });
-        report("crc32c", &format!("{size}B"), size, ns);
+        // Functional check: CRC32-C is self-consistent across splits.
+        let whole = Crc32c::checksum(&data);
+        let mut crc = Crc32c::new();
+        let (a, b) = data.split_at(size / 2);
+        crc.update(a);
+        crc.update(b);
+        assert_eq!(crc.finish(), whole, "streaming CRC must match one-shot");
+        report("crc32c", &format!("{size}B"), size, modeled_ns(rt, OpKind::Crc32, size));
     }
 }
 
-fn bench_memops() {
+fn bench_memops(rt: &DsaRuntime) {
     let size = 65536usize;
     let src = vec![0xA5u8; size];
     let mut dst = vec![0u8; size];
-    let ns = time_ns(|| {
-        memops::copy(std::hint::black_box(&src), &mut dst);
-        std::hint::black_box(&dst);
-    });
-    report("memops", "copy_64K", size, ns);
 
-    let other = src.clone();
-    let ns = time_ns(|| {
-        std::hint::black_box(memops::compare(std::hint::black_box(&src), &other));
-    });
-    report("memops", "compare_64K", size, ns);
+    memops::copy(&src, &mut dst);
+    assert_eq!(src, dst, "copy must reproduce the source");
+    report("memops", "copy_64K", size, modeled_ns(rt, OpKind::Memcpy, size));
 
-    let ns = time_ns(|| {
-        memops::fill(&mut dst, 0xDEAD_BEEF);
-        std::hint::black_box(&dst);
-    });
-    report("memops", "fill_64K", size, ns);
+    assert!(memops::compare(&src, &dst).is_none(), "equal buffers must compare equal");
+    report("memops", "compare_64K", size, modeled_ns(rt, OpKind::Compare, size));
+
+    memops::fill(&mut dst, 0xDEAD_BEEF_0000_0000);
+    assert_ne!(src, dst, "fill must overwrite the copy");
+    report("memops", "fill_64K", size, modeled_ns(rt, OpKind::Fill, size));
 }
 
-fn bench_dif() {
+fn bench_dif(rt: &DsaRuntime) {
     let cfg = DifConfig::new(DifBlockSize::B512);
     let data = vec![0x5Au8; 16 * 512];
-    let protected = dif_insert(&cfg, &data).unwrap();
-    let ns = time_ns(|| {
-        std::hint::black_box(dif_insert(&cfg, std::hint::black_box(&data)).unwrap());
-    });
-    report("dif", "insert_8K", data.len(), ns);
-    let ns = time_ns(|| {
-        dif_check(&cfg, std::hint::black_box(&protected)).unwrap();
-    });
-    report("dif", "check_8K", data.len(), ns);
+    let protected = dif_insert(&cfg, &data).expect("whole blocks");
+    report("dif", "insert_8K", data.len(), modeled_ns(rt, OpKind::DifInsert, data.len()));
+    dif_check(&cfg, &protected).expect("freshly protected data must verify");
+    report("dif", "check_8K", data.len(), modeled_ns(rt, OpKind::DifCheck, data.len()));
 }
 
-fn bench_delta() {
+fn bench_delta(rt: &DsaRuntime) {
     let original = vec![0u8; 65536];
     let mut modified = original.clone();
     for i in (0..modified.len()).step_by(1024) {
         modified[i] = 1;
     }
-    let ns = time_ns(|| {
-        std::hint::black_box(
-            delta_create(std::hint::black_box(&original), &modified, 1 << 20).unwrap(),
-        );
-    });
-    report("delta", "create_64K_sparse", original.len(), ns);
-    let record = delta_create(&original, &modified, 1 << 20).unwrap();
+    let record = delta_create(&original, &modified, 1 << 20).expect("record fits");
+    report(
+        "delta",
+        "create_64K_sparse",
+        original.len(),
+        modeled_ns(rt, OpKind::DeltaCreate, original.len()),
+    );
     let mut target = original.clone();
-    let ns = time_ns(|| {
-        target.copy_from_slice(&original);
-        delta_apply(&record, &mut target).unwrap();
-        std::hint::black_box(&target);
-    });
-    report("delta", "apply_64K_sparse", original.len(), ns);
+    delta_apply(&record, &mut target).expect("record applies");
+    assert_eq!(target, modified, "apply(create(a, b)) must reproduce b");
+    report(
+        "delta",
+        "apply_64K_sparse",
+        original.len(),
+        modeled_ns(rt, OpKind::DeltaApply, original.len()),
+    );
 }
 
 fn main() {
-    table::banner("ops-micro", "host-machine kernel throughput (wall clock)");
+    table::banner("ops-micro", "modeled software kernel throughput (deterministic)");
     table::header(&["group", "bench", "ns/call", "GB/s"]);
-    bench_crc32();
-    bench_memops();
-    bench_dif();
-    bench_delta();
+    let rt = DsaRuntime::spr_default();
+    bench_crc32(&rt);
+    bench_memops(&rt);
+    bench_dif(&rt);
+    bench_delta(&rt);
 }

@@ -149,15 +149,7 @@ impl Measure {
     fn job(&self, slots: &[OpSlots], i: usize) -> Job {
         let s = &slots[i % slots.len()];
         let job = match self.op {
-            OpKind::Nop => Job::from_descriptor(dsa_device::descriptor::Descriptor {
-                opcode: dsa_device::descriptor::Opcode::Nop,
-                flags: dsa_device::descriptor::Flags::REQUEST_COMPLETION,
-                src: 0,
-                dst: 0,
-                xfer_size: 0,
-                completion_addr: 0,
-                params: dsa_device::descriptor::OpParams::None,
-            }),
+            OpKind::Nop => Job::nop(),
             OpKind::Memcpy => Job::memcpy(&s.src, &s.dst),
             OpKind::Dualcast => Job::dualcast(&s.src, &s.dst, &s.dst2),
             OpKind::Fill => Job::fill(&s.dst, 0xA5A5_A5A5_A5A5_A5A5),
@@ -194,6 +186,7 @@ impl Measure {
     ///
     /// Panics on non-retryable device errors (a bench-harness bug).
     pub fn run(&self, rt: &mut DsaRuntime) -> MeasureResult {
+        // dsa-lint: allow(unwrap, documented panicking wrapper; try_run is the fallible path)
         self.try_run(rt).expect("measurement failed")
     }
 
@@ -340,8 +333,10 @@ impl OpSlots {
                 // Pre-protect data so checks succeed.
                 let raw = vec![0x77u8; size as usize];
                 let protected = dsa_ops::dif::dif_insert(&DifConfig::new(DifBlockSize::B512), &raw)
+                    // dsa-lint: allow(unwrap, slot sizes are whole 512-byte blocks by construction)
                     .expect("whole blocks");
                 let h = rt.alloc(protected.len() as u64, src_loc);
+                // dsa-lint: allow(unwrap, handle was allocated by the runtime one line up)
                 rt.memory_mut().write(h.addr(), &protected).expect("mapped");
                 h
             }
@@ -386,6 +381,7 @@ pub fn multi_thread_copy_gbps(
         let (dev, wq) = wq_of(t);
         queues[t]
             .submit(rt, Job::memcpy(src, dst).on_device(dev).on_wq(wq))
+            // dsa-lint: allow(unwrap, documented panicking bench helper; a reject here is a harness bug)
             .expect("submission failed");
         heap.push(Reverse((rt.now(), t, done + 1)));
     }

@@ -353,7 +353,7 @@ impl DsaBackend {
                     let dev = rt.device(d);
                     (dev.pending_descriptors(rt.now()), dev.engines_next_free())
                 })
-                .expect("candidate set is non-empty")
+                .unwrap_or(self.pool[0])
         };
         match self.policy {
             PoolPolicy::RoundRobin => live[self.cursor % live.len()],
@@ -490,7 +490,7 @@ fn location_of(rt: &DsaRuntime, buf: &BufferHandle) -> Location {
 pub struct CbdmaBackend {
     dev: CbdmaDevice,
     cursor: usize,
-    pinned: std::collections::HashSet<(u64, u64)>,
+    pinned: std::collections::BTreeSet<(u64, u64)>,
 }
 
 impl CbdmaBackend {
@@ -503,7 +503,7 @@ impl CbdmaBackend {
         CbdmaBackend {
             dev: CbdmaDevice::new(0, channels, CbdmaTiming::icx()),
             cursor: 0,
-            pinned: std::collections::HashSet::new(),
+            pinned: std::collections::BTreeSet::new(),
         }
     }
 
@@ -518,7 +518,7 @@ impl CbdmaBackend {
         }
     }
 
-    fn copy(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Ticket {
+    fn copy(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, JobError> {
         self.ensure_pinned(&req.src);
         self.ensure_pinned(&req.dst);
         let channel = self.cursor % self.dev.channels();
@@ -526,12 +526,17 @@ impl CbdmaBackend {
         let bytes = req.bytes();
         let now = rt.now();
         let (memory, memsys) = rt.mem_parts();
-        let exec = self
-            .dev
-            .submit_copy(memory, memsys, channel, req.src.addr(), req.dst.addr(), bytes, now)
-            .expect("backend pins ranges before submission");
+        let exec = self.dev.submit_copy(
+            memory,
+            memsys,
+            channel,
+            req.src.addr(),
+            req.dst.addr(),
+            bytes,
+            now,
+        )?;
         rt.advance_to(exec.submitted);
-        Ticket { completion: exec.completed, bytes }
+        Ok(Ticket { completion: exec.completed, bytes })
     }
 }
 
@@ -568,7 +573,7 @@ impl OffloadBackend for CbdmaBackend {
             return Ok(cpu_run(rt, req));
         }
         let start = rt.now();
-        let ticket = self.copy(rt, req);
+        let ticket = self.copy(rt, req)?;
         rt.advance_to(ticket.completion_time());
         Ok(Completion {
             elapsed: rt.now().duration_since(start),
@@ -583,7 +588,7 @@ impl OffloadBackend for CbdmaBackend {
             cpu_run(rt, req);
             return Ok(Ticket { completion: rt.now(), bytes });
         }
-        Ok(self.copy(rt, req))
+        self.copy(rt, req)
     }
 }
 

@@ -111,6 +111,7 @@ pub mod presets {
         let mut cfg = AccelConfig::new();
         let g = cfg.add_group(engines);
         cfg.add_dedicated_wq(wq_size, g);
+        // dsa-lint: allow(unwrap, documented panicking preset; invalid parameters are a caller bug)
         cfg.enable().expect("preset within DSA 1.0 capabilities")
     }
 
@@ -126,6 +127,7 @@ pub mod presets {
             let g = cfg.add_group(1);
             cfg.add_dedicated_wq(128 / n.max(1), g);
         }
+        // dsa-lint: allow(unwrap, documented panicking preset; invalid parameters are a caller bug)
         cfg.enable().expect("preset within DSA 1.0 capabilities")
     }
 
@@ -135,6 +137,7 @@ pub mod presets {
         let mut cfg = AccelConfig::new();
         let g = cfg.add_group(1);
         cfg.add_shared_wq(32, g);
+        // dsa-lint: allow(unwrap, fixed-shape preset is always within DSA 1.0 capabilities)
         cfg.enable().expect("preset within DSA 1.0 capabilities")
     }
 }

@@ -314,8 +314,9 @@ impl Dispatcher {
                     }
                 }
                 if self.inflight.len() >= self.async_depth {
-                    let oldest = self.inflight.pop_front().expect("depth > 0");
-                    self.dsa.wait(rt, oldest);
+                    if let Some(oldest) = self.inflight.pop_front() {
+                        self.dsa.wait(rt, oldest);
+                    }
                 }
                 let ticket = self.dsa.submit(rt, &req)?;
                 self.inflight.push_back(ticket);

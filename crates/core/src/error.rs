@@ -1,0 +1,49 @@
+//! The crate-wide error type.
+//!
+//! [`DsaError`] is what every fallible path in the user-facing library
+//! returns: job execution, backend dispatch, and the CBDMA baseline all
+//! converge here instead of panicking on the hot path. The legacy name
+//! [`crate::job::JobError`] is a type alias for it, so existing match
+//! sites keep compiling.
+
+use dsa_device::cbdma::CbdmaError;
+use dsa_device::device::SubmitError;
+
+/// Errors surfaced by the offload library.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DsaError {
+    /// The device rejected the submission (other than a retryable full WQ).
+    Submit(SubmitError),
+    /// The request referenced a device index that does not exist.
+    UnknownDevice {
+        /// Offending index.
+        device: usize,
+    },
+    /// The CBDMA baseline rejected the operation (unpinned range, bad
+    /// channel, or bad address).
+    Cbdma(CbdmaError),
+}
+
+impl std::fmt::Display for DsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DsaError::Submit(e) => write!(f, "submission failed: {e}"),
+            DsaError::UnknownDevice { device } => write!(f, "unknown device {device}"),
+            DsaError::Cbdma(e) => write!(f, "cbdma: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DsaError {}
+
+impl From<SubmitError> for DsaError {
+    fn from(e: SubmitError) -> DsaError {
+        DsaError::Submit(e)
+    }
+}
+
+impl From<CbdmaError> for DsaError {
+    fn from(e: CbdmaError) -> DsaError {
+        DsaError::Cbdma(e)
+    }
+}

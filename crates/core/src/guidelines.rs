@@ -169,6 +169,7 @@ pub fn recommended_config(typical_transfer: u64, threads: u32) -> DeviceConfig {
             let mut cfg = AccelConfig::new();
             let g = cfg.add_group(engines.min(4));
             cfg.add_shared_wq(g6_wq_size(), g);
+            // dsa-lint: allow(unwrap, fixed-shape shared preset is always within capabilities)
             cfg.enable().expect("shared preset is always valid")
         }
     }

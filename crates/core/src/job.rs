@@ -22,9 +22,7 @@
 use crate::runtime::DsaRuntime;
 use crate::submit::{SubmitMethod, WaitMethod};
 use dsa_device::config::WqMode;
-use dsa_device::descriptor::{
-    BatchDescriptor, CompletionRecord, Descriptor, Flags, OpParams, Opcode,
-};
+use dsa_device::descriptor::{BatchDescriptor, CompletionRecord, Descriptor};
 use dsa_device::device::{ExecTimeline, SubmitError, WqId};
 use dsa_mem::memory::BufferHandle;
 use dsa_ops::dif::DifConfig;
@@ -41,34 +39,10 @@ const DESC_ALLOC: SimDuration = SimDuration::from_ns(900);
 /// dispatch estimates track what submission actually charges.
 pub(crate) const DESC_PREPARE: SimDuration = SimDuration::from_ns(12);
 
-/// Errors surfaced by job execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum JobError {
-    /// The device rejected the submission (other than a retryable full WQ).
-    Submit(SubmitError),
-    /// The job referenced a device index that does not exist.
-    UnknownDevice {
-        /// Offending index.
-        device: usize,
-    },
-}
-
-impl std::fmt::Display for JobError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            JobError::Submit(e) => write!(f, "submission failed: {e}"),
-            JobError::UnknownDevice { device } => write!(f, "unknown device {device}"),
-        }
-    }
-}
-
-impl std::error::Error for JobError {}
-
-impl From<SubmitError> for JobError {
-    fn from(e: SubmitError) -> JobError {
-        JobError::Submit(e)
-    }
-}
+/// Errors surfaced by job execution — the historical name for what is now
+/// the crate-wide [`DsaError`]. Variant paths like `JobError::Submit`
+/// resolve through the alias, so existing call sites keep working.
+pub type JobError = crate::error::DsaError;
 
 /// Durations of the offload phases (Fig. 5's stacked bars).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -137,29 +111,13 @@ impl Job {
 
     /// A no-op descriptor (useful for probing offload overheads).
     pub fn nop() -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::Nop,
-            flags: Flags::REQUEST_COMPLETION,
-            src: 0,
-            dst: 0,
-            xfer_size: 0,
-            completion_addr: 0,
-            params: OpParams::None,
-        })
+        Job::from_descriptor(Descriptor::nop())
     }
 
     /// A drain descriptor: completes after everything previously submitted
     /// to the device has completed (ordering barrier).
     pub fn drain() -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::Drain,
-            flags: Flags::REQUEST_COMPLETION,
-            src: 0,
-            dst: 0,
-            xfer_size: 0,
-            completion_addr: 0,
-            params: OpParams::None,
-        })
+        Job::from_descriptor(Descriptor::drain())
     }
 
     /// Memory copy.
@@ -181,15 +139,7 @@ impl Job {
 
     /// Compare against an 8-byte pattern.
     pub fn compare_pattern(buf: &BufferHandle, pattern: u64) -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::ComparePattern,
-            flags: Flags::REQUEST_COMPLETION,
-            src: buf.addr(),
-            dst: 0,
-            xfer_size: buf.len() as u32,
-            completion_addr: 0,
-            params: OpParams::Pattern(pattern),
-        })
+        Job::from_descriptor(Descriptor::compare_pattern(buf.addr(), buf.len() as u32, pattern))
     }
 
     /// CRC32-C generation over `src`.
@@ -200,28 +150,17 @@ impl Job {
     /// Copy with CRC32-C of the transferred data.
     pub fn copy_crc(src: &BufferHandle, dst: &BufferHandle) -> Job {
         let len = src.len().min(dst.len()) as u32;
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::CopyCrc,
-            flags: Flags::REQUEST_COMPLETION,
-            src: src.addr(),
-            dst: dst.addr(),
-            xfer_size: len,
-            completion_addr: 0,
-            params: OpParams::CrcSeed(0),
-        })
+        Job::from_descriptor(Descriptor::copy_crc(src.addr(), dst.addr(), len))
     }
 
     /// Dualcast to two destinations.
     pub fn dualcast(src: &BufferHandle, dst1: &BufferHandle, dst2: &BufferHandle) -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::Dualcast,
-            flags: Flags::REQUEST_COMPLETION,
-            src: src.addr(),
-            dst: dst1.addr(),
-            xfer_size: src.len() as u32,
-            completion_addr: 0,
-            params: OpParams::Dest2(dst2.addr()),
-        })
+        Job::from_descriptor(Descriptor::dualcast(
+            src.addr(),
+            dst1.addr(),
+            dst2.addr(),
+            src.len() as u32,
+        ))
     }
 
     /// Create a delta record of `original` vs `modified` into `record`.
@@ -230,93 +169,48 @@ impl Job {
         modified: &BufferHandle,
         record: &BufferHandle,
     ) -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::CreateDelta,
-            flags: Flags::REQUEST_COMPLETION,
-            src: original.addr(),
-            dst: modified.addr(),
-            xfer_size: original.len() as u32,
-            completion_addr: 0,
-            params: OpParams::Delta { record_addr: record.addr(), max_size: record.len() as u32 },
-        })
+        Job::from_descriptor(Descriptor::delta_create(
+            original.addr(),
+            modified.addr(),
+            original.len() as u32,
+            record.addr(),
+            record.len() as u32,
+        ))
     }
 
     /// Apply a delta record (of `record_len` bytes) to `target`.
     pub fn delta_apply(record: &BufferHandle, record_len: u32, target: &BufferHandle) -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::ApplyDelta,
-            flags: Flags::REQUEST_COMPLETION,
-            src: 0,
-            dst: target.addr(),
-            xfer_size: target.len() as u32,
-            completion_addr: 0,
-            params: OpParams::Delta { record_addr: record.addr(), max_size: record_len },
-        })
+        Job::from_descriptor(Descriptor::delta_apply(
+            record.addr(),
+            record_len,
+            target.addr(),
+            target.len() as u32,
+        ))
     }
 
     /// DIF insert from raw blocks in `src` to protected blocks in `dst`.
     pub fn dif_insert(src: &BufferHandle, dst: &BufferHandle, cfg: DifConfig) -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::DifInsert,
-            flags: Flags::REQUEST_COMPLETION,
-            src: src.addr(),
-            dst: dst.addr(),
-            xfer_size: src.len() as u32,
-            completion_addr: 0,
-            params: OpParams::Dif(cfg),
-        })
+        Job::from_descriptor(Descriptor::dif_insert(src.addr(), dst.addr(), src.len() as u32, cfg))
     }
 
     /// DIF check of protected blocks in `src`.
     pub fn dif_check(src: &BufferHandle, cfg: DifConfig) -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::DifCheck,
-            flags: Flags::REQUEST_COMPLETION,
-            src: src.addr(),
-            dst: 0,
-            xfer_size: src.len() as u32,
-            completion_addr: 0,
-            params: OpParams::Dif(cfg),
-        })
+        Job::from_descriptor(Descriptor::dif_check(src.addr(), src.len() as u32, cfg))
     }
 
     /// DIF strip: verify protected blocks in `src`, write raw data to `dst`.
     pub fn dif_strip(src: &BufferHandle, dst: &BufferHandle, cfg: DifConfig) -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::DifStrip,
-            flags: Flags::REQUEST_COMPLETION,
-            src: src.addr(),
-            dst: dst.addr(),
-            xfer_size: src.len() as u32,
-            completion_addr: 0,
-            params: OpParams::Dif(cfg),
-        })
+        Job::from_descriptor(Descriptor::dif_strip(src.addr(), dst.addr(), src.len() as u32, cfg))
     }
 
     /// DIF update: verify protected blocks in `src`, rewrite tuples to `dst`.
     pub fn dif_update(src: &BufferHandle, dst: &BufferHandle, cfg: DifConfig) -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::DifUpdate,
-            flags: Flags::REQUEST_COMPLETION,
-            src: src.addr(),
-            dst: dst.addr(),
-            xfer_size: src.len() as u32,
-            completion_addr: 0,
-            params: OpParams::Dif(cfg),
-        })
+        Job::from_descriptor(Descriptor::dif_update(src.addr(), dst.addr(), src.len() as u32, cfg))
     }
 
     /// Cache flush of the range behind `buf`.
     pub fn cache_flush(buf: &BufferHandle) -> Job {
-        Job::from_descriptor(Descriptor {
-            opcode: Opcode::CacheFlush,
-            flags: Flags::REQUEST_COMPLETION,
-            src: 0,
-            dst: buf.addr(),
-            xfer_size: buf.len() as u32,
-            completion_addr: 0,
-            params: OpParams::None,
-        })
+        Job::from_descriptor(Descriptor::cache_flush(buf.addr(), buf.len() as u32))
     }
 
     /// Targets device `i` (default 0).
@@ -554,16 +448,18 @@ impl AsyncQueue {
     /// Propagates submission failures.
     pub fn submit(&mut self, rt: &mut DsaRuntime, job: Job) -> Result<(), JobError> {
         if self.inflight.len() >= self.depth {
-            let oldest = self.inflight.pop_front().expect("non-empty at depth");
-            rt.advance_to(oldest.completion_time());
-            self.retire(&oldest);
+            if let Some(oldest) = self.inflight.pop_front() {
+                rt.advance_to(oldest.completion_time());
+                self.retire(&oldest);
+            }
         }
         // Reap anything already finished (free bookkeeping, like checking
         // completion records opportunistically).
         while let Some(front) = self.inflight.front() {
             if front.is_complete(rt.now()) {
-                let h = self.inflight.pop_front().expect("front exists");
-                self.retire(&h);
+                if let Some(h) = self.inflight.pop_front() {
+                    self.retire(&h);
+                }
             } else {
                 break;
             }
@@ -670,12 +566,7 @@ impl Batch {
         rt.advance(DESC_PREPARE.saturating_mul(self.descs.len() as u64));
         let list = rt.alloc(64 * self.descs.len() as u64, dsa_mem::buffer::Location::local_dram());
         rt.advance(SubmitMethod::Movdir64b.core_cost());
-        let batch = BatchDescriptor {
-            desc_list_addr: list.addr(),
-            count: self.descs.len() as u32,
-            completion_addr: 0,
-            flags: Flags::REQUEST_COMPLETION,
-        };
+        let batch = BatchDescriptor::new(list.addr(), self.descs.len() as u32);
         let exec = loop {
             let now = rt.now();
             let (dev, memory, memsys) = rt.parts(self.device);
@@ -714,12 +605,7 @@ impl Batch {
         let list = rt.alloc(64 * self.descs.len() as u64, dsa_mem::buffer::Location::local_dram());
         let method_cost = SubmitMethod::Movdir64b.core_cost();
         rt.advance(method_cost);
-        let batch = BatchDescriptor {
-            desc_list_addr: list.addr(),
-            count: self.descs.len() as u32,
-            completion_addr: 0,
-            flags: Flags::REQUEST_COMPLETION,
-        };
+        let batch = BatchDescriptor::new(list.addr(), self.descs.len() as u32);
         let exec = loop {
             let now = rt.now();
             let (dev, memory, memsys) = rt.parts(self.device);

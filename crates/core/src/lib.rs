@@ -43,6 +43,7 @@ pub mod backend;
 pub mod config;
 pub mod dispatch;
 pub mod dto;
+pub mod error;
 pub mod guidelines;
 pub mod job;
 pub mod runtime;
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::config::AccelConfig;
     pub use crate::dispatch::{Decision, DispatchPolicy, DispatchStats, Dispatcher};
     pub use crate::dto::Dto;
+    pub use crate::error::DsaError;
     pub use crate::job::{AsyncQueue, Batch, Job, JobError, JobReport};
     pub use crate::runtime::{DsaRuntime, RuntimeBuilder};
     pub use crate::submit::{SubmitMethod, WaitMethod};
@@ -64,5 +66,6 @@ pub mod prelude {
     pub use dsa_device::descriptor::Status;
 }
 
+pub use error::DsaError;
 pub use job::{AsyncQueue, Batch, Job, JobHandle, JobReport};
 pub use runtime::DsaRuntime;

@@ -230,6 +230,7 @@ impl DsaRuntime {
     pub fn fill_pattern(&mut self, buf: &BufferHandle, byte: u8) {
         self.memory
             .read_mut(buf.addr(), buf.len())
+            // dsa-lint: allow(unwrap, handles come from this runtime's allocator, so the range is mapped)
             .expect("runtime-allocated buffer is mapped")
             .fill(byte);
     }
@@ -240,6 +241,7 @@ impl DsaRuntime {
         let slice = self
             .memory
             .read_mut(buf.addr(), buf.len())
+            // dsa-lint: allow(unwrap, handles come from this runtime's allocator, so the range is mapped)
             .expect("runtime-allocated buffer is mapped");
         rng.fill_bytes(slice);
     }

@@ -118,7 +118,8 @@ impl TelemetryLog {
         if vals.is_empty() {
             return 0.0;
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).expect("bandwidths are finite"));
+        vals.sort_by(f64::total_cmp);
+        // dsa-lint: allow(float-cast, percentile rank is an index computation, not timeline math)
         let rank = (p.clamp(0.0, 1.0) * (vals.len() - 1) as f64).round() as usize;
         vals[rank]
     }

@@ -10,8 +10,27 @@
 //! [`Descriptor::to_bytes`] produces the 64-byte wire layout so tests can
 //! pin the ABI; the simulation passes the structured form around.
 
+use crate::config::DeviceCaps;
 use dsa_ops::dif::DifConfig;
 use dsa_ops::OpKind;
+use dsa_sim::time::scale_bytes;
+
+/// Fixed-offset little-endian field reads for the wire formats. Callers
+/// index within the fixed 64- and 32-byte buffers, so the slices are
+/// always in range.
+fn le_u16(b: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([b[off], b[off + 1]])
+}
+
+fn le_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+
+fn le_u64(b: &[u8], off: usize) -> u64 {
+    let mut v = [0u8; 8];
+    v.copy_from_slice(&b[off..off + 8]);
+    u64::from_le_bytes(v)
+}
 
 /// DSA operation codes (architecture specification, Table 1 of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -165,6 +184,132 @@ pub enum OpParams {
     Dif(DifConfig),
 }
 
+/// Why a descriptor failed [`Descriptor::validate`] — the DSA-spec
+/// conformance layer every submit path runs before accepting work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DescriptorError {
+    /// A plain descriptor carried the Batch opcode; batches go through
+    /// `BatchDescriptor` / `submit_batch`.
+    BatchOpcode,
+    /// Transfer size exceeds the device's maximum.
+    TooLarge {
+        /// Requested size in bytes.
+        size: u64,
+        /// Device maximum in bytes.
+        max: u32,
+    },
+    /// Completion-record address not 32-byte aligned (the record is a
+    /// 32-byte aligned structure per the spec).
+    MisalignedCompletion {
+        /// Offending address.
+        addr: u64,
+    },
+    /// Completion interrupt requested without a completion record.
+    InterruptWithoutCompletion,
+    /// Fence is only meaningful for descriptors inside a batch.
+    FenceOutsideBatch,
+    /// A flag that is reserved for this opcode was set.
+    FlagIncompatible {
+        /// The opcode in question.
+        opcode: Opcode,
+        /// The offending flag bits.
+        flags: u32,
+    },
+    /// `params` does not carry the operand layout this opcode requires.
+    ParamMismatch {
+        /// The opcode in question.
+        opcode: Opcode,
+    },
+    /// Dualcast destination ranges overlap.
+    DualcastOverlap,
+    /// Delta operations require an 8-byte-multiple transfer size.
+    DeltaUnaligned {
+        /// Offending size.
+        size: u32,
+    },
+    /// DIF transfer size is not a whole number of blocks/tuples.
+    DifSizeMismatch {
+        /// Offending size.
+        size: u32,
+        /// Required multiple in bytes.
+        multiple: u32,
+    },
+    /// Batch must reference at least two descriptors (spec requirement).
+    BatchTooSmall {
+        /// Requested count.
+        count: u32,
+    },
+    /// Batch exceeds the device's maximum batch size.
+    BatchTooLarge {
+        /// Requested count.
+        count: u32,
+        /// Device maximum.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DescriptorError::BatchOpcode => {
+                write!(f, "batch opcode in a plain descriptor; use BatchDescriptor")
+            }
+            DescriptorError::TooLarge { size, max } => {
+                write!(f, "transfer of {size} bytes exceeds device max of {max}")
+            }
+            DescriptorError::MisalignedCompletion { addr } => {
+                write!(f, "completion record address {addr:#x} not 32-byte aligned")
+            }
+            DescriptorError::InterruptWithoutCompletion => {
+                write!(f, "completion interrupt requested without a completion record")
+            }
+            DescriptorError::FenceOutsideBatch => {
+                write!(f, "fence flag on a directly submitted descriptor")
+            }
+            DescriptorError::FlagIncompatible { opcode, flags } => {
+                write!(f, "flag bits {flags:#x} are reserved for opcode {opcode:?}")
+            }
+            DescriptorError::ParamMismatch { opcode } => {
+                write!(f, "operation-specific params do not match opcode {opcode:?}")
+            }
+            DescriptorError::DualcastOverlap => {
+                write!(f, "dualcast destination ranges overlap")
+            }
+            DescriptorError::DeltaUnaligned { size } => {
+                write!(f, "delta transfer size {size} is not a multiple of 8")
+            }
+            DescriptorError::DifSizeMismatch { size, multiple } => {
+                write!(f, "DIF transfer size {size} is not a multiple of {multiple}")
+            }
+            DescriptorError::BatchTooSmall { count } => {
+                write!(f, "batch of {count} descriptors; spec requires at least 2")
+            }
+            DescriptorError::BatchTooLarge { count, max } => {
+                write!(f, "batch of {count} descriptors exceeds device max of {max}")
+            }
+        }
+    }
+}
+
+impl DescriptorError {
+    /// True for errors real hardware reports *through the completion
+    /// record* (`Status::InvalidDescriptor`) rather than by refusing the
+    /// portal write. The device model lets these reach the engine, which
+    /// writes the error record; software-side submit paths reject them
+    /// eagerly, before paying for a portal write.
+    pub fn reported_in_completion(&self) -> bool {
+        matches!(
+            self,
+            DescriptorError::ParamMismatch { .. }
+                | DescriptorError::DualcastOverlap
+                | DescriptorError::DeltaUnaligned { .. }
+                | DescriptorError::DifSizeMismatch { .. }
+        )
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
 /// A 64-byte work descriptor.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Descriptor {
@@ -185,6 +330,30 @@ pub struct Descriptor {
 }
 
 impl Descriptor {
+    /// The base shape every constructor builds on: completion requested,
+    /// operation-specific fields filled in by the caller.
+    fn base(opcode: Opcode, src: u64, dst: u64, len: u32, params: OpParams) -> Descriptor {
+        Descriptor {
+            opcode,
+            flags: Flags::REQUEST_COMPLETION,
+            src,
+            dst,
+            xfer_size: len,
+            completion_addr: 0,
+            params,
+        }
+    }
+
+    /// A no-op descriptor (offload-overhead probes).
+    pub fn nop() -> Descriptor {
+        Descriptor::base(Opcode::Nop, 0, 0, 0, OpParams::None)
+    }
+
+    /// A drain descriptor: an ordering barrier against prior submissions.
+    pub fn drain() -> Descriptor {
+        Descriptor::base(Opcode::Drain, 0, 0, 0, OpParams::None)
+    }
+
     /// A memory-move descriptor with a completion record requested.
     pub fn memmove(src: u64, dst: u64, len: u32) -> Descriptor {
         Descriptor {
@@ -237,6 +406,76 @@ impl Descriptor {
         }
     }
 
+    /// A compare-against-pattern descriptor.
+    pub fn compare_pattern(src: u64, len: u32, pattern: u64) -> Descriptor {
+        Descriptor::base(Opcode::ComparePattern, src, 0, len, OpParams::Pattern(pattern))
+    }
+
+    /// A copy-with-CRC descriptor.
+    pub fn copy_crc(src: u64, dst: u64, len: u32) -> Descriptor {
+        Descriptor::base(Opcode::CopyCrc, src, dst, len, OpParams::CrcSeed(0))
+    }
+
+    /// A dualcast descriptor copying `src` to both `dst1` and `dst2`.
+    pub fn dualcast(src: u64, dst1: u64, dst2: u64, len: u32) -> Descriptor {
+        Descriptor::base(Opcode::Dualcast, src, dst1, len, OpParams::Dest2(dst2))
+    }
+
+    /// A create-delta descriptor comparing `original` vs `modified`,
+    /// writing a record of at most `max_size` bytes at `record_addr`.
+    pub fn delta_create(
+        original: u64,
+        modified: u64,
+        len: u32,
+        record_addr: u64,
+        max_size: u32,
+    ) -> Descriptor {
+        Descriptor::base(
+            Opcode::CreateDelta,
+            original,
+            modified,
+            len,
+            OpParams::Delta { record_addr, max_size },
+        )
+    }
+
+    /// An apply-delta descriptor replaying the `record_len`-byte record at
+    /// `record_addr` onto `target`.
+    pub fn delta_apply(record_addr: u64, record_len: u32, target: u64, len: u32) -> Descriptor {
+        Descriptor::base(
+            Opcode::ApplyDelta,
+            0,
+            target,
+            len,
+            OpParams::Delta { record_addr, max_size: record_len },
+        )
+    }
+
+    /// A DIF-insert descriptor (raw blocks in `src` → protected in `dst`).
+    pub fn dif_insert(src: u64, dst: u64, len: u32, cfg: DifConfig) -> Descriptor {
+        Descriptor::base(Opcode::DifInsert, src, dst, len, OpParams::Dif(cfg))
+    }
+
+    /// A DIF-check descriptor over protected blocks in `src`.
+    pub fn dif_check(src: u64, len: u32, cfg: DifConfig) -> Descriptor {
+        Descriptor::base(Opcode::DifCheck, src, 0, len, OpParams::Dif(cfg))
+    }
+
+    /// A DIF-strip descriptor (verify `src`, raw data to `dst`).
+    pub fn dif_strip(src: u64, dst: u64, len: u32, cfg: DifConfig) -> Descriptor {
+        Descriptor::base(Opcode::DifStrip, src, dst, len, OpParams::Dif(cfg))
+    }
+
+    /// A DIF-update descriptor (verify `src`, rewrite tuples to `dst`).
+    pub fn dif_update(src: u64, dst: u64, len: u32, cfg: DifConfig) -> Descriptor {
+        Descriptor::base(Opcode::DifUpdate, src, dst, len, OpParams::Dif(cfg))
+    }
+
+    /// A cache-flush descriptor over `len` bytes at `dst`.
+    pub fn cache_flush(dst: u64, len: u32) -> Descriptor {
+        Descriptor::base(Opcode::CacheFlush, 0, dst, len, OpParams::None)
+    }
+
     /// Enables cache-control (destination steered to LLC).
     pub fn with_cache_control(mut self) -> Descriptor {
         self.flags = self.flags | Flags::CACHE_CONTROL;
@@ -253,6 +492,111 @@ impl Descriptor {
     pub fn with_block_on_fault(mut self) -> Descriptor {
         self.flags = self.flags | Flags::BLOCK_ON_FAULT;
         self
+    }
+
+    /// Spec-conformance check for a *directly submitted* descriptor:
+    /// opcode/flags compatibility, transfer-size bounds, operand-layout
+    /// match, and completion-record alignment. Every submit path runs this
+    /// before accepting work.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DescriptorError`] found, in the order the
+    /// hardware would report them (structure before size before operands).
+    pub fn validate(&self, caps: &DeviceCaps) -> Result<(), DescriptorError> {
+        self.validate_inner(caps, false)
+    }
+
+    /// Spec-conformance check for a descriptor *inside a batch*, where the
+    /// fence flag is legal (it orders sub-descriptors against each other).
+    ///
+    /// # Errors
+    ///
+    /// See [`validate`](Self::validate).
+    pub fn validate_in_batch(&self, caps: &DeviceCaps) -> Result<(), DescriptorError> {
+        self.validate_inner(caps, true)
+    }
+
+    fn validate_inner(&self, caps: &DeviceCaps, in_batch: bool) -> Result<(), DescriptorError> {
+        if self.opcode == Opcode::Batch {
+            return Err(DescriptorError::BatchOpcode);
+        }
+        let data_op = !matches!(self.opcode, Opcode::Nop | Opcode::Drain);
+        if self.xfer_size as u64 > caps.max_transfer as u64 {
+            return Err(DescriptorError::TooLarge {
+                size: self.xfer_size as u64,
+                max: caps.max_transfer,
+            });
+        }
+        if self.completion_addr != 0 && !self.completion_addr.is_multiple_of(32) {
+            return Err(DescriptorError::MisalignedCompletion { addr: self.completion_addr });
+        }
+        if self.flags.contains(Flags::COMPLETION_INTERRUPT)
+            && !self.flags.contains(Flags::REQUEST_COMPLETION)
+        {
+            return Err(DescriptorError::InterruptWithoutCompletion);
+        }
+        if self.flags.contains(Flags::FENCE) && !in_batch {
+            return Err(DescriptorError::FenceOutsideBatch);
+        }
+        if !data_op && self.flags.contains(Flags::CACHE_CONTROL) {
+            return Err(DescriptorError::FlagIncompatible {
+                opcode: self.opcode,
+                flags: Flags::CACHE_CONTROL.bits(),
+            });
+        }
+        let params_ok = match self.opcode {
+            Opcode::Nop
+            | Opcode::Drain
+            | Opcode::Memmove
+            | Opcode::Compare
+            | Opcode::CacheFlush => matches!(self.params, OpParams::None),
+            Opcode::Fill | Opcode::ComparePattern => {
+                matches!(self.params, OpParams::Pattern(_))
+            }
+            Opcode::Dualcast => matches!(self.params, OpParams::Dest2(_)),
+            Opcode::CrcGen | Opcode::CopyCrc => matches!(self.params, OpParams::CrcSeed(_)),
+            Opcode::CreateDelta | Opcode::ApplyDelta => {
+                matches!(self.params, OpParams::Delta { .. })
+            }
+            Opcode::DifCheck | Opcode::DifInsert | Opcode::DifStrip | Opcode::DifUpdate => {
+                matches!(self.params, OpParams::Dif(_))
+            }
+            Opcode::Batch => false,
+        };
+        if !params_ok {
+            return Err(DescriptorError::ParamMismatch { opcode: self.opcode });
+        }
+        match (self.opcode, &self.params) {
+            (Opcode::Dualcast, OpParams::Dest2(dst2)) => {
+                let len = self.xfer_size as u64;
+                let overlap =
+                    self.dst < dst2.saturating_add(len) && *dst2 < self.dst.saturating_add(len);
+                if overlap {
+                    return Err(DescriptorError::DualcastOverlap);
+                }
+            }
+            (Opcode::CreateDelta | Opcode::ApplyDelta, _) if !self.xfer_size.is_multiple_of(8) => {
+                return Err(DescriptorError::DeltaUnaligned { size: self.xfer_size });
+            }
+            (op, OpParams::Dif(cfg)) => {
+                // Insert reads raw blocks; check/strip/update read protected
+                // blocks carrying an 8-byte tuple each.
+                let multiple = if op == Opcode::DifInsert {
+                    cfg.block.bytes() as u32
+                } else {
+                    cfg.block.bytes() as u32 + 8
+                };
+                if !self.xfer_size.is_multiple_of(multiple) {
+                    return Err(DescriptorError::DifSizeMismatch {
+                        size: self.xfer_size,
+                        multiple,
+                    });
+                }
+            }
+            _ => {}
+        }
+        Ok(())
     }
 
     /// Serializes to the 64-byte portal format.
@@ -296,7 +640,7 @@ impl Descriptor {
     /// Returns `None` for an unknown opcode. Operation-specific fields are
     /// recovered according to the opcode's layout.
     pub fn from_bytes(b: &[u8; 64]) -> Option<Descriptor> {
-        let flags = Flags(u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")));
+        let flags = Flags(le_u32(b, 0));
         let opcode = match b[4] {
             0x00 => Opcode::Nop,
             0x01 => Opcode::Batch,
@@ -317,21 +661,18 @@ impl Descriptor {
             0x20 => Opcode::CacheFlush,
             _ => return None,
         };
-        let completion_addr = u64::from_le_bytes(b[8..16].try_into().expect("8 bytes"));
-        let src = u64::from_le_bytes(b[16..24].try_into().expect("8 bytes"));
-        let dst = u64::from_le_bytes(b[24..32].try_into().expect("8 bytes"));
-        let xfer_size = u32::from_le_bytes(b[32..36].try_into().expect("4 bytes"));
-        let word40 = u64::from_le_bytes(b[40..48].try_into().expect("8 bytes"));
+        let completion_addr = le_u64(b, 8);
+        let src = le_u64(b, 16);
+        let dst = le_u64(b, 24);
+        let xfer_size = le_u32(b, 32);
+        let word40 = le_u64(b, 40);
         let params = match opcode {
             Opcode::Fill | Opcode::ComparePattern => OpParams::Pattern(word40),
             Opcode::Dualcast => OpParams::Dest2(word40),
-            Opcode::CrcGen | Opcode::CopyCrc => {
-                OpParams::CrcSeed(u32::from_le_bytes(b[40..44].try_into().expect("4 bytes")))
+            Opcode::CrcGen | Opcode::CopyCrc => OpParams::CrcSeed(le_u32(b, 40)),
+            Opcode::CreateDelta | Opcode::ApplyDelta => {
+                OpParams::Delta { record_addr: word40, max_size: le_u32(b, 48) }
             }
-            Opcode::CreateDelta | Opcode::ApplyDelta => OpParams::Delta {
-                record_addr: word40,
-                max_size: u32::from_le_bytes(b[48..52].try_into().expect("4 bytes")),
-            },
             Opcode::DifCheck | Opcode::DifInsert | Opcode::DifStrip | Opcode::DifUpdate => {
                 let block = match b[40] {
                     0 => dsa_ops::dif::DifBlockSize::B512,
@@ -342,8 +683,8 @@ impl Descriptor {
                 };
                 OpParams::Dif(DifConfig {
                     block,
-                    app_tag: u16::from_le_bytes(b[42..44].try_into().expect("2 bytes")),
-                    starting_ref_tag: u32::from_le_bytes(b[44..48].try_into().expect("4 bytes")),
+                    app_tag: le_u16(b, 42),
+                    starting_ref_tag: le_u32(b, 44),
                 })
             }
             _ => OpParams::None,
@@ -353,12 +694,12 @@ impl Descriptor {
 
     /// The number of bytes the device will read processing this descriptor.
     pub fn bytes_read(&self) -> u64 {
-        (self.xfer_size as f64 * self.opcode.op_kind().read_amplification()) as u64
+        scale_bytes(self.xfer_size as u64, self.opcode.op_kind().read_amplification())
     }
 
     /// The number of bytes the device will write processing this descriptor.
     pub fn bytes_written(&self) -> u64 {
-        (self.xfer_size as f64 * self.opcode.op_kind().write_amplification()) as u64
+        scale_bytes(self.xfer_size as u64, self.opcode.op_kind().write_amplification())
     }
 }
 
@@ -441,9 +782,9 @@ impl CompletionRecord {
     ///
     /// Returns `None` for an unknown status code (byte 0).
     pub fn from_bytes(b: &[u8; 32]) -> Option<CompletionRecord> {
-        let bytes_completed = u32::from_le_bytes(b[4..8].try_into().expect("4 bytes"));
-        let fault_addr = u64::from_le_bytes(b[8..16].try_into().expect("8 bytes"));
-        let result = u64::from_le_bytes(b[16..24].try_into().expect("8 bytes"));
+        let bytes_completed = le_u32(b, 4);
+        let fault_addr = le_u64(b, 8);
+        let result = le_u64(b, 16);
         let status = match (b[0], b[1]) {
             (0x01, 0) => Status::Success,
             (0x01, 1) => Status::CompareMismatch,
@@ -468,6 +809,44 @@ pub struct BatchDescriptor {
     pub completion_addr: u64,
     /// Flags applied to the batch submission itself.
     pub flags: Flags,
+}
+
+impl BatchDescriptor {
+    /// A batch descriptor over `count` descriptors at `desc_list_addr`,
+    /// with a completion record requested.
+    pub fn new(desc_list_addr: u64, count: u32) -> BatchDescriptor {
+        BatchDescriptor {
+            desc_list_addr,
+            count,
+            completion_addr: 0,
+            flags: Flags::REQUEST_COMPLETION,
+        }
+    }
+
+    /// Sets the completion-record address for the batch record.
+    pub fn with_completion_addr(mut self, addr: u64) -> BatchDescriptor {
+        self.completion_addr = addr;
+        self
+    }
+
+    /// Spec-conformance check for the batch envelope: count within the
+    /// spec's `2..=max_batch` window and completion-record alignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DescriptorError`] found.
+    pub fn validate(&self, caps: &DeviceCaps) -> Result<(), DescriptorError> {
+        if self.count < 2 {
+            return Err(DescriptorError::BatchTooSmall { count: self.count });
+        }
+        if self.count > caps.max_batch {
+            return Err(DescriptorError::BatchTooLarge { count: self.count, max: caps.max_batch });
+        }
+        if self.completion_addr != 0 && !self.completion_addr.is_multiple_of(32) {
+            return Err(DescriptorError::MisalignedCompletion { addr: self.completion_addr });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -551,6 +930,167 @@ mod tests {
         let r = CompletionRecord::success(4096);
         assert_eq!(r.bytes_completed, 4096);
         assert_eq!(r.status, Status::Success);
+    }
+}
+
+#[cfg(test)]
+mod validate_tests {
+    use super::*;
+
+    fn caps() -> DeviceCaps {
+        DeviceCaps::dsa1()
+    }
+
+    #[test]
+    fn constructors_produce_valid_descriptors() {
+        let cfg = DifConfig::new(dsa_ops::dif::DifBlockSize::B512);
+        let descs = [
+            Descriptor::nop(),
+            Descriptor::drain(),
+            Descriptor::memmove(0x1000, 0x2000, 4096),
+            Descriptor::fill(0x1000, 4096, 0xAB),
+            Descriptor::compare(0x1000, 0x2000, 4096),
+            Descriptor::compare_pattern(0x1000, 4096, 0xAB),
+            Descriptor::crc_gen(0x1000, 4096),
+            Descriptor::copy_crc(0x1000, 0x2000, 4096),
+            Descriptor::dualcast(0x1000, 0x2000, 0x4000, 4096),
+            Descriptor::delta_create(0x1000, 0x2000, 4096, 0x3000, 1024),
+            Descriptor::delta_apply(0x3000, 256, 0x2000, 4096),
+            Descriptor::dif_insert(0x1000, 0x2000, 512, cfg),
+            Descriptor::dif_check(0x1000, 520, cfg),
+            Descriptor::dif_strip(0x1000, 0x2000, 520, cfg),
+            Descriptor::dif_update(0x1000, 0x2000, 520, cfg),
+            Descriptor::cache_flush(0x1000, 4096),
+        ];
+        for d in descs {
+            assert_eq!(d.validate(&caps()), Ok(()), "{:?}", d.opcode);
+        }
+    }
+
+    #[test]
+    fn builders_preserve_validity() {
+        let d = Descriptor::memmove(0x1000, 0x2000, 64)
+            .with_cache_control()
+            .with_block_on_fault()
+            .with_completion_addr(0x40);
+        assert_eq!(d.validate(&caps()), Ok(()));
+    }
+
+    #[test]
+    fn batch_opcode_rejected_as_plain_descriptor() {
+        let mut d = Descriptor::nop();
+        d.opcode = Opcode::Batch;
+        assert_eq!(d.validate(&caps()), Err(DescriptorError::BatchOpcode));
+    }
+
+    #[test]
+    fn oversize_transfer_rejected() {
+        let mut d = Descriptor::memmove(0, 0x8000_0000, 1);
+        d.xfer_size = u32::MAX;
+        assert!(matches!(d.validate(&caps()), Err(DescriptorError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn misaligned_completion_rejected() {
+        let d = Descriptor::memmove(0x1000, 0x2000, 64).with_completion_addr(0x41);
+        assert_eq!(d.validate(&caps()), Err(DescriptorError::MisalignedCompletion { addr: 0x41 }));
+        // Zero means "no record" and 32-byte multiples are fine.
+        assert_eq!(
+            Descriptor::memmove(0x1000, 0x2000, 64).with_completion_addr(0x60).validate(&caps()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn interrupt_without_completion_rejected() {
+        let mut d = Descriptor::memmove(0x1000, 0x2000, 64);
+        d.flags = Flags::COMPLETION_INTERRUPT;
+        assert_eq!(d.validate(&caps()), Err(DescriptorError::InterruptWithoutCompletion));
+        d.flags = Flags::COMPLETION_INTERRUPT | Flags::REQUEST_COMPLETION;
+        assert_eq!(d.validate(&caps()), Ok(()));
+    }
+
+    #[test]
+    fn fence_legal_only_inside_batches() {
+        let mut d = Descriptor::memmove(0x1000, 0x2000, 64);
+        d.flags = d.flags | Flags::FENCE;
+        assert_eq!(d.validate(&caps()), Err(DescriptorError::FenceOutsideBatch));
+        assert_eq!(d.validate_in_batch(&caps()), Ok(()));
+    }
+
+    #[test]
+    fn cache_control_illegal_on_nop_and_drain() {
+        for d in [Descriptor::nop(), Descriptor::drain()] {
+            let d = d.with_cache_control();
+            assert!(matches!(d.validate(&caps()), Err(DescriptorError::FlagIncompatible { .. })));
+        }
+    }
+
+    #[test]
+    fn param_layout_must_match_opcode() {
+        let mut d = Descriptor::fill(0x1000, 64, 0xAB);
+        d.params = OpParams::None;
+        assert_eq!(
+            d.validate(&caps()),
+            Err(DescriptorError::ParamMismatch { opcode: Opcode::Fill })
+        );
+        let mut d = Descriptor::memmove(0x1000, 0x2000, 64);
+        d.params = OpParams::Pattern(1);
+        assert!(matches!(d.validate(&caps()), Err(DescriptorError::ParamMismatch { .. })));
+    }
+
+    #[test]
+    fn dualcast_overlapping_destinations_rejected() {
+        let d = Descriptor::dualcast(0x1000, 0x2000, 0x2800, 4096);
+        assert_eq!(d.validate(&caps()), Err(DescriptorError::DualcastOverlap));
+        let ok = Descriptor::dualcast(0x1000, 0x2000, 0x3000, 4096);
+        assert_eq!(ok.validate(&caps()), Ok(()));
+    }
+
+    #[test]
+    fn delta_sizes_must_be_word_multiples() {
+        let d = Descriptor::delta_create(0x1000, 0x2000, 100, 0x3000, 64);
+        assert_eq!(d.validate(&caps()), Err(DescriptorError::DeltaUnaligned { size: 100 }));
+    }
+
+    #[test]
+    fn dif_sizes_must_be_block_multiples() {
+        let cfg = DifConfig::new(dsa_ops::dif::DifBlockSize::B512);
+        // Insert consumes raw 512-byte blocks.
+        assert!(Descriptor::dif_insert(0, 0x2000, 1024, cfg).validate(&caps()).is_ok());
+        assert!(matches!(
+            Descriptor::dif_insert(0, 0x2000, 1000, cfg).validate(&caps()),
+            Err(DescriptorError::DifSizeMismatch { multiple: 512, .. })
+        ));
+        // Check consumes 520-byte protected blocks.
+        assert!(Descriptor::dif_check(0, 1040, cfg).validate(&caps()).is_ok());
+        assert!(matches!(
+            Descriptor::dif_check(0, 1024, cfg).validate(&caps()),
+            Err(DescriptorError::DifSizeMismatch { multiple: 520, .. })
+        ));
+    }
+
+    #[test]
+    fn batch_count_window_enforced() {
+        assert_eq!(
+            BatchDescriptor::new(0x1000, 1).validate(&caps()),
+            Err(DescriptorError::BatchTooSmall { count: 1 })
+        );
+        assert_eq!(BatchDescriptor::new(0x1000, 2).validate(&caps()), Ok(()));
+        let max = caps().max_batch;
+        assert_eq!(BatchDescriptor::new(0x1000, max).validate(&caps()), Ok(()));
+        assert_eq!(
+            BatchDescriptor::new(0x1000, max + 1).validate(&caps()),
+            Err(DescriptorError::BatchTooLarge { count: max + 1, max })
+        );
+    }
+
+    #[test]
+    fn content_errors_are_completion_reported() {
+        assert!(DescriptorError::DualcastOverlap.reported_in_completion());
+        assert!(DescriptorError::ParamMismatch { opcode: Opcode::Fill }.reported_in_completion());
+        assert!(!DescriptorError::BatchOpcode.reported_in_completion());
+        assert!(!DescriptorError::FenceOutsideBatch.reported_in_completion());
     }
 }
 

@@ -13,9 +13,9 @@
 //! platform memory system); the *work* is executed functionally against
 //! [`Memory`], so offloaded CRCs, DIFs and delta records are bit-exact.
 
-use crate::config::{DeviceCaps, DeviceConfig, WqMode};
+use crate::config::{ConfigError, DeviceCaps, DeviceConfig, WqMode};
 use crate::descriptor::{
-    BatchDescriptor, CompletionRecord, Descriptor, Flags, OpParams, Opcode, Status,
+    BatchDescriptor, CompletionRecord, Descriptor, DescriptorError, Flags, OpParams, Opcode, Status,
 };
 use crate::timing::DsaTiming;
 use dsa_mem::buffer::Location;
@@ -24,7 +24,7 @@ use dsa_mem::memsys::{AgentId, MemSystem, WritePolicy};
 use dsa_mem::topology::Platform;
 use dsa_mem::translate::TranslationCache;
 use dsa_ops::{crc32::Crc32c, delta, dif, memops};
-use dsa_sim::time::{transfer_time_mgbps, SimDuration, SimTime};
+use dsa_sim::time::{scale_bytes, transfer_time_mgbps, SimDuration, SimTime};
 use dsa_sim::timeline::{BwResource, MultiServer, SlidingWindow};
 use dsa_telemetry::{DescriptorSpan, Hub, Labels, Track};
 
@@ -60,6 +60,10 @@ pub enum SubmitError {
     },
     /// Nested batches are not allowed by the architecture.
     NestedBatch,
+    /// The descriptor failed [`Descriptor::validate`]'s spec-conformance
+    /// checks (bad flags for the opcode, misaligned completion record,
+    /// operand-layout mismatch, ...).
+    Rejected(DescriptorError),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -74,7 +78,14 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "batch of {count} descriptors outside 2..=max_batch")
             }
             SubmitError::NestedBatch => write!(f, "batch descriptors may not contain batches"),
+            SubmitError::Rejected(e) => write!(f, "descriptor rejected: {e}"),
         }
+    }
+}
+
+impl From<DescriptorError> for SubmitError {
+    fn from(e: DescriptorError) -> SubmitError {
+        SubmitError::Rejected(e)
     }
 }
 
@@ -228,15 +239,33 @@ impl DsaDevice {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails validation.
+    /// Panics if `config` fails validation; [`try_with_timing`]
+    /// (Self::try_with_timing) is the fallible path.
     pub fn with_timing(
         id: u16,
         config: DeviceConfig,
         platform: &Platform,
         timing: DsaTiming,
     ) -> DsaDevice {
+        // dsa-lint: allow(unwrap, documented panicking constructor; try_with_timing is the fallible path)
+        Self::try_with_timing(id, config, platform, timing).expect("invalid device configuration")
+    }
+
+    /// Builds with explicit timing, surfacing configuration errors instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from validating `config` against the
+    /// DSA 1.0 capabilities.
+    pub fn try_with_timing(
+        id: u16,
+        config: DeviceConfig,
+        platform: &Platform,
+        timing: DsaTiming,
+    ) -> Result<DsaDevice, ConfigError> {
         let caps = DeviceCaps::dsa1();
-        config.validate(&caps).expect("invalid device configuration");
+        config.validate(&caps)?;
         let groups = config
             .groups
             .iter()
@@ -255,7 +284,7 @@ impl DsaDevice {
                 enqcmd_port: dsa_sim::timeline::Timeline::new(),
             })
             .collect();
-        DsaDevice {
+        Ok(DsaDevice {
             id,
             socket: (id % u16::from(platform.sockets.max(1))) as u8,
             caps,
@@ -271,7 +300,7 @@ impl DsaDevice {
             trace_capacity: 0,
             trace_seq: 0,
             hub: None,
-        }
+        })
     }
 
     /// Attaches a telemetry hub; every descriptor processed from now on
@@ -429,6 +458,14 @@ impl DsaDevice {
         if desc.opcode == Opcode::Batch {
             return Err(SubmitError::NestedBatch);
         }
+        // Structural spec violations are refused at the portal; content
+        // errors fall through so the engine reports InvalidDescriptor in
+        // the completion record, as hardware does.
+        if let Err(e) = desc.validate(&self.caps) {
+            if !e.reported_in_completion() {
+                return Err(SubmitError::Rejected(e));
+            }
+        }
         let submitted = now + self.timing.portal_accept;
         let slot = self.wqs[wq.0].window.available_at(submitted);
         if slot > submitted {
@@ -467,6 +504,14 @@ impl DsaDevice {
                 size: d.xfer_size as u64,
                 max: self.caps.max_transfer,
             });
+        }
+        batch.validate(&self.caps)?;
+        for d in descs {
+            if let Err(e) = d.validate_in_batch(&self.caps) {
+                if !e.reported_in_completion() {
+                    return Err(SubmitError::Rejected(e));
+                }
+            }
         }
         let submitted = now + self.timing.portal_accept;
         let slot = self.wqs[wq.0].window.available_at(submitted);
@@ -643,11 +688,11 @@ impl DsaDevice {
                 let wo = memsys.write_at(agent, dst_loc, arrived, waddr, w, write_policy);
                 // DDIO spill causes write-allocate stalls on the fabric;
                 // same-channel read+write streams contend slightly.
-                let mut weff = w as f64 * (1.0 + self.timing.spill_derate * wo.ddio_spill);
+                let mut derate = 1.0 + self.timing.spill_derate * wo.ddio_spill;
                 if same_channel {
-                    weff *= self.timing.same_channel_penalty;
+                    derate *= self.timing.same_channel_penalty;
                 }
-                let fw = self.fabric_wr.transfer(arrived, weff as u64);
+                let fw = self.fabric_wr.transfer(arrived, scale_bytes(w, derate));
                 arrived = wo.interval.end.max(fw.end);
                 self.telemetry.bytes_written += w;
             }
@@ -776,9 +821,9 @@ impl DsaDevice {
                 a += 4096;
             }
         }
-        if faults > 0 && !desc.flags.contains(Flags::BLOCK_ON_FAULT) {
-            // Partial completion at the first faulting page.
-            let fa = fault_addr.expect("faults > 0 implies an address");
+        // Partial completion at the first faulting page (fault_addr is set
+        // exactly when faults > 0).
+        if let Some(fa) = fault_addr.filter(|_| !desc.flags.contains(Flags::BLOCK_ON_FAULT)) {
             let done = if fa >= desc.src && fa < desc.src + len.max(1) {
                 fa - desc.src
             } else if fa >= desc.dst && fa < desc.dst + len.max(1) {

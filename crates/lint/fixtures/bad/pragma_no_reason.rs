@@ -1,0 +1,5 @@
+// Fixture: a reasonless pragma still suppresses, but is itself flagged.
+fn lookup(table: Option<u64>) -> u64 {
+    // dsa-lint: allow(unwrap)
+    table.unwrap()
+}

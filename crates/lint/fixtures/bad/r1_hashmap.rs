@@ -1,0 +1,7 @@
+// Fixture: R1 must flag unordered hash containers in the deterministic core.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn build() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

@@ -1,0 +1,8 @@
+// Fixture: R3 must flag hand-rolled float<->int timeline arithmetic.
+fn derate(bytes: u64, factor: f64) -> u64 {
+    (bytes as f64 * factor) as u64
+}
+
+fn nanos(ns_f64: f64) -> u64 {
+    ns_f64 as u64
+}

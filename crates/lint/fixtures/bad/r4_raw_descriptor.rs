@@ -1,0 +1,14 @@
+// Fixture: R4 must flag raw descriptor literals that bypass validate().
+fn forge(src: u64, dst: u64, len: u32) -> Descriptor {
+    Descriptor {
+        opcode: 3,
+        flags: 0,
+        src,
+        dst,
+        xfer_size: len,
+    }
+}
+
+fn forge_batch(list: u64, count: u32) -> BatchDescriptor {
+    BatchDescriptor { desc_list_addr: list, desc_count: count }
+}

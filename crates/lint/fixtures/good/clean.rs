@@ -1,0 +1,33 @@
+// Fixture: idiomatic deterministic-core code the linter must pass untouched.
+use std::collections::BTreeMap;
+
+struct Descriptor {
+    opcode: u8,
+}
+
+impl Descriptor {
+    fn nop() -> Descriptor {
+        Self { opcode: 0 }
+    }
+}
+
+fn schedule(jobs: &BTreeMap<u64, u32>) -> Result<u64, &'static str> {
+    // Strings mentioning unwrap() or Instant::now() are not code.
+    let banner = "never unwrap(); never Instant::now()";
+    let first = jobs.keys().next().ok_or(banner)?;
+    Ok(*first + u64::from(Descriptor::nop().opcode))
+}
+
+fn pure_integer_scaling(bytes: u64) -> u64 {
+    // Integer-only `as` casts are fine under R3.
+    (bytes as u128 * 3 / 2) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: documented pragmas silence their rule without other findings.
+use std::sync::Mutex;
+
+fn counter_value(m: &Mutex<u64>) -> u64 {
+    // dsa-lint: allow(unwrap, lock poisoning means a test already panicked; propagating is pointless)
+    *m.lock().unwrap()
+}

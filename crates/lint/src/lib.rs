@@ -1,0 +1,96 @@
+//! # dsa-lint
+//!
+//! A dependency-free static-analysis tool for this workspace. It enforces
+//! the invariants the DSA reproduction's results rest on — deterministic
+//! simulation and spec-legal descriptors — as machine-checked lint rules:
+//!
+//! | rule | name | checks |
+//! |------|------|--------|
+//! | R1 | `nondeterminism` | no `std::time::Instant`/`SystemTime`, no `thread::spawn`; no `HashMap`/`HashSet` in `crates/{sim,device,core}/src` |
+//! | R2 | `unwrap` | no `.unwrap()`/`.expect()` in library non-test code |
+//! | R3 | `float-cast` | no float↔int `as` casts in timeline arithmetic outside `sim::time` |
+//! | R4 | `raw-descriptor` | no raw `Descriptor { .. }` literals bypassing `Descriptor::validate()` |
+//!
+//! Exceptions are documented inline with `// dsa-lint: allow(rule, reason)`.
+//! See `crates/lint/RULES.md` for the full rationale.
+//!
+//! The crate deliberately has **zero dependencies** (the workspace's
+//! Cargo.lock stays dependency-free), so parsing is done by a hand-rolled
+//! lexer in [`lexer`] rather than `syn`.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, Violation, RULES};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into during the workspace walk.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Lints every `.rs` file under `root` (skipping `target/`, hidden
+/// directories, and lint fixture corpora). Returns violations sorted by
+/// file and line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs(root, Path::new(""), &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        out.extend(rules::check_file(&rel_str, &source));
+    }
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(out)
+}
+
+fn collect_rs(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(root.join(rel))? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs(root, &rel.join(&name), out)?;
+        } else if file_type.is_file() && name.ends_with(".rs") {
+            out.push(rel.join(&name));
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` looking for the workspace root (a directory
+/// whose `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_workspace_root_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates/lint/Cargo.toml").is_file());
+    }
+}

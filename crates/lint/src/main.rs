@@ -1,0 +1,80 @@
+//! dsa-lint CLI.
+//!
+//! ```text
+//! cargo run -p dsa-lint              # report violations
+//! cargo run -p dsa-lint -- --deny    # exit non-zero if any (the CI gate)
+//! cargo run -p dsa-lint -- --root P  # lint a different workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dsa-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!(
+                    "dsa-lint: workspace determinism + DSA-spec conformance linter\n\
+                     \n\
+                     usage: dsa-lint [--deny] [--root PATH]\n\
+                     \n\
+                     --deny   exit non-zero if any violation is found (CI gate)\n\
+                     --root   workspace root to lint (default: found from cwd)\n\
+                     \n\
+                     rules: {}\n\
+                     suppress with: // dsa-lint: allow(rule, reason)",
+                    dsa_lint::RULES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dsa-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir().ok().and_then(|cwd| dsa_lint::find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("dsa-lint: no workspace root found (pass --root PATH)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let violations = match dsa_lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("dsa-lint: walk failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("dsa-lint: clean ({} rules enforced)", dsa_lint::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("dsa-lint: {} violation(s)", violations.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

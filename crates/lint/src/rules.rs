@@ -1,0 +1,528 @@
+//! The dsa-lint rule engine.
+//!
+//! Each rule walks the token stream produced by [`crate::lexer`] and emits
+//! [`Violation`]s. Rules are scoped by workspace-relative path (e.g. the
+//! hash-container rule only applies to `crates/{sim,device,core}/src`), and
+//! violations inside `#[cfg(test)]` / `#[test]` regions are masked where the
+//! rule only governs production code.
+//!
+//! See `crates/lint/RULES.md` for the rationale behind each rule.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Canonical rule names, in severity-agnostic display order.
+pub const RULES: &[&str] = &[
+    "nondeterminism", // R1
+    "unwrap",         // R2
+    "float-cast",     // R3
+    "raw-descriptor", // R4
+    "pragma",         // pragma hygiene
+];
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Canonical rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Maps a pragma's rule argument (canonical name or `r1`..`r4` shorthand)
+/// to the canonical name, or `None` if unknown.
+fn canonical_rule(name: &str) -> Option<&'static str> {
+    match name {
+        "r1" | "nondeterminism" => Some("nondeterminism"),
+        "r2" | "unwrap" => Some("unwrap"),
+        "r3" | "float-cast" => Some("float-cast"),
+        "r4" | "raw-descriptor" => Some("raw-descriptor"),
+        "pragma" => Some("pragma"),
+        _ => None,
+    }
+}
+
+/// True for files in the deterministic-simulation core, where the strictest
+/// rules (hash containers, float casts) apply.
+fn in_det_core(path: &str) -> bool {
+    path.starts_with("crates/sim/src/")
+        || path.starts_with("crates/device/src/")
+        || path.starts_with("crates/core/src/")
+}
+
+/// True for library source (any crate's `src/`, including the root package).
+fn is_lib_src(path: &str) -> bool {
+    if path.starts_with("src/") {
+        return true;
+    }
+    path.starts_with("crates/") && path.contains("/src/")
+}
+
+/// True for integration-test files, which are exempt from production rules.
+fn is_test_file(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/")
+}
+
+/// Lints one file given its workspace-relative path and source text.
+pub fn check_file(path: &str, source: &str) -> Vec<Violation> {
+    let lexed = lex(source);
+    check_lexed(path, &lexed)
+}
+
+/// Lints an already-lexed file (exposed for fixture tests).
+pub fn check_lexed(path: &str, lexed: &Lexed) -> Vec<Violation> {
+    let tokens = &lexed.tokens;
+    let test_lines = test_line_set(tokens);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    if !is_test_file(path) {
+        rule_nondeterminism(path, tokens, &test_lines, &mut raw);
+        if is_lib_src(path) {
+            rule_unwrap(path, tokens, &test_lines, &mut raw);
+            rule_raw_descriptor(path, tokens, &test_lines, &mut raw);
+        }
+        if in_det_core(path) && path != "crates/sim/src/time.rs" {
+            rule_float_cast(path, tokens, &test_lines, &mut raw);
+        }
+    }
+
+    // Pragma hygiene: every allow() needs a known rule and a reason.
+    for p in &lexed.pragmas {
+        match canonical_rule(&p.rule) {
+            None => raw.push(Violation {
+                file: path.to_string(),
+                line: p.line,
+                rule: "pragma",
+                message: format!(
+                    "pragma references unknown rule `{}` (known: {})",
+                    p.rule,
+                    RULES.join(", ")
+                ),
+            }),
+            Some(_) if p.reason.is_empty() => raw.push(Violation {
+                file: path.to_string(),
+                line: p.line,
+                rule: "pragma",
+                message: "pragma has no reason; write `// dsa-lint: allow(rule, reason)`"
+                    .to_string(),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    // Apply suppressions: a pragma on the violation's line or the line above
+    // silences that rule there. Pragma-hygiene findings are never silenced.
+    raw.retain(|v| {
+        if v.rule == "pragma" {
+            return true;
+        }
+        !lexed.pragmas.iter().any(|p| {
+            canonical_rule(&p.rule) == Some(v.rule) && (p.line == v.line || p.line + 1 == v.line)
+        })
+    });
+    raw
+}
+
+/// Computes the set of source lines covered by `#[cfg(test)]` / `#[test]`
+/// items, by brace-matching the item that follows the attribute.
+fn test_line_set(tokens: &[Token]) -> BTreeSet<u32> {
+    let mut set = BTreeSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body for `test` (but back off for `not(test)`).
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < tokens.len() && depth > 0 {
+            if tokens[j].is_punct("[") {
+                depth += 1;
+            } else if tokens[j].is_punct("]") {
+                depth -= 1;
+            } else if tokens[j].is_ident("test") {
+                has_test = true;
+            } else if tokens[j].is_ident("not") {
+                has_not = true;
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j;
+            continue;
+        }
+        // Find the item body: first `{` (brace-match it) or `;` (one item).
+        let start_line = tokens[i].line;
+        let mut k = j;
+        while k < tokens.len() && !tokens[k].is_punct("{") && !tokens[k].is_punct(";") {
+            k += 1;
+        }
+        if k < tokens.len() && tokens[k].is_punct("{") {
+            let mut bd = 1usize;
+            let mut m = k + 1;
+            while m < tokens.len() && bd > 0 {
+                if tokens[m].is_punct("{") {
+                    bd += 1;
+                } else if tokens[m].is_punct("}") {
+                    bd -= 1;
+                }
+                m += 1;
+            }
+            let end_line = tokens[m.saturating_sub(1)].line;
+            for l in start_line..=end_line {
+                set.insert(l);
+            }
+            i = j;
+        } else if k < tokens.len() {
+            for l in start_line..=tokens[k].line {
+                set.insert(l);
+            }
+            i = k + 1;
+        } else {
+            i = j;
+        }
+    }
+    set
+}
+
+fn flag(
+    out: &mut Vec<Violation>,
+    path: &str,
+    line: u32,
+    rule: &'static str,
+    message: impl Into<String>,
+) {
+    out.push(Violation { file: path.to_string(), line, rule, message: message.into() });
+}
+
+/// R1: wall clocks, OS threads, and (in the deterministic core) unordered
+/// hash containers.
+fn rule_nondeterminism(
+    path: &str,
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    out: &mut Vec<Violation>,
+) {
+    let hash_scope = in_det_core(path);
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || test_lines.contains(&t.line) {
+            continue;
+        }
+        let prev_is = |offset: usize, s: &str| i >= offset && tokens[i - offset].text == s;
+        let next_is = |offset: usize, s: &str| tokens.get(i + offset).is_some_and(|t| t.text == s);
+        match t.text.as_str() {
+            "SystemTime" => flag(
+                out,
+                path,
+                t.line,
+                "nondeterminism",
+                "std::time::SystemTime is wall-clock; derive timestamps from SimClock",
+            ),
+            // Only flag `Instant` when it is demonstrably std::time::Instant
+            // (`time::Instant` or `Instant::now`) — the telemetry crate has
+            // an unrelated `Instant` event variant.
+            "Instant" => {
+                let from_time = prev_is(1, "::") && prev_is(2, "time");
+                let to_now = next_is(1, "::") && next_is(2, "now");
+                if from_time || to_now {
+                    flag(
+                        out,
+                        path,
+                        t.line,
+                        "nondeterminism",
+                        "std::time::Instant is wall-clock; use SimClock / SwCost timings",
+                    );
+                }
+            }
+            "spawn" if prev_is(1, "::") && prev_is(2, "thread") => flag(
+                out,
+                path,
+                t.line,
+                "nondeterminism",
+                "thread::spawn makes scheduling nondeterministic; model \
+                 concurrency on the sim timeline",
+            ),
+            "HashMap" | "HashSet" if hash_scope => flag(
+                out,
+                path,
+                t.line,
+                "nondeterminism",
+                format!(
+                    "{} iteration order is unordered; use BTreeMap/BTreeSet in \
+                     the deterministic core",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// R2: no `.unwrap()` / `.expect(..)` in library non-test code.
+fn rule_unwrap(path: &str, tokens: &[Token], test_lines: &BTreeSet<u32>, out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if test_lines.contains(&t.line) {
+            continue;
+        }
+        if !(t.is_ident("unwrap") || t.is_ident("expect")) {
+            continue;
+        }
+        let prev_dot = i > 0 && tokens[i - 1].is_punct(".");
+        let next_paren = tokens.get(i + 1).is_some_and(|t| t.is_punct("("));
+        if prev_dot && next_paren {
+            flag(
+                out,
+                path,
+                t.line,
+                "unwrap",
+                format!(".{}() panics; return DsaError (or document with a pragma)", t.text),
+            );
+        }
+    }
+}
+
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// R3: float↔int `as` casts in timeline arithmetic. Heuristic: a statement
+/// that casts to an integer type *and* shows float involvement (an `as
+/// f32/f64` cast, a float-typed ident, or a float literal) is doing lossy
+/// time math by hand — it must go through the `sim::time` helpers.
+fn rule_float_cast(
+    path: &str,
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    out: &mut Vec<Violation>,
+) {
+    let mut start = 0usize;
+    for i in 0..=tokens.len() {
+        let boundary = i == tokens.len()
+            || tokens[i].is_punct(";")
+            || tokens[i].is_punct("{")
+            || tokens[i].is_punct("}");
+        if !boundary {
+            continue;
+        }
+        let stmt = &tokens[start..i];
+        start = i + 1;
+
+        // Float evidence must *precede* the int cast within the statement:
+        // the pattern under fire is `(<float expr>) as u64`. An integer
+        // cast followed by unrelated float math later in the same
+        // statement (e.g. two arguments of one call) is fine.
+        let mut int_cast_line: Option<u32> = None;
+        let mut float_seen = false;
+        for (k, t) in stmt.iter().enumerate() {
+            if t.is_ident("as") {
+                if let Some(ty) = stmt.get(k + 1) {
+                    if INT_TYPES.contains(&ty.text.as_str()) {
+                        if float_seen {
+                            int_cast_line.get_or_insert(ty.line);
+                        }
+                    } else if ty.text == "f32" || ty.text == "f64" {
+                        float_seen = true;
+                    }
+                }
+            } else if (t.kind == TokenKind::Ident
+                && (t.text.contains("f64") || t.text.contains("f32")))
+                || (t.kind == TokenKind::Number && t.text.contains('.'))
+            {
+                float_seen = true;
+            }
+        }
+        if let Some(line) = int_cast_line {
+            if !test_lines.contains(&line) {
+                flag(
+                    out,
+                    path,
+                    line,
+                    "float-cast",
+                    "float↔int `as` cast in timeline arithmetic; use \
+                     sim::time helpers (SimDuration::from_ns_f64 / scale_bytes)",
+                );
+            }
+        }
+    }
+}
+
+/// Tokens that, when immediately preceding `Descriptor {`, mean the brace
+/// opens an item body or impl block rather than a struct literal.
+const TYPE_POSITION_PREV: &[&str] = &["impl", "for", "struct", "enum", "trait", "mod", "dyn", "->"];
+
+/// R4: raw `Descriptor { .. }` / `BatchDescriptor { .. }` struct literals
+/// bypass `Descriptor::validate()`; construction must go through the
+/// `crates/device` constructors (which the validator covers).
+fn rule_raw_descriptor(
+    path: &str,
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    out: &mut Vec<Violation>,
+) {
+    if path == "crates/device/src/descriptor.rs" {
+        return; // the constructors themselves live here
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if test_lines.contains(&t.line) {
+            continue;
+        }
+        if !(t.is_ident("Descriptor") || t.is_ident("BatchDescriptor")) {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+            continue;
+        }
+        // Walk back over `&`/`&&`/`mut` so `-> &Descriptor {` and
+        // `-> &mut Descriptor {` read as type positions, not literals.
+        let mut p = i;
+        while p > 0 && matches!(tokens[p - 1].text.as_str(), "&" | "&&" | "mut") {
+            p -= 1;
+        }
+        let type_position = p > 0 && TYPE_POSITION_PREV.contains(&tokens[p - 1].text.as_str());
+        if !type_position {
+            flag(
+                out,
+                path,
+                t.line,
+                "raw-descriptor",
+                format!(
+                    "raw `{} {{ .. }}` literal bypasses Descriptor::validate(); \
+                     use a dsa_device constructor",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Violation> {
+        check_file(path, src)
+    }
+
+    #[test]
+    fn r1_flags_wall_clock_and_threads() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); \
+                   std::thread::spawn(|| {}); }\n";
+        let v = lint("crates/bench/src/x.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "nondeterminism").count(), 3);
+    }
+
+    #[test]
+    fn r1_ignores_unrelated_instant_variant() {
+        let src = "enum Event { Instant { name: u32 } }\nfn f(e: Event) { \
+                   if let Event::Instant { name } = e { let _ = name; } }\n";
+        let v = lint("crates/telemetry/src/x.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r1_hash_containers_only_in_det_core() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint("crates/core/src/x.rs", src).len(), 1);
+        assert!(lint("crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_unwrap_but_not_in_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests {\n  fn g(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        let v = lint("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unwrap");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn r2_ignores_unwrap_or_family() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_round_trip_casts() {
+        let src = "fn f(b: u64) -> u64 { (b as f64 * 1.5) as u64 }\n";
+        let v = lint("crates/device/src/x.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "float-cast").count(), 1);
+    }
+
+    #[test]
+    fn r3_allows_pure_integer_casts_and_time_rs() {
+        let int_only = "fn f(b: u32) -> u64 { b as u64 * 3 }\n";
+        assert!(lint("crates/device/src/x.rs", int_only).is_empty());
+        let float = "fn f(b: u64) -> u64 { (b as f64 * 1.5) as u64 }\n";
+        assert!(lint("crates/sim/src/time.rs", float).is_empty());
+        assert!(lint("crates/workloads/src/x.rs", float).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_literals_not_type_positions() {
+        let literal = "fn f() -> Descriptor { Descriptor { opcode: 0 } }\n";
+        let v = lint("crates/core/src/x.rs", literal);
+        assert_eq!(v.iter().filter(|v| v.rule == "raw-descriptor").count(), 1);
+        let ty = "impl Descriptor { fn g() {} }\n";
+        assert!(lint("crates/core/src/x.rs", ty).is_empty());
+    }
+
+    #[test]
+    fn r4_reference_return_types_are_type_positions() {
+        let by_ref = "impl Job { pub fn descriptor(&self) -> &Descriptor { &self.desc } }\n";
+        assert!(lint("crates/core/src/x.rs", by_ref).is_empty());
+        let by_mut = "fn g(j: &mut Job) -> &mut Descriptor { &mut j.desc }\n";
+        assert!(lint("crates/core/src/x.rs", by_mut).is_empty());
+        // Taking a reference *to a literal* is still a literal.
+        let ref_literal = "fn h() { let d = &Descriptor { opcode: 0 }; }\n";
+        let v = lint("crates/core/src/x.rs", ref_literal);
+        assert_eq!(v.iter().filter(|v| v.rule == "raw-descriptor").count(), 1);
+    }
+
+    #[test]
+    fn r3_ignores_int_cast_before_unrelated_float() {
+        // An integer cast as one argument and float math as a later
+        // argument of the same call is not a float->int round trip.
+        let src = "fn f(w: u16, n: u64) { push(w as u16, n as f64); }\n";
+        assert!(lint("crates/device/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragmas_suppress_with_reason_and_flag_without() {
+        let with = "// dsa-lint: allow(unwrap, poisoned mutex is fatal)\n\
+                    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint("crates/core/src/x.rs", with).is_empty());
+        let without = "// dsa-lint: allow(unwrap)\n\
+                       fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = lint("crates/core/src/x.rs", without);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "pragma");
+    }
+
+    #[test]
+    fn unknown_pragma_rule_is_flagged() {
+        let src = "// dsa-lint: allow(fancy-rule, because)\nfn f() {}\n";
+        let v = lint("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "pragma");
+    }
+
+    #[test]
+    fn integration_test_files_are_exempt() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint("crates/core/tests/it.rs", src).is_empty());
+        assert!(lint("tests/smoke.rs", src).is_empty());
+    }
+}

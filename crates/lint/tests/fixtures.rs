@@ -1,0 +1,94 @@
+//! Fixture corpus: known-bad snippets the linter must flag, known-good it
+//! must pass. Fixtures live under `crates/lint/fixtures/` (excluded from
+//! the workspace walk) and are linted under synthetic workspace paths so
+//! the path-scoped rules apply.
+
+use dsa_lint::{check_file, Violation};
+use std::path::Path;
+
+/// Lints a fixture file as if it lived at `synthetic_path` in the workspace.
+fn lint_fixture(kind: &str, file: &str, synthetic_path: &str) -> Vec<Violation> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(kind).join(file);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    check_file(synthetic_path, &source)
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<&str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn bad_r1_wallclock_is_flagged() {
+    let v = lint_fixture("bad", "r1_wallclock.rs", "crates/sim/src/fixture.rs");
+    let n = v.iter().filter(|v| v.rule == "nondeterminism").count();
+    // use Instant, use SystemTime, Instant::now, SystemTime::now, thread::spawn
+    assert!(n >= 4, "expected >=4 nondeterminism findings, got {v:?}");
+    assert!(v.iter().all(|v| v.rule == "nondeterminism"), "{v:?}");
+}
+
+#[test]
+fn bad_r1_hash_containers_are_flagged_in_det_core_only() {
+    let v = lint_fixture("bad", "r1_hashmap.rs", "crates/core/src/fixture.rs");
+    let n = v.iter().filter(|v| v.rule == "nondeterminism").count();
+    assert!(n >= 2, "expected HashMap+HashSet findings, got {v:?}");
+
+    // The same file outside the deterministic core is legal.
+    let outside = lint_fixture("bad", "r1_hashmap.rs", "crates/telemetry/src/fixture.rs");
+    assert!(outside.is_empty(), "{outside:?}");
+}
+
+#[test]
+fn bad_r2_unwrap_is_flagged() {
+    let v = lint_fixture("bad", "r2_unwrap.rs", "crates/device/src/fixture.rs");
+    assert_eq!(rules_of(&v), vec!["unwrap", "unwrap"], "{v:?}");
+}
+
+#[test]
+fn bad_r3_float_casts_are_flagged() {
+    let v = lint_fixture("bad", "r3_floatcast.rs", "crates/sim/src/fixture.rs");
+    assert_eq!(rules_of(&v), vec!["float-cast", "float-cast"], "{v:?}");
+
+    // The sim::time helpers themselves are the one sanctioned home for this.
+    let exempt = lint_fixture("bad", "r3_floatcast.rs", "crates/sim/src/time.rs");
+    assert!(exempt.is_empty(), "{exempt:?}");
+}
+
+#[test]
+fn bad_r4_raw_descriptor_literals_are_flagged() {
+    let v = lint_fixture("bad", "r4_raw_descriptor.rs", "crates/core/src/fixture.rs");
+    assert_eq!(rules_of(&v), vec!["raw-descriptor", "raw-descriptor"], "{v:?}");
+}
+
+#[test]
+fn bad_reasonless_pragma_suppresses_but_is_itself_flagged() {
+    let v = lint_fixture("bad", "pragma_no_reason.rs", "crates/core/src/fixture.rs");
+    assert_eq!(rules_of(&v), vec!["pragma"], "{v:?}");
+}
+
+#[test]
+fn all_four_rule_classes_fire_across_the_bad_corpus() {
+    let mut seen = std::collections::BTreeSet::new();
+    for (file, path) in [
+        ("r1_wallclock.rs", "crates/sim/src/fixture.rs"),
+        ("r1_hashmap.rs", "crates/core/src/fixture.rs"),
+        ("r2_unwrap.rs", "crates/device/src/fixture.rs"),
+        ("r3_floatcast.rs", "crates/sim/src/fixture.rs"),
+        ("r4_raw_descriptor.rs", "crates/core/src/fixture.rs"),
+    ] {
+        for v in lint_fixture("bad", file, path) {
+            seen.insert(v.rule);
+        }
+    }
+    for rule in ["nondeterminism", "unwrap", "float-cast", "raw-descriptor"] {
+        assert!(seen.contains(rule), "rule {rule} never fired; saw {seen:?}");
+    }
+}
+
+#[test]
+fn good_fixtures_pass_clean() {
+    for file in ["clean.rs", "pragma_ok.rs"] {
+        let v = lint_fixture("good", file, "crates/core/src/fixture.rs");
+        assert!(v.is_empty(), "{file}: {v:?}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Tier-1 gate: the real workspace must lint clean. This is the same check
+//! CI runs via `cargo run -p dsa-lint -- --deny`, embedded as a test so a
+//! plain `cargo test` catches regressions too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = dsa_lint::find_workspace_root(here).expect("workspace root above crates/lint");
+    let violations = dsa_lint::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        violations.is_empty(),
+        "dsa-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

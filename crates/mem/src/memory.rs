@@ -155,7 +155,7 @@ impl Memory {
     /// Fails if the range is unmapped or spans allocations.
     pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
         let (base, _) = self.segment_of(addr, bytes.len() as u64)?;
-        let seg = self.segments.get_mut(&base).expect("segment just found");
+        let seg = self.segments.get_mut(&base).ok_or(MemError::Unmapped { addr })?;
         let off = (addr - base) as usize;
         seg.data[off..off + bytes.len()].copy_from_slice(bytes);
         Ok(())
@@ -168,7 +168,7 @@ impl Memory {
     /// Fails if the range is unmapped or spans allocations.
     pub fn read_mut(&mut self, addr: u64, len: u64) -> Result<&mut [u8], MemError> {
         let (base, _) = self.segment_of(addr, len)?;
-        let seg = self.segments.get_mut(&base).expect("segment just found");
+        let seg = self.segments.get_mut(&base).ok_or(MemError::Unmapped { addr })?;
         let off = (addr - base) as usize;
         Ok(&mut seg.data[off..off + len as usize])
     }
@@ -214,7 +214,7 @@ impl Memory {
     /// Fails if `addr` is unmapped.
     pub fn set_location(&mut self, addr: u64, location: Location) -> Result<(), MemError> {
         let (base, _) = self.segment_of(addr, 1)?;
-        self.segments.get_mut(&base).expect("segment just found").location = location;
+        self.segments.get_mut(&base).ok_or(MemError::Unmapped { addr })?.location = location;
         Ok(())
     }
 

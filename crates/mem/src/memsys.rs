@@ -146,6 +146,7 @@ impl MemSystem {
             Location::Cxl => self
                 .cxl_read
                 .as_mut()
+                // dsa-lint: allow(unwrap, CXL traffic only reaches here on platforms built with a CXL device)
                 .expect("platform has no CXL memory device")
                 .transfer(ready, bytes),
             Location::Llc => self.llc_pipe.transfer(ready, bytes),
@@ -187,6 +188,7 @@ impl MemSystem {
                 let iv = self
                     .cxl_write
                     .as_mut()
+                    // dsa-lint: allow(unwrap, CXL traffic only reaches here on platforms built with a CXL device)
                     .expect("platform has no CXL memory device")
                     .transfer(ready, bytes);
                 WriteOutcome {

@@ -175,6 +175,7 @@ impl Platform {
                 read_mgbps: self.dram.read_mgbps.min(self.upi_mgbps),
                 write_mgbps: self.dram.write_mgbps.min(self.upi_mgbps),
             },
+            // dsa-lint: allow(unwrap, documented panic — the method contract forbids Cxl on CXL-less platforms)
             Location::Cxl => self.cxl.expect("platform has no CXL memory device"),
             Location::Llc => MediumParams {
                 read_latency: self.llc_latency,

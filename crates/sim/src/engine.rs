@@ -214,7 +214,7 @@ impl<M, S> Engine<M, S> {
             if ev.time > deadline {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let Some(Reverse(ev)) = self.queue.pop() else { break };
             debug_assert!(ev.time >= self.now, "event queue went backwards");
             self.now = ev.time;
             self.events_processed += 1;

@@ -161,6 +161,7 @@ impl DurationHistogram {
         if self.count == 0 {
             return SimDuration::ZERO;
         }
+        // dsa-lint: allow(float-cast, percentile rank is a count computation, not timeline math)
         let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
         if rank >= self.count {
             return self.max;

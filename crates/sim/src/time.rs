@@ -176,6 +176,25 @@ impl SimDuration {
     }
 }
 
+/// Scales a byte count by a dimensionless float `factor`, truncating like
+/// the `as` cast it replaces.
+///
+/// This module is the one sanctioned home for float↔int conversions in
+/// size/time arithmetic (lint rule `float-cast`); every other crate calls
+/// this instead of casting by hand, so the truncation behaviour is defined
+/// in exactly one place.
+///
+/// ```
+/// use dsa_sim::time::scale_bytes;
+/// assert_eq!(scale_bytes(100, 2.0), 200);
+/// assert_eq!(scale_bytes(100, 0.0), 0);
+/// assert_eq!(scale_bytes(3, 0.5), 1);
+/// ```
+pub fn scale_bytes(bytes: u64, factor: f64) -> u64 {
+    debug_assert!(factor >= 0.0 && factor.is_finite(), "invalid scale factor: {factor}");
+    (bytes as f64 * factor) as u64
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {

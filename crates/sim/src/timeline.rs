@@ -128,6 +128,7 @@ impl MultiServer {
 
     /// Reserves *one* server for `dur`, starting no earlier than `ready`.
     pub fn reserve(&mut self, ready: SimTime, dur: SimDuration) -> Interval {
+        // dsa-lint: allow(unwrap, constructors require servers >= 1, so the heap is never empty)
         let Reverse(earliest) = self.free_at.pop().expect("pool is never empty");
         let start = ready.max(earliest);
         let end = start + dur;
@@ -285,8 +286,10 @@ impl SlidingWindow {
         if self.releases.len() < self.capacity {
             return ready;
         }
-        let gate = *self.releases.front().expect("window is full, so non-empty");
-        ready.max(gate)
+        match self.releases.front() {
+            Some(&gate) => ready.max(gate),
+            None => ready,
+        }
     }
 
     /// Number of slots currently tracked as held (monotone FIFO view).
@@ -311,8 +314,10 @@ impl SlidingWindow {
             return ready;
         }
         // The oldest outstanding holder gates admission (FIFO credit return).
-        let gate = *self.releases.front().expect("window is full, so non-empty");
-        ready.max(gate)
+        match self.releases.front() {
+            Some(&gate) => ready.max(gate),
+            None => ready,
+        }
     }
 
     /// Records that the item admitted by the matching `acquire` releases its

@@ -156,10 +156,11 @@ impl Vhost {
         while let Some(front) = self.inflight.front() {
             busy += REORDER_SCAN;
             if front.completion <= rt.now() {
-                let f = self.inflight.pop_front().expect("front exists");
-                self.vq.used.push(f.desc_idx);
-                self.stats.delivered += 1;
-                busy += USED_WRITEBACK;
+                if let Some(f) = self.inflight.pop_front() {
+                    self.vq.used.push(f.desc_idx);
+                    self.stats.delivered += 1;
+                    busy += USED_WRITEBACK;
+                }
             } else {
                 break;
             }
@@ -199,6 +200,7 @@ impl Vhost {
                     let t = rt.cpu_time(OpKind::Memcpy, *len as u64, Location::Llc, Location::Llc);
                     rt.memory_mut()
                         .copy(pkt.addr(), dst.addr(), (*len as u64).min(dst.len()))
+                        // dsa-lint: allow(unwrap, packet and ring buffers were allocated by this workload)
                         .expect("vhost buffers are mapped");
                     rt.advance(t);
                     // Synchronous: immediately used.
@@ -229,6 +231,7 @@ impl Vhost {
                     // A batch needs >= 2 descriptors; submit singly.
                     let (idx, len) = idxs[0];
                     let dst = self.vq.buffers[idx as usize];
+                    // dsa-lint: allow(unwrap, idxs was built from this same pkts slice one loop above)
                     let pkt = pkts.iter().find(|(_, l)| *l == len).expect("present");
                     let src = pkt.0.slice(0, (len as u64).min(pkt.0.len()));
                     let dstv = dst.slice(0, (len as u64).min(dst.len()));
@@ -296,6 +299,7 @@ impl Vhost {
                     let t = rt.cpu_time(OpKind::Memcpy, *len as u64, Location::Llc, Location::Llc);
                     rt.memory_mut()
                         .copy(src.addr(), mbuf.addr(), (*len as u64).min(mbuf.len()))
+                        // dsa-lint: allow(unwrap, ring and mbuf buffers were allocated by this workload)
                         .expect("vhost buffers are mapped");
                     rt.advance(t);
                     self.vq.used.push(idx);
