@@ -6,8 +6,9 @@
 //! enough that the write footprint is realistic, and per-op software
 //! baselines.
 
-use dsa_core::job::{AsyncQueue, Batch, Job, JobError};
+use dsa_core::job::{AsyncQueue, Batch, Job};
 use dsa_core::runtime::DsaRuntime;
+use dsa_core::DsaError;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::BufferHandle;
 use dsa_ops::dif::{DifBlockSize, DifConfig};
@@ -194,8 +195,8 @@ impl Measure {
     ///
     /// # Errors
     ///
-    /// Propagates [`JobError`] from the job layer.
-    pub fn try_run(&self, rt: &mut DsaRuntime) -> Result<MeasureResult, JobError> {
+    /// Propagates [`DsaError`] from the job layer.
+    pub fn try_run(&self, rt: &mut DsaRuntime) -> Result<MeasureResult, DsaError> {
         let size = self.effective_size();
         let slots: Vec<OpSlots> = (0..self.ring_len())
             .map(|_| OpSlots::alloc(rt, self.op, size, self.src_loc, self.dst_loc))

@@ -11,7 +11,8 @@
 //! [`Dispatcher`](crate::dispatch::Dispatcher) chooses between backends per
 //! call using each backend's [`estimate`](OffloadBackend::estimate).
 
-use crate::job::{Job, JobError, DESC_PREPARE};
+use crate::error::DsaError;
+use crate::job::{Job, DESC_PREPARE};
 use crate::runtime::DsaRuntime;
 use crate::submit::SubmitMethod;
 use dsa_device::cbdma::CbdmaDevice;
@@ -26,7 +27,7 @@ use dsa_ops::OpKind;
 use dsa_sim::time::{transfer_time_mgbps, SimDuration, SimTime};
 
 /// Where a workload's bulk operations run — the shared replacement for the
-/// per-workload engine enums (`CopyMode`, `CopyEngine`, `MigrationEngine`).
+/// per-workload engine enums that earlier revisions carried.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Engine {
     /// Software on the calling core (the paper's one-core baseline).
@@ -178,16 +179,16 @@ pub trait OffloadBackend {
     ///
     /// # Errors
     ///
-    /// Propagates submission failures ([`JobError`]).
-    fn run(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Completion, JobError>;
+    /// Propagates submission failures ([`DsaError`]).
+    fn run(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Completion, DsaError>;
 
     /// Asynchronous submission: the clock advances past the *core-side*
     /// submission cost only; the returned ticket tracks completion.
     ///
     /// # Errors
     ///
-    /// Propagates submission failures ([`JobError`]).
-    fn submit(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, JobError>;
+    /// Propagates submission failures ([`DsaError`]).
+    fn submit(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, DsaError>;
 
     /// Waits for `ticket`, advancing the clock to its completion. Returns
     /// the time the core spent blocked.
@@ -253,11 +254,11 @@ impl OffloadBackend for CpuBackend {
         rt.cpu_time(op, bytes, src, dst)
     }
 
-    fn run(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Completion, JobError> {
+    fn run(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Completion, DsaError> {
         Ok(cpu_run(rt, req))
     }
 
-    fn submit(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, JobError> {
+    fn submit(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, DsaError> {
         // The core *is* the backend: the work happens inline.
         let bytes = req.bytes();
         cpu_run(rt, req);
@@ -458,7 +459,7 @@ impl OffloadBackend for DsaBackend {
             + rt.platform().llc_latency
     }
 
-    fn run(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Completion, JobError> {
+    fn run(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Completion, DsaError> {
         let device = self.select(rt, location_of(rt, &req.dst));
         let report = Self::job_for(req).on_device(device).on_wq(self.wq).execute(rt)?;
         Ok(Completion {
@@ -468,7 +469,7 @@ impl OffloadBackend for DsaBackend {
         })
     }
 
-    fn submit(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, JobError> {
+    fn submit(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, DsaError> {
         let bytes = req.bytes();
         let device = self.select(rt, location_of(rt, &req.dst));
         let handle = Self::job_for(req).on_device(device).on_wq(self.wq).submit(rt)?;
@@ -518,7 +519,7 @@ impl CbdmaBackend {
         }
     }
 
-    fn copy(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, JobError> {
+    fn copy(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, DsaError> {
         self.ensure_pinned(&req.src);
         self.ensure_pinned(&req.dst);
         let channel = self.cursor % self.dev.channels();
@@ -568,7 +569,7 @@ impl OffloadBackend for CbdmaBackend {
             + rt.platform().llc_latency
     }
 
-    fn run(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Completion, JobError> {
+    fn run(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Completion, DsaError> {
         if req.op != OpKind::Memcpy {
             return Ok(cpu_run(rt, req));
         }
@@ -582,7 +583,7 @@ impl OffloadBackend for CbdmaBackend {
         })
     }
 
-    fn submit(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, JobError> {
+    fn submit(&mut self, rt: &mut DsaRuntime, req: &OffloadRequest) -> Result<Ticket, DsaError> {
         if req.op != OpKind::Memcpy {
             let bytes = req.bytes();
             cpu_run(rt, req);

@@ -18,16 +18,17 @@
 //! `dispatch_g1_batches`, `dispatch_cache_control`, `dispatch_fault_fallbacks`).
 
 use crate::backend::{CpuBackend, DsaBackend, Engine, OffloadBackend, OffloadRequest, Ticket};
+use crate::error::DsaError;
 use crate::guidelines;
-use crate::job::{Batch, Job, JobError};
+use crate::job::{Batch, Job};
 use crate::runtime::DsaRuntime;
+use crate::submit::InflightWindow;
 use dsa_device::descriptor::Status;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::BufferHandle;
 use dsa_ops::OpKind;
 use dsa_sim::time::{SimDuration, SimTime};
 use dsa_telemetry::Labels;
-use std::collections::VecDeque;
 
 /// How the dispatcher routes operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,7 +115,7 @@ pub struct Dispatcher {
     policy: DispatchPolicy,
     async_depth: usize,
     consumed_soon: bool,
-    inflight: VecDeque<Ticket>,
+    inflight: InflightWindow<Ticket>,
     stats: DispatchStats,
 }
 
@@ -133,7 +134,7 @@ impl Dispatcher {
             policy: DispatchPolicy::Adaptive,
             async_depth: 0,
             consumed_soon: false,
-            inflight: VecDeque::new(),
+            inflight: InflightWindow::new(1),
             stats: DispatchStats::default(),
         }
     }
@@ -171,6 +172,7 @@ impl Dispatcher {
     /// (0 disables async; G2's "if asynchronous offload is possible").
     pub fn with_async_depth(mut self, depth: usize) -> Dispatcher {
         self.async_depth = depth;
+        self.inflight = InflightWindow::new(depth.max(1));
         self
     }
 
@@ -281,7 +283,7 @@ impl Dispatcher {
         &mut self,
         rt: &mut DsaRuntime,
         req: &OffloadRequest,
-    ) -> Result<(Status, u64), JobError> {
+    ) -> Result<(Status, u64), DsaError> {
         let bytes = req.bytes();
         let src = location_of(rt, &req.src);
         let dst = location_of(rt, &req.dst);
@@ -306,20 +308,11 @@ impl Dispatcher {
                 Ok((c.status, c.result))
             }
             Decision::DsaAsync => {
-                while let Some(front) = self.inflight.front() {
-                    if front.is_complete(rt.now()) {
-                        self.inflight.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-                if self.inflight.len() >= self.async_depth {
-                    if let Some(oldest) = self.inflight.pop_front() {
-                        self.dsa.wait(rt, oldest);
-                    }
-                }
-                let ticket = self.dsa.submit(rt, &req)?;
-                self.inflight.push_back(ticket);
+                let ticket = {
+                    self.make_room(rt);
+                    self.dsa.submit(rt, &req)?
+                };
+                self.inflight.push(ticket.completion_time(), ticket);
                 Ok((Status::Success, 0))
             }
         }
@@ -329,13 +322,13 @@ impl Dispatcher {
     ///
     /// # Errors
     ///
-    /// Propagates submission failures ([`JobError`]).
+    /// Propagates submission failures ([`DsaError`]).
     pub fn memcpy(
         &mut self,
         rt: &mut DsaRuntime,
         src: &BufferHandle,
         dst: &BufferHandle,
-    ) -> Result<SimDuration, JobError> {
+    ) -> Result<SimDuration, DsaError> {
         let start = rt.now();
         self.execute(rt, &OffloadRequest::memcpy(src, dst))?;
         Ok(rt.now().duration_since(start))
@@ -345,13 +338,13 @@ impl Dispatcher {
     ///
     /// # Errors
     ///
-    /// Propagates submission failures ([`JobError`]).
+    /// Propagates submission failures ([`DsaError`]).
     pub fn memset(
         &mut self,
         rt: &mut DsaRuntime,
         dst: &BufferHandle,
         byte: u8,
-    ) -> Result<SimDuration, JobError> {
+    ) -> Result<SimDuration, DsaError> {
         let start = rt.now();
         self.execute(rt, &OffloadRequest::memset(dst, byte))?;
         Ok(rt.now().duration_since(start))
@@ -362,13 +355,13 @@ impl Dispatcher {
     ///
     /// # Errors
     ///
-    /// Propagates submission failures ([`JobError`]).
+    /// Propagates submission failures ([`DsaError`]).
     pub fn memcmp(
         &mut self,
         rt: &mut DsaRuntime,
         a: &BufferHandle,
         b: &BufferHandle,
-    ) -> Result<(Option<u64>, SimDuration), JobError> {
+    ) -> Result<(Option<u64>, SimDuration), DsaError> {
         let start = rt.now();
         let (status, result) = self.execute(rt, &OffloadRequest::memcmp(a, b))?;
         let diff = (status == Status::CompareMismatch).then_some(result);
@@ -382,12 +375,12 @@ impl Dispatcher {
     ///
     /// # Errors
     ///
-    /// Propagates submission failures ([`JobError`]).
+    /// Propagates submission failures ([`DsaError`]).
     pub fn copy_burst(
         &mut self,
         rt: &mut DsaRuntime,
         pairs: &[(BufferHandle, BufferHandle)],
-    ) -> Result<SimDuration, JobError> {
+    ) -> Result<SimDuration, DsaError> {
         let start = rt.now();
         if pairs.is_empty() {
             return Ok(SimDuration::ZERO);
@@ -428,7 +421,9 @@ impl Dispatcher {
                     if decision == Decision::DsaSync {
                         rt.advance_to(handle.completion_time());
                     } else {
-                        self.inflight.push_back(ticket_at(handle.completion_time(), total));
+                        self.make_room(rt);
+                        let ticket = ticket_at(handle.completion_time(), total);
+                        self.inflight.push(ticket.completion_time(), ticket);
                     }
                 }
             }
@@ -436,10 +431,22 @@ impl Dispatcher {
         Ok(rt.now().duration_since(start))
     }
 
+    /// Reaps completed operations and, when the window is at depth, blocks
+    /// on the oldest outstanding ticket — shared between the async submit
+    /// path and burst submission so both obey the configured depth.
+    fn make_room(&mut self, rt: &mut DsaRuntime) {
+        while self.inflight.pop_completed(rt.now()).is_some() {}
+        if self.inflight.is_full() {
+            if let Some((_, oldest)) = self.inflight.pop_oldest() {
+                self.dsa.wait(rt, oldest);
+            }
+        }
+    }
+
     /// Waits for every outstanding asynchronous operation; returns the
     /// drain completion time.
     pub fn drain(&mut self, rt: &mut DsaRuntime) -> SimTime {
-        while let Some(ticket) = self.inflight.pop_front() {
+        while let Some((_, ticket)) = self.inflight.pop_oldest() {
             self.dsa.wait(rt, ticket);
         }
         rt.now()

@@ -18,7 +18,7 @@
 
 use crate::backend::DsaBackend;
 use crate::dispatch::{DispatchPolicy, Dispatcher};
-use crate::job::JobError;
+use crate::error::DsaError;
 use crate::runtime::DsaRuntime;
 use dsa_mem::memory::BufferHandle;
 use dsa_sim::time::SimDuration;
@@ -133,7 +133,7 @@ impl Dto {
         rt: &mut DsaRuntime,
         src: &BufferHandle,
         dst: &BufferHandle,
-    ) -> Result<SimDuration, JobError> {
+    ) -> Result<SimDuration, DsaError> {
         self.dispatcher.memcpy(rt, src, dst)
     }
 
@@ -147,7 +147,7 @@ impl Dto {
         rt: &mut DsaRuntime,
         dst: &BufferHandle,
         byte: u8,
-    ) -> Result<SimDuration, JobError> {
+    ) -> Result<SimDuration, DsaError> {
         self.dispatcher.memset(rt, dst, byte)
     }
 
@@ -162,7 +162,7 @@ impl Dto {
         rt: &mut DsaRuntime,
         a: &BufferHandle,
         b: &BufferHandle,
-    ) -> Result<(Option<u64>, SimDuration), JobError> {
+    ) -> Result<(Option<u64>, SimDuration), DsaError> {
         self.dispatcher.memcmp(rt, a, b)
     }
 }

@@ -1,15 +1,18 @@
 //! The crate-wide error type.
 //!
 //! [`DsaError`] is what every fallible path in the user-facing library
-//! returns: job execution, backend dispatch, and the CBDMA baseline all
-//! converge here instead of panicking on the hot path. The legacy name
-//! [`crate::job::JobError`] is a type alias for it, so existing match
-//! sites keep compiling.
+//! returns: job execution, backend dispatch, the CBDMA baseline, and the
+//! multi-tenant service layer all converge here instead of panicking on
+//! the hot path. The enum is `#[non_exhaustive]`: downstream matches must
+//! carry a wildcard arm, which lets later PRs add failure modes without a
+//! breaking release.
 
 use dsa_device::cbdma::CbdmaError;
 use dsa_device::device::SubmitError;
+use dsa_sim::time::SimTime;
 
 /// Errors surfaced by the offload library.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DsaError {
     /// The device rejected the submission (other than a retryable full WQ).
@@ -22,6 +25,18 @@ pub enum DsaError {
     /// The CBDMA baseline rejected the operation (unpinned range, bad
     /// channel, or bad address).
     Cbdma(CbdmaError),
+    /// A bounded retry budget was exhausted without the WQ accepting the
+    /// submission (service-layer back-pressure; the caller should shed or
+    /// degrade the request).
+    RetryExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The job could not complete before its deadline.
+    DeadlineExceeded {
+        /// The deadline that was missed.
+        deadline: SimTime,
+    },
 }
 
 impl std::fmt::Display for DsaError {
@@ -30,11 +45,25 @@ impl std::fmt::Display for DsaError {
             DsaError::Submit(e) => write!(f, "submission failed: {e}"),
             DsaError::UnknownDevice { device } => write!(f, "unknown device {device}"),
             DsaError::Cbdma(e) => write!(f, "cbdma: {e}"),
+            DsaError::RetryExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
+            }
+            DsaError::DeadlineExceeded { deadline } => {
+                write!(f, "deadline {deadline} exceeded")
+            }
         }
     }
 }
 
-impl std::error::Error for DsaError {}
+impl std::error::Error for DsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsaError::Submit(e) => Some(e),
+            DsaError::Cbdma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SubmitError> for DsaError {
     fn from(e: SubmitError) -> DsaError {
@@ -45,5 +74,27 @@ impl From<SubmitError> for DsaError {
 impl From<CbdmaError> for DsaError {
     fn from(e: CbdmaError) -> DsaError {
         DsaError::Cbdma(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_names_each_failure_mode() {
+        let e = DsaError::RetryExhausted { attempts: 8 };
+        assert_eq!(e.to_string(), "retry budget exhausted after 8 attempts");
+        let e = DsaError::DeadlineExceeded { deadline: SimTime::from_ns(100) };
+        assert!(e.to_string().contains("deadline"));
+        assert!(DsaError::UnknownDevice { device: 3 }.to_string().contains('3'));
+    }
+
+    #[test]
+    fn source_chains_to_device_errors() {
+        let e = DsaError::Submit(SubmitError::UnknownWq { wq: 5 });
+        assert!(e.source().is_some());
+        assert!(DsaError::RetryExhausted { attempts: 1 }.source().is_none());
     }
 }

@@ -6,6 +6,27 @@
 //! *wait* for completion. Asynchronous submission plus [`AsyncQueue`]
 //! reproduce the queue-depth-32 streaming mode used throughout §4.
 //!
+//! # The submission entry path
+//!
+//! All descriptor traffic funnels through this module; the layers above
+//! only add policy:
+//!
+//! * [`Job`] / [`Batch`] — the **mechanism**: one descriptor (or batch
+//!   descriptor) onto one WQ, paying the true instruction costs.
+//!   [`Job::try_submit`] is the single-attempt primitive (a full WQ
+//!   surfaces as an error); [`Job::submit`]/[`Job::execute`] wrap it in
+//!   the hardware retry loop.
+//! * [`AsyncQueue`] — depth-bounded streaming over `Job`, built on
+//!   [`InflightWindow`](crate::submit::InflightWindow).
+//! * [`Dispatcher`](crate::dispatch::Dispatcher) — **placement policy**
+//!   (CPU vs DSA, sync vs async, batching) over the same mechanism.
+//! * `DsaService` (the `dsa-svc` crate) — **multi-tenant policy**
+//!   (admission control, priorities, deadlines) over `try_submit`.
+//!
+//! Raw `DsaDevice::submit` remains available for device-model tests but
+//! skips the core-side instruction and phase accounting; application code
+//! should enter through one of the layers above.
+//!
 //! ```
 //! use dsa_core::prelude::*;
 //! use dsa_mem::buffer::Location;
@@ -19,8 +40,9 @@
 //! assert_eq!(rt.read(&dst).unwrap()[0], 7);
 //! ```
 
+use crate::error::DsaError;
 use crate::runtime::DsaRuntime;
-use crate::submit::{SubmitMethod, WaitMethod};
+use crate::submit::{InflightWindow, SubmitMethod, WaitMethod};
 use dsa_device::config::WqMode;
 use dsa_device::descriptor::{BatchDescriptor, CompletionRecord, Descriptor};
 use dsa_device::device::{ExecTimeline, SubmitError, WqId};
@@ -28,7 +50,6 @@ use dsa_mem::memory::BufferHandle;
 use dsa_ops::dif::DifConfig;
 use dsa_sim::time::{SimDuration, SimTime};
 use dsa_telemetry::{Labels, Track};
-use std::collections::VecDeque;
 
 /// Descriptor allocation cost when not amortized (paper Fig. 5: "the
 /// descriptor allocation time is where most time is spent, though in
@@ -38,11 +59,6 @@ const DESC_ALLOC: SimDuration = SimDuration::from_ns(900);
 /// case; §4.2 calls this "low-cost"). Shared with the backend layer so
 /// dispatch estimates track what submission actually charges.
 pub(crate) const DESC_PREPARE: SimDuration = SimDuration::from_ns(12);
-
-/// Errors surfaced by job execution — the historical name for what is now
-/// the crate-wide [`DsaError`]. Variant paths like `JobError::Submit`
-/// resolve through the alias, so existing call sites keep working.
-pub type JobError = crate::error::DsaError;
 
 /// Durations of the offload phases (Fig. 5's stacked bars).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -261,7 +277,7 @@ impl Job {
     /// # Errors
     ///
     /// Propagates non-retryable submission failures.
-    pub fn execute(self, rt: &mut DsaRuntime) -> Result<JobReport, JobError> {
+    pub fn execute(self, rt: &mut DsaRuntime) -> Result<JobReport, DsaError> {
         let started = rt.now();
         let wait = self.wait;
         let (handle, phases_pre) = self.submit_inner(rt)?;
@@ -269,25 +285,72 @@ impl Job {
         Ok(report)
     }
 
-    /// Submits asynchronously: the clock advances only past the submission
-    /// cost; completion is awaited through the returned handle.
+    /// Submits asynchronously, retrying a full WQ until accepted: the
+    /// clock advances only past the submission cost; completion is awaited
+    /// through the returned handle.
     ///
     /// # Errors
     ///
     /// Propagates non-retryable submission failures.
-    pub fn submit(self, rt: &mut DsaRuntime) -> Result<JobHandle, JobError> {
+    pub fn submit(self, rt: &mut DsaRuntime) -> Result<JobHandle, DsaError> {
         let (handle, _) = self.submit_inner(rt)?;
         Ok(handle)
     }
 
-    fn submit_inner(self, rt: &mut DsaRuntime) -> Result<(JobHandle, Phases), JobError> {
+    /// Submits with a *single* portal attempt: a full WQ surfaces as
+    /// [`DsaError::Submit`]([`SubmitError::WqFull`]) instead of being
+    /// retried internally. Admission-controlled callers (the service
+    /// layer's bounded retry-backoff) build on this; [`Job::submit`] is
+    /// the retry-until-accepted convenience.
+    ///
+    /// The clock still advances past the preparation and the cost of the
+    /// failed submission instruction — a rejected `ENQCMD` round trip is
+    /// not free.
+    ///
+    /// # Errors
+    ///
+    /// `WqFull { retry_at }` when the WQ has no free slot, plus every
+    /// non-retryable failure `submit` can return.
+    pub fn try_submit(self, rt: &mut DsaRuntime) -> Result<JobHandle, DsaError> {
+        let job_start = rt.now();
+        self.preflight(rt)?;
+        let (outcome, _cost) = self.attempt(rt);
+        let exec = outcome?;
+        self.note_submit_spans(rt, job_start);
+        Ok(self.handle_for(rt, &exec))
+    }
+
+    fn submit_inner(self, rt: &mut DsaRuntime) -> Result<(JobHandle, Phases), DsaError> {
+        let job_start = rt.now();
+        let mut phases = self.preflight(rt)?;
+        let mut submit_cost = SimDuration::ZERO;
+        let exec = loop {
+            let (outcome, cost) = self.attempt(rt);
+            submit_cost += cost;
+            match outcome {
+                Ok(exec) => break exec,
+                Err(SubmitError::WqFull { retry_at }) => {
+                    // The submitter retries when a slot frees (ENQCMD retry
+                    // loop / software occupancy tracking for DWQs).
+                    rt.advance_to(retry_at);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        phases.submit = submit_cost;
+        self.note_submit_spans(rt, job_start);
+        let handle = self.handle_for(rt, &exec);
+        Ok((handle, phases))
+    }
+
+    /// Validates targets and charges the alloc/prepare phases.
+    fn preflight(&self, rt: &mut DsaRuntime) -> Result<Phases, DsaError> {
         if self.device >= rt.device_count() {
-            return Err(JobError::UnknownDevice { device: self.device });
+            return Err(DsaError::UnknownDevice { device: self.device });
         }
         if self.wq >= rt.device(self.device).wq_count() {
-            return Err(JobError::Submit(SubmitError::UnknownWq { wq: self.wq }));
+            return Err(DsaError::Submit(SubmitError::UnknownWq { wq: self.wq }));
         }
-        let job_start = rt.now();
         let mut phases = Phases::default();
         if !self.amortized {
             phases.alloc = DESC_ALLOC;
@@ -295,42 +358,40 @@ impl Job {
         }
         phases.prepare = DESC_PREPARE;
         rt.advance(DESC_PREPARE);
+        Ok(phases)
+    }
 
+    /// One submission-instruction attempt. The core cost (and the ENQCMD
+    /// port serialization for shared WQs) is charged to the clock whether
+    /// or not the device accepts — a rejected `ENQCMD` still completed
+    /// with Retry status — and returned alongside the outcome.
+    fn attempt(
+        &self,
+        rt: &mut DsaRuntime,
+    ) -> (Result<dsa_device::device::Execution, SubmitError>, SimDuration) {
         let method = match rt.device(self.device).wq_mode(WqId(self.wq)) {
             WqMode::Dedicated => SubmitMethod::Movdir64b,
             WqMode::Shared => SubmitMethod::Enqcmd,
         };
-        let mut submit_cost = SimDuration::ZERO;
-        let exec = loop {
-            let issue = rt.now();
-            let accept_at = if method.is_posted() {
-                issue + method.core_cost()
-            } else {
-                let (dev, _, _) = rt.parts(self.device);
-                let port = dev.enqcmd_accept(WqId(self.wq), issue)?;
-                port + (method.core_cost() - SimDuration::from_ns(40))
+        let issue = rt.now();
+        let accept_at = if method.is_posted() {
+            issue + method.core_cost()
+        } else {
+            let port = match rt.parts(self.device).0.enqcmd_accept(WqId(self.wq), issue) {
+                Ok(port) => port,
+                Err(e) => return (Err(e), SimDuration::ZERO),
             };
-            let (dev, memory, memsys) = rt.parts(self.device);
-            match dev.submit(memory, memsys, WqId(self.wq), &self.desc, accept_at) {
-                Ok(exec) => {
-                    let cost = accept_at.duration_since(issue);
-                    submit_cost += cost;
-                    rt.advance(cost);
-                    break exec;
-                }
-                Err(SubmitError::WqFull { retry_at }) => {
-                    // The submitter retries when a slot frees (ENQCMD retry
-                    // loop / software occupancy tracking for DWQs).
-                    let cost = accept_at.duration_since(issue);
-                    submit_cost += cost;
-                    rt.advance(cost);
-                    rt.advance_to(retry_at);
-                }
-                Err(e) => return Err(e.into()),
-            }
+            port + (method.core_cost() - SimDuration::from_ns(40))
         };
-        phases.submit = submit_cost;
-        if let Some(hub) = rt.hub().cloned() {
+        let (dev, memory, memsys) = rt.parts(self.device);
+        let cost = accept_at.duration_since(issue);
+        let outcome = dev.submit(memory, memsys, WqId(self.wq), &self.desc, accept_at);
+        rt.advance(cost);
+        (outcome, cost)
+    }
+
+    fn note_submit_spans(&self, rt: &DsaRuntime, job_start: SimTime) {
+        if let Some(hub) = rt.hub() {
             let mut t = job_start;
             if !self.amortized {
                 hub.span(Track::Job, "alloc", t, t + DESC_ALLOC);
@@ -340,15 +401,15 @@ impl Job {
             hub.span(Track::Job, "submit", t + DESC_PREPARE, rt.now());
             hub.counter_add("jobs", Labels::wq(self.device as u16, self.wq as u16), 1);
         }
-        Ok((
-            JobHandle {
-                record: exec.record,
-                device_timeline: exec.timeline,
-                submit_end: rt.now(),
-                xfer_size: self.desc.xfer_size,
-            },
-            phases,
-        ))
+    }
+
+    fn handle_for(&self, rt: &DsaRuntime, exec: &dsa_device::device::Execution) -> JobHandle {
+        JobHandle {
+            record: exec.record,
+            device_timeline: exec.timeline,
+            submit_end: rt.now(),
+            xfer_size: self.desc.xfer_size,
+        }
     }
 }
 
@@ -365,6 +426,13 @@ impl JobHandle {
     /// When the device will have completed this job.
     pub fn completion_time(&self) -> SimTime {
         self.device_timeline.completed
+    }
+
+    /// The completion record the device will have written by
+    /// [`completion_time`](Self::completion_time) — lets async callers
+    /// check for page-faulted partial completion without blocking.
+    pub fn record(&self) -> &CompletionRecord {
+        &self.record
     }
 
     /// The nominal transfer size.
@@ -414,12 +482,13 @@ impl JobHandle {
 
 /// A software queue keeping up to `depth` jobs in flight — the paper's
 /// asynchronous mode ("a queue depth of 32 unless otherwise stated", §4.1).
+///
+/// Built on the shared [`InflightWindow`] primitive, so its queue-depth
+/// semantics are identical to the dispatcher's async path and the service
+/// layer's sessions.
 #[derive(Debug)]
 pub struct AsyncQueue {
-    depth: usize,
-    inflight: VecDeque<JobHandle>,
-    last_completion: SimTime,
-    completed: u64,
+    window: InflightWindow<JobHandle>,
     bytes: u64,
 }
 
@@ -430,14 +499,7 @@ impl AsyncQueue {
     ///
     /// Panics if `depth == 0`.
     pub fn new(depth: usize) -> AsyncQueue {
-        assert!(depth > 0, "queue depth must be positive");
-        AsyncQueue {
-            depth,
-            inflight: VecDeque::with_capacity(depth),
-            last_completion: SimTime::ZERO,
-            completed: 0,
-            bytes: 0,
-        }
+        AsyncQueue { window: InflightWindow::new(depth), bytes: 0 }
     }
 
     /// Submits `job`, first reaping the oldest in-flight job if the queue
@@ -446,50 +508,35 @@ impl AsyncQueue {
     /// # Errors
     ///
     /// Propagates submission failures.
-    pub fn submit(&mut self, rt: &mut DsaRuntime, job: Job) -> Result<(), JobError> {
-        if self.inflight.len() >= self.depth {
-            if let Some(oldest) = self.inflight.pop_front() {
-                rt.advance_to(oldest.completion_time());
-                self.retire(&oldest);
+    pub fn submit(&mut self, rt: &mut DsaRuntime, job: Job) -> Result<(), DsaError> {
+        if self.window.is_full() {
+            if let Some((t, h)) = self.window.pop_oldest() {
+                rt.advance_to(t);
+                self.bytes += h.xfer_size() as u64;
             }
         }
         // Reap anything already finished (free bookkeeping, like checking
         // completion records opportunistically).
-        while let Some(front) = self.inflight.front() {
-            if front.is_complete(rt.now()) {
-                if let Some(h) = self.inflight.pop_front() {
-                    self.retire(&h);
-                }
-            } else {
-                break;
-            }
+        while let Some((_, h)) = self.window.pop_completed(rt.now()) {
+            self.bytes += h.xfer_size() as u64;
         }
         let handle = job.submit(rt)?;
-        self.inflight.push_back(handle);
+        self.window.push(handle.completion_time(), handle);
         Ok(())
-    }
-
-    fn retire(&mut self, h: &JobHandle) {
-        self.last_completion = self.last_completion.max(h.completion_time());
-        self.completed += 1;
-        self.bytes += h.xfer_size() as u64;
     }
 
     /// Waits for everything outstanding; returns the last completion time.
     pub fn drain(&mut self, rt: &mut DsaRuntime) -> SimTime {
-        while let Some(h) = self.inflight.pop_front() {
-            let t = h.completion_time();
+        while let Some((t, h)) = self.window.pop_oldest() {
             rt.advance_to(t);
-            self.last_completion = self.last_completion.max(t);
-            self.completed += 1;
             self.bytes += h.xfer_size() as u64;
         }
-        self.last_completion
+        self.window.last_completion()
     }
 
     /// Jobs fully completed and reaped.
     pub fn completed(&self) -> u64 {
-        self.completed
+        self.window.retired()
     }
 
     /// Bytes across completed jobs.
@@ -554,9 +601,9 @@ impl Batch {
     /// # Errors
     ///
     /// Propagates submission failures.
-    pub fn submit(mut self, rt: &mut DsaRuntime) -> Result<BatchHandle, JobError> {
+    pub fn submit(mut self, rt: &mut DsaRuntime) -> Result<BatchHandle, DsaError> {
         if self.device >= rt.device_count() {
-            return Err(JobError::UnknownDevice { device: self.device });
+            return Err(DsaError::UnknownDevice { device: self.device });
         }
         if self.cache_control {
             for d in &mut self.descs {
@@ -590,9 +637,9 @@ impl Batch {
     /// # Errors
     ///
     /// Propagates submission failures.
-    pub fn execute(mut self, rt: &mut DsaRuntime) -> Result<BatchReport, JobError> {
+    pub fn execute(mut self, rt: &mut DsaRuntime) -> Result<BatchReport, DsaError> {
         if self.device >= rt.device_count() {
-            return Err(JobError::UnknownDevice { device: self.device });
+            return Err(DsaError::UnknownDevice { device: self.device });
         }
         if self.cache_control {
             for d in &mut self.descs {
@@ -819,7 +866,7 @@ mod tests {
         let src = rt.alloc(64, Location::local_dram());
         let dst = rt.alloc(64, Location::local_dram());
         let err = Job::memcpy(&src, &dst).on_device(3).execute(&mut rt).unwrap_err();
-        assert_eq!(err, JobError::UnknownDevice { device: 3 });
+        assert_eq!(err, DsaError::UnknownDevice { device: 3 });
     }
 
     #[test]

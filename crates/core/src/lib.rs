@@ -36,7 +36,7 @@
 //!     q.submit(&mut rt, Job::memcpy(&src, &dst))?;
 //! }
 //! q.drain(&mut rt);
-//! # Ok::<(), dsa_core::job::JobError>(())
+//! # Ok::<(), dsa_core::DsaError>(())
 //! ```
 
 pub mod backend;
@@ -59,7 +59,7 @@ pub mod prelude {
     pub use crate::dispatch::{Decision, DispatchPolicy, DispatchStats, Dispatcher};
     pub use crate::dto::Dto;
     pub use crate::error::DsaError;
-    pub use crate::job::{AsyncQueue, Batch, Job, JobError, JobReport};
+    pub use crate::job::{AsyncQueue, Batch, Job, JobReport};
     pub use crate::runtime::{DsaRuntime, RuntimeBuilder};
     pub use crate::submit::{SubmitMethod, WaitMethod};
     pub use crate::telemetry::TelemetryLog;

@@ -12,6 +12,7 @@
 //!   low-power state until the completion record is written (Fig. 11).
 
 use dsa_sim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// How descriptors reach the device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -103,6 +104,120 @@ impl WaitMethod {
     }
 }
 
+/// A depth-bounded FIFO window of in-flight operations — the one inflight
+/// bookkeeping primitive behind every asynchronous submission surface:
+/// [`AsyncQueue`](crate::job::AsyncQueue) (raw job streaming), the
+/// [`Dispatcher`](crate::dispatch::Dispatcher) async path, and the service
+/// layer's per-tenant sessions all reap through this type, so queue-depth
+/// semantics ("depth 32 unless otherwise stated", §4.1) are defined in
+/// exactly one place.
+///
+/// Entries carry their device-side completion time; the *caller* advances
+/// the runtime clock when it decides to block on a slot, keeping this type
+/// free of runtime coupling.
+#[derive(Clone, Debug)]
+pub struct InflightWindow<T> {
+    depth: usize,
+    entries: VecDeque<(SimTime, T)>,
+    retired: u64,
+    last_completion: SimTime,
+}
+
+impl<T> InflightWindow<T> {
+    /// A window admitting up to `depth` concurrent operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> InflightWindow<T> {
+        assert!(depth > 0, "window depth must be positive");
+        InflightWindow {
+            depth,
+            entries: VecDeque::with_capacity(depth),
+            retired: 0,
+            last_completion: SimTime::ZERO,
+        }
+    }
+
+    /// The configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Operations currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no slot is free.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.depth
+    }
+
+    /// Tracks an operation that completes at `completion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full — pop an entry first.
+    pub fn push(&mut self, completion: SimTime, item: T) {
+        assert!(!self.is_full(), "inflight window over depth");
+        self.entries.push_back((completion, item));
+    }
+
+    /// Completion time of the oldest in-flight operation.
+    pub fn oldest_completion(&self) -> Option<SimTime> {
+        self.entries.front().map(|&(t, _)| t)
+    }
+
+    /// Earliest instant a new operation could be admitted: `now` when a
+    /// slot is free, otherwise when the oldest entry completes (FIFO reap).
+    pub fn admission_at(&self, now: SimTime) -> SimTime {
+        if self.is_full() {
+            self.oldest_completion().unwrap_or(now).max(now)
+        } else {
+            now
+        }
+    }
+
+    /// Pops the oldest entry regardless of completion state. The caller is
+    /// expected to advance its clock to the returned completion time.
+    pub fn pop_oldest(&mut self) -> Option<(SimTime, T)> {
+        let (t, item) = self.entries.pop_front()?;
+        self.retire_at(t);
+        Some((t, item))
+    }
+
+    /// Pops the oldest entry only if it has completed by `now`
+    /// (opportunistic completion-record checking).
+    pub fn pop_completed(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        if self.oldest_completion()? <= now {
+            self.pop_oldest()
+        } else {
+            None
+        }
+    }
+
+    fn retire_at(&mut self, completion: SimTime) {
+        self.retired += 1;
+        self.last_completion = self.last_completion.max(completion);
+    }
+
+    /// Operations retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Latest completion time among retired operations.
+    pub fn last_completion(&self) -> SimTime {
+        self.last_completion
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +269,31 @@ mod tests {
         let r = WaitMethod::SpinPoll.wait(t(5000), t(1000));
         assert!(r.busy <= POLL_DETECT + SimDuration::from_ns(1));
         assert!(r.observed_at >= t(1000));
+    }
+
+    #[test]
+    fn window_enforces_depth_and_fifo_reap() {
+        let mut w = InflightWindow::new(2);
+        assert_eq!(w.admission_at(t(5)), t(5), "empty window admits now");
+        w.push(t(100), "a");
+        w.push(t(300), "b");
+        assert!(w.is_full());
+        // Full: admission waits for the oldest completion.
+        assert_eq!(w.admission_at(t(5)), t(100));
+        // Nothing completed yet at t=50.
+        assert!(w.pop_completed(t(50)).is_none());
+        assert_eq!(w.pop_completed(t(150)), Some((t(100), "a")));
+        assert_eq!(w.pop_oldest(), Some((t(300), "b")));
+        assert_eq!(w.retired(), 2);
+        assert_eq!(w.last_completion(), t(300));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "over depth")]
+    fn window_rejects_overfill() {
+        let mut w = InflightWindow::new(1);
+        w.push(t(1), ());
+        w.push(t(2), ());
     }
 }

@@ -186,6 +186,10 @@ pub struct Telemetry {
     pub atc_hits: u64,
     /// Address-translation-cache misses (IOMMU walks).
     pub atc_misses: u64,
+    /// Submissions refused with [`SubmitError::WqFull`] (ENQCMD Retry for
+    /// shared WQs; software occupancy violations for dedicated WQs). The
+    /// shared-WQ contention signal behind the paper's Fig. 9/10 QoS story.
+    pub wq_rejections: u64,
 }
 
 struct GroupState {
@@ -200,6 +204,9 @@ struct WqState {
     cfg: crate::config::WqConfig,
     window: SlidingWindow,
     enqcmd_port: dsa_sim::timeline::Timeline,
+    /// Submissions this WQ refused with `WqFull` (per-queue back-pressure
+    /// accounting for multi-tenant admission control).
+    full_rejections: u64,
 }
 
 /// One DSA instance.
@@ -282,6 +289,7 @@ impl DsaDevice {
                 cfg,
                 window: SlidingWindow::new(cfg.size as usize),
                 enqcmd_port: dsa_sim::timeline::Timeline::new(),
+                full_rejections: 0,
             })
             .collect();
         Ok(DsaDevice {
@@ -383,6 +391,25 @@ impl DsaDevice {
         self.wqs[wq.0].window.pending_at(now)
     }
 
+    /// Submissions WQ `wq` has refused with [`SubmitError::WqFull`] so far
+    /// (per-queue back-pressure; admission controllers read this to size
+    /// retry budgets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wq` is out of range.
+    pub fn wq_full_events(&self, wq: WqId) -> u64 {
+        self.wqs[wq.0].full_rejections
+    }
+
+    fn record_wq_full(&mut self, wq: WqId) {
+        self.wqs[wq.0].full_rejections += 1;
+        self.telemetry.wq_rejections += 1;
+        if let Some(hub) = &self.hub {
+            hub.counter_add("wq_full", Labels::wq(self.id, wq.0 as u16), 1);
+        }
+    }
+
     /// Descriptors still in flight across all WQs at `now`.
     pub fn pending_descriptors(&self, now: SimTime) -> usize {
         self.wqs.iter().map(|w| w.window.pending_at(now)).sum()
@@ -469,6 +496,7 @@ impl DsaDevice {
         let submitted = now + self.timing.portal_accept;
         let slot = self.wqs[wq.0].window.available_at(submitted);
         if slot > submitted {
+            self.record_wq_full(wq);
             return Err(SubmitError::WqFull { retry_at: slot });
         }
         let admitted = self.wqs[wq.0].window.acquire(submitted);
@@ -516,6 +544,7 @@ impl DsaDevice {
         let submitted = now + self.timing.portal_accept;
         let slot = self.wqs[wq.0].window.available_at(submitted);
         if slot > submitted {
+            self.record_wq_full(wq);
             return Err(SubmitError::WqFull { retry_at: slot });
         }
         let admitted = self.wqs[wq.0].window.acquire(submitted);
@@ -1174,6 +1203,9 @@ mod tests {
             Err(SubmitError::WqFull { retry_at }) => assert!(retry_at > SimTime::ZERO),
             other => panic!("expected WqFull, got {other:?}"),
         }
+        // Rejections are accounted per-WQ and device-wide.
+        assert_eq!(rig.dev.wq_full_events(WqId(0)), 1);
+        assert_eq!(rig.dev.telemetry().wq_rejections, 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Each rule walks the token stream produced by [`crate::lexer`] and emits
 //! [`Violation`]s. Rules are scoped by workspace-relative path (e.g. the
-//! hash-container rule only applies to `crates/{sim,device,core}/src`), and
+//! hash-container rule only applies to `crates/{sim,device,core,svc}/src`), and
 //! violations inside `#[cfg(test)]` / `#[test]` regions are masked where the
 //! rule only governs production code.
 //!
@@ -58,6 +58,7 @@ fn in_det_core(path: &str) -> bool {
     path.starts_with("crates/sim/src/")
         || path.starts_with("crates/device/src/")
         || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/svc/src/")
 }
 
 /// True for library source (any crate's `src/`, including the root package).
@@ -435,6 +436,7 @@ mod tests {
     fn r1_hash_containers_only_in_det_core() {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(lint("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(lint("crates/svc/src/x.rs", src).len(), 1);
         assert!(lint("crates/telemetry/src/x.rs", src).is_empty());
     }
 

@@ -42,6 +42,15 @@ impl SplitMix64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Exponentially distributed variate with the given mean (inverse-CDF
+    /// transform). Used by open-loop arrival generators: a Poisson process
+    /// has exponential inter-arrival gaps.
+    ///
+    /// Returns values in `(0, +inf)`; `1.0 - next_f64()` avoids `ln(0)`.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
     /// Derives an independent child generator (for per-agent streams).
     pub fn split(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
@@ -132,5 +141,20 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn zero_bound_panics() {
         SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn exp_variates_match_mean() {
+        let mut r = SplitMix64::new(17);
+        let mean = 250.0;
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.next_exp(mean);
+            assert!(v > 0.0 && v.is_finite());
+            sum += v;
+        }
+        let got = sum / n as f64;
+        assert!((got - mean).abs() / mean < 0.02, "sample mean was {got}");
     }
 }

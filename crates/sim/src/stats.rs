@@ -262,6 +262,26 @@ impl TimeSeries {
     }
 }
 
+/// Jain's fairness index over a set of per-client allocations:
+/// `J = (Σx)² / (n · Σx²)`.
+///
+/// Ranges from `1/n` (one client gets everything) to `1.0` (perfectly
+/// equal). The paper's shared-vs-dedicated WQ QoS discussion (Fig. 9/10)
+/// is quantified with this index in the multi-tenant service experiments.
+/// Returns 1.0 for an empty or all-zero slice (a degenerate share vector
+/// is trivially "fair").
+pub fn jain_fairness(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sum_sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sum_sq)
+}
+
 /// Accumulates throughput observations and reports GB/s.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Throughput {
@@ -393,6 +413,18 @@ mod tests {
         assert!((t.gbps() - 10.0).abs() < 1e-9);
         assert_eq!(t.bytes(), 1_000_000);
         assert_eq!(Throughput::new().gbps(), 0.0);
+    }
+
+    #[test]
+    fn jain_index_brackets() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One hog among four clients → J = 1/4.
+        assert!((jain_fairness(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Mild skew lands strictly between the extremes.
+        let j = jain_fairness(&[1.0, 0.8, 0.9, 0.7]);
+        assert!(j > 0.25 && j < 1.0);
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Per-tenant admission control.
+//!
+//! A [`TokenBucket`] meters how many jobs a tenant may *start* per unit of
+//! simulated time, independent of how fast the device drains them. This is
+//! the software half of the paper's QoS story (§3.4): the hardware knobs
+//! (WQ size, priority, read-buffer limits) shape service *after* a
+//! descriptor is enqueued; the bucket bounds what reaches the portal in the
+//! first place, so one tenant's burst cannot monopolise shared WQ slots.
+//!
+//! The arithmetic is pure integer picoseconds — refill state advances only
+//! by whole tokens, so fractional credit is never lost and replays are
+//! bit-identical.
+
+use dsa_sim::time::SimTime;
+
+const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// A deterministic token bucket: `rate` tokens per simulated second with a
+/// burst capacity, one token per admitted job.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    capacity: u64,
+    tokens: u64,
+    /// Picoseconds between token credits; 0 means unmetered.
+    interval_ps: u64,
+    /// Credit cursor: tokens earned strictly before this instant are banked.
+    credited_at: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket crediting `rate_per_sec` tokens per second, holding at most
+    /// `burst` (clamped to ≥ 1). `rate_per_sec == 0` builds an unmetered
+    /// bucket that always admits, as do rates above 10¹² (sub-picosecond
+    /// intervals are indistinguishable from unmetered).
+    pub fn new(rate_per_sec: u64, burst: u64) -> TokenBucket {
+        let capacity = burst.max(1);
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            interval_ps: PS_PER_SEC.checked_div(rate_per_sec).unwrap_or(0),
+            credited_at: SimTime::ZERO,
+        }
+    }
+
+    /// A bucket that never rejects (admission disabled).
+    pub fn unmetered() -> TokenBucket {
+        TokenBucket::new(0, 1)
+    }
+
+    /// Banks tokens earned up to `now`.
+    pub fn refill(&mut self, now: SimTime) {
+        if self.interval_ps == 0 {
+            self.tokens = self.capacity;
+            return;
+        }
+        let elapsed = now.as_ps().saturating_sub(self.credited_at.as_ps());
+        let earned = elapsed / self.interval_ps;
+        if earned == 0 {
+            return;
+        }
+        if self.tokens + earned >= self.capacity {
+            // Bucket full: surplus idle time earns nothing further.
+            self.tokens = self.capacity;
+            self.credited_at = now;
+        } else {
+            self.tokens += earned;
+            self.credited_at =
+                SimTime::from_ps(self.credited_at.as_ps() + earned * self.interval_ps);
+        }
+    }
+
+    /// Takes one token if available at `now`.
+    pub fn try_acquire(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Earliest instant at or after `now` when a token will be available
+    /// (pure: does not bank credit).
+    pub fn ready_at(&self, now: SimTime) -> SimTime {
+        if self.interval_ps == 0 || self.tokens > 0 {
+            return now;
+        }
+        let elapsed = now.as_ps().saturating_sub(self.credited_at.as_ps());
+        if elapsed / self.interval_ps > 0 {
+            return now;
+        }
+        SimTime::from_ps(self.credited_at.as_ps() + self.interval_ps).max(now)
+    }
+
+    /// Tokens currently banked (as of the last refill).
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Burst capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_metered_refill() {
+        // 1 token per microsecond, burst of 3.
+        let mut b = TokenBucket::new(1_000_000, 3);
+        let t0 = SimTime::ZERO;
+        assert!(b.try_acquire(t0));
+        assert!(b.try_acquire(t0));
+        assert!(b.try_acquire(t0));
+        assert!(!b.try_acquire(t0), "burst exhausted");
+        let ready = b.ready_at(t0);
+        assert_eq!(ready, SimTime::from_ps(1_000_000));
+        assert!(b.try_acquire(ready), "one token after one interval");
+        assert!(!b.try_acquire(ready));
+    }
+
+    #[test]
+    fn fractional_credit_is_never_lost() {
+        let mut b = TokenBucket::new(1_000_000, 1);
+        assert!(b.try_acquire(SimTime::ZERO));
+        // Two half-interval refills must together earn one token.
+        b.refill(SimTime::from_ps(500_000));
+        assert_eq!(b.tokens(), 0);
+        assert!(b.try_acquire(SimTime::from_ps(1_000_000)));
+    }
+
+    #[test]
+    fn idle_time_caps_at_burst() {
+        let mut b = TokenBucket::new(1_000_000, 2);
+        // A long idle period banks only `burst` tokens.
+        b.refill(SimTime::from_ms(10));
+        let t = SimTime::from_ms(10);
+        assert!(b.try_acquire(t));
+        assert!(b.try_acquire(t));
+        assert!(!b.try_acquire(t));
+    }
+
+    #[test]
+    fn unmetered_always_admits() {
+        let mut b = TokenBucket::unmetered();
+        for _ in 0..1000 {
+            assert!(b.try_acquire(SimTime::ZERO));
+        }
+        assert_eq!(b.ready_at(SimTime::ZERO), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,85 @@
+//! Deterministic arrival generators for tenant job streams.
+//!
+//! Two classic load models, both driven by the simulation's seeded
+//! [`SplitMix64`] streams (never a wall clock), so any run replays
+//! bit-identically:
+//!
+//! * **Open loop** — Poisson arrivals with exponential inter-arrival gaps.
+//!   Arrival `k+1` happens a random gap after arrival `k` *regardless of
+//!   completions*, so queueing delay compounds under overload. This is the
+//!   honest way to measure tail latency at saturation (coordinated
+//!   omission cannot hide).
+//! * **Closed loop** — the next request is issued a fixed think time after
+//!   the previous one *completes*, modelling a caller that blocks on each
+//!   offload (the paper's synchronous mode).
+
+use dsa_sim::rng::SplitMix64;
+use dsa_sim::time::SimDuration;
+
+/// How a tenant's job stream is generated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arrival {
+    /// Poisson process with the given mean inter-arrival gap.
+    Open {
+        /// Mean of the exponential inter-arrival distribution.
+        mean_gap: SimDuration,
+    },
+    /// Next job `think` after the previous completion.
+    Closed {
+        /// Think time between a completion and the next submission.
+        think: SimDuration,
+    },
+}
+
+impl Arrival {
+    /// An open-loop (Poisson) generator with mean gap `mean_gap`.
+    pub fn open(mean_gap: SimDuration) -> Arrival {
+        Arrival::Open { mean_gap }
+    }
+
+    /// A closed-loop generator with the given think time.
+    pub fn closed(think: SimDuration) -> Arrival {
+        Arrival::Closed { think }
+    }
+
+    /// True for open-loop generators.
+    pub fn is_open(self) -> bool {
+        matches!(self, Arrival::Open { .. })
+    }
+
+    /// The gap to the next arrival: random for open loop (drawn from
+    /// `rng`), the fixed think time for closed loop.
+    pub fn gap(self, rng: &mut SplitMix64) -> SimDuration {
+        match self {
+            Arrival::Open { mean_gap } => {
+                SimDuration::from_ns_f64(rng.next_exp(mean_gap.as_ns_f64()))
+            }
+            Arrival::Closed { think } => think,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_gap_is_the_think_time() {
+        let mut rng = SplitMix64::new(1);
+        let a = Arrival::closed(SimDuration::from_us(7));
+        assert_eq!(a.gap(&mut rng), SimDuration::from_us(7));
+        assert!(!a.is_open());
+    }
+
+    #[test]
+    fn open_gaps_average_to_the_mean() {
+        let mut rng = SplitMix64::new(99);
+        let mean = SimDuration::from_us(2);
+        let a = Arrival::open(mean);
+        let n = 50_000u32;
+        let total = (0..n).fold(SimDuration::ZERO, |acc, _| acc + a.gap(&mut rng));
+        let avg_ns = total.as_ns_f64() / f64::from(n);
+        let err = (avg_ns - mean.as_ns_f64()).abs() / mean.as_ns_f64();
+        assert!(err < 0.02, "mean gap off by {:.1}%", err * 100.0);
+    }
+}

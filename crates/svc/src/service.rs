@@ -1,0 +1,706 @@
+//! The multi-tenant service: WQ placement plans, the deterministic
+//! scheduling loop, sessions, and the fairness report.
+//!
+//! # Determinism
+//!
+//! N tenants share one [`DsaRuntime`] without threads: each tenant keeps a
+//! local clock cursor, and the service always processes the tenant whose
+//! next admissible action is earliest on the simulated timeline (ties break
+//! by tenant index). Per-tenant randomness comes from [`SplitMix64`]
+//! streams split off one master seed. Two services built from the same
+//! specs and seed therefore replay bit-identically — [`ServiceReport::digest`]
+//! makes that checkable in one comparison.
+
+use crate::admission::TokenBucket;
+use crate::tenant::{QosClass, TenantReport, TenantSpec, TenantStats};
+use dsa_core::config::AccelConfig;
+use dsa_core::error::DsaError;
+use dsa_core::job::Job;
+use dsa_core::runtime::DsaRuntime;
+use dsa_core::submit::InflightWindow;
+use dsa_device::config::{ConfigError, DeviceConfig};
+use dsa_device::device::SubmitError;
+use dsa_mem::buffer::Location;
+use dsa_mem::memory::BufferHandle;
+use dsa_mem::topology::Platform;
+use dsa_ops::OpKind;
+use dsa_sim::rng::SplitMix64;
+use dsa_sim::stats::jain_fairness;
+use dsa_sim::time::{SimDuration, SimTime};
+use dsa_telemetry::{Hub, Labels};
+
+/// DSA 1.0 envelope the plans carve up (see `DeviceCaps::dsa1`).
+const TOTAL_ENGINES: u32 = 4;
+const TOTAL_WQ_ENTRIES: u32 = 128;
+const MAX_GROUPS: usize = 4;
+
+/// Exponential-backoff cap: base backoff never grows beyond 64×.
+const MAX_BACKOFF_SHIFT: u32 = 6;
+
+/// How tenants are mapped onto the device's work queues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WqPlan {
+    /// One dedicated WQ per tenant (Fig. 9 "DWQ: N"): the 128 WQ entries
+    /// and 4 engines are split evenly, so a flooding tenant can only fill
+    /// its own queue.
+    DedicatedPerTenant,
+    /// One shared 128-entry WQ behind all 4 engines: maximum pooling,
+    /// zero isolation — every tenant contends for the same slots via
+    /// `ENQCMD`.
+    SharedAll,
+    /// QoS placement: [`QosClass::Latency`] tenants get dedicated WQs
+    /// (half the entries, one engine per group), [`QosClass::Throughput`]
+    /// tenants pool on one shared WQ with the remaining engines.
+    ByClass,
+}
+
+impl WqPlan {
+    /// Short lowercase label for tables and digests.
+    pub fn label(self) -> &'static str {
+        match self {
+            WqPlan::DedicatedPerTenant => "dedicated",
+            WqPlan::SharedAll => "shared",
+            WqPlan::ByClass => "by-class",
+        }
+    }
+}
+
+/// Service-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// WQ placement plan.
+    pub plan: WqPlan,
+    /// Master seed for all per-tenant randomness.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// A configuration with the given plan and the default seed.
+    pub fn new(plan: WqPlan) -> ServiceConfig {
+        ServiceConfig { plan, seed: 0xD5A_5E1F_0CA5 }
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> ServiceConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// How one job submission ended, from [`Session::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Completed (or will complete) on the accelerator.
+    Dsa {
+        /// Device completion instant.
+        completion: SimTime,
+        /// Arrival-to-completion latency.
+        latency: SimDuration,
+    },
+    /// Degraded to the synchronous CPU fallback.
+    Cpu {
+        /// CPU completion instant.
+        completion: SimTime,
+        /// Arrival-to-completion latency.
+        latency: SimDuration,
+    },
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    wq: usize,
+    rng: SplitMix64,
+    bucket: TokenBucket,
+    window: InflightWindow<u64>,
+    src: BufferHandle,
+    dst: BufferHandle,
+    /// Tenant-local core clock: the submitting context is busy until here.
+    cursor: SimTime,
+    /// Arrival instant of the next job in the stream.
+    next_arrival: SimTime,
+    issued: u64,
+    stats: TenantStats,
+}
+
+impl TenantState {
+    fn active(&self) -> bool {
+        self.issued < self.spec.jobs
+    }
+
+    /// Advances the arrival process past a job that finished (or was shed)
+    /// at `completion`.
+    fn schedule_next(&mut self, completion: SimTime) {
+        let gap = self.spec.arrival.gap(&mut self.rng);
+        self.next_arrival = if self.spec.arrival.is_open() {
+            // Open loop: the schedule marches on regardless of completions.
+            self.next_arrival + gap
+        } else {
+            completion + gap
+        };
+    }
+
+    fn note_completion(&mut self, arrival: SimTime, completion: SimTime) -> SimDuration {
+        let latency = completion.duration_since(arrival);
+        self.stats.latency.record(latency);
+        self.stats.last_completion = self.stats.last_completion.max(completion);
+        if let Some(d) = self.spec.deadline {
+            if latency > d {
+                self.stats.deadline_misses += 1;
+            }
+        }
+        latency
+    }
+}
+
+/// The multi-tenant service layer: owns the runtime and drives every
+/// tenant's stream through admission control, placement, bounded retry,
+/// and fallback. See the crate docs for the full policy tour.
+pub struct DsaService {
+    rt: DsaRuntime,
+    plan: WqPlan,
+    tenants: Vec<TenantState>,
+}
+
+impl DsaService {
+    /// Builds the device per `cfg.plan`, allocates per-tenant buffers, and
+    /// seeds per-tenant RNG streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns the device-configuration constraint a plan violates (e.g.
+    /// more dedicated tenants than the 8-WQ envelope allows).
+    pub fn new(cfg: ServiceConfig, specs: Vec<TenantSpec>) -> Result<DsaService, ConfigError> {
+        let device = plan_device(cfg.plan, &specs)?;
+        let wqs = assign_wqs(cfg.plan, &specs);
+        let mut rt = DsaRuntime::builder(Platform::spr()).device(device).build();
+        let mut master = SplitMix64::new(cfg.seed);
+        let mut tenants = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            let src = rt.alloc(spec.xfer, Location::local_dram());
+            let dst = rt.alloc(spec.xfer, Location::local_dram());
+            rt.fill_pattern(&src, (i as u8).wrapping_mul(37).wrapping_add(1));
+            rt.fill_pattern(&dst, 0);
+            let mut rng = master.split();
+            let first = if spec.arrival.is_open() {
+                SimTime::ZERO + spec.arrival.gap(&mut rng)
+            } else {
+                SimTime::ZERO
+            };
+            tenants.push(TenantState {
+                wq: wqs[i],
+                bucket: TokenBucket::new(spec.rate, spec.burst),
+                window: InflightWindow::new(spec.max_outstanding.max(1)),
+                src,
+                dst,
+                rng,
+                cursor: SimTime::ZERO,
+                next_arrival: first,
+                issued: 0,
+                stats: TenantStats::new(),
+                spec,
+            });
+        }
+        Ok(DsaService { rt, plan: cfg.plan, tenants })
+    }
+
+    /// The placement plan in force.
+    pub fn plan(&self) -> WqPlan {
+        self.plan
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Live accounting for tenant `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn stats(&self, i: usize) -> &TenantStats {
+        &self.tenants[i].stats
+    }
+
+    /// The underlying runtime (read-only).
+    pub fn runtime(&self) -> &DsaRuntime {
+        &self.rt
+    }
+
+    /// Attaches a fresh telemetry hub and returns a clone, mirroring
+    /// [`DsaRuntime::trace`]. Per-tenant series land under
+    /// `svc_*` metrics with [`Labels::tenant`] label sets.
+    pub fn trace(&mut self) -> Hub {
+        self.rt.trace()
+    }
+
+    /// A handle for driving tenant `i`'s stream by hand (tests, custom
+    /// loops). [`run`](Self::run) drives all tenants to completion instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn session(&mut self, i: usize) -> Session<'_> {
+        assert!(i < self.tenants.len(), "no tenant {i}");
+        Session { svc: self, tenant: i }
+    }
+
+    /// Drives every tenant's stream to completion in deterministic merged
+    /// timeline order and returns the final report.
+    pub fn run(&mut self) -> ServiceReport {
+        while let Some(i) = self.pick() {
+            let _ = self.step(i);
+        }
+        self.report()
+    }
+
+    /// The tenant whose next admissible action is earliest (ties break by
+    /// index); `None` when every stream is exhausted.
+    fn pick(&self) -> Option<usize> {
+        let mut best: Option<(SimTime, usize)> = None;
+        for (i, t) in self.tenants.iter().enumerate() {
+            if !t.active() {
+                continue;
+            }
+            let at = self.next_action(i);
+            if best.is_none_or(|(bt, _)| at < bt) {
+                best = Some((at, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Earliest instant tenant `i` could start its next job: its arrival,
+    /// its core cursor, a free in-flight slot, and an admission token must
+    /// all line up.
+    fn next_action(&self, i: usize) -> SimTime {
+        let t = &self.tenants[i];
+        let at = t.next_arrival.max(t.cursor);
+        let at = t.window.admission_at(at);
+        t.bucket.ready_at(at)
+    }
+
+    /// Processes tenant `i`'s next job end-to-end: admission, bounded-retry
+    /// submission, fallback, accounting, and arrival-process advance.
+    fn step(&mut self, i: usize) -> Result<JobOutcome, DsaError> {
+        let rt = &mut self.rt;
+        let t = &mut self.tenants[i];
+        let tid = i as u16;
+
+        let arrival = t.next_arrival;
+        let start = t.bucket.ready_at(t.window.admission_at(arrival.max(t.cursor)));
+        while t.window.pop_completed(start).is_some() {}
+
+        t.issued += 1;
+        t.stats.offered += 1;
+        t.stats.offered_bytes += t.spec.xfer;
+
+        // Shed at admission: if queueing delay alone blows the deadline,
+        // reject before occupying a WQ slot or burning a token.
+        if let Some(d) = t.spec.deadline {
+            if start.duration_since(arrival) > d {
+                t.stats.shed += 1;
+                if let Some(hub) = rt.hub() {
+                    hub.counter_add("svc_shed", Labels::tenant(tid), 1);
+                }
+                t.schedule_next(start);
+                return Err(DsaError::DeadlineExceeded { deadline: arrival + d });
+            }
+        }
+        let _ = t.bucket.try_acquire(start); // a token is banked at `start` by construction
+
+        rt.set_now(start);
+        let job = Job::memcpy(&t.src, &t.dst).on_wq(t.wq);
+        let mut attempts: u32 = 0;
+        let submitted = loop {
+            match job.clone().try_submit(rt) {
+                Ok(h) => break Ok(h),
+                Err(DsaError::Submit(SubmitError::WqFull { .. })) => {
+                    attempts += 1;
+                    t.stats.retries += 1;
+                    if attempts > t.spec.retry_budget {
+                        break Err(DsaError::RetryExhausted { attempts });
+                    }
+                    // Blind exponential backoff: real ENQCMD/MOVDIR64B get
+                    // no slot-free hint, so the portal may well still be
+                    // full at the next attempt — that is what makes the
+                    // retry budget a genuine bound under saturation.
+                    let shift = (attempts - 1).min(MAX_BACKOFF_SHIFT);
+                    let backoff = t.spec.backoff.saturating_mul(1u64 << shift);
+                    rt.advance(backoff);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+
+        match submitted {
+            Ok(h) => {
+                let mut completion = h.completion_time();
+                if !h.record().status.is_ok() {
+                    // Page-faulted partial completion: the caller touches
+                    // the pages and finishes the move on the cores.
+                    t.stats.faults += 1;
+                    rt.advance_to(completion);
+                    rt.cpu_op(OpKind::Memcpy, &t.src, &t.dst);
+                    completion = rt.now();
+                }
+                let latency = t.note_completion(arrival, completion);
+                t.stats.dsa_completed += 1;
+                t.stats.dsa_bytes += t.spec.xfer;
+                t.cursor = rt.now();
+                if completion > rt.now() {
+                    t.window.push(completion, t.spec.xfer);
+                }
+                if let Some(hub) = rt.hub() {
+                    hub.counter_add("svc_jobs", Labels::tenant(tid), 1);
+                    hub.observe("svc_latency", Labels::tenant_wq(tid, 0, t.wq as u16), latency);
+                }
+                t.schedule_next(completion);
+                Ok(JobOutcome::Dsa { completion, latency })
+            }
+            Err(DsaError::RetryExhausted { .. }) if t.spec.degrade_to_cpu => {
+                // Graceful degradation: the device is saturated, so serve
+                // this job synchronously on the cores.
+                t.stats.exhausted += 1;
+                rt.cpu_op(OpKind::Memcpy, &t.src, &t.dst);
+                let completion = rt.now();
+                let latency = t.note_completion(arrival, completion);
+                t.stats.cpu_completed += 1;
+                t.stats.cpu_bytes += t.spec.xfer;
+                t.cursor = completion;
+                if let Some(hub) = rt.hub() {
+                    hub.counter_add("svc_degraded", Labels::tenant(tid), 1);
+                    hub.observe("svc_latency", Labels::tenant_wq(tid, 0, t.wq as u16), latency);
+                }
+                t.schedule_next(completion);
+                Ok(JobOutcome::Cpu { completion, latency })
+            }
+            Err(e) => {
+                if matches!(e, DsaError::RetryExhausted { .. }) {
+                    t.stats.exhausted += 1;
+                }
+                t.stats.failed += 1;
+                t.cursor = rt.now();
+                if let Some(hub) = rt.hub() {
+                    hub.counter_add("svc_failed", Labels::tenant(tid), 1);
+                }
+                t.schedule_next(rt.now());
+                Err(e)
+            }
+        }
+    }
+
+    /// Snapshot of all tenants plus the Jain fairness index over their
+    /// accelerator-served shares.
+    pub fn report(&self) -> ServiceReport {
+        let tenants: Vec<TenantReport> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let h = &t.stats.latency;
+                let pct = |p: f64| if h.count() == 0 { SimDuration::ZERO } else { h.percentile(p) };
+                TenantReport {
+                    name: t.spec.name.clone(),
+                    class: t.spec.class,
+                    wq: t.wq,
+                    offered: t.stats.offered,
+                    dsa_completed: t.stats.dsa_completed,
+                    cpu_completed: t.stats.cpu_completed,
+                    shed: t.stats.shed,
+                    failed: t.stats.failed,
+                    retries: t.stats.retries,
+                    deadline_misses: t.stats.deadline_misses,
+                    dsa_share: t.stats.dsa_share(),
+                    p50: pct(50.0),
+                    p99: pct(99.0),
+                    p999: pct(99.9),
+                    mean: if h.count() == 0 { SimDuration::ZERO } else { h.mean() },
+                }
+            })
+            .collect();
+        let shares: Vec<f64> = tenants.iter().map(|t| t.dsa_share).collect();
+        let makespan =
+            self.tenants.iter().map(|t| t.stats.last_completion).max().unwrap_or(SimTime::ZERO);
+        ServiceReport { plan: self.plan, fairness: jain_fairness(&shares), makespan, tenants }
+    }
+}
+
+/// A per-tenant handle for driving one stream by hand. Obtained from
+/// [`DsaService::session`]; each [`submit`](Session::submit) call processes
+/// exactly one job of the stream under the tenant's full policy.
+pub struct Session<'a> {
+    svc: &'a mut DsaService,
+    tenant: usize,
+}
+
+impl Session<'_> {
+    /// The tenant index this session drives.
+    pub fn tenant(&self) -> usize {
+        self.tenant
+    }
+
+    /// Submits the stream's next job under admission control, bounded
+    /// retry, and fallback policy.
+    ///
+    /// # Errors
+    ///
+    /// [`DsaError::DeadlineExceeded`] when the job is shed at admission,
+    /// [`DsaError::RetryExhausted`] when the retry budget runs out and CPU
+    /// fallback is disabled.
+    pub fn submit(&mut self) -> Result<JobOutcome, DsaError> {
+        self.svc.step(self.tenant)
+    }
+
+    /// Live accounting for this tenant.
+    pub fn stats(&self) -> &TenantStats {
+        self.svc.stats(self.tenant)
+    }
+}
+
+/// Final report: per-tenant rows plus cross-tenant fairness.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Placement plan the run used.
+    pub plan: WqPlan,
+    /// Per-tenant outcomes, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Jain fairness index over per-tenant accelerator-served shares
+    /// (1.0 = perfectly even service relative to demand).
+    pub fairness: f64,
+    /// Latest completion across all tenants.
+    pub makespan: SimTime,
+}
+
+impl ServiceReport {
+    /// Canonical multi-line rendering — integer picosecond timings, so the
+    /// string (and [`digest`](Self::digest)) is bit-identical across
+    /// replays of the same configuration.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan={} fairness={:.4} makespan_ps={}",
+            self.plan.label(),
+            self.fairness,
+            self.makespan.as_ps()
+        );
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "{} class={:?} wq={} offered={} dsa={} cpu={} shed={} failed={} \
+                 retries={} misses={} share={:.4} p50_ps={} p99_ps={} p999_ps={} mean_ps={}",
+                t.name,
+                t.class,
+                t.wq,
+                t.offered,
+                t.dsa_completed,
+                t.cpu_completed,
+                t.shed,
+                t.failed,
+                t.retries,
+                t.deadline_misses,
+                t.dsa_share,
+                t.p50.as_ps(),
+                t.p99.as_ps(),
+                t.p999.as_ps(),
+                t.mean.as_ps()
+            );
+        }
+        out
+    }
+
+    /// FNV-1a hash of [`summary`](Self::summary) — one number to compare
+    /// for bit-identical replay.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.summary().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Builds the device configuration a plan implies for these tenants.
+fn plan_device(plan: WqPlan, specs: &[TenantSpec]) -> Result<DeviceConfig, ConfigError> {
+    let n = specs.len().max(1);
+    let mut cfg = AccelConfig::new();
+    match plan {
+        WqPlan::SharedAll => {
+            let g = cfg.add_group(TOTAL_ENGINES);
+            cfg.add_shared_wq(TOTAL_WQ_ENTRIES, g);
+        }
+        WqPlan::DedicatedPerTenant => {
+            let groups = n.min(MAX_GROUPS);
+            let size = (TOTAL_WQ_ENTRIES / n as u32).max(1);
+            for g in 0..groups {
+                cfg.add_group(engines_for(g, groups));
+            }
+            for t in 0..n {
+                cfg.add_dedicated_wq(size, t % groups);
+            }
+        }
+        WqPlan::ByClass => {
+            let latency = specs.iter().filter(|s| s.class == QosClass::Latency).count();
+            let throughput = n - latency;
+            if throughput == 0 {
+                return plan_device(WqPlan::DedicatedPerTenant, specs);
+            }
+            if latency == 0 {
+                return plan_device(WqPlan::SharedAll, specs);
+            }
+            // Dedicated side: one engine per group, up to 3 groups, half
+            // the WQ entries; shared side: the remaining engines and
+            // entries in the last group.
+            let dgroups = latency.min(MAX_GROUPS - 1);
+            for _ in 0..dgroups {
+                cfg.add_group(1);
+            }
+            let shared_group = cfg.add_group(TOTAL_ENGINES - dgroups as u32);
+            let dsize = ((TOTAL_WQ_ENTRIES / 2) / latency as u32).max(1);
+            for t in 0..latency {
+                cfg.add_dedicated_wq(dsize, t % dgroups);
+            }
+            cfg.add_shared_wq(TOTAL_WQ_ENTRIES / 2, shared_group);
+        }
+    }
+    cfg.enable()
+}
+
+/// Engines assigned to group `g` of `groups`: the 4 engines split as
+/// evenly as possible, earlier groups taking the remainder.
+fn engines_for(g: usize, groups: usize) -> u32 {
+    let base = TOTAL_ENGINES / groups as u32;
+    let extra = TOTAL_ENGINES as usize % groups;
+    base + u32::from(g < extra)
+}
+
+/// The WQ index each tenant lands on. Must mirror the WQ layout
+/// [`plan_device`] builds.
+fn assign_wqs(plan: WqPlan, specs: &[TenantSpec]) -> Vec<usize> {
+    match plan {
+        WqPlan::SharedAll => vec![0; specs.len()],
+        WqPlan::DedicatedPerTenant => (0..specs.len()).collect(),
+        WqPlan::ByClass => {
+            let latency = specs.iter().filter(|s| s.class == QosClass::Latency).count();
+            if latency == 0 {
+                return vec![0; specs.len()];
+            }
+            if latency == specs.len() {
+                return (0..specs.len()).collect();
+            }
+            // Dedicated WQs 0..latency in tenant order; the shared WQ is
+            // appended after them.
+            let mut next_dedicated = 0usize;
+            specs
+                .iter()
+                .map(|s| match s.class {
+                    QosClass::Latency => {
+                        let wq = next_dedicated;
+                        next_dedicated += 1;
+                        wq
+                    }
+                    QosClass::Throughput => latency,
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::Arrival;
+
+    fn two_tenants() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new("a", 4 << 10, 20).with_arrival(Arrival::closed(SimDuration::ZERO)),
+            TenantSpec::new("b", 4 << 10, 20).with_arrival(Arrival::open(SimDuration::from_us(2))),
+        ]
+    }
+
+    #[test]
+    fn dedicated_plan_runs_all_jobs_on_dsa() {
+        let mut svc =
+            DsaService::new(ServiceConfig::new(WqPlan::DedicatedPerTenant), two_tenants()).unwrap();
+        let rep = svc.run();
+        for t in &rep.tenants {
+            assert_eq!(t.offered, 20);
+            assert_eq!(t.dsa_completed, 20);
+            assert_eq!(t.cpu_completed + t.shed + t.failed, 0);
+        }
+        assert!((rep.fairness - 1.0).abs() < 1e-9, "uncontended run is perfectly fair");
+        assert!(rep.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn shared_plan_maps_everyone_to_wq0() {
+        let mut svc =
+            DsaService::new(ServiceConfig::new(WqPlan::SharedAll), two_tenants()).unwrap();
+        let rep = svc.run();
+        assert!(rep.tenants.iter().all(|t| t.wq == 0));
+        assert_eq!(rep.tenants[0].dsa_completed, 20);
+    }
+
+    #[test]
+    fn by_class_places_latency_on_dedicated_wq() {
+        let specs = vec![
+            TenantSpec::new("lat", 4 << 10, 10).with_class(QosClass::Latency),
+            TenantSpec::new("bulk", 16 << 10, 10),
+        ];
+        let mut svc = DsaService::new(ServiceConfig::new(WqPlan::ByClass), specs).unwrap();
+        let rep = svc.run();
+        assert_eq!(rep.tenants[0].wq, 0, "latency tenant on the dedicated WQ");
+        assert_eq!(rep.tenants[1].wq, 1, "throughput tenant on the shared WQ");
+        assert_eq!(rep.tenants[0].dsa_completed, 10);
+        assert_eq!(rep.tenants[1].dsa_completed, 10);
+    }
+
+    #[test]
+    fn admission_rate_paces_an_eager_tenant() {
+        // Closed loop with zero think, but metered to 100k jobs/s: 50 jobs
+        // need ≥ 49 token intervals of 10 µs.
+        let specs = vec![TenantSpec::new("paced", 1 << 10, 50).with_admission(100_000, 1)];
+        let mut svc =
+            DsaService::new(ServiceConfig::new(WqPlan::DedicatedPerTenant), specs).unwrap();
+        let rep = svc.run();
+        assert_eq!(rep.tenants[0].dsa_completed, 50);
+        assert!(
+            rep.makespan >= SimTime::ZERO + SimDuration::from_us(490),
+            "metering must stretch the run to ≥ 49 × 10 µs, got {:?}",
+            rep.makespan
+        );
+    }
+
+    #[test]
+    fn deadline_sheds_when_queueing_exceeds_it() {
+        // One in-flight slot and a deadline far below the per-job service
+        // time: job 0 is admitted, later arrivals find the slot busy past
+        // their deadline and are shed.
+        let specs = vec![TenantSpec::new("dl", 1 << 20, 8)
+            .with_outstanding(1)
+            .with_arrival(Arrival::open(SimDuration::from_ns(200)))
+            .with_deadline(SimDuration::from_us(1))];
+        let mut svc =
+            DsaService::new(ServiceConfig::new(WqPlan::DedicatedPerTenant), specs).unwrap();
+        let rep = svc.run();
+        let t = &rep.tenants[0];
+        assert_eq!(t.offered, 8);
+        assert!(t.shed > 0, "expected admission shedding, got {t:?}");
+        assert_eq!(t.dsa_completed + t.shed, 8);
+    }
+
+    #[test]
+    fn session_drives_one_job_per_submit() {
+        let mut svc =
+            DsaService::new(ServiceConfig::new(WqPlan::DedicatedPerTenant), two_tenants()).unwrap();
+        let mut sess = svc.session(0);
+        for k in 1..=5u64 {
+            let out = sess.submit().unwrap();
+            assert!(matches!(out, JobOutcome::Dsa { .. }));
+            assert_eq!(sess.stats().dsa_completed, k);
+        }
+        assert_eq!(svc.stats(1).offered, 0, "other tenants untouched");
+    }
+}

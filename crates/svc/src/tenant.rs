@@ -1,0 +1,235 @@
+//! Tenant specifications and per-tenant accounting.
+
+use crate::arrival::Arrival;
+use dsa_sim::stats::DurationHistogram;
+use dsa_sim::time::{SimDuration, SimTime};
+
+/// QoS class of a tenant, used by [`WqPlan::ByClass`](crate::WqPlan) to
+/// map the tenant onto a dedicated (latency-isolated) or shared
+/// (bandwidth-pooled) work queue — the paper's DWQ-vs-SWQ trade (§4.1,
+/// Fig. 9) recast as a placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QosClass {
+    /// Tail-latency sensitive: prefers an isolated dedicated WQ.
+    Latency,
+    /// Bandwidth oriented: tolerates sharing a pooled WQ.
+    Throughput,
+}
+
+/// Everything the service needs to know about one tenant's stream.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name (report rows, not identity — tenants are indexed).
+    pub name: String,
+    /// QoS class (see [`QosClass`]).
+    pub class: QosClass,
+    /// Arrival process of the job stream.
+    pub arrival: Arrival,
+    /// Bytes moved per job.
+    pub xfer: u64,
+    /// Total jobs the tenant offers before going idle.
+    pub jobs: u64,
+    /// Admission rate in jobs per simulated second (0 = unmetered).
+    pub rate: u64,
+    /// Admission burst (token-bucket capacity).
+    pub burst: u64,
+    /// Maximum jobs in flight on the device at once.
+    pub max_outstanding: usize,
+    /// Per-job deadline measured from arrival, if any. A job whose
+    /// *queueing delay alone* exceeds it is shed at admission; a job that
+    /// completes past it counts as a deadline miss.
+    pub deadline: Option<SimDuration>,
+    /// Failed portal attempts tolerated per job before the submission is
+    /// declared exhausted (0 = give up after the first `WqFull`).
+    pub retry_budget: u32,
+    /// Base backoff after a rejected portal attempt. Doubles per retry,
+    /// capped at 64× base — blind polling, as on real portals: the next
+    /// attempt may find the queue still full.
+    pub backoff: SimDuration,
+    /// Degrade exhausted submissions to a synchronous CPU `memcpy`
+    /// instead of failing them.
+    pub degrade_to_cpu: bool,
+}
+
+impl TenantSpec {
+    /// A throughput-class tenant moving `xfer` bytes per job for `jobs`
+    /// jobs, back-to-back closed loop, unmetered, depth 32, 8 retries,
+    /// 100 ns base backoff, with CPU fallback enabled.
+    pub fn new(name: &str, xfer: u64, jobs: u64) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            class: QosClass::Throughput,
+            arrival: Arrival::closed(SimDuration::ZERO),
+            xfer,
+            jobs,
+            rate: 0,
+            burst: 1,
+            max_outstanding: 32,
+            deadline: None,
+            retry_budget: 8,
+            backoff: SimDuration::from_ns(100),
+            degrade_to_cpu: true,
+        }
+    }
+
+    /// Sets the QoS class.
+    pub fn with_class(mut self, class: QosClass) -> TenantSpec {
+        self.class = class;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn with_arrival(mut self, arrival: Arrival) -> TenantSpec {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Meters admission to `rate` jobs/s with the given burst.
+    pub fn with_admission(mut self, rate: u64, burst: u64) -> TenantSpec {
+        self.rate = rate;
+        self.burst = burst;
+        self
+    }
+
+    /// Sets the in-flight window depth (clamped to ≥ 1).
+    pub fn with_outstanding(mut self, depth: usize) -> TenantSpec {
+        self.max_outstanding = depth.max(1);
+        self
+    }
+
+    /// Sets a per-job deadline.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> TenantSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the retry budget.
+    pub fn with_retry_budget(mut self, budget: u32) -> TenantSpec {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the base retry backoff.
+    pub fn with_backoff(mut self, backoff: SimDuration) -> TenantSpec {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Enables or disables CPU fallback on retry exhaustion.
+    pub fn with_cpu_fallback(mut self, degrade: bool) -> TenantSpec {
+        self.degrade_to_cpu = degrade;
+        self
+    }
+}
+
+/// Live per-tenant accounting, updated as the service processes jobs.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// Jobs generated (admitted, shed, or failed alike).
+    pub offered: u64,
+    /// Jobs completed on the accelerator.
+    pub dsa_completed: u64,
+    /// Jobs completed by the CPU fallback.
+    pub cpu_completed: u64,
+    /// Jobs shed at admission (queueing delay already past deadline).
+    pub shed: u64,
+    /// Jobs that failed outright (retry exhaustion without CPU fallback).
+    pub failed: u64,
+    /// Rejected portal attempts (`WqFull` responses seen).
+    pub retries: u64,
+    /// Jobs whose retry budget ran out.
+    pub exhausted: u64,
+    /// Jobs that page-faulted into partial completion.
+    pub faults: u64,
+    /// Completed jobs that finished past their deadline.
+    pub deadline_misses: u64,
+    /// Bytes offered across all generated jobs.
+    pub offered_bytes: u64,
+    /// Bytes served by the accelerator.
+    pub dsa_bytes: u64,
+    /// Bytes served by the CPU fallback.
+    pub cpu_bytes: u64,
+    /// Arrival-to-completion latency distribution of completed jobs.
+    pub latency: DurationHistogram,
+    /// Latest completion instant observed.
+    pub last_completion: SimTime,
+}
+
+impl TenantStats {
+    /// Fresh, all-zero accounting.
+    pub fn new() -> TenantStats {
+        TenantStats {
+            offered: 0,
+            dsa_completed: 0,
+            cpu_completed: 0,
+            shed: 0,
+            failed: 0,
+            retries: 0,
+            exhausted: 0,
+            faults: 0,
+            deadline_misses: 0,
+            offered_bytes: 0,
+            dsa_bytes: 0,
+            cpu_bytes: 0,
+            latency: DurationHistogram::new(),
+            last_completion: SimTime::ZERO,
+        }
+    }
+
+    /// Jobs completed on either path.
+    pub fn completed(&self) -> u64 {
+        self.dsa_completed + self.cpu_completed
+    }
+
+    /// Fraction of offered bytes the *accelerator* served — the share
+    /// measure the Jain fairness index is computed over. 1.0 when nothing
+    /// was offered.
+    pub fn dsa_share(&self) -> f64 {
+        if self.offered_bytes == 0 {
+            1.0
+        } else {
+            self.dsa_bytes as f64 / self.offered_bytes as f64
+        }
+    }
+}
+
+impl Default for TenantStats {
+    fn default() -> TenantStats {
+        TenantStats::new()
+    }
+}
+
+/// One tenant's row of the final [`ServiceReport`](crate::ServiceReport).
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant display name.
+    pub name: String,
+    /// QoS class.
+    pub class: QosClass,
+    /// Work queue the tenant's stream was mapped onto.
+    pub wq: usize,
+    /// Jobs generated.
+    pub offered: u64,
+    /// Jobs completed on the accelerator.
+    pub dsa_completed: u64,
+    /// Jobs completed by the CPU fallback.
+    pub cpu_completed: u64,
+    /// Jobs shed at admission.
+    pub shed: u64,
+    /// Jobs failed outright.
+    pub failed: u64,
+    /// Rejected portal attempts.
+    pub retries: u64,
+    /// Completed jobs finishing past their deadline.
+    pub deadline_misses: u64,
+    /// Accelerator-served fraction of offered bytes.
+    pub dsa_share: f64,
+    /// Median arrival-to-completion latency.
+    pub p50: SimDuration,
+    /// 99th percentile latency.
+    pub p99: SimDuration,
+    /// 99.9th percentile latency.
+    pub p999: SimDuration,
+    /// Mean latency.
+    pub mean: SimDuration,
+}

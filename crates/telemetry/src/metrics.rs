@@ -5,8 +5,8 @@ use dsa_sim::stats::{DurationHistogram, TimeSeries};
 use dsa_sim::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
-/// Metric labels: which device/WQ/PE a sample belongs to. `None` means
-/// the dimension does not apply (e.g. a job-level counter).
+/// Metric labels: which device/WQ/PE/tenant a sample belongs to. `None`
+/// means the dimension does not apply (e.g. a job-level counter).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Labels {
     /// Device index.
@@ -15,6 +15,8 @@ pub struct Labels {
     pub wq: Option<u16>,
     /// Processing-engine index within the device.
     pub pe: Option<u16>,
+    /// Service-layer tenant index (multi-tenant client streams).
+    pub tenant: Option<u16>,
 }
 
 impl Labels {
@@ -30,12 +32,22 @@ impl Labels {
 
     /// WQ-scoped.
     pub fn wq(device: u16, wq: u16) -> Labels {
-        Labels { device: Some(device), wq: Some(wq), pe: None }
+        Labels { device: Some(device), wq: Some(wq), ..Labels::default() }
     }
 
     /// PE-scoped.
     pub fn pe(device: u16, pe: u16) -> Labels {
-        Labels { device: Some(device), wq: None, pe: Some(pe) }
+        Labels { device: Some(device), pe: Some(pe), ..Labels::default() }
+    }
+
+    /// Tenant-scoped (service-layer per-client metrics).
+    pub fn tenant(tenant: u16) -> Labels {
+        Labels { tenant: Some(tenant), ..Labels::default() }
+    }
+
+    /// Tenant + WQ scoped (which queue a tenant's stream landed on).
+    pub fn tenant_wq(tenant: u16, device: u16, wq: u16) -> Labels {
+        Labels { device: Some(device), wq: Some(wq), pe: None, tenant: Some(tenant) }
     }
 }
 

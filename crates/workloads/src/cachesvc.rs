@@ -12,8 +12,8 @@
 
 use dsa_core::backend::DsaBackend;
 use dsa_core::dispatch::{DispatchPolicy, DispatchStats, Dispatcher};
-use dsa_core::job::JobError;
 use dsa_core::runtime::DsaRuntime;
+use dsa_core::DsaError;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::BufferHandle;
 use dsa_sim::rng::SplitMix64;
@@ -88,7 +88,7 @@ pub fn run_cache_service(
     rt: &mut DsaRuntime,
     workload: &CacheWorkload,
     policy: DispatchPolicy,
-) -> Result<CacheReport, JobError> {
+) -> Result<CacheReport, DsaError> {
     // Pre-allocate a pool of cached values and transfer staging buffers
     // large enough for any draw.
     let max_value = 256 << 10;

@@ -17,15 +17,12 @@
 //! receiver-side), as the shm provider does on a multi-instance SoC.
 
 use dsa_core::backend::Engine;
-use dsa_core::job::{AsyncQueue, Job, JobError};
+use dsa_core::job::{AsyncQueue, Job};
 use dsa_core::runtime::DsaRuntime;
+use dsa_core::DsaError;
 use dsa_mem::buffer::Location;
 use dsa_ops::OpKind;
 use dsa_sim::time::{SimDuration, SimTime};
-
-/// Which engine moves SAR segments.
-#[deprecated(since = "0.2.0", note = "use `dsa_core::backend::Engine`")]
-pub type CopyEngine = Engine;
 
 /// SAR segment size (libfabric shm default-scale bounce buffers).
 const SAR_CHUNK: u64 = 64 << 10;
@@ -53,7 +50,7 @@ impl SarFabric {
     /// # Errors
     ///
     /// Propagates DSA submission failures.
-    pub fn one_way(&self, rt: &mut DsaRuntime, msg_bytes: u64) -> Result<SimDuration, JobError> {
+    pub fn one_way(&self, rt: &mut DsaRuntime, msg_bytes: u64) -> Result<SimDuration, DsaError> {
         let start = rt.now();
         rt.advance(PROTO_OVERHEAD);
         match self.engine {
@@ -105,7 +102,7 @@ impl SarFabric {
     /// # Errors
     ///
     /// Propagates DSA submission failures.
-    pub fn pingpong_gbps(&self, rt: &mut DsaRuntime, msg_bytes: u64) -> Result<f64, JobError> {
+    pub fn pingpong_gbps(&self, rt: &mut DsaRuntime, msg_bytes: u64) -> Result<f64, DsaError> {
         // Warm one round, then measure a few.
         self.one_way(rt, msg_bytes)?;
         let start = rt.now();
@@ -123,7 +120,7 @@ impl SarFabric {
     /// # Errors
     ///
     /// Propagates DSA submission failures.
-    pub fn rma_gbps(&self, rt: &mut DsaRuntime, msg_bytes: u64) -> Result<f64, JobError> {
+    pub fn rma_gbps(&self, rt: &mut DsaRuntime, msg_bytes: u64) -> Result<f64, DsaError> {
         let start = rt.now();
         let rounds = 6u64;
         for _ in 0..rounds {
@@ -148,7 +145,7 @@ impl SarFabric {
         rt: &mut DsaRuntime,
         ranks: u32,
         msg_bytes: u64,
-    ) -> Result<SimDuration, JobError> {
+    ) -> Result<SimDuration, DsaError> {
         assert!(ranks >= 2, "AllReduce needs at least two ranks");
         let start = rt.now();
         let segment = (msg_bytes / ranks as u64).max(1);
@@ -209,7 +206,7 @@ impl BertStep {
     /// # Errors
     ///
     /// Propagates DSA submission failures.
-    pub fn run(&self) -> Result<BertReport, JobError> {
+    pub fn run(&self) -> Result<BertReport, DsaError> {
         let mk_rt = || {
             DsaRuntime::builder(dsa_mem::topology::Platform::spr())
                 .devices(2, dsa_device::config::DeviceConfig::full_device())

@@ -11,18 +11,15 @@
 //! duration is the migration *downtime*.
 
 use dsa_core::backend::Engine;
-use dsa_core::job::{Batch, Job, JobError};
+use dsa_core::job::{Batch, Job};
 use dsa_core::runtime::DsaRuntime;
+use dsa_core::DsaError;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::BufferHandle;
 use dsa_ops::OpKind;
 use dsa_sim::rng::SplitMix64;
 use dsa_sim::time::{SimDuration, SimTime};
 use dsa_telemetry::Track;
-
-/// Who moves the bytes.
-#[deprecated(since = "0.2.0", note = "use `dsa_core::backend::Engine`")]
-pub type MigrationEngine = Engine;
 
 /// Migration parameters.
 #[derive(Clone, Copy, Debug)]
@@ -140,7 +137,7 @@ impl Migration {
         &mut self,
         rt: &mut DsaRuntime,
         engine: Engine,
-    ) -> Result<(u64, u64, u64), JobError> {
+    ) -> Result<(u64, u64, u64), DsaError> {
         let dirty: Vec<usize> = (0..self.cfg.blocks).filter(|&b| self.dirty[b]).collect();
         let mut copied = 0u64;
         let mut delta = 0u64;
@@ -204,7 +201,7 @@ impl Migration {
     /// # Errors
     ///
     /// Propagates DSA submission failures.
-    pub fn run(mut self, rt: &mut DsaRuntime, engine: Engine) -> Result<MigrationReport, JobError> {
+    pub fn run(mut self, rt: &mut DsaRuntime, engine: Engine) -> Result<MigrationReport, DsaError> {
         let start = rt.now();
         let mut copied = 0u64;
         let mut delta = 0u64;

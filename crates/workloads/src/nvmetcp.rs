@@ -15,8 +15,9 @@
 //! fewer cores than ISA-L" result.
 
 use dsa_core::backend::Engine;
-use dsa_core::job::{Job, JobError};
+use dsa_core::job::Job;
 use dsa_core::runtime::DsaRuntime;
+use dsa_core::DsaError;
 use dsa_mem::buffer::Location;
 use dsa_ops::crc32::Crc32c;
 use dsa_sim::time::SimDuration;
@@ -70,7 +71,7 @@ impl NvmeTcpTarget {
     /// # Errors
     ///
     /// Propagates DSA submission failures.
-    pub fn run(&self, rt: &mut DsaRuntime, ios: u64) -> Result<NvmeTcpReport, JobError> {
+    pub fn run(&self, rt: &mut DsaRuntime, ios: u64) -> Result<NvmeTcpReport, DsaError> {
         // --- measured per-I/O digest cost (sampled functionally) ---
         let payload = rt.alloc(self.io_size, Location::local_dram());
         rt.fill_random(&payload);

@@ -18,18 +18,15 @@
 //! setup with 100 GbE traffic (Fig. 16b).
 
 use dsa_core::backend::Engine;
-use dsa_core::job::{Batch, Job, JobError};
+use dsa_core::job::{Batch, Job};
 use dsa_core::runtime::DsaRuntime;
+use dsa_core::DsaError;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::BufferHandle;
 use dsa_ops::OpKind;
 use dsa_sim::time::{SimDuration, SimTime};
 use dsa_telemetry::Track;
 use std::collections::VecDeque;
-
-/// How packet payloads are copied into guest buffers.
-#[deprecated(since = "0.2.0", note = "use `dsa_core::backend::Engine`")]
-pub type CopyMode = Engine;
 
 /// The descriptor ring exposed by the guest.
 #[derive(Debug)]
@@ -178,7 +175,7 @@ impl Vhost {
         &mut self,
         rt: &mut DsaRuntime,
         pkts: &[(BufferHandle, u32)],
-    ) -> Result<BurstReport, JobError> {
+    ) -> Result<BurstReport, DsaError> {
         let start = rt.now();
         let mut report = BurstReport::default();
 
@@ -282,7 +279,7 @@ impl Vhost {
         &mut self,
         rt: &mut DsaRuntime,
         mbufs: &[(BufferHandle, u32)],
-    ) -> Result<Vec<u16>, JobError> {
+    ) -> Result<Vec<u16>, DsaError> {
         // Stage 1: completion check + in-order used write-back.
         let start = rt.now();
         self.reap(rt);
@@ -406,7 +403,7 @@ impl Testpmd {
     /// # Errors
     ///
     /// Propagates DSA submission failures.
-    pub fn run(&self, rt: &mut DsaRuntime, engine: Engine) -> Result<ForwardingReport, JobError> {
+    pub fn run(&self, rt: &mut DsaRuntime, engine: Engine) -> Result<ForwardingReport, DsaError> {
         let vq = Virtqueue::new(rt, 512, self.pkt_size as u64);
         let mut vhost = Vhost::new(vq, engine);
         // A pool of hot packet buffers (NIC RX ring, LLC-resident).

@@ -1,0 +1,55 @@
+//! Multi-tenant service layer: three tenants with different QoS needs
+//! share one DSA instance through `DsaService` — admission control meters
+//! the bulk stream, by-class placement isolates the latency tenants on
+//! dedicated WQs, and the final report scores the outcome with a Jain
+//! fairness index over accelerator-served shares.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use dsa_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A bulk tenant pushing 64 KiB copies back-to-back, metered to
+    // 50k jobs/s by the token-bucket admission controller, plus two
+    // latency-class tenants offering a modest open-loop stream with a
+    // 2 ms deadline. Under `ByClass`, the latency tenants land on
+    // dedicated WQs; the bulk stream pools on the shared WQ.
+    let specs = vec![
+        TenantSpec::new("bulk", 64 << 10, 2_000).with_admission(50_000, 8),
+        TenantSpec::new("kv-cache", 16 << 10, 400)
+            .with_class(QosClass::Latency)
+            .with_arrival(Arrival::open(SimDuration::from_us(4)))
+            .with_deadline(SimDuration::from_ms(2)),
+        TenantSpec::new("page-move", 32 << 10, 300)
+            .with_class(QosClass::Latency)
+            .with_arrival(Arrival::open(SimDuration::from_us(6)))
+            .with_deadline(SimDuration::from_ms(2)),
+    ];
+
+    let mut svc = DsaService::new(ServiceConfig::new(WqPlan::ByClass), specs)?;
+
+    // Drive a few jobs by hand through a session handle first — the same
+    // path `run()` uses, one job per `submit()`.
+    let mut sess = svc.session(1);
+    for _ in 0..5 {
+        match sess.submit()? {
+            JobOutcome::Dsa { latency, .. } => {
+                println!("kv-cache job on DSA, latency {latency}")
+            }
+            JobOutcome::Cpu { latency, .. } => {
+                println!("kv-cache job fell back to CPU, latency {latency}")
+            }
+        }
+    }
+
+    // Then let the service drain every tenant deterministically.
+    let report = svc.run();
+    println!("\n{}", report.summary());
+
+    assert!(report.fairness > 0.99, "by-class placement should stay fair");
+    assert!(
+        report.tenants.iter().all(|t| t.failed == 0),
+        "no tenant should fail outright in this mix"
+    );
+    Ok(())
+}

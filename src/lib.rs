@@ -23,6 +23,7 @@ pub use dsa_device as device;
 pub use dsa_mem as mem;
 pub use dsa_ops as ops;
 pub use dsa_sim as sim;
+pub use dsa_svc as svc;
 pub use dsa_workloads as workloads;
 
 /// Convenient glob-import surface used by the examples.
@@ -30,4 +31,7 @@ pub mod prelude {
     pub use dsa_core::prelude::*;
     pub use dsa_mem::buffer::Location;
     pub use dsa_sim::{SimDuration, SimTime};
+    pub use dsa_svc::prelude::{
+        Arrival, DsaService, JobOutcome, QosClass, ServiceConfig, ServiceReport, TenantSpec, WqPlan,
+    };
 }

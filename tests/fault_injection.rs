@@ -3,8 +3,9 @@
 //! as the architecture specifies — never as silent success.
 
 use dsa_core::config::AccelConfig;
-use dsa_core::job::{Job, JobError};
+use dsa_core::job::Job;
 use dsa_core::runtime::DsaRuntime;
+use dsa_core::DsaError;
 use dsa_device::config::{ConfigError, DeviceCaps};
 use dsa_device::descriptor::{Descriptor, Status};
 use dsa_device::device::{SubmitError, WqId};
@@ -184,11 +185,11 @@ fn unknown_targets_surface_as_errors() {
     let dst = rt.alloc(64, Location::local_dram());
     assert!(matches!(
         Job::memcpy(&src, &dst).on_device(9).execute(&mut rt),
-        Err(JobError::UnknownDevice { device: 9 })
+        Err(DsaError::UnknownDevice { device: 9 })
     ));
     assert!(matches!(
         Job::memcpy(&src, &dst).on_wq(5).execute(&mut rt),
-        Err(JobError::Submit(SubmitError::UnknownWq { wq: 5 }))
+        Err(DsaError::Submit(SubmitError::UnknownWq { wq: 5 }))
     ));
 }
 
