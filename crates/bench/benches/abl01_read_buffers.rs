@@ -8,42 +8,42 @@
 //! remote socket) the allocation becomes the binding constraint.
 
 use dsa_bench::measure::{Measure, Mode};
-use dsa_bench::table;
+use dsa_bench::Sweep;
 use dsa_core::config::AccelConfig;
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
 use dsa_mem::topology::Platform;
 use dsa_ops::OpKind;
 
-fn rt_with_buffers(per_engine: u32) -> DsaRuntime {
-    let mut cfg = AccelConfig::new();
-    let g = cfg.add_group(1);
-    cfg.limit_read_buffers(g, per_engine);
-    cfg.add_dedicated_wq(32, g);
-    DsaRuntime::builder(Platform::spr()).device(cfg.enable().unwrap()).build()
-}
-
 fn main() {
-    table::banner(
-        "Ablation F3",
-        "async copy throughput vs read-buffer allocation (1 MiB transfers)",
-    );
-    table::header(&["buffers", "DRAM src", "remote src", "CXL src"]);
-    for buffers in [8u32, 16, 32, 64, 96] {
-        let mut cells = vec![buffers.to_string()];
-        for src in [Location::local_dram(), Location::remote_dram(), Location::Cxl] {
-            let mut rt = rt_with_buffers(buffers);
-            let r = Measure::new(OpKind::Memcpy, 1 << 20)
-                .iters(24)
-                .mode(Mode::Async { qd: 16 })
-                .locations(src, Location::local_dram())
-                .run(&mut rt);
-            cells.push(table::f2(r.gbps));
-        }
-        table::row(&cells);
-    }
-    println!(
-        "(GB/s; high-latency sources need more buffers to reach the fabric cap:\n\
-         the MLP bound is buffers x 64 B / load latency)"
-    );
+    let srcs = [
+        ("DRAM src", Location::local_dram()),
+        ("remote src", Location::remote_dram()),
+        ("CXL src", Location::Cxl),
+    ];
+    Sweep::new("Ablation F3", "async copy throughput vs read-buffer allocation (1 MiB transfers)")
+        .row_head("buffers")
+        .rows([8u32, 16, 32, 64, 96].iter().map(|&b| (b.to_string(), b)))
+        .cols(srcs.iter().map(|&(l, s)| (l.to_string(), s)))
+        .note(
+            "(GB/s; high-latency sources need more buffers to reach the fabric cap:\n\
+             the MLP bound is buffers x 64 B / load latency)",
+        )
+        .run(
+            |&buffers, _| {
+                let cfg = AccelConfig::builder()
+                    .group(1)
+                    .read_buffers(buffers)
+                    .dedicated_wq(32)
+                    .build()
+                    .expect("within the DSA 1.0 envelope");
+                DsaRuntime::builder(Platform::spr()).device(cfg).build()
+            },
+            |_, &src| {
+                Measure::new(OpKind::Memcpy, 1 << 20)
+                    .iters(24)
+                    .mode(Mode::Async { qd: 16 })
+                    .locations(src, Location::local_dram())
+            },
+        );
 }

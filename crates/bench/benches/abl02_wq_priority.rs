@@ -31,24 +31,21 @@ fn run(setup: Setup) -> (SimDuration, f64) {
     if let Setup::SeparateDevices = setup {
         return run_two_devices();
     }
-    let mut cfg = AccelConfig::new();
-    let (bg_wq, fg_wq) = match setup {
-        Setup::SharedGroup { engines, fg_priority } => {
-            let g = cfg.add_group(engines);
-            let bg = cfg.add_dedicated_wq(64, g);
-            let fg = cfg.add_dedicated_wq(64, g);
-            cfg.set_priority(bg, 1);
-            cfg.set_priority(fg, fg_priority);
-            (bg, fg)
-        }
+    // WQs are indexed in add order: background first, foreground second.
+    let (bg_wq, fg_wq) = (0usize, 1usize);
+    let cfg = match setup {
+        Setup::SharedGroup { engines, fg_priority } => AccelConfig::builder()
+            .group(engines)
+            .dedicated_wq(64)
+            .priority(1)
+            .dedicated_wq(64)
+            .priority(fg_priority),
         Setup::SeparateGroups => {
-            let g_bg = cfg.add_group(1);
-            let g_fg = cfg.add_group(1);
-            (cfg.add_dedicated_wq(64, g_bg), cfg.add_dedicated_wq(64, g_fg))
+            AccelConfig::builder().group(1).group(1).dedicated_wq_in(64, 0).dedicated_wq_in(64, 1)
         }
         Setup::SeparateDevices => unreachable!("handled above"),
     };
-    let mut rt = DsaRuntime::builder(Platform::spr()).device(cfg.enable().unwrap()).build();
+    let mut rt = DsaRuntime::builder(Platform::spr()).device(cfg.build().unwrap()).build();
 
     let big_src = rt.alloc(256 << 10, Location::local_dram());
     let big_dst = rt.alloc(256 << 10, Location::local_dram());
@@ -70,12 +67,7 @@ fn run(setup: Setup) -> (SimDuration, f64) {
 }
 
 fn run_two_devices() -> (SimDuration, f64) {
-    let one_dev = || {
-        let mut cfg = AccelConfig::new();
-        let g = cfg.add_group(1);
-        cfg.add_dedicated_wq(64, g);
-        cfg.enable().unwrap()
-    };
+    let one_dev = || AccelConfig::builder().group(1).dedicated_wq(64).build().unwrap();
     let mut rt = DsaRuntime::builder(Platform::spr()).device(one_dev()).device(one_dev()).build();
     let big_src = rt.alloc(256 << 10, Location::local_dram());
     let big_dst = rt.alloc(256 << 10, Location::local_dram());

@@ -11,13 +11,14 @@
 //! copy stream: round-robin and least-loaded spread descriptors across
 //! instances, NUMA-local restricts the pool to the destination's socket.
 
-use dsa_bench::table;
+use dsa_bench::{table, Sweep};
 use dsa_core::backend::{DsaBackend, PoolPolicy};
 use dsa_core::dispatch::{DispatchPolicy, Dispatcher};
 use dsa_core::runtime::DsaRuntime;
 use dsa_device::config::DeviceConfig;
 use dsa_mem::buffer::Location;
 use dsa_mem::topology::Platform;
+use std::collections::BTreeMap;
 
 fn rt_with_devices(n: usize) -> DsaRuntime {
     let mut b = DsaRuntime::builder(Platform::spr());
@@ -66,43 +67,62 @@ fn pool_gbps(devices: usize, policy: PoolPolicy) -> f64 {
     128.0 * size as f64 / end.duration_since(start).as_ns_f64()
 }
 
-fn main() {
-    table::banner("Ablation 5a", "dispatch policy vs transfer size (per-copy core ns)");
-    table::header(&["size", "cpu ns", "dsa ns", "adaptive ns", "picked", "vs best"]);
-    for size in [256u64, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10] {
-        let cpu = measure(DispatchPolicy::CpuOnly, size);
-        let dsa = measure(DispatchPolicy::DsaOnly, size);
-        let adaptive = measure(DispatchPolicy::Adaptive, size);
-        let best = cpu.min(dsa);
-        let ratio = adaptive / best;
-        table::row(&[
-            table::size_label(size),
-            table::f2(cpu),
-            table::f2(dsa),
-            table::f2(adaptive),
-            (if cpu <= dsa { "cpu" } else { "dsa" }).to_string(),
-            format!("{ratio:.3}"),
-        ]);
-        assert!(
-            ratio <= 1.10,
-            "adaptive must stay within 10% of the best static backend at {size} B: \
-             adaptive {adaptive:.0} ns vs best {best:.0} ns"
-        );
-    }
-    println!("(adaptive tracks the faster side of the ≈4 KiB sync break-even)");
+/// Columns of part 1: the three policies plus two derived cells.
+#[derive(Clone, Copy)]
+enum Col {
+    Policy(DispatchPolicy, u8),
+    Picked,
+    VsBest,
+}
 
-    table::banner("Ablation 5b", "pool policy x device count (64 KiB async stream GB/s)");
-    table::header(&["devices", "round-robin", "least-loaded", "numa-local"]);
-    for devices in [1usize, 2, 4] {
-        table::row(&[
-            devices.to_string(),
-            table::f2(pool_gbps(devices, PoolPolicy::RoundRobin)),
-            table::f2(pool_gbps(devices, PoolPolicy::LeastLoaded)),
-            table::f2(pool_gbps(devices, PoolPolicy::NumaLocal)),
-        ]);
-    }
-    println!(
-        "(round-robin and least-loaded scale with pool width; NUMA-local\n\
-         trades peak width for destination-socket locality)"
-    );
+fn main() {
+    let cols = [
+        ("cpu ns".to_string(), Col::Policy(DispatchPolicy::CpuOnly, 0)),
+        ("dsa ns".to_string(), Col::Policy(DispatchPolicy::DsaOnly, 1)),
+        ("adaptive ns".to_string(), Col::Policy(DispatchPolicy::Adaptive, 2)),
+        ("picked".to_string(), Col::Picked),
+        ("vs best".to_string(), Col::VsBest),
+    ];
+    // Memoize measurements so the derived columns reuse the policy cells.
+    let mut cache: BTreeMap<(u64, u8), f64> = BTreeMap::new();
+    let mut timed =
+        move |policy, tag, size| *cache.entry((size, tag)).or_insert_with(|| measure(policy, size));
+    Sweep::new("Ablation 5a", "dispatch policy vs transfer size (per-copy core ns)")
+        .sizes(&[256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10])
+        .cols(cols)
+        .note("(adaptive tracks the faster side of the ≈4 KiB sync break-even)")
+        .render(|&size, col| {
+            let cpu = timed(DispatchPolicy::CpuOnly, 0, size);
+            let dsa = timed(DispatchPolicy::DsaOnly, 1, size);
+            match col {
+                Col::Policy(p, tag) => table::f2(timed(*p, *tag, size)),
+                Col::Picked => (if cpu <= dsa { "cpu" } else { "dsa" }).to_string(),
+                Col::VsBest => {
+                    let adaptive = timed(DispatchPolicy::Adaptive, 2, size);
+                    let best = cpu.min(dsa);
+                    let ratio = adaptive / best;
+                    assert!(
+                        ratio <= 1.10,
+                        "adaptive must stay within 10% of the best static backend at {size} B: \
+                         adaptive {adaptive:.0} ns vs best {best:.0} ns"
+                    );
+                    format!("{ratio:.3}")
+                }
+            }
+        });
+
+    let policies = [
+        ("round-robin", PoolPolicy::RoundRobin),
+        ("least-loaded", PoolPolicy::LeastLoaded),
+        ("numa-local", PoolPolicy::NumaLocal),
+    ];
+    Sweep::new("Ablation 5b", "pool policy x device count (64 KiB async stream GB/s)")
+        .row_head("devices")
+        .rows([1usize, 2, 4].iter().map(|&d| (d.to_string(), d)))
+        .cols(policies.iter().map(|&(l, p)| (l.to_string(), p)))
+        .note(
+            "(round-robin and least-loaded scale with pool width; NUMA-local\n\
+             trades peak width for destination-socket locality)",
+        )
+        .render(|&devices, &policy| table::f2(pool_gbps(devices, policy)));
 }

@@ -4,7 +4,7 @@
 //! (QD 32) — break-even ≈ 256 B.
 
 use dsa_bench::measure::{Measure, Mode, SIZES};
-use dsa_bench::table;
+use dsa_bench::Sweep;
 use dsa_core::runtime::DsaRuntime;
 use dsa_ops::OpKind;
 
@@ -23,24 +23,17 @@ fn op_label(op: OpKind) -> &'static str {
 }
 
 fn sweep(mode: Mode, label: &str) {
-    table::banner("Fig. 2", label);
-    let ops = OpKind::figure2_set();
-    let mut head = vec!["size"];
-    head.extend(ops.iter().map(|&o| op_label(o)));
-    table::header(&head);
-    for &size in SIZES {
-        let mut cells = vec![table::size_label(size)];
-        for &op in &ops {
-            let iters = if size >= 1 << 20 { 10 } else { 40 };
-            let mut rt = DsaRuntime::spr_default();
-            let m = Measure::new(op, size).iters(iters).mode(mode);
-            let dsa = m.run(&mut rt).gbps;
-            let cpu = m.cpu_gbps(&rt);
-            cells.push(table::f2(dsa / cpu));
-        }
-        table::row(&cells);
-    }
-    println!("(values are DSA/software speedups; >1 means DSA wins)");
+    Sweep::new("Fig. 2", label)
+        .sizes(SIZES)
+        .cols(OpKind::figure2_set().into_iter().map(|o| (op_label(o).to_string(), o)))
+        .note("(values are DSA/software speedups; >1 means DSA wins)")
+        .run_speedup(
+            |_, _| DsaRuntime::spr_default(),
+            |&size, &op| {
+                let iters = if size >= 1 << 20 { 10 } else { 40 };
+                Measure::new(op, size).iters(iters).mode(mode)
+            },
+        );
 }
 
 fn main() {

@@ -7,48 +7,42 @@
 //! submitter); everything converges to the ~30 GB/s fabric cap.
 
 use dsa_bench::measure::{Measure, Mode, SIZES};
-use dsa_bench::table;
+use dsa_bench::Sweep;
 use dsa_core::config::presets;
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::topology::Platform;
 use dsa_ops::OpKind;
-
-fn rt_dwq() -> DsaRuntime {
-    DsaRuntime::spr_default()
-}
 
 fn rt_swq() -> DsaRuntime {
     DsaRuntime::builder(Platform::spr()).device(presets::one_swq_one_engine()).build()
 }
 
 fn series(mk_rt: fn() -> DsaRuntime, mode_of: impl Fn(u32) -> Mode, title: &str) {
-    table::banner("Fig. 3", title);
-    let bss = [1u32, 4, 32, 128];
-    let mut head = vec!["size".to_string()];
-    head.extend(bss.iter().map(|b| format!("BS:{b}")));
-    table::header(&head.iter().map(|s| s.as_str()).collect::<Vec<_>>());
-    for &size in SIZES {
-        let mut cells = vec![table::size_label(size)];
-        for &bs in &bss {
-            // Bound the work per point so huge (size x bs) cells stay fast.
-            let iters = (64u64 / bs as u64).max(4);
-            let mut rt = mk_rt();
-            let r = Measure::new(OpKind::Memcpy, size).iters(iters).mode(mode_of(bs)).run(&mut rt);
-            cells.push(table::f2(r.gbps));
-        }
-        table::row(&cells);
-    }
-    println!("(GB/s; fabric cap is 30 GB/s)");
+    Sweep::new("Fig. 3", title)
+        .sizes(SIZES)
+        .cols([1u32, 4, 32, 128].iter().map(|&bs| (format!("BS:{bs}"), mode_of(bs))))
+        .note("(GB/s; fabric cap is 30 GB/s)")
+        .run(
+            |_, _| mk_rt(),
+            |&size, &mode| {
+                // Bound the work per point so huge (size x bs) cells stay fast.
+                let bs = match mode {
+                    Mode::SyncBatch { bs } | Mode::AsyncBatch { bs, .. } => bs,
+                    _ => 1,
+                };
+                Measure::new(OpKind::Memcpy, size).iters((64u64 / bs as u64).max(4)).mode(mode)
+            },
+        );
 }
 
 fn main() {
     series(
-        rt_dwq,
+        DsaRuntime::spr_default,
         |bs| if bs == 1 { Mode::Sync } else { Mode::SyncBatch { bs } },
         "(a) synchronous offload, DWQ: batching rescues small transfers",
     );
     series(
-        rt_dwq,
+        DsaRuntime::spr_default,
         |bs| {
             if bs == 1 {
                 Mode::Async { qd: 32 }

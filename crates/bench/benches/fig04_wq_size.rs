@@ -4,32 +4,24 @@
 //! throughput possible" (G6).
 
 use dsa_bench::measure::{Measure, Mode, SIZES};
-use dsa_bench::table;
+use dsa_bench::Sweep;
 use dsa_core::config::presets;
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::topology::Platform;
 use dsa_ops::OpKind;
 
 fn main() {
-    table::banner("Fig. 4", "async Memory Copy throughput vs WQ size (QD > WQS, DWQ)");
-    let wq_sizes = [1u32, 2, 8, 32, 128];
-    let mut head = vec!["size".to_string()];
-    head.extend(wq_sizes.iter().map(|w| format!("WQS:{w}")));
-    table::header(&head.iter().map(|s| s.as_str()).collect::<Vec<_>>());
-    for &size in SIZES {
-        let mut cells = vec![table::size_label(size)];
-        for &wqs in &wq_sizes {
-            let mut rt = DsaRuntime::builder(Platform::spr())
-                .device(presets::engines_behind_one_dwq(1, wqs))
-                .build();
+    Sweep::new("Fig. 4", "async Memory Copy throughput vs WQ size (QD > WQS, DWQ)")
+        .sizes(SIZES)
+        .cols([1u32, 2, 8, 32, 128].iter().map(|&w| (format!("WQS:{w}"), w)))
+        .note("(GB/s; throughput saturates once the WQ covers the bandwidth-delay product)")
+        .run(
+            |_, &wqs| {
+                DsaRuntime::builder(Platform::spr())
+                    .device(presets::engines_behind_one_dwq(1, wqs))
+                    .build()
+            },
             // Software queue deeper than the WQ: the WQ gates in-flight.
-            let r = Measure::new(OpKind::Memcpy, size)
-                .iters(96)
-                .mode(Mode::Async { qd: 160 })
-                .run(&mut rt);
-            cells.push(table::f2(r.gbps));
-        }
-        table::row(&cells);
-    }
-    println!("(GB/s; throughput saturates once the WQ covers the bandwidth-delay product)");
+            |&size, _| Measure::new(OpKind::Memcpy, size).iters(96).mode(Mode::Async { qd: 160 }),
+        );
 }

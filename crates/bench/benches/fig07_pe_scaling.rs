@@ -5,30 +5,34 @@
 //! transfers (G5).
 
 use dsa_bench::measure::{Measure, Mode};
-use dsa_bench::table;
+use dsa_bench::{table, Sweep};
 use dsa_core::config::presets;
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::topology::Platform;
 use dsa_ops::OpKind;
 
 fn main() {
-    table::banner("Fig. 7", "Memory Copy throughput vs engines per group (one DWQ)");
-    table::header(&["TS", "BS", "1 PE", "2 PE", "4 PE"]);
-    for &(ts, bs) in
-        &[(1024u64, 1u32), (1024, 32), (4096, 1), (4096, 32), (64 << 10, 1), (2 << 20, 1)]
-    {
-        let mut cells = vec![table::size_label(ts), format!("{bs}")];
-        for engines in [1u32, 2, 4] {
-            let mut rt = DsaRuntime::builder(Platform::spr())
-                .device(presets::engines_behind_one_dwq(engines, 128))
-                .build();
-            let mode =
-                if bs == 1 { Mode::Async { qd: 64 } } else { Mode::AsyncBatch { bs, window: 4 } };
-            let iters = if ts >= 1 << 20 { 24 } else { 192 / bs.max(1) as u64 + 8 };
-            let r = Measure::new(OpKind::Memcpy, ts).iters(iters).mode(mode).run(&mut rt);
-            cells.push(table::f2(r.gbps));
-        }
-        table::row(&cells);
-    }
-    println!("(GB/s; engine scaling matters for small TS, levels off for large TS)");
+    let points: &[(u64, u32)] =
+        &[(1024, 1), (1024, 32), (4096, 1), (4096, 32), (64 << 10, 1), (2 << 20, 1)];
+    Sweep::new("Fig. 7", "Memory Copy throughput vs engines per group (one DWQ)")
+        .row_head("TS/BS")
+        .rows(points.iter().map(|&(ts, bs)| (format!("{}/{bs}", table::size_label(ts)), (ts, bs))))
+        .cols([1u32, 2, 4].iter().map(|&e| (format!("{e} PE"), e)))
+        .note("(GB/s; engine scaling matters for small TS, levels off for large TS)")
+        .run(
+            |_, &engines| {
+                DsaRuntime::builder(Platform::spr())
+                    .device(presets::engines_behind_one_dwq(engines, 128))
+                    .build()
+            },
+            |&(ts, bs), _| {
+                let mode = if bs == 1 {
+                    Mode::Async { qd: 64 }
+                } else {
+                    Mode::AsyncBatch { bs, window: 4 }
+                };
+                let iters = if ts >= 1 << 20 { 24 } else { 192 / bs.max(1) as u64 + 8 };
+                Measure::new(OpKind::Memcpy, ts).iters(iters).mode(mode)
+            },
+        );
 }

@@ -13,10 +13,8 @@ use dsa_workloads::cachesvc::{run_cache_service, CacheWorkload};
 fn rt_with_devices(n: u32) -> DsaRuntime {
     let mut b = DsaRuntime::builder(Platform::spr());
     for _ in 0..n {
-        let mut cfg = AccelConfig::new();
-        let g = cfg.add_group(4);
-        cfg.add_shared_wq(32, g);
-        b = b.device(cfg.enable().unwrap());
+        let cfg = AccelConfig::builder().group(4).shared_wq(32).build().unwrap();
+        b = b.device(cfg);
     }
     b.build()
 }

@@ -1,0 +1,158 @@
+//! One builder for the grid-shaped figure harnesses.
+//!
+//! Nearly every figure in the paper is the same experiment shape: a grid of
+//! (row axis × column axis) cells — transfer sizes × batch sizes, sizes ×
+//! WQ sizes, read buffers × source locations — where each cell constructs a
+//! fresh [`DsaRuntime`], runs one [`Measure`] point, and prints a number.
+//! [`Sweep`] owns that shape once: the banner/header/row boilerplate, the
+//! label plumbing, and the cell loop, so a bench binary shrinks to "axes +
+//! how to build the runtime + what to measure".
+//!
+//! ```no_run
+//! use dsa_bench::measure::{Measure, Mode, SIZES};
+//! use dsa_bench::sweep::Sweep;
+//! use dsa_core::runtime::DsaRuntime;
+//! use dsa_ops::OpKind;
+//!
+//! Sweep::new("Fig. X", "async copy vs queue depth")
+//!     .sizes(SIZES)
+//!     .cols([8usize, 32].iter().map(|&qd| (format!("QD:{qd}"), qd)))
+//!     .note("(GB/s)")
+//!     .run(
+//!         |_, _| DsaRuntime::spr_default(),
+//!         |&size, &qd| Measure::new(OpKind::Memcpy, size).mode(Mode::Async { qd }),
+//!     );
+//! ```
+
+use crate::measure::Measure;
+use crate::table;
+use dsa_core::runtime::DsaRuntime;
+
+/// A labelled two-axis experiment grid. `R` and `C` are the row/column
+/// axis value types — whatever the cell closures need (sizes, modes,
+/// locations, device counts, tuples of them).
+pub struct Sweep<R, C> {
+    figure: String,
+    title: String,
+    row_head: String,
+    rows: Vec<(String, R)>,
+    cols: Vec<(String, C)>,
+    note: Option<String>,
+}
+
+impl<R, C> Sweep<R, C> {
+    /// Starts a sweep titled like `table::banner(figure, title)`.
+    pub fn new(figure: &str, title: &str) -> Sweep<R, C> {
+        Sweep {
+            figure: figure.to_string(),
+            title: title.to_string(),
+            row_head: "size".to_string(),
+            rows: Vec::new(),
+            cols: Vec::new(),
+            note: None,
+        }
+    }
+
+    /// Header label of the row axis (defaults to `"size"`).
+    pub fn row_head(mut self, head: &str) -> Sweep<R, C> {
+        self.row_head = head.to_string();
+        self
+    }
+
+    /// Sets the row axis as (label, value) pairs.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = (String, R)>) -> Sweep<R, C> {
+        self.rows = rows.into_iter().collect();
+        self
+    }
+
+    /// Sets the column axis as (label, value) pairs.
+    pub fn cols(mut self, cols: impl IntoIterator<Item = (String, C)>) -> Sweep<R, C> {
+        self.cols = cols.into_iter().collect();
+        self
+    }
+
+    /// A trailing parenthetical printed under the table.
+    pub fn note(mut self, note: &str) -> Sweep<R, C> {
+        self.note = Some(note.to_string());
+        self
+    }
+
+    /// Renders the grid with an arbitrary per-cell formatter — the escape
+    /// hatch for sweeps that print something other than a `Measure` rate.
+    pub fn render(self, mut cell: impl FnMut(&R, &C) -> String) {
+        table::banner(&self.figure, &self.title);
+        let mut head = vec![self.row_head.as_str()];
+        head.extend(self.cols.iter().map(|(l, _)| l.as_str()));
+        table::header(&head);
+        for (label, r) in &self.rows {
+            let mut cells = vec![label.clone()];
+            cells.extend(self.cols.iter().map(|(_, c)| cell(r, c)));
+            table::row(&cells);
+        }
+        if let Some(note) = &self.note {
+            println!("{note}");
+        }
+    }
+
+    /// Runs one `Measure` per cell on a freshly built runtime and prints
+    /// the achieved GB/s. `rt_of` owns runtime construction; `m_of`
+    /// describes the measurement point.
+    pub fn run(
+        self,
+        mut rt_of: impl FnMut(&R, &C) -> DsaRuntime,
+        mut m_of: impl FnMut(&R, &C) -> Measure,
+    ) {
+        self.render(|r, c| {
+            let mut rt = rt_of(r, c);
+            table::f2(m_of(r, c).run(&mut rt).gbps)
+        });
+    }
+
+    /// Like [`run`](Sweep::run), but prints the DSA/software speedup ratio
+    /// of each cell instead of the raw rate.
+    pub fn run_speedup(
+        self,
+        mut rt_of: impl FnMut(&R, &C) -> DsaRuntime,
+        mut m_of: impl FnMut(&R, &C) -> Measure,
+    ) {
+        self.render(|r, c| {
+            let mut rt = rt_of(r, c);
+            let m = m_of(r, c);
+            let dsa = m.run(&mut rt).gbps;
+            table::f2(dsa / m.cpu_gbps(&rt))
+        });
+    }
+}
+
+impl<C> Sweep<u64, C> {
+    /// The canonical row axis: transfer sizes labelled `256, 4K, 2M, …`.
+    pub fn sizes(self, sizes: &[u64]) -> Sweep<u64, C> {
+        self.rows(sizes.iter().map(|&s| (table::size_label(s), s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_axis_uses_size_labels() {
+        let s: Sweep<u64, ()> = Sweep::new("T", "t").sizes(&[256, 4096, 2 << 20]);
+        let labels: Vec<&str> = s.rows.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["256", "4K", "2M"]);
+    }
+
+    #[test]
+    fn render_visits_every_cell_row_major() {
+        let mut seen = Vec::new();
+        Sweep::new("T", "t")
+            .rows([("a".to_string(), 1u32), ("b".to_string(), 2)])
+            .cols([("x".to_string(), 10u32), ("y".to_string(), 20)])
+            .note("(done)")
+            .render(|r, c| {
+                seen.push(r * c);
+                (r * c).to_string()
+            });
+        assert_eq!(seen, [10, 20, 20, 40]);
+    }
+}

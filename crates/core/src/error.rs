@@ -8,6 +8,7 @@
 //! breaking release.
 
 use dsa_device::cbdma::CbdmaError;
+use dsa_device::config::ConfigError;
 use dsa_device::device::SubmitError;
 use dsa_sim::time::SimTime;
 
@@ -37,6 +38,9 @@ pub enum DsaError {
         /// The deadline that was missed.
         deadline: SimTime,
     },
+    /// A device configuration violated the hardware envelope (surfaced by
+    /// [`AccelConfig::build`](crate::config::AccelConfig::build)).
+    InvalidConfig(ConfigError),
 }
 
 impl std::fmt::Display for DsaError {
@@ -51,6 +55,7 @@ impl std::fmt::Display for DsaError {
             DsaError::DeadlineExceeded { deadline } => {
                 write!(f, "deadline {deadline} exceeded")
             }
+            DsaError::InvalidConfig(e) => write!(f, "invalid device configuration: {e}"),
         }
     }
 }
@@ -60,6 +65,7 @@ impl std::error::Error for DsaError {
         match self {
             DsaError::Submit(e) => Some(e),
             DsaError::Cbdma(e) => Some(e),
+            DsaError::InvalidConfig(e) => Some(e),
             _ => None,
         }
     }
@@ -74,6 +80,12 @@ impl From<SubmitError> for DsaError {
 impl From<CbdmaError> for DsaError {
     fn from(e: CbdmaError) -> DsaError {
         DsaError::Cbdma(e)
+    }
+}
+
+impl From<ConfigError> for DsaError {
+    fn from(e: ConfigError) -> DsaError {
+        DsaError::InvalidConfig(e)
     }
 }
 

@@ -146,31 +146,28 @@ pub fn recommended_config(typical_transfer: u64, threads: u32) -> DeviceConfig {
     let engines = g5_engines(typical_transfer);
     match g6_wq_strategy(threads, 8) {
         WqStrategy::DedicatedPerThread { wqs } => {
-            let mut cfg = AccelConfig::new();
+            let mut cfg = AccelConfig::builder();
             let per_group = (engines / wqs.max(1)).max(1);
             let mut remaining = 4u32;
-            let mut groups = Vec::new();
+            // Engines are a budget of 4: shrink groups if oversubscribed.
+            let size = (128 / wqs.max(1)).min(g6_wq_size().max(128 / wqs.max(1)));
             for _ in 0..wqs {
                 let e = per_group.min(remaining.max(1));
                 remaining = remaining.saturating_sub(e);
-                groups.push(cfg.add_group(e.max(1)));
+                cfg = cfg.group(e.max(1)).dedicated_wq(size.max(1));
             }
-            // Engines are a budget of 4: shrink groups if oversubscribed.
-            let size = (128 / wqs.max(1)).min(g6_wq_size().max(128 / wqs.max(1)));
-            for g in groups {
-                cfg.add_dedicated_wq(size.max(1), g);
-            }
-            cfg.enable().unwrap_or_else(|_| {
+            cfg.build().unwrap_or_else(|_| {
                 // Oversubscription fallback: all submitters share one WQ.
                 crate::config::presets::one_swq_one_engine()
             })
         }
         WqStrategy::SharedSingle => {
-            let mut cfg = AccelConfig::new();
-            let g = cfg.add_group(engines.min(4));
-            cfg.add_shared_wq(g6_wq_size(), g);
-            // dsa-lint: allow(unwrap, fixed-shape shared preset is always within capabilities)
-            cfg.enable().expect("shared preset is always valid")
+            AccelConfig::builder()
+                .group(engines.min(4))
+                .shared_wq(g6_wq_size())
+                .build()
+                // dsa-lint: allow(unwrap, fixed-shape shared preset is always within capabilities)
+                .expect("shared preset is always valid")
         }
     }
 }

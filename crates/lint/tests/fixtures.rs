@@ -86,6 +86,21 @@ fn all_four_rule_classes_fire_across_the_bad_corpus() {
 }
 
 #[test]
+fn scheduler_module_sits_inside_the_det_core_scope() {
+    // PR 5 moved the engine's priority queue into `crates/sim/src/sched.rs`.
+    // The calendar queue's correctness rests on integer-picosecond bucket
+    // math and deterministic pop order, so the strictest scopes must cover
+    // it: R1 wall-clock/hash-container findings and R3 float-cast findings
+    // all fire when bad code is placed at that path.
+    let wall = lint_fixture("bad", "r1_wallclock.rs", "crates/sim/src/sched.rs");
+    assert!(wall.iter().any(|v| v.rule == "nondeterminism"), "{wall:?}");
+    let hash = lint_fixture("bad", "r1_hashmap.rs", "crates/sim/src/sched.rs");
+    assert!(hash.iter().any(|v| v.rule == "nondeterminism"), "{hash:?}");
+    let float = lint_fixture("bad", "r3_floatcast.rs", "crates/sim/src/sched.rs");
+    assert!(float.iter().any(|v| v.rule == "float-cast"), "{float:?}");
+}
+
+#[test]
 fn good_fixtures_pass_clean() {
     for file in ["clean.rs", "pragma_ok.rs"] {
         let v = lint_fixture("good", file, "crates/core/src/fixture.rs");

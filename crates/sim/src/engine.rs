@@ -32,9 +32,8 @@
 //! assert_eq!(*eng.shared(), 4);
 //! ```
 
+use crate::sched::{CalendarScheduler, Event, Scheduler};
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Identifies a component registered with an [`Engine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,6 +44,13 @@ impl ComponentId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Builds an id from a raw index — for driving a [`Scheduler`]
+    /// directly (property tests, benchmarks). Posting to an engine with an
+    /// id it did not hand out panics at dispatch.
+    pub fn from_index(index: usize) -> ComponentId {
+        ComponentId(index)
+    }
 }
 
 /// A simulated agent.
@@ -54,32 +60,6 @@ impl ComponentId {
 pub trait Component<M, S> {
     /// Handles one message delivered at `ctx.now()`.
     fn handle(&mut self, msg: M, ctx: &mut Ctx<'_, M>, shared: &mut S);
-}
-
-struct Scheduled<M> {
-    time: SimTime,
-    seq: u64,
-    target: ComponentId,
-    msg: M,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Ties broken by sequence number: FIFO among simultaneous events,
-        // which keeps runs deterministic.
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
 }
 
 /// Scheduling context handed to [`Component::handle`].
@@ -132,9 +112,21 @@ impl<M> Ctx<'_, M> {
 pub type Observer<M> = Box<dyn FnMut(SimTime, ComponentId, &M)>;
 
 /// The event loop.
-pub struct Engine<M, S> {
-    components: Vec<Box<dyn Component<M, S>>>,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+///
+/// Generic over the pending-event [`Scheduler`] `Q` (default:
+/// [`CalendarScheduler`]). The reference [`HeapScheduler`]
+/// (crate::sched::HeapScheduler) can be swapped in via
+/// [`with_scheduler`](Engine::with_scheduler) — the determinism tests diff
+/// the two and assert bit-identical event streams.
+pub struct Engine<M, S, Q: Scheduler<M> = CalendarScheduler<M>> {
+    // `None` marks the slot of the component currently executing — the
+    // box is taken out for the duration of its `handle` call, which
+    // sidesteps aliasing with `&mut self` without allocating a tombstone.
+    components: Vec<Option<Box<dyn Component<M, S>>>>,
+    sched: Q,
+    // Reused across `run_until` calls so steady-state dispatch does not
+    // allocate.
+    outbox: Vec<(SimTime, ComponentId, M)>,
     shared: S,
     now: SimTime,
     seq: u64,
@@ -143,11 +135,20 @@ pub struct Engine<M, S> {
 }
 
 impl<M, S> Engine<M, S> {
-    /// Creates an engine owning the shared state `shared`.
+    /// Creates an engine owning the shared state `shared`, scheduled by a
+    /// [`CalendarScheduler`].
     pub fn new(shared: S) -> Self {
+        Engine::with_scheduler(shared, CalendarScheduler::new())
+    }
+}
+
+impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
+    /// Creates an engine with an explicit scheduler implementation.
+    pub fn with_scheduler(shared: S, sched: Q) -> Self {
         Self {
             components: Vec::new(),
-            queue: BinaryHeap::new(),
+            sched,
+            outbox: Vec::new(),
             shared,
             now: SimTime::ZERO,
             seq: 0,
@@ -169,14 +170,14 @@ impl<M, S> Engine<M, S> {
 
     /// Registers a component, returning its id.
     pub fn add(&mut self, c: impl Component<M, S> + 'static) -> ComponentId {
-        self.components.push(Box::new(c));
+        self.components.push(Some(Box::new(c)));
         ComponentId(self.components.len() - 1)
     }
 
     /// Posts an initial message from outside the simulation.
     pub fn post(&mut self, at: SimTime, target: ComponentId, msg: M) {
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { time: at, seq: self.seq, target, msg }));
+        self.sched.push(Event { time: at, seq: self.seq, target, msg });
     }
 
     /// The current simulated time.
@@ -208,13 +209,8 @@ impl<M, S> Engine<M, S> {
     /// Runs until the queue drains, a component stops the engine, or the
     /// next event would be after `deadline` (that event stays queued).
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        let mut outbox: Vec<(SimTime, ComponentId, M)> = Vec::new();
         let mut stop = false;
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > deadline {
-                break;
-            }
-            let Some(Reverse(ev)) = self.queue.pop() else { break };
+        while let Some(ev) = self.sched.pop_before(deadline) {
             debug_assert!(ev.time >= self.now, "event queue went backwards");
             self.now = ev.time;
             self.events_processed += 1;
@@ -223,32 +219,25 @@ impl<M, S> Engine<M, S> {
             }
             let idx = ev.target.0;
             assert!(idx < self.components.len(), "message for unknown component {idx}");
-            // Move the component out to sidestep aliasing with `self`.
-            let mut comp = std::mem::replace(&mut self.components[idx], Box::new(Tombstone));
+            // Take the component out to sidestep aliasing with `self`.
+            let Some(mut comp) = self.components[idx].take() else {
+                unreachable!("component {idx} received a message while executing");
+            };
             {
                 let mut ctx =
-                    Ctx { now: self.now, me: ev.target, outbox: &mut outbox, stop: &mut stop };
+                    Ctx { now: self.now, me: ev.target, outbox: &mut self.outbox, stop: &mut stop };
                 comp.handle(ev.msg, &mut ctx, &mut self.shared);
             }
-            self.components[idx] = comp;
-            for (time, target, msg) in outbox.drain(..) {
+            self.components[idx] = Some(comp);
+            for (time, target, msg) in self.outbox.drain(..) {
                 self.seq += 1;
-                self.queue.push(Reverse(Scheduled { time, seq: self.seq, target, msg }));
+                self.sched.push(Event { time, seq: self.seq, target, msg });
             }
             if stop {
                 break;
             }
         }
         self.now
-    }
-}
-
-/// Placeholder swapped in while a component executes; receiving a message
-/// through it would indicate an engine bug.
-struct Tombstone;
-impl<M, S> Component<M, S> for Tombstone {
-    fn handle(&mut self, _msg: M, _ctx: &mut Ctx<'_, M>, _shared: &mut S) {
-        unreachable!("component sent a message to itself synchronously during its own execution");
     }
 }
 

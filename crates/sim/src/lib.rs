@@ -9,8 +9,11 @@
 //!   engine, a memory channel, the I/O fabric, a submission port) served in
 //!   ready-time order. Queueing, saturation, and pipelining emerge from
 //!   chained reservations instead of being hand-coded per experiment.
-//! * [`engine`] — a classic discrete-event scheduler for scenarios where
+//! * [`engine`] — a classic discrete-event loop for scenarios where
 //!   independent agents interact (co-running processes, software pipelines).
+//! * [`sched`] — the engine's pending-event queues behind one [`sched::Scheduler`]
+//!   trait: the reference binary heap and the fast two-level calendar queue
+//!   (near-future bucket ring + sorted overflow) the engine uses by default.
 //! * [`stats`] — counters, log-linear latency histograms with exact
 //!   percentiles (up to p99.999), and time-series samplers.
 //! * [`rng`] — a small, seedable, splittable PRNG (SplitMix64) so inner-loop
@@ -32,6 +35,7 @@
 
 pub mod engine;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod timeline;

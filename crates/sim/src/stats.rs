@@ -282,6 +282,65 @@ pub fn jain_fairness(shares: &[f64]) -> f64 {
     (sum * sum) / (shares.len() as f64 * sum_sq)
 }
 
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// The workspace's replay-digest primitive: cheap, dependency-free, and
+/// stable across platforms, so a digest recorded in EXPERIMENTS.md or a
+/// `BENCH_*.json` artifact can be compared bit-for-bit run after run. Used
+/// by the service layer's `ServiceReport::digest` and the scheduler
+/// equivalence tests.
+///
+/// ```
+/// use dsa_sim::stats::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.write(b"hello");
+/// let a = h.finish();
+/// assert_eq!(a, Fnv1a::digest(b"hello"));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds one little-endian `u64` into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot convenience.
+    pub fn digest(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Accumulates throughput observations and reports GB/s.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Throughput {

@@ -1,0 +1,173 @@
+//! Property tests for the event schedulers: the calendar queue must be
+//! observationally identical to the reference heap — same pop order for
+//! any event stream, same-timestamp FIFO stability, and exact `run_until`
+//! deadline behaviour — because every figure digest in EXPERIMENTS.md
+//! rides on that equivalence.
+
+use dsa_sim::engine::{Component, ComponentId, Ctx, Engine};
+use dsa_sim::rng::SplitMix64;
+use dsa_sim::sched::{CalendarScheduler, Event, HeapScheduler, Scheduler};
+use dsa_sim::time::{SimDuration, SimTime};
+
+fn ev(time_ps: u64, seq: u64) -> Event<u64> {
+    Event { time: SimTime::from_ps(time_ps), seq, target: ComponentId::from_index(0), msg: seq }
+}
+
+/// Replays one randomized push/pop script against both schedulers and
+/// asserts identical observable behaviour. Pushes respect the engine's
+/// contract: times never precede the last popped event.
+fn diff_schedulers(seed: u64, ops: usize, spread_ps: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let mut cal: CalendarScheduler<u64> = CalendarScheduler::new();
+    let mut heap: HeapScheduler<u64> = HeapScheduler::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    for _ in 0..ops {
+        let r = rng.next_u64();
+        if r.is_multiple_of(4) {
+            // Bounded pop: deadline a random distance ahead of `now`.
+            let deadline = SimTime::from_ps(now + r % spread_ps.max(1));
+            let a = cal.pop_before(deadline).map(|e| (e.time, e.seq, e.msg));
+            let b = heap.pop_before(deadline).map(|e| (e.time, e.seq, e.msg));
+            assert_eq!(a, b, "divergence at seed {seed}");
+            if let Some((t, _, _)) = a {
+                now = t.as_ps();
+            }
+        } else {
+            // Push 1-3 events; every 5th burst is simultaneous to stress
+            // the FIFO tie-break.
+            let burst = 1 + (r >> 8) % 3;
+            let same_time = (r >> 16).is_multiple_of(5);
+            let mut t = now + (r >> 32) % spread_ps.max(1);
+            for _ in 0..burst {
+                if !same_time {
+                    t = now + rng.next_u64() % spread_ps.max(1);
+                }
+                seq += 1;
+                cal.push(ev(t, seq));
+                heap.push(ev(t, seq));
+            }
+        }
+        assert_eq!(cal.len(), heap.len());
+    }
+    // Drain both: residue must match exactly, in order.
+    loop {
+        let a = cal.pop_before(SimTime::MAX).map(|e| (e.time, e.seq, e.msg));
+        let b = heap.pop_before(SimTime::MAX).map(|e| (e.time, e.seq, e.msg));
+        assert_eq!(a, b, "drain divergence at seed {seed}");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn randomized_streams_pop_identically_near_spread() {
+    // Spread smaller than one bucket: everything clusters.
+    for seed in 0..8 {
+        diff_schedulers(0xA11CE + seed, 4_000, 1 << 10);
+    }
+}
+
+#[test]
+fn randomized_streams_pop_identically_ring_spread() {
+    // Spread inside the ring window (≈16.8 µs).
+    for seed in 0..8 {
+        diff_schedulers(0xB0B + seed, 4_000, 10_000_000);
+    }
+}
+
+#[test]
+fn randomized_streams_pop_identically_overflow_spread() {
+    // Spread far past the ring horizon: constant overflow traffic.
+    for seed in 0..8 {
+        diff_schedulers(0xCAFE + seed, 4_000, 1 << 40);
+    }
+}
+
+#[test]
+fn same_timestamp_storm_is_fifo_stable() {
+    let mut cal: CalendarScheduler<u64> = CalendarScheduler::new();
+    let mut heap: HeapScheduler<u64> = HeapScheduler::new();
+    for seq in 1..=10_000u64 {
+        cal.push(ev(777_000, seq));
+        heap.push(ev(777_000, seq));
+    }
+    let mut expect = 1u64;
+    while let (Some(a), Some(b)) = (cal.pop_before(SimTime::MAX), heap.pop_before(SimTime::MAX)) {
+        assert_eq!(a.seq, expect);
+        assert_eq!(b.seq, expect);
+        expect += 1;
+    }
+    assert_eq!(expect, 10_001);
+}
+
+struct Echo;
+impl Component<u32, Vec<u32>> for Echo {
+    fn handle(&mut self, n: u32, _ctx: &mut Ctx<'_, u32>, log: &mut Vec<u32>) {
+        log.push(n);
+    }
+}
+
+/// `run_until` boundary: an event exactly at the deadline runs; one a
+/// picosecond past it stays queued. Both schedulers, same behaviour.
+#[test]
+fn run_until_deadline_boundary_on_both_schedulers() {
+    fn check<Q: Scheduler<u32>>(sched: Q) {
+        let mut eng = Engine::with_scheduler(Vec::new(), sched);
+        let e = eng.add(Echo);
+        eng.post(SimTime::from_ps(1_000), e, 1);
+        eng.post(SimTime::from_ps(1_001), e, 2);
+        eng.run_until(SimTime::from_ps(1_000));
+        assert_eq!(eng.shared(), &vec![1], "event at the deadline runs; one past it waits");
+        eng.run();
+        assert_eq!(eng.shared(), &vec![1, 2]);
+        assert_eq!(eng.events_processed(), 2);
+    }
+    check(CalendarScheduler::new());
+    check(HeapScheduler::new());
+}
+
+struct Fanout {
+    peers: Vec<ComponentId>,
+    rng: SplitMix64,
+    left: u32,
+}
+impl Component<u32, Vec<(u64, u32)>> for Fanout {
+    fn handle(&mut self, n: u32, ctx: &mut Ctx<'_, u32>, log: &mut Vec<(u64, u32)>) {
+        log.push((ctx.now().as_ps(), n));
+        if self.left == 0 {
+            return;
+        }
+        self.left -= 1;
+        let r = self.rng.next_u64();
+        let target = self.peers[(r % self.peers.len() as u64) as usize];
+        ctx.send(SimDuration::from_ps(r % 5_000), target, n + 1);
+        if r.is_multiple_of(3) {
+            ctx.send_self(SimDuration::ZERO, n + 1); // zero-delay self-chain
+        }
+    }
+}
+
+/// A full engine workload (random fan-out, zero-delay chains) must leave a
+/// bit-identical log under either scheduler.
+#[test]
+fn engine_runs_identically_under_both_schedulers() {
+    fn run<Q: Scheduler<u32>>(sched: Q) -> (Vec<(u64, u32)>, u64, SimTime) {
+        let mut eng = Engine::with_scheduler(Vec::new(), sched);
+        // Ids are assigned in registration order, so the full peer list is
+        // known up front.
+        let ids: Vec<ComponentId> = (0..5).map(ComponentId::from_index).collect();
+        for i in 0..5u64 {
+            eng.add(Fanout { peers: ids.clone(), rng: SplitMix64::new(90 + i), left: 400 });
+        }
+        eng.post(SimTime::ZERO, ids[0], 0);
+        let end = eng.run();
+        (eng.shared().clone(), eng.events_processed(), end)
+    }
+    let a = run(CalendarScheduler::<u32>::new());
+    let b = run(HeapScheduler::<u32>::new());
+    assert_eq!(a.0, b.0, "event logs must be bit-identical");
+    assert_eq!(a.1, b.1, "events_processed must match");
+    assert_eq!(a.2, b.2, "final clocks must match");
+}

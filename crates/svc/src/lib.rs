@@ -40,7 +40,7 @@
 //! assert_eq!(report.tenants[0].offered, 40);
 //! assert!(report.fairness > 0.0 && report.fairness <= 1.0);
 //! // Same specs + seed ⇒ bit-identical digest.
-//! # Ok::<(), dsa_device::config::ConfigError>(())
+//! # Ok::<(), dsa_core::DsaError>(())
 //! ```
 
 pub mod admission;

@@ -18,7 +18,7 @@ use dsa_core::error::DsaError;
 use dsa_core::job::Job;
 use dsa_core::runtime::DsaRuntime;
 use dsa_core::submit::InflightWindow;
-use dsa_device::config::{ConfigError, DeviceConfig};
+use dsa_device::config::DeviceConfig;
 use dsa_device::device::SubmitError;
 use dsa_mem::buffer::Location;
 use dsa_mem::memory::BufferHandle;
@@ -167,9 +167,10 @@ impl DsaService {
     ///
     /// # Errors
     ///
-    /// Returns the device-configuration constraint a plan violates (e.g.
-    /// more dedicated tenants than the 8-WQ envelope allows).
-    pub fn new(cfg: ServiceConfig, specs: Vec<TenantSpec>) -> Result<DsaService, ConfigError> {
+    /// Returns [`DsaError::InvalidConfig`] with the device-configuration
+    /// constraint a plan violates (e.g. more dedicated tenants than the
+    /// 8-WQ envelope allows).
+    pub fn new(cfg: ServiceConfig, specs: Vec<TenantSpec>) -> Result<DsaService, DsaError> {
         let device = plan_device(cfg.plan, &specs)?;
         let wqs = assign_wqs(cfg.plan, &specs);
         let mut rt = DsaRuntime::builder(Platform::spr()).device(device).build();
@@ -523,22 +524,21 @@ impl ServiceReport {
 }
 
 /// Builds the device configuration a plan implies for these tenants.
-fn plan_device(plan: WqPlan, specs: &[TenantSpec]) -> Result<DeviceConfig, ConfigError> {
+fn plan_device(plan: WqPlan, specs: &[TenantSpec]) -> Result<DeviceConfig, DsaError> {
     let n = specs.len().max(1);
-    let mut cfg = AccelConfig::new();
+    let mut cfg = AccelConfig::builder();
     match plan {
         WqPlan::SharedAll => {
-            let g = cfg.add_group(TOTAL_ENGINES);
-            cfg.add_shared_wq(TOTAL_WQ_ENTRIES, g);
+            cfg = cfg.group(TOTAL_ENGINES).shared_wq(TOTAL_WQ_ENTRIES);
         }
         WqPlan::DedicatedPerTenant => {
             let groups = n.min(MAX_GROUPS);
             let size = (TOTAL_WQ_ENTRIES / n as u32).max(1);
             for g in 0..groups {
-                cfg.add_group(engines_for(g, groups));
+                cfg = cfg.group(engines_for(g, groups));
             }
             for t in 0..n {
-                cfg.add_dedicated_wq(size, t % groups);
+                cfg = cfg.dedicated_wq_in(size, t % groups);
             }
         }
         WqPlan::ByClass => {
@@ -555,17 +555,18 @@ fn plan_device(plan: WqPlan, specs: &[TenantSpec]) -> Result<DeviceConfig, Confi
             // entries in the last group.
             let dgroups = latency.min(MAX_GROUPS - 1);
             for _ in 0..dgroups {
-                cfg.add_group(1);
+                cfg = cfg.group(1);
             }
-            let shared_group = cfg.add_group(TOTAL_ENGINES - dgroups as u32);
+            let shared_group = dgroups;
+            cfg = cfg.group(TOTAL_ENGINES - dgroups as u32);
             let dsize = ((TOTAL_WQ_ENTRIES / 2) / latency as u32).max(1);
             for t in 0..latency {
-                cfg.add_dedicated_wq(dsize, t % dgroups);
+                cfg = cfg.dedicated_wq_in(dsize, t % dgroups);
             }
-            cfg.add_shared_wq(TOTAL_WQ_ENTRIES / 2, shared_group);
+            cfg = cfg.shared_wq_in(TOTAL_WQ_ENTRIES / 2, shared_group);
         }
     }
-    cfg.enable()
+    cfg.build()
 }
 
 /// Engines assigned to group `g` of `groups`: the 4 engines split as

@@ -162,10 +162,8 @@ mod tests {
         // One device per shared WQ, as on a four-instance SPR socket.
         let mut b = DsaRuntime::builder(Platform::spr());
         for _ in 0..wqs {
-            let mut cfg = AccelConfig::new();
-            let g = cfg.add_group(4);
-            cfg.add_shared_wq(32, g);
-            b = b.device(cfg.enable().unwrap());
+            let cfg = AccelConfig::builder().group(4).shared_wq(32).build().unwrap();
+            b = b.device(cfg);
         }
         b.build()
     }

@@ -4,8 +4,7 @@
 //!
 //! Run with: `cargo run --release --example guidelines_tour`
 
-use dsa_core::config::presets;
-use dsa_core::guidelines as g;
+use dsa_repro::prelude::guidelines as g;
 use dsa_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -3,8 +3,6 @@
 //!
 //! Run with: `cargo run --release --example packet_forwarding`
 
-use dsa_core::backend::Engine;
-use dsa_core::config::presets;
 use dsa_repro::prelude::*;
 use dsa_workloads::vhost::{Testpmd, Vhost, Virtqueue};
 

@@ -4,7 +4,6 @@
 //!
 //! Run with: `cargo run --release --example storage_crc`
 
-use dsa_core::backend::Engine;
 use dsa_ops::dif::{DifBlockSize, DifConfig};
 use dsa_repro::prelude::*;
 use dsa_workloads::nvmetcp::NvmeTcpTarget;

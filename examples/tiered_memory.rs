@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example tiered_memory`
 
-use dsa_core::guidelines::{g4_tier_placement, TierPlacement};
+use dsa_repro::prelude::guidelines::{g4_tier_placement, TierPlacement};
 use dsa_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

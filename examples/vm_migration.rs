@@ -4,8 +4,6 @@
 //!
 //! Run with: `cargo run --release --example vm_migration`
 
-use dsa_core::backend::Engine;
-use dsa_device::config::DeviceConfig;
 use dsa_repro::prelude::*;
 use dsa_workloads::migration::{Migration, MigrationConfig};
 

@@ -171,14 +171,9 @@ fn build_runtime(o: &Options) -> Result<DsaRuntime, String> {
     let platform = if o.platform == "icx" { Platform::icx() } else { Platform::spr() };
     let mut builder = DsaRuntime::builder(platform);
     for _ in 0..o.devices.max(1) {
-        let mut cfg = AccelConfig::new();
-        let g = cfg.add_group(o.engines);
-        if o.shared_wq {
-            cfg.add_shared_wq(o.wq_size, g);
-        } else {
-            cfg.add_dedicated_wq(o.wq_size, g);
-        }
-        builder = builder.device(cfg.enable().map_err(|e| e.to_string())?);
+        let cfg = AccelConfig::builder().group(o.engines);
+        let cfg = if o.shared_wq { cfg.shared_wq(o.wq_size) } else { cfg.dedicated_wq(o.wq_size) };
+        builder = builder.device(cfg.build().map_err(|e| e.to_string())?);
     }
     if o.huge_pages {
         builder = builder.page_size(PageSize::Huge2M);

@@ -18,6 +18,7 @@
 //! assert!(report.elapsed().as_ns_f64() > 0.0);
 //! ```
 
+pub use dsa_bench as bench;
 pub use dsa_core as core;
 pub use dsa_device as device;
 pub use dsa_mem as mem;
@@ -27,9 +28,23 @@ pub use dsa_svc as svc;
 pub use dsa_workloads as workloads;
 
 /// Convenient glob-import surface used by the examples.
+///
+/// One `use dsa_repro::prelude::*;` brings in the runtime and job API
+/// ([`DsaRuntime`](dsa_core::runtime::DsaRuntime), `Job`, `Batch`,
+/// `AsyncQueue`), backend selection (`Engine`, `DispatchPolicy`,
+/// `Dispatcher`), configuration (`AccelConfig`, the [`presets`] module,
+/// `DeviceConfig`/`DeviceCaps`), the guideline advisors ([`guidelines`]),
+/// operation kinds ([`OpKind`]), the service layer (`DsaService`,
+/// `TenantSpec`, …), measurement helpers (`Measure`/`Mode`), and the
+/// simulated clock (`SimTime`/`SimDuration`).
 pub mod prelude {
+    pub use dsa_bench::{Measure, Mode, Sweep};
+    pub use dsa_core::config::presets;
+    pub use dsa_core::guidelines;
     pub use dsa_core::prelude::*;
+    pub use dsa_device::config::{DeviceCaps, DeviceConfig};
     pub use dsa_mem::buffer::Location;
+    pub use dsa_ops::OpKind;
     pub use dsa_sim::{SimDuration, SimTime};
     pub use dsa_svc::prelude::{
         Arrival, DsaService, JobOutcome, QosClass, ServiceConfig, ServiceReport, TenantSpec, WqPlan,

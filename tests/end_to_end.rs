@@ -155,12 +155,11 @@ fn umwait_saves_cycles_interrupt_frees_core() {
 #[test]
 fn accel_config_to_runtime_flow() {
     // Configure like the paper's Fig. 9 "DWQ: 4" and use every WQ.
-    let mut cfg = AccelConfig::new();
+    let mut cfg = AccelConfig::builder();
     for _ in 0..4 {
-        let g = cfg.add_group(1);
-        cfg.add_dedicated_wq(32, g);
+        cfg = cfg.group(1).dedicated_wq(32);
     }
-    let mut rt = DsaRuntime::builder(Platform::spr()).device(cfg.enable().unwrap()).build();
+    let mut rt = DsaRuntime::builder(Platform::spr()).device(cfg.build().unwrap()).build();
     assert_eq!(rt.device(0).wq_count(), 4);
     let src = rt.alloc(4096, Location::local_dram());
     let dst = rt.alloc(4096, Location::local_dram());

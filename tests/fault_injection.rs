@@ -69,12 +69,8 @@ fn page_fault_storm_counts_every_fault() {
 
 #[test]
 fn wq_overflow_is_retryable_not_fatal() {
-    let mut cfg = AccelConfig::new();
-    let g = cfg.add_group(1);
-    cfg.add_dedicated_wq(2, g);
-    let mut rt = DsaRuntime::builder(dsa_mem::topology::Platform::spr())
-        .device(cfg.enable().unwrap())
-        .build();
+    let cfg = AccelConfig::builder().group(1).dedicated_wq(2).build().unwrap();
+    let mut rt = DsaRuntime::builder(dsa_mem::topology::Platform::spr()).device(cfg).build();
     let src = rt.alloc(1 << 20, Location::local_dram());
     let dst = rt.alloc(1 << 20, Location::local_dram());
     // Raw device access: fill the 2-entry WQ, third submission must say
@@ -96,10 +92,7 @@ fn wq_overflow_is_retryable_not_fatal() {
 
 #[test]
 fn raw_wq_full_error_paths() {
-    let mut cfg = AccelConfig::new();
-    let g = cfg.add_group(1);
-    cfg.add_dedicated_wq(1, g);
-    let dc = cfg.enable().unwrap();
+    let dc = AccelConfig::builder().group(1).dedicated_wq(1).build().unwrap();
     let platform = dsa_mem::topology::Platform::spr();
     let mut memory = dsa_mem::memory::Memory::new();
     let mut memsys = dsa_mem::memsys::MemSystem::new(platform.clone());
@@ -122,19 +115,12 @@ fn raw_wq_full_error_paths() {
 #[test]
 fn invalid_configurations_rejected_before_use() {
     // Engine budget.
-    let mut cfg = AccelConfig::new();
-    let g = cfg.add_group(3);
-    let g2 = cfg.add_group(2);
-    cfg.add_dedicated_wq(8, g);
-    cfg.add_dedicated_wq(8, g2);
-    assert!(matches!(cfg.enable(), Err(ConfigError::TooManyEngines { .. })));
+    let r = AccelConfig::builder().group(3).dedicated_wq(8).group(2).dedicated_wq(8).build();
+    assert!(matches!(r, Err(DsaError::InvalidConfig(ConfigError::TooManyEngines { .. }))));
 
     // WQ storage budget.
-    let mut cfg = AccelConfig::new();
-    let g = cfg.add_group(1);
-    cfg.add_dedicated_wq(96, g);
-    cfg.add_shared_wq(64, g);
-    assert!(matches!(cfg.enable(), Err(ConfigError::WqStorageExceeded { .. })));
+    let r = AccelConfig::builder().group(1).dedicated_wq(96).shared_wq(64).build();
+    assert!(matches!(r, Err(DsaError::InvalidConfig(ConfigError::WqStorageExceeded { .. }))));
 
     // Caps are visible.
     let caps = DeviceCaps::dsa1();

@@ -1,0 +1,274 @@
+//! Scheduler-swap determinism gate (ISSUE 5 acceptance criterion).
+//!
+//! The calendar-queue scheduler replaced the reference binary heap as the
+//! engine's default pending-event queue. These tests run the three event
+//! shapes the figures lean on hardest — fig07-style PE scaling, fig10-style
+//! multi-DSA fan-out, and the abl_multi_tenant aggressor/polite contention
+//! pattern — under BOTH `Scheduler` impls and assert `events_processed`
+//! counts and FNV-1a replay digests are bit-identical. A final test replays
+//! the real multi-tenant service cell and checks its report digest, so the
+//! production path is covered too, not just the models.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dsa_sim::engine::{Component, ComponentId, Ctx, Engine};
+use dsa_sim::rng::SplitMix64;
+use dsa_sim::sched::{CalendarScheduler, HeapScheduler, Scheduler};
+use dsa_sim::stats::Fnv1a;
+use dsa_sim::time::{SimDuration, SimTime};
+use dsa_svc::prelude::*;
+
+/// Messages flowing through the modelled offload cluster.
+#[derive(Clone)]
+enum Msg {
+    /// Source self-tick: emit the next job.
+    Tick,
+    /// A job of `bytes` heading for a processing engine; carries the
+    /// originating source so rejections can bounce back.
+    Job { bytes: u64, from: ComponentId },
+    /// PE finished one job.
+    Done { bytes: u64 },
+    /// PE queue was full; source retries after its backoff.
+    Reject,
+    /// Source self-message: re-send one previously rejected job without
+    /// re-arming the periodic tick chain.
+    Retry,
+}
+
+impl Msg {
+    fn fold(&self, h: &mut Fnv1a) {
+        match self {
+            Msg::Tick => h.write_u64(1),
+            Msg::Job { bytes, from } => {
+                h.write_u64(2);
+                h.write_u64(*bytes);
+                h.write_u64(from.index() as u64);
+            }
+            Msg::Done { bytes } => {
+                h.write_u64(3);
+                h.write_u64(*bytes);
+            }
+            Msg::Reject => h.write_u64(4),
+            Msg::Retry => h.write_u64(5),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    completed: u64,
+    rejected: u64,
+    bytes: u64,
+}
+
+/// Open-loop job source: `jobs` transfers of `bytes` each, one every `gap`,
+/// round-robined over `pes`; on rejection, retry after `backoff` with a
+/// touch of seeded jitter (the multi-tenant shape). Completions come back
+/// here and land in the shared tally.
+struct Source {
+    me: ComponentId,
+    pes: Vec<ComponentId>,
+    next: usize,
+    jobs: u64,
+    bytes: u64,
+    gap: SimDuration,
+    backoff: SimDuration,
+    rng: SplitMix64,
+}
+
+impl Component<Msg, Tally> for Source {
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>, tally: &mut Tally) {
+        match msg {
+            Msg::Tick if self.jobs > 0 => {
+                self.jobs -= 1;
+                let pe = self.pes[self.next % self.pes.len()];
+                self.next += 1;
+                ctx.send(SimDuration::ZERO, pe, Msg::Job { bytes: self.bytes, from: self.me });
+                if self.jobs > 0 {
+                    let jitter = self.rng.next_u64() % (1 + self.gap.as_ps() / 8);
+                    ctx.send_self(SimDuration::from_ps(self.gap.as_ps() + jitter), Msg::Tick);
+                }
+            }
+            Msg::Tick => {}
+            Msg::Reject => {
+                tally.rejected += 1;
+                ctx.send_self(self.backoff, Msg::Retry);
+            }
+            Msg::Retry => {
+                // One job back on the wire; deliberately NOT re-arming the
+                // tick chain, so retries stay linear in reject count.
+                let pe = self.pes[self.next % self.pes.len()];
+                self.next += 1;
+                ctx.send(SimDuration::ZERO, pe, Msg::Job { bytes: self.bytes, from: self.me });
+            }
+            Msg::Done { bytes } => {
+                tally.completed += 1;
+                tally.bytes += bytes;
+            }
+            Msg::Job { .. } => unreachable!("sources never receive jobs"),
+        }
+    }
+}
+
+/// Processing engine: fixed service rate, bounded queue. Completion lands
+/// back at the source as `Done`; overflow bounces as `Reject`.
+struct Pe {
+    busy_until: SimTime,
+    queued: u32,
+    cap: u32,
+    ps_per_kib: u64,
+}
+
+impl Component<Msg, Tally> for Pe {
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>, _tally: &mut Tally) {
+        match msg {
+            Msg::Job { bytes, from } => {
+                if self.queued >= self.cap {
+                    ctx.send(SimDuration::ZERO, from, Msg::Reject);
+                    return;
+                }
+                self.queued += 1;
+                let service = SimDuration::from_ps(self.ps_per_kib * bytes.div_ceil(1024));
+                let start = self.busy_until.max(ctx.now());
+                self.busy_until = start + service;
+                let delay = SimDuration::from_ps(self.busy_until.as_ps() - ctx.now().as_ps());
+                ctx.send(delay, from, Msg::Done { bytes });
+                ctx.send_self(delay, Msg::Done { bytes: 0 }); // queue-slot release
+            }
+            Msg::Done { bytes: 0 } => self.queued = self.queued.saturating_sub(1),
+            _ => unreachable!("PEs only take jobs and slot releases"),
+        }
+    }
+}
+
+struct ClusterSpec {
+    /// (jobs, bytes, gap, backoff) per source.
+    sources: Vec<(u64, u64, SimDuration, SimDuration)>,
+    pes: usize,
+    pe_cap: u32,
+    ps_per_kib: u64,
+}
+
+/// Runs `spec` on the given scheduler; returns (events, digest, end, tally).
+fn run_cluster<Q: Scheduler<Msg>>(spec: &ClusterSpec, sched: Q) -> (u64, u64, SimTime, u64) {
+    let mut eng: Engine<Msg, Tally, Q> = Engine::with_scheduler(Tally::default(), sched);
+    let digest = Rc::new(RefCell::new(Fnv1a::new()));
+    let sink_hash = digest.clone();
+    eng.set_observer(move |t, id, msg: &Msg| {
+        let mut h = sink_hash.borrow_mut();
+        h.write_u64(t.as_ps());
+        h.write_u64(id.index() as u64);
+        msg.fold(&mut h);
+    });
+
+    // Ids are handed out in registration order: PEs first, then sources.
+    let pes: Vec<ComponentId> = (0..spec.pes).map(ComponentId::from_index).collect();
+    for _ in 0..spec.pes {
+        eng.add(Pe {
+            busy_until: SimTime::ZERO,
+            queued: 0,
+            cap: spec.pe_cap,
+            ps_per_kib: spec.ps_per_kib,
+        });
+    }
+    for (i, &(jobs, bytes, gap, backoff)) in spec.sources.iter().enumerate() {
+        let id = eng.add(Source {
+            me: ComponentId::from_index(spec.pes + i),
+            pes: pes.clone(),
+            next: i, // stagger the round-robin start per source
+            jobs,
+            bytes,
+            gap,
+            backoff,
+            rng: SplitMix64::new(0xD5A0 + i as u64),
+        });
+        assert_eq!(id.index(), spec.pes + i);
+        eng.post(SimTime::from_ns(i as u64), id, Msg::Tick);
+    }
+    let end = eng.run();
+    let d = digest.borrow().finish();
+    (eng.events_processed(), d, end, eng.shared().completed)
+}
+
+fn assert_equivalent(name: &str, spec: &ClusterSpec) {
+    let cal = run_cluster(spec, CalendarScheduler::new());
+    let heap = run_cluster(spec, HeapScheduler::new());
+    assert!(cal.3 > 0, "{name}: workload must actually complete jobs");
+    assert_eq!(cal.0, heap.0, "{name}: events_processed must match");
+    assert_eq!(cal.1, heap.1, "{name}: FNV-1a replay digests must match");
+    assert_eq!(cal.2, heap.2, "{name}: final clocks must match");
+}
+
+/// fig07 shape: one saturating source, PE count swept 1..=8.
+#[test]
+fn fig07_pe_scaling_digests_match_across_schedulers() {
+    for pes in [1usize, 2, 4, 8] {
+        let spec = ClusterSpec {
+            sources: vec![(600, 64 << 10, SimDuration::from_ns(200), SimDuration::from_us(1))],
+            pes,
+            pe_cap: 32,
+            ps_per_kib: 35_000,
+        };
+        assert_equivalent(&format!("fig07/pe{pes}"), &spec);
+    }
+}
+
+/// fig10 shape: multi-DSA — jobs striped across 1, 2, 4 device groups.
+#[test]
+fn fig10_multi_device_digests_match_across_schedulers() {
+    for devices in [1usize, 2, 4] {
+        let spec = ClusterSpec {
+            // Two independent streams striping over all device PEs.
+            sources: vec![
+                (400, 128 << 10, SimDuration::from_ns(150), SimDuration::from_us(2)),
+                (400, 16 << 10, SimDuration::from_ns(150), SimDuration::from_us(2)),
+            ],
+            pes: devices * 4,
+            pe_cap: 16,
+            ps_per_kib: 35_000,
+        };
+        assert_equivalent(&format!("fig10/dev{devices}"), &spec);
+    }
+}
+
+/// abl_multi_tenant shape: one flooding aggressor plus polite tenants on a
+/// deliberately shallow queue, so rejects/backoff retries actually fire.
+#[test]
+fn multi_tenant_contention_digests_match_across_schedulers() {
+    let mut sources = vec![(800, 64 << 10, SimDuration::from_ns(50), SimDuration::from_us(1))];
+    for _ in 0..3 {
+        sources.push((150, 16 << 10, SimDuration::from_us(2), SimDuration::from_us(1)));
+    }
+    let spec = ClusterSpec { sources, pes: 4, pe_cap: 4, ps_per_kib: 35_000 };
+    assert_equivalent("abl_multi_tenant", &spec);
+}
+
+/// The production multi-tenant service path: replaying one cell of
+/// abl_multi_tenant must still produce a bit-identical report digest with
+/// the calendar queue as the engine default.
+#[test]
+fn service_replay_digest_is_stable() {
+    let run = || {
+        let specs = vec![
+            TenantSpec::new("aggr", 64 << 10, 400)
+                .with_arrival(Arrival::open(SimDuration::from_ns(300)))
+                .with_outstanding(64)
+                .with_retry_budget(8)
+                .with_backoff(SimDuration::from_ns(100)),
+            TenantSpec::new("polite", 16 << 10, 100)
+                .with_class(QosClass::Latency)
+                .with_arrival(Arrival::open(SimDuration::from_us(4)))
+                .with_outstanding(8)
+                .with_retry_budget(1),
+        ];
+        DsaService::new(
+            ServiceConfig::new(WqPlan::DedicatedPerTenant).with_seed(0xFA1C_0DE5),
+            specs,
+        )
+        .expect("plan fits the DSA 1.0 envelope")
+        .run()
+        .digest()
+    };
+    assert_eq!(run(), run(), "service replay must be bit-identical");
+}
