@@ -276,11 +276,9 @@ impl Measure {
             }
         }
         let elapsed = rt.now().duration_since(start);
-        let (p50, p99) = if hist.count() > 0 {
-            (hist.percentile(50.0), hist.percentile(99.0))
-        } else {
-            (SimDuration::ZERO, SimDuration::ZERO)
-        };
+        let zero = SimDuration::ZERO;
+        let (p50, p99) =
+            (hist.percentile(50.0).unwrap_or(zero), hist.percentile(99.0).unwrap_or(zero));
         Ok(MeasureResult {
             gbps: total_bytes as f64 / elapsed.as_ns_f64(),
             avg_latency: if latency_n == 0 { SimDuration::ZERO } else { latency_sum / latency_n },

@@ -49,7 +49,7 @@ use dsa_device::device::{ExecTimeline, SubmitError, WqId};
 use dsa_mem::memory::BufferHandle;
 use dsa_ops::dif::DifConfig;
 use dsa_sim::time::{SimDuration, SimTime};
-use dsa_telemetry::{Labels, Track};
+use dsa_telemetry::{JobTrace, Labels, Track};
 
 /// Descriptor allocation cost when not amortized (paper Fig. 5: "the
 /// descriptor allocation time is where most time is spent, though in
@@ -317,6 +317,7 @@ impl Job {
         let (outcome, _cost) = self.attempt(rt);
         let exec = outcome?;
         self.note_submit_spans(rt, job_start);
+        self.note_causal_trace(rt, job_start, &exec);
         Ok(self.handle_for(rt, &exec))
     }
 
@@ -339,6 +340,7 @@ impl Job {
         };
         phases.submit = submit_cost;
         self.note_submit_spans(rt, job_start);
+        self.note_causal_trace(rt, job_start, &exec);
         let handle = self.handle_for(rt, &exec);
         Ok((handle, phases))
     }
@@ -400,6 +402,32 @@ impl Job {
             hub.span(Track::Job, "prepare", t, t + DESC_PREPARE);
             hub.span(Track::Job, "submit", t + DESC_PREPARE, rt.now());
             hub.counter_add("jobs", Labels::wq(self.device as u16, self.wq as u16), 1);
+        }
+    }
+
+    /// Records the job's attributed critical path: five segments that
+    /// exactly partition job start → completion-record visibility. The
+    /// timeline is analytic, so the full path is known at submission —
+    /// this covers sync, async, and service callers alike (the service
+    /// never calls `wait`; it reads `completion_time` directly).
+    /// Software prep absorbs alloc/prepare/portal-write time plus any
+    /// rejected-attempt backoff spent before the WQ accepted.
+    fn note_causal_trace(
+        &self,
+        rt: &DsaRuntime,
+        job_start: SimTime,
+        exec: &dsa_device::device::Execution,
+    ) {
+        if let Some(hub) = rt.hub() {
+            let tl = &exec.timeline;
+            hub.record_job_trace(JobTrace::from_boundaries(
+                hub.next_trace_id(),
+                self.device as u16,
+                self.wq as u16,
+                self.desc.opcode.mnemonic(),
+                self.desc.xfer_size,
+                [job_start, tl.admitted, tl.dispatched, tl.translated, tl.data_done, tl.completed],
+            ));
         }
     }
 
@@ -605,6 +633,7 @@ impl Batch {
         if self.device >= rt.device_count() {
             return Err(DsaError::UnknownDevice { device: self.device });
         }
+        let job_start = rt.now();
         if self.cache_control {
             for d in &mut self.descs {
                 *d = d.clone().with_cache_control();
@@ -623,6 +652,7 @@ impl Batch {
                 Err(e) => return Err(e.into()),
             }
         };
+        self.note_batch_trace(rt, job_start, &exec);
         Ok(BatchHandle {
             records: exec.records,
             batch_record: exec.batch_record,
@@ -662,6 +692,7 @@ impl Batch {
                 Err(e) => return Err(e.into()),
             }
         };
+        self.note_batch_trace(rt, started, &exec);
         let w = WaitMethod::SpinPoll.wait(rt.now(), exec.completed);
         rt.advance_to(w.observed_at);
         Ok(BatchReport {
@@ -670,6 +701,29 @@ impl Batch {
             started,
             finished: rt.now(),
         })
+    }
+
+    /// Records the batch's attributed critical path, one trace for the
+    /// whole batch (its timeline is batch-granular: member fetches count
+    /// as PE-side work, member data movement as the memory hop).
+    fn note_batch_trace(
+        &self,
+        rt: &DsaRuntime,
+        job_start: SimTime,
+        exec: &dsa_device::device::BatchExecution,
+    ) {
+        if let Some(hub) = rt.hub() {
+            let tl = &exec.timeline;
+            let bytes: u64 = self.descs.iter().map(|d| u64::from(d.xfer_size)).sum();
+            hub.record_job_trace(JobTrace::from_boundaries(
+                hub.next_trace_id(),
+                self.device as u16,
+                self.wq as u16,
+                "batch",
+                u32::try_from(bytes).unwrap_or(u32::MAX),
+                [job_start, tl.admitted, tl.dispatched, tl.translated, tl.data_done, tl.completed],
+            ));
+        }
     }
 }
 

@@ -17,7 +17,7 @@ use dsa_mem::memory::Memory;
 use dsa_mem::memsys::{AgentId, MemSystem, WritePolicy};
 use dsa_sim::time::{transfer_time_mgbps, SimDuration, SimTime};
 use dsa_sim::timeline::{BwResource, Timeline};
-use dsa_telemetry::{Hub, Labels, Track};
+use dsa_telemetry::{Hub, JobTrace, Labels, Track};
 
 /// Errors from CBDMA usage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -185,6 +185,18 @@ impl CbdmaDevice {
             hub.counter_add("cbdma_copies", labels, 1);
             hub.counter_add("cbdma_bytes", labels, len);
             hub.observe("cbdma_latency", labels, completed - submitted);
+            // Critical path: doorbell + ring fetch count as software prep,
+            // and there is no translation segment — CBDMA requires pinned
+            // pages, so PeService is structurally zero (the §2 contrast
+            // with DSA's SVM).
+            hub.record_job_trace(JobTrace::from_boundaries(
+                hub.next_trace_id(),
+                self.id,
+                channel as u16,
+                "cbdma_copy",
+                u32::try_from(len).unwrap_or(u32::MAX),
+                [now, fetch_done, chan.start, chan.start, data_done, completed],
+            ));
         }
         Ok(CbdmaExecution { submitted, completed })
     }

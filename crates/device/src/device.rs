@@ -101,6 +101,10 @@ pub struct ExecTimeline {
     pub admitted: SimTime,
     /// Dispatched to an engine.
     pub dispatched: SimTime,
+    /// Address translation (ATS/ATC walk) finished; data movement starts.
+    pub translated: SimTime,
+    /// Last source byte read.
+    pub read_done: SimTime,
     /// Last destination byte landed.
     pub data_done: SimTime,
     /// Completion record visible to the polling core.
@@ -116,6 +120,16 @@ impl ExecTimeline {
     /// Time the engine spent on data movement and the operation.
     pub fn processing_time(&self) -> SimDuration {
         self.data_done.saturating_duration_since(self.dispatched)
+    }
+
+    /// Time the engine spent translating addresses before data moved.
+    pub fn translate_time(&self) -> SimDuration {
+        self.translated.saturating_duration_since(self.dispatched)
+    }
+
+    /// Time spent streaming data (reads + writes, including any UPI hop).
+    pub fn stream_time(&self) -> SimDuration {
+        self.data_done.saturating_duration_since(self.translated)
     }
 
     /// Total device-side latency.
@@ -605,6 +619,10 @@ impl DsaDevice {
                 submitted,
                 admitted,
                 dispatched: fetch.end,
+                // Batches do their translation per child descriptor; the
+                // batch-granular view folds it into the streaming window.
+                translated: fetch.end,
+                read_done: max_done,
                 data_done: max_done,
                 completed,
             },
@@ -795,7 +813,15 @@ impl DsaDevice {
 
         Execution {
             record: outcome.record,
-            timeline: ExecTimeline { submitted, admitted, dispatched, data_done, completed },
+            timeline: ExecTimeline {
+                submitted,
+                admitted,
+                dispatched,
+                translated,
+                read_done,
+                data_done,
+                completed,
+            },
         }
     }
 

@@ -59,6 +59,11 @@ fn in_det_core(path: &str) -> bool {
         || path.starts_with("crates/device/src/")
         || path.starts_with("crates/core/src/")
         || path.starts_with("crates/svc/src/")
+        // The causal-attribution module feeds replay digests and the
+        // critical-path report, so it carries the same determinism
+        // contract as the sim core even though the rest of the
+        // telemetry crate (exporters, pretty-printers) does not.
+        || path == "crates/telemetry/src/causal.rs"
 }
 
 /// True for library source (any crate's `src/`, including the root package).
@@ -437,7 +442,10 @@ mod tests {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(lint("crates/core/src/x.rs", src).len(), 1);
         assert_eq!(lint("crates/svc/src/x.rs", src).len(), 1);
+        // The causal module is the one telemetry file inside the scope.
+        assert_eq!(lint("crates/telemetry/src/causal.rs", src).len(), 1);
         assert!(lint("crates/telemetry/src/x.rs", src).is_empty());
+        assert!(lint("crates/telemetry/src/hub.rs", src).is_empty());
     }
 
     #[test]

@@ -101,6 +101,26 @@ fn scheduler_module_sits_inside_the_det_core_scope() {
 }
 
 #[test]
+fn causal_module_sits_inside_the_det_core_scope() {
+    // PR 6 added `crates/telemetry/src/causal.rs`, the critical-path
+    // attribution module. Its segment arithmetic feeds replay digests and
+    // a ps-exact partition invariant, so the det-core scopes must cover
+    // exactly that file — and nothing else in the telemetry crate.
+    let causal = "crates/telemetry/src/causal.rs";
+    let hash = lint_fixture("bad", "r1_hashmap.rs", causal);
+    assert!(hash.iter().any(|v| v.rule == "nondeterminism"), "{hash:?}");
+    let float = lint_fixture("bad", "r3_floatcast.rs", causal);
+    assert!(float.iter().any(|v| v.rule == "float-cast"), "{float:?}");
+    // Sibling telemetry files stay exempt from the det-core-only rules.
+    for exempt in ["crates/telemetry/src/hub.rs", "crates/telemetry/src/export.rs"] {
+        let hash = lint_fixture("bad", "r1_hashmap.rs", exempt);
+        assert!(hash.is_empty(), "{exempt}: {hash:?}");
+        let float = lint_fixture("bad", "r3_floatcast.rs", exempt);
+        assert!(float.is_empty(), "{exempt}: {float:?}");
+    }
+}
+
+#[test]
 fn good_fixtures_pass_clean() {
     for file in ["clean.rs", "pragma_ok.rs"] {
         let v = lint_fixture("good", file, "crates/core/src/fixture.rs");

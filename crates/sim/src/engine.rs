@@ -108,8 +108,48 @@ impl<M> Ctx<'_, M> {
 /// delivery time, the target component, and the message, *before* the
 /// component handles it. The hook point tracing layers (e.g.
 /// `dsa-telemetry`) use to annotate event-driven workloads without the
-/// components knowing.
+/// components knowing. For *causal* structure (which event scheduled
+/// which), see the companion [`CauseObserver`].
 pub type Observer<M> = Box<dyn FnMut(SimTime, ComponentId, &M)>;
+
+/// One causal edge in the event DAG: event `child` was scheduled while
+/// event `parent` was executing. Sequence numbers double as trace IDs —
+/// they are assigned deterministically at scheduling time, so the same
+/// run always yields the same edge set regardless of scheduler impl.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CausalEdge {
+    /// Sequence number of the event whose handler scheduled `child`;
+    /// [`EXTERNAL`](CausalEdge::EXTERNAL) for messages posted from
+    /// outside the simulation via [`Engine::post`].
+    pub parent: u64,
+    /// Sequence number of the newly scheduled event.
+    pub child: u64,
+    /// Simulated time at which the edge was created (the parent's
+    /// execution instant; the post time for external edges).
+    pub scheduled_at: SimTime,
+    /// Simulated time at which `child` will fire.
+    pub fire_at: SimTime,
+    /// The component `child` is addressed to.
+    pub target: ComponentId,
+}
+
+impl CausalEdge {
+    /// The pseudo-parent of externally posted events. Real sequence
+    /// numbers start at 1, so 0 is unambiguous.
+    pub const EXTERNAL: u64 = 0;
+
+    /// Queueing/transit latency of this hop: how long `child` sat
+    /// scheduled before firing.
+    pub fn hop_latency(&self) -> SimDuration {
+        self.fire_at.saturating_duration_since(self.scheduled_at)
+    }
+}
+
+/// A causal-edge observer: called once per scheduled event, at scheduling
+/// time. Installed separately from [`Observer`] so existing dispatch
+/// tracing keeps its signature; a run's replay digest is unaffected by
+/// whether either observer is installed.
+pub type CauseObserver = Box<dyn FnMut(CausalEdge)>;
 
 /// The event loop.
 ///
@@ -132,6 +172,10 @@ pub struct Engine<M, S, Q: Scheduler<M> = CalendarScheduler<M>> {
     seq: u64,
     events_processed: u64,
     observer: Option<Observer<M>>,
+    cause_observer: Option<CauseObserver>,
+    // Sequence number of the event currently being handled; EXTERNAL (0)
+    // outside `run_until`, so `post` edges attribute to the outside world.
+    current_cause: u64,
 }
 
 impl<M, S> Engine<M, S> {
@@ -154,6 +198,8 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
             seq: 0,
             events_processed: 0,
             observer: None,
+            cause_observer: None,
+            current_cause: CausalEdge::EXTERNAL,
         }
     }
 
@@ -168,6 +214,20 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
         self.observer = None;
     }
 
+    /// Installs a causal-edge observer: invoked once per scheduled event
+    /// with the [`CausalEdge`] linking it to the event whose handler
+    /// scheduled it. Replaces any previous cause observer. Purely
+    /// passive — event ordering, sequence numbers, and replay digests are
+    /// identical with or without one installed.
+    pub fn set_cause_observer(&mut self, obs: impl FnMut(CausalEdge) + 'static) {
+        self.cause_observer = Some(Box::new(obs));
+    }
+
+    /// Removes the cause observer, if any.
+    pub fn clear_cause_observer(&mut self) {
+        self.cause_observer = None;
+    }
+
     /// Registers a component, returning its id.
     pub fn add(&mut self, c: impl Component<M, S> + 'static) -> ComponentId {
         self.components.push(Some(Box::new(c)));
@@ -177,6 +237,15 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
     /// Posts an initial message from outside the simulation.
     pub fn post(&mut self, at: SimTime, target: ComponentId, msg: M) {
         self.seq += 1;
+        if let Some(obs) = &mut self.cause_observer {
+            obs(CausalEdge {
+                parent: CausalEdge::EXTERNAL,
+                child: self.seq,
+                scheduled_at: self.now,
+                fire_at: at,
+                target,
+            });
+        }
         self.sched.push(Event { time: at, seq: self.seq, target, msg });
     }
 
@@ -214,6 +283,7 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
             debug_assert!(ev.time >= self.now, "event queue went backwards");
             self.now = ev.time;
             self.events_processed += 1;
+            self.current_cause = ev.seq;
             if let Some(obs) = &mut self.observer {
                 obs(ev.time, ev.target, &ev.msg);
             }
@@ -231,12 +301,22 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
             self.components[idx] = Some(comp);
             for (time, target, msg) in self.outbox.drain(..) {
                 self.seq += 1;
+                if let Some(obs) = &mut self.cause_observer {
+                    obs(CausalEdge {
+                        parent: self.current_cause,
+                        child: self.seq,
+                        scheduled_at: self.now,
+                        fire_at: time,
+                        target,
+                    });
+                }
                 self.sched.push(Event { time, seq: self.seq, target, msg });
             }
             if stop {
                 break;
             }
         }
+        self.current_cause = CausalEdge::EXTERNAL;
         self.now
     }
 }
@@ -412,6 +492,70 @@ mod more_tests {
         eng.run();
         assert_eq!(seen.borrow().len(), 2);
         assert_eq!(eng.shared().len(), 3);
+    }
+
+    #[test]
+    fn cause_observer_links_child_events_to_their_parent() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut eng = Engine::new(Vec::new());
+        let c = eng.add(Chain { next: None });
+        let b = eng.add(Chain { next: Some(c) });
+        let a = eng.add(Chain { next: Some(b) });
+        let edges: Rc<RefCell<Vec<CausalEdge>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = edges.clone();
+        eng.set_cause_observer(move |e| sink.borrow_mut().push(e));
+        eng.post(SimTime::from_ns(5), a, 0);
+        eng.run();
+        let edges = edges.borrow();
+        // Three events total: the external post plus two chained sends.
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0].parent, CausalEdge::EXTERNAL);
+        assert_eq!(edges[0].child, 1);
+        assert_eq!(edges[0].target, a);
+        // Each chained hop is caused by the event that scheduled it.
+        assert_eq!(
+            edges[1],
+            CausalEdge {
+                parent: 1,
+                child: 2,
+                scheduled_at: SimTime::from_ns(5),
+                fire_at: SimTime::from_ns(5),
+                target: b,
+            }
+        );
+        assert_eq!((edges[2].parent, edges[2].child, edges[2].target), (2, 3, c));
+        // Parents always precede children in sequence order.
+        assert!(edges.iter().all(|e| e.parent < e.child));
+    }
+
+    #[test]
+    fn cause_observer_does_not_perturb_the_run() {
+        let run = |traced: bool| {
+            let mut eng = Engine::new(Vec::new());
+            let c = eng.add(Chain { next: None });
+            let b = eng.add(Chain { next: Some(c) });
+            if traced {
+                eng.set_cause_observer(|_| {});
+            }
+            eng.post(SimTime::from_ns(5), b, 0);
+            let end = eng.run();
+            (end, eng.events_processed(), eng.shared().clone())
+        };
+        assert_eq!(run(false), run(true), "tracing must be invisible to the simulation");
+    }
+
+    #[test]
+    fn hop_latency_measures_scheduling_delay() {
+        let e = CausalEdge {
+            parent: CausalEdge::EXTERNAL,
+            child: 1,
+            scheduled_at: SimTime::from_ns(10),
+            fire_at: SimTime::from_ns(35),
+            target: ComponentId::from_index(0),
+        };
+        assert_eq!(e.hop_latency(), SimDuration::from_ns(25));
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl Counter {
 ///     h.record(SimDuration::from_ns(i));
 /// }
 /// assert_eq!(h.count(), 1000);
-/// let p50 = h.percentile(50.0).as_ns_f64();
+/// let p50 = h.percentile(50.0).expect("non-empty").as_ns_f64();
 /// assert!((p50 - 500.0).abs() < 40.0, "p50 was {p50}");
 /// ```
 #[derive(Clone)]
@@ -152,28 +152,49 @@ impl DurationHistogram {
     }
 
     /// The `p`-th percentile (0 < p <= 100), using bucket lower bounds.
+    /// Returns `None` for an empty histogram — an empty distribution has
+    /// no percentiles, and the old silent-`ZERO` sentinel let callers
+    /// mistake "no samples" for "zero latency".
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `(0, 100]`.
-    pub fn percentile(&self, p: f64) -> SimDuration {
+    pub fn percentile(&self, p: f64) -> Option<SimDuration> {
+        self.percentile_detail(p).map(|d| d.value)
+    }
+
+    /// Like [`percentile`](Self::percentile), but makes the estimator's
+    /// resolution limit explicit: when every sample landed in a single
+    /// bucket, the log-linear histogram has no resolution left and every
+    /// percentile collapses to the same clamped value
+    /// ([`Percentile::saturated`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile_detail(&self, p: f64) -> Option<Percentile> {
         assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
         if self.count == 0 {
-            return SimDuration::ZERO;
+            return None;
         }
+        let saturated = self.buckets.iter().filter(|&&n| n > 0).count() == 1;
         // dsa-lint: allow(float-cast, percentile rank is a count computation, not timeline math)
         let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
-        if rank >= self.count {
-            return self.max;
-        }
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return SimDuration::from_ps(Self::bucket_value(i)).min(self.max).max(self.min);
+        let value = if rank >= self.count {
+            self.max
+        } else {
+            let mut seen = 0u64;
+            let mut value = self.max;
+            for (i, &n) in self.buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    value = SimDuration::from_ps(Self::bucket_value(i)).min(self.max).max(self.min);
+                    break;
+                }
             }
-        }
-        self.max
+            value
+        };
+        Some(Percentile { value, saturated })
     }
 
     /// Merges another histogram into this one.
@@ -198,6 +219,23 @@ impl Default for DurationHistogram {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// A percentile estimate together with its resolution caveat.
+///
+/// Returned by [`DurationHistogram::percentile_detail`]. `saturated`
+/// replaces the old behaviour where a single-bucket histogram silently
+/// reported the same clamped value for every percentile — callers that
+/// care (e.g. tail-latency SLO checks) can now tell "the p999 really is
+/// the p50" apart from "the histogram can't resolve the difference".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Percentile {
+    /// The estimated value: the bucket's lower bound, clamped to the
+    /// exact observed `[min, max]` range.
+    pub value: SimDuration,
+    /// True when every recorded sample landed in one bucket, so all
+    /// percentiles collapse to this single value.
+    pub saturated: bool,
 }
 
 impl fmt::Debug for DurationHistogram {
@@ -406,9 +444,9 @@ mod tests {
         for i in 1..=10_000u64 {
             h.record(SimDuration::from_ns(i));
         }
-        let p50 = h.percentile(50.0);
-        let p90 = h.percentile(90.0);
-        let p999 = h.percentile(99.9);
+        let p50 = h.percentile(50.0).unwrap();
+        let p90 = h.percentile(90.0).unwrap();
+        let p999 = h.percentile(99.9).unwrap();
         assert!(p50 <= p90 && p90 <= p999);
         let err = (p90.as_ns_f64() - 9000.0).abs() / 9000.0;
         assert!(err < 0.07, "p90 relative error {err}");
@@ -421,9 +459,9 @@ mod tests {
             h.record(SimDuration::from_ns(100));
         }
         h.record(SimDuration::from_ms(5)); // one huge outlier
-        let p99999 = h.percentile(99.999);
+        let p99999 = h.percentile(99.999).unwrap();
         assert!(p99999 >= SimDuration::from_ns(100));
-        let p100 = h.percentile(100.0);
+        let p100 = h.percentile(100.0).unwrap();
         assert_eq!(p100, SimDuration::from_ms(5).min(h.max()));
     }
 
@@ -445,13 +483,52 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.min(), SimDuration::ZERO);
         assert_eq!(h.mean(), SimDuration::ZERO);
-        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), None, "empty histograms have no percentiles");
+        assert_eq!(h.percentile_detail(50.0), None);
     }
 
     #[test]
     #[should_panic(expected = "percentile out of range")]
     fn percentile_zero_rejected() {
-        DurationHistogram::new().percentile(0.0);
+        let _ = DurationHistogram::new().percentile(0.0);
+    }
+
+    #[test]
+    fn single_bucket_saturation_is_reported() {
+        let mut h = DurationHistogram::new();
+        for _ in 0..1000 {
+            h.record(SimDuration::from_ns(100));
+        }
+        // Identical samples: every percentile collapses to the one value,
+        // and the detail API says so instead of pretending to resolve it.
+        for p in [50.0, 99.0, 99.9] {
+            let d = h.percentile_detail(p).unwrap();
+            assert_eq!(d.value, SimDuration::from_ns(100));
+            assert!(d.saturated, "p{p} must report single-bucket saturation");
+        }
+    }
+
+    #[test]
+    fn multi_bucket_histogram_is_not_saturated() {
+        let mut h = DurationHistogram::new();
+        h.record(SimDuration::from_ns(10));
+        h.record(SimDuration::from_us(10));
+        let d = h.percentile_detail(99.0).unwrap();
+        assert!(!d.saturated);
+        assert_eq!(d.value, h.max());
+    }
+
+    #[test]
+    fn percentile_boundaries_clamp_to_observed_range() {
+        // Two samples whose bucket lower bounds lie OUTSIDE the observed
+        // values: p50 must clamp up to min, p99.9 must clamp down to max.
+        let mut h = DurationHistogram::new();
+        h.record(SimDuration::from_ps(1_023)); // bucket lower bound < 1023
+        h.record(SimDuration::from_ps(1_999_999));
+        assert_eq!(h.percentile(50.0).unwrap(), h.min(), "p50 clamps to min at the low boundary");
+        assert_eq!(h.percentile(99.9).unwrap(), h.max(), "p999 rank beyond count returns max");
+        assert!(h.percentile(50.0).unwrap() >= h.min());
+        assert!(h.percentile(99.9).unwrap() <= h.max());
     }
 
     #[test]

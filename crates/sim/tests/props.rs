@@ -119,7 +119,7 @@ fn histogram_percentiles_are_monotone_and_bounded() {
         }
         let mut last = SimDuration::ZERO;
         for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.999, 100.0] {
-            let v = h.percentile(p);
+            let v = h.percentile(p).expect("histogram is non-empty");
             assert!(v >= last, "percentile must be monotone in p");
             assert!(v >= h.min() && v <= h.max());
             last = v;

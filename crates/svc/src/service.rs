@@ -311,6 +311,11 @@ impl DsaService {
         let _ = t.bucket.try_acquire(start); // a token is banked at `start` by construction
 
         rt.set_now(start);
+        // Tenant context for causal tracing: job traces recorded below the
+        // service layer get attributed to this tenant's profile cell.
+        if let Some(hub) = rt.hub() {
+            hub.set_tenant(Some(tid));
+        }
         let job = Job::memcpy(&t.src, &t.dst).on_wq(t.wq);
         let mut attempts: u32 = 0;
         let submitted = loop {
@@ -399,7 +404,7 @@ impl DsaService {
             .iter()
             .map(|t| {
                 let h = &t.stats.latency;
-                let pct = |p: f64| if h.count() == 0 { SimDuration::ZERO } else { h.percentile(p) };
+                let pct = |p: f64| h.percentile(p).unwrap_or(SimDuration::ZERO);
                 TenantReport {
                     name: t.spec.name.clone(),
                     class: t.spec.class,

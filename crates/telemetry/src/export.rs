@@ -1,11 +1,35 @@
-//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`),
-//! a machine-readable metrics CSV, and a PCM-style text dashboard.
+//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`)
+//! with causal flow arrows, flamegraph-style folded stacks, a
+//! machine-readable metrics CSV, and a PCM-style text dashboard.
 
+use crate::causal::SegmentKind;
 use crate::hub::Hub;
 use crate::metrics::{Labels, Metric};
 use crate::span::{Event, Phase, Track};
 use dsa_sim::time::SimTime;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside a JSON string literal. Span and
+/// op names are `&'static str` chosen by callers, so quotes, backslashes,
+/// and control characters must not leak through verbatim.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Process IDs used in the Chrome trace: one synthetic "process" per
 /// hardware unit so Perfetto groups tracks sensibly.
@@ -66,11 +90,11 @@ pub fn chrome_trace_json(hub: &Hub) -> String {
                         let (start, end) = d.phase_bounds(p);
                         let line = format!(
                             r#"{{"name":"{}","cat":"descriptor","ph":"X","pid":{pid},"tid":{tid},"ts":{:.3},"dur":{:.3},"args":{{"seq":{},"op":"{}","xfer":{},"pe":{}}}}}"#,
-                            p.name(),
+                            json_escape(p.name()),
                             ts_us(start),
                             (end - start).as_ns_f64() / 1000.0,
                             d.seq,
-                            d.op,
+                            json_escape(d.op),
                             d.xfer_size,
                             d.pe,
                         );
@@ -81,7 +105,7 @@ pub fn chrome_trace_json(hub: &Hub) -> String {
                     let (pid, tid) = note(s.track, &mut workloads);
                     let line = format!(
                         r#"{{"name":"{}","cat":"span","ph":"X","pid":{pid},"tid":{tid},"ts":{:.3},"dur":{:.3}}}"#,
-                        s.name,
+                        json_escape(s.name),
                         ts_us(s.start),
                         (s.end - s.start).as_ns_f64() / 1000.0,
                     );
@@ -90,7 +114,8 @@ pub fn chrome_trace_json(hub: &Hub) -> String {
                 Event::Instant { track, name, at } => {
                     let (pid, tid) = note(*track, &mut workloads);
                     let line = format!(
-                        r#"{{"name":"{name}","cat":"marker","ph":"i","s":"t","pid":{pid},"tid":{tid},"ts":{:.3}}}"#,
+                        r#"{{"name":"{}","cat":"marker","ph":"i","s":"t","pid":{pid},"tid":{tid},"ts":{:.3}}}"#,
+                        json_escape(name),
                         ts_us(*at),
                     );
                     push_event(&mut out, &line, &mut first);
@@ -110,18 +135,101 @@ pub fn chrome_trace_json(hub: &Hub) -> String {
                 Track::Workload(name) => ("workloads".to_string(), (*name).to_string()),
             };
             let line = format!(
-                r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"{pname}"}}}}"#
+                r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"{}"}}}}"#,
+                json_escape(&pname),
             );
             push_event(&mut out, &line, &mut first);
             let line = format!(
-                r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{tname}"}}}}"#
+                r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+                json_escape(&tname),
             );
             push_event(&mut out, &line, &mut first);
+        }
+
+        // Attributed critical paths: one slice per segment on a synthetic
+        // "critpath" process (pid 2, tid = tenant), with flow arrows
+        // chaining the causally-linked slices of each job.
+        let mut critpath_tids: Vec<u64> = Vec::new();
+        for t in hub.job_traces() {
+            let tid = u64::from(t.tenant.unwrap_or(0));
+            if !critpath_tids.contains(&tid) {
+                critpath_tids.push(tid);
+            }
+            let mut cursor = t.start;
+            let last = SegmentKind::ALL.len() - 1;
+            for (i, kind) in SegmentKind::ALL.into_iter().enumerate() {
+                let d = t.segment(kind);
+                let line = format!(
+                    r#"{{"name":"{}","cat":"critpath","ph":"X","pid":2,"tid":{tid},"ts":{:.3},"dur":{:.3},"args":{{"trace":{},"op":"{}","dsa":{},"wq":{}}}}}"#,
+                    json_escape(kind.name()),
+                    ts_us(cursor),
+                    d.as_ns_f64() / 1000.0,
+                    t.trace_id,
+                    json_escape(t.op),
+                    t.device,
+                    t.wq,
+                );
+                push_event(&mut out, &line, &mut first);
+                // Flow chain: start at the first slice, step through the
+                // middle, finish on the last ("bp":"e" binds to the
+                // enclosing slice).
+                let ph = match i {
+                    0 => "s",
+                    i if i == last => "f",
+                    _ => "t",
+                };
+                let bp = if ph == "f" { r#","bp":"e""# } else { "" };
+                let line = format!(
+                    r#"{{"name":"critpath","cat":"flow","ph":"{ph}","id":{}{bp},"pid":2,"tid":{tid},"ts":{:.3}}}"#,
+                    t.trace_id,
+                    ts_us(cursor),
+                );
+                push_event(&mut out, &line, &mut first);
+                cursor += d;
+            }
+        }
+        if !critpath_tids.is_empty() {
+            let line =
+                r#"{"name":"process_name","ph":"M","pid":2,"args":{"name":"critpath"}}"#.to_string();
+            push_event(&mut out, &line, &mut first);
+            for tid in critpath_tids {
+                let line = format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":2,"tid":{tid},"args":{{"name":"tenant{tid}"}}}}"#
+                );
+                push_event(&mut out, &line, &mut first);
+            }
         }
 
         out.push_str("\n]\n");
         out
     })
+}
+
+/// Serializes the hub's job traces as flamegraph folded stacks: one line
+/// per unique `tenant;device/wq;op;segment` stack, weighted by attributed
+/// picoseconds. Feed the output straight to `flamegraph.pl` or any
+/// folded-stacks viewer.
+pub fn folded_stacks(hub: &Hub) -> String {
+    let mut stacks: BTreeMap<String, u128> = BTreeMap::new();
+    for t in hub.job_traces() {
+        let tenant = match t.tenant {
+            Some(t) => format!("tenant{t}"),
+            None => "untenanted".to_string(),
+        };
+        for kind in SegmentKind::ALL {
+            let ps = u128::from(t.segment(kind).as_ps());
+            if ps == 0 {
+                continue;
+            }
+            let stack = format!("{tenant};dsa{}/wq{};{};{}", t.device, t.wq, t.op, kind.name());
+            *stacks.entry(stack).or_insert(0) += ps;
+        }
+    }
+    let mut out = String::new();
+    for (stack, ps) in stacks {
+        let _ = writeln!(out, "{stack} {ps}");
+    }
+    out
 }
 
 fn label_cell(v: Option<u16>) -> String {
@@ -152,16 +260,18 @@ pub fn metrics_csv(hub: &Hub) -> String {
                     if h.count() == 0 {
                         continue;
                     }
+                    // Non-empty by the guard above, so the percentiles exist.
+                    let pct = |p: f64| h.percentile(p).unwrap_or_default().as_ns_f64();
                     let _ = writeln!(
                         out,
                         "{name},{d},{w},{p},{t},histogram,{},,{:.0},{:.0},{:.0},{:.0},{:.0},{:.0},{:.0}",
                         h.count(),
                         h.min().as_ns_f64(),
                         h.mean().as_ns_f64(),
-                        h.percentile(50.0).as_ns_f64(),
-                        h.percentile(90.0).as_ns_f64(),
-                        h.percentile(99.0).as_ns_f64(),
-                        h.percentile(99.9).as_ns_f64(),
+                        pct(50.0),
+                        pct(90.0),
+                        pct(99.0),
+                        pct(99.9),
                         h.max().as_ns_f64(),
                     );
                 }
@@ -332,6 +442,103 @@ mod tests {
         // Track metadata present.
         assert!(json.contains(r#""name":"process_name""#));
         assert!(json.contains(r#""name":"wq2""#));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let hub = Hub::new();
+        hub.span(
+            Track::Workload("we\"ird\\name\n"),
+            "q\"uote\\me",
+            SimTime::from_ns(0),
+            SimTime::from_ns(10),
+        );
+        let json = chrome_trace_json(&hub);
+        assert!(json.contains(r#""name":"q\"uote\\me""#), "span name escaped: {json}");
+        assert!(json.contains(r#""name":"we\"ird\\name\n""#), "track name escaped: {json}");
+        // No raw quote survives inside a string literal: every line must
+        // keep balanced, parseable quoting. Cheap structural check: the
+        // escaped forms are present and the unescaped originals are not.
+        assert!(!json.contains("q\"uote\\me\""), "raw name must not appear");
+        for line in json.lines().filter(|l| l.starts_with('{')) {
+            let unescaped_quotes =
+                line.replace("\\\\", "").replace("\\\"", "").matches('"').count();
+            assert_eq!(unescaped_quotes % 2, 0, "unbalanced quotes in {line}");
+        }
+    }
+
+    #[test]
+    fn escape_helper_handles_control_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\tb\nc"), "a\\tb\\nc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    fn hub_with_traces() -> Hub {
+        let hub = Hub::new();
+        hub.record_job_trace(crate::causal::JobTrace::from_boundaries(
+            hub.next_trace_id(),
+            0,
+            2,
+            "memcpy",
+            4096,
+            [100, 140, 200, 230, 900, 955].map(SimTime::from_ns),
+        ));
+        hub.set_tenant(Some(1));
+        hub.record_job_trace(crate::causal::JobTrace::from_boundaries(
+            hub.next_trace_id(),
+            0,
+            3,
+            "memcpy",
+            4096,
+            [1000, 1040, 1100, 1130, 1800, 1855].map(SimTime::from_ns),
+        ));
+        hub
+    }
+
+    #[test]
+    fn chrome_json_chains_critpath_slices_with_flow_arrows() {
+        let hub = hub_with_traces();
+        let json = chrome_trace_json(&hub);
+        for kind in SegmentKind::ALL {
+            assert!(
+                json.contains(&format!(r#""name":"{}","cat":"critpath""#, kind.name())),
+                "missing segment {}",
+                kind.name()
+            );
+        }
+        // One flow start, three steps, one finish per trace.
+        let count = |pat: &str| json.matches(pat).count();
+        assert_eq!(count(r#""cat":"flow","ph":"s""#), 2);
+        assert_eq!(count(r#""cat":"flow","ph":"t""#), 6);
+        assert_eq!(count(r#""cat":"flow","ph":"f""#), 2);
+        assert!(json.contains(r#""bp":"e""#), "flow finish binds to enclosing slice");
+        // Tenant lanes get named.
+        assert!(json.contains(r#""name":"tenant0""#));
+        assert!(json.contains(r#""name":"tenant1""#));
+    }
+
+    #[test]
+    fn folded_stacks_weight_segments_by_picoseconds() {
+        let hub = hub_with_traces();
+        let folded = folded_stacks(&hub);
+        // 670 ns memory hop on the untenanted trace.
+        assert!(folded.contains("untenanted;dsa0/wq2;memcpy;memory_hop 670000"), "got:\n{folded}");
+        assert!(folded.contains("tenant1;dsa0/wq3;memcpy;software_prep 40000"));
+        // Every line is "stack weight".
+        for line in folded.lines() {
+            let mut parts = line.rsplitn(2, ' ');
+            let weight: u128 = parts.next().unwrap().parse().expect("numeric weight");
+            assert!(weight > 0);
+            assert_eq!(parts.next().unwrap().split(';').count(), 4);
+        }
+        // Total folded weight equals total attributed time.
+        let total: u128 =
+            folded.lines().map(|l| l.rsplit(' ').next().unwrap().parse::<u128>().unwrap()).sum();
+        let expected: u128 = hub.job_traces().iter().map(|t| u128::from(t.total().as_ps())).sum();
+        assert_eq!(total, expected);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The [`Hub`]: one cloneable handle that every layer records into.
 
+use crate::causal::{CritPathProfile, JobTrace};
 use crate::metrics::{Labels, Metrics};
 use crate::span::{DescriptorSpan, Event, Phase, Span, Track};
 use dsa_sim::time::{SimDuration, SimTime};
@@ -10,6 +11,11 @@ use std::rc::Rc;
 struct Inner {
     events: Vec<Event>,
     metrics: Metrics,
+    traces: Vec<JobTrace>,
+    // Tenant context stamped onto traces recorded without one (set by the
+    // service layer around each tenant step).
+    tenant: Option<u16>,
+    next_trace_id: u64,
 }
 
 /// A shared tracing + metrics sink.
@@ -113,11 +119,64 @@ impl Hub {
         f(&self.inner.borrow().metrics)
     }
 
-    /// Drops all recorded events and metrics.
+    /// Hands out the next deterministic trace ID (1-based, insertion
+    /// order — no wall clock, so replays mint identical IDs).
+    pub fn next_trace_id(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_trace_id += 1;
+        inner.next_trace_id
+    }
+
+    /// Sets the tenant context stamped onto subsequently recorded job
+    /// traces that carry no tenant of their own. The service layer brackets
+    /// each tenant step with this so device-layer recording stays
+    /// tenant-agnostic.
+    pub fn set_tenant(&self, tenant: Option<u16>) {
+        self.inner.borrow_mut().tenant = tenant;
+    }
+
+    /// The current tenant context.
+    pub fn tenant(&self) -> Option<u16> {
+        self.inner.borrow().tenant
+    }
+
+    /// Records one job's attributed critical path. A trace without a
+    /// tenant inherits the current tenant context.
+    pub fn record_job_trace(&self, trace: JobTrace) {
+        let mut inner = self.inner.borrow_mut();
+        let tenant = inner.tenant;
+        inner.traces.push(if trace.tenant.is_none() { trace.with_tenant(tenant) } else { trace });
+    }
+
+    /// Snapshot of every recorded job trace, oldest first.
+    pub fn job_traces(&self) -> Vec<JobTrace> {
+        self.inner.borrow().traces.clone()
+    }
+
+    /// Number of recorded job traces.
+    pub fn trace_count(&self) -> usize {
+        self.inner.borrow().traces.len()
+    }
+
+    /// Aggregates every recorded job trace into a per-(tenant, device,
+    /// WQ) critical-path profile.
+    pub fn critpath_profile(&self) -> CritPathProfile {
+        let inner = self.inner.borrow();
+        let mut profile = CritPathProfile::new();
+        for trace in &inner.traces {
+            profile.record(trace);
+        }
+        profile
+    }
+
+    /// Drops all recorded events, traces, and metrics.
     pub fn reset(&self) {
         let mut inner = self.inner.borrow_mut();
         inner.events.clear();
         inner.metrics = Metrics::new();
+        inner.traces.clear();
+        inner.tenant = None;
+        inner.next_trace_id = 0;
     }
 }
 
@@ -173,8 +232,49 @@ mod tests {
     fn reset_clears_everything() {
         let hub = Hub::new();
         hub.record_descriptor(sample_descriptor(1, 0));
+        hub.record_job_trace(sample_trace(&hub));
+        hub.set_tenant(Some(3));
         hub.reset();
         assert_eq!(hub.event_count(), 0);
+        assert_eq!(hub.trace_count(), 0);
+        assert_eq!(hub.tenant(), None);
         assert_eq!(hub.counter("descriptors", Labels::wq(0, 0)), 0);
+        assert_eq!(hub.next_trace_id(), 1, "trace ids restart after reset");
+    }
+
+    fn sample_trace(hub: &Hub) -> crate::causal::JobTrace {
+        crate::causal::JobTrace::from_boundaries(
+            hub.next_trace_id(),
+            0,
+            0,
+            "memcpy",
+            4096,
+            [100, 140, 200, 230, 900, 955].map(SimTime::from_ns),
+        )
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_tenant_context_sticks() {
+        let hub = Hub::new();
+        assert_eq!(hub.next_trace_id(), 1);
+        assert_eq!(hub.next_trace_id(), 2);
+
+        hub.record_job_trace(sample_trace(&hub));
+        hub.set_tenant(Some(7));
+        hub.record_job_trace(sample_trace(&hub));
+        // An explicit tenant wins over the context.
+        hub.record_job_trace(sample_trace(&hub).with_tenant(Some(2)));
+        hub.set_tenant(None);
+        let traces = hub.job_traces();
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0].tenant, None);
+        assert_eq!(traces[1].tenant, Some(7));
+        assert_eq!(traces[2].tenant, Some(2));
+        assert_eq!(traces[0].trace_id, 3);
+        assert_eq!(traces[1].trace_id, 4);
+
+        let profile = hub.critpath_profile();
+        assert_eq!(profile.jobs(), 3);
+        assert_eq!(profile.keys().len(), 3, "distinct tenants land in distinct cells");
     }
 }

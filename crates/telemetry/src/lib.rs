@@ -15,16 +15,26 @@
 //! * [`metrics`] — counters, gauges, and log-linear histograms
 //!   (p50/p90/p99/p999) keyed by device/WQ/PE labels, plus utilization
 //!   time series (WQ depth, PE occupancy).
+//! * [`causal`] — causal tracing: per-event trace IDs + parent edges
+//!   from the sim engine, per-job critical paths attributed to typed
+//!   segments, and per-tenant/WQ [`CritPathProfile`] breakdowns with
+//!   blame-shift detection across sweeps.
 //! * [`export`] — Chrome trace-event JSON loadable in Perfetto /
-//!   `chrome://tracing`, a machine-readable metrics CSV, and a PCM-style
+//!   `chrome://tracing` (with causal flow arrows), flamegraph-style
+//!   folded stacks, a machine-readable metrics CSV, and a PCM-style
 //!   text dashboard.
 
+pub mod causal;
 pub mod export;
 pub mod hub;
 pub mod metrics;
 pub mod span;
 
-pub use export::{chrome_trace_json, metrics_csv, pcm_dashboard};
+pub use causal::{
+    blame_shifts, BlameShift, Breakdown, CausalGraph, CritPathProfile, JobTrace, SegmentKind,
+    SegmentStat,
+};
+pub use export::{chrome_trace_json, folded_stacks, metrics_csv, pcm_dashboard};
 pub use hub::Hub;
 pub use metrics::{Labels, Metric, Metrics};
 pub use span::{DescriptorSpan, Event, Phase, Span, Track};

@@ -148,7 +148,7 @@ impl Metrics {
 
     /// Histogram percentile shortcut (`p` in (0, 100]).
     pub fn percentile(&self, name: &'static str, labels: Labels, p: f64) -> Option<SimDuration> {
-        self.histogram(name, labels).filter(|h| h.count() > 0).map(|h| h.percentile(p))
+        self.histogram(name, labels).and_then(|h| h.percentile(p))
     }
 
     /// Merges every histogram under `name` (across all label sets) into

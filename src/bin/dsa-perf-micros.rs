@@ -35,6 +35,8 @@ struct Options {
     compare_cpu: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    critpath: bool,
+    folded_out: Option<String>,
 }
 
 impl Default for Options {
@@ -57,6 +59,8 @@ impl Default for Options {
             compare_cpu: true,
             trace_out: None,
             metrics_out: None,
+            critpath: false,
+            folded_out: None,
         }
     }
 }
@@ -85,6 +89,11 @@ OPTIONS:
                        chrome://tracing) of descriptor lifecycle spans
     --metrics <file>   write the metrics registry as CSV (counters,
                        gauges, histogram percentiles, time series)
+    --critpath         print the attributed critical-path latency table
+                       (per-segment sums, shares, p50/p99/p999, dominant
+                       bottleneck; segments sum exactly to end-to-end)
+    --folded <file>    write flamegraph folded stacks of the attributed
+                       critical paths (feed to flamegraph.pl)
     --help             this text
 ";
 
@@ -151,6 +160,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--no-cpu" => o.compare_cpu = false,
             "--trace" => o.trace_out = Some(val("--trace")?.clone()),
             "--metrics" => o.metrics_out = Some(val("--metrics")?.clone()),
+            "--critpath" => o.critpath = true,
+            "--folded" => o.folded_out = Some(val("--folded")?.clone()),
             "--help" | "-h" => {
                 print!("{HELP}");
                 std::process::exit(0);
@@ -205,7 +216,12 @@ fn main() {
         }
     };
     let hub =
-        if o.trace_out.is_some() || o.metrics_out.is_some() { Some(rt.trace()) } else { None };
+        if o.trace_out.is_some() || o.metrics_out.is_some() || o.critpath || o.folded_out.is_some()
+        {
+            Some(rt.trace())
+        } else {
+            None
+        };
     let m = Measure::new(o.op, o.size)
         .iters(o.iters)
         .mode(mode)
@@ -268,8 +284,82 @@ fn main() {
             }
             println!("metrics:         {path}");
         }
-        print!("{}", dsa_telemetry::pcm_dashboard(hub));
+        if let Some(path) = &o.folded_out {
+            if let Err(e) = std::fs::write(path, dsa_telemetry::folded_stacks(hub)) {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("folded stacks:   {path} ({} traces)", hub.trace_count());
+        }
+        if o.critpath {
+            print!("{}", critpath_report(hub));
+        }
+        if o.trace_out.is_some() || o.metrics_out.is_some() {
+            print!("{}", dsa_telemetry::pcm_dashboard(hub));
+        }
     }
+}
+
+/// Renders the attributed critical-path table from the hub's job traces.
+fn critpath_report(hub: &dsa_telemetry::Hub) -> String {
+    use std::fmt::Write as _;
+
+    let us = |ps: u128| ps as f64 / 1e6;
+    let pct_us = |p: Option<dsa_sim::time::SimDuration>| match p {
+        Some(d) => format!("{:.3}", d.as_us_f64()),
+        None => "-".to_string(),
+    };
+    let profile = hub.critpath_profile();
+    let mut out = String::new();
+    let Some(b) = profile.overall() else {
+        out.push_str("critical path:   no completed jobs traced\n");
+        return out;
+    };
+    let _ = writeln!(out, "critical-path attribution ({} jobs):", b.count);
+    let _ = writeln!(
+        out,
+        "{:>18} {:>14} {:>7} {:>10} {:>10} {:>10}",
+        "segment", "sum(us)", "share", "p50(us)", "p99(us)", "p999(us)"
+    );
+    for s in &b.segments {
+        let _ = writeln!(
+            out,
+            "{:>18} {:>14.3} {:>6.1}% {:>10} {:>10} {:>10}",
+            s.kind.name(),
+            us(s.sum_ps),
+            s.share * 100.0,
+            pct_us(s.p50),
+            pct_us(s.p99),
+            pct_us(s.p999),
+        );
+    }
+    let _ = writeln!(out, "{:>18} {:>14.3}", "attributed sum", us(b.attributed_ps()));
+    let _ = writeln!(
+        out,
+        "{:>18} {:>14.3}  (exact match: {})",
+        "end-to-end",
+        us(b.total_ps),
+        b.attributed_ps() == b.total_ps,
+    );
+    let _ = writeln!(out, "dominant bottleneck: {}", b.dominant().name());
+    // Per-cell dominants, when more than one (tenant, device, WQ) cell ran.
+    let keys = profile.keys();
+    if keys.len() > 1 {
+        for key in keys {
+            if let Some(cell) = profile.breakdown(key) {
+                let (tenant, device, wq) = key;
+                let tenant = tenant.map(|t| t.to_string()).unwrap_or_else(|| "-".to_string());
+                let _ = writeln!(
+                    out,
+                    "  tenant {tenant} dsa{device}/wq{wq}: {} jobs, dominant {}, p99 {}us",
+                    cell.count,
+                    cell.dominant().name(),
+                    pct_us(cell.total_p99),
+                );
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -336,5 +426,41 @@ mod tests {
         let o = parse_args(&argv("--devices 2 --engines 2 --wq-size 16 --swq")).unwrap();
         let rt = build_runtime(&o).unwrap();
         assert_eq!(rt.device_count(), 2);
+    }
+
+    #[test]
+    fn critpath_and_folded_flags_parse() {
+        let o = parse_args(&argv("--critpath --folded out.folded")).unwrap();
+        assert!(o.critpath);
+        assert_eq!(o.folded_out.as_deref(), Some("out.folded"));
+        assert!(!parse_args(&[]).unwrap().critpath);
+        assert!(parse_args(&argv("--folded")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn critpath_report_sums_segments_to_end_to_end() {
+        // fig07-shaped: saturating async queue on a multi-engine group.
+        let o = parse_args(&argv("--qd 16 --engines 4 --iters 50 --size 65536")).unwrap();
+        let mut rt = build_runtime(&o).unwrap();
+        let hub = rt.trace();
+        Measure::new(o.op, o.size)
+            .iters(o.iters)
+            .mode(Mode::Async { qd: o.qd })
+            .try_run(&mut rt)
+            .unwrap();
+        assert_eq!(hub.trace_count(), 50);
+        let report = critpath_report(&hub);
+        assert!(report.contains("critical-path attribution (50 jobs)"), "{report}");
+        for name in ["software_prep", "wq_wait", "pe_service", "memory_hop", "completion_write"] {
+            assert!(report.contains(name), "missing {name} in {report}");
+        }
+        assert!(report.contains("(exact match: true)"), "{report}");
+        assert!(report.contains("dominant bottleneck:"), "{report}");
+    }
+
+    #[test]
+    fn critpath_report_handles_empty_hub() {
+        let hub = dsa_telemetry::Hub::new();
+        assert!(critpath_report(&hub).contains("no completed jobs traced"));
     }
 }

@@ -1,0 +1,279 @@
+//! Critical-path attribution gates (ISSUE 6 acceptance criteria).
+//!
+//! Four invariants the causal-tracing layer must uphold:
+//!
+//! 1. **Exact partition** — a job's five attributed segments sum to its
+//!    end-to-end latency, picosecond-exact, across submission modes
+//!    (sync, async, batch) and placements (local, remote+LLC-steered).
+//! 2. **Phase reconciliation** — the coarse segments agree with the
+//!    fine-grained descriptor [`Phase`] spans recorded by the device.
+//! 3. **Digest neutrality (engine)** — attaching a cause observer to a
+//!    fig07-shaped event cluster leaves the FNV-1a replay digest
+//!    bit-identical, while the recorded [`CausalGraph`] is well-formed.
+//! 4. **Digest neutrality (service)** — tracing a multi-tenant
+//!    [`DsaService`] replay leaves its report digest bit-identical and
+//!    yields per-tenant critical-path profiles.
+
+use dsa_bench::measure::{Measure, Mode};
+use dsa_core::runtime::DsaRuntime;
+use dsa_mem::buffer::Location;
+use dsa_ops::OpKind;
+use dsa_sim::engine::{CausalEdge, Component, ComponentId, Ctx, Engine};
+use dsa_sim::stats::Fnv1a;
+use dsa_sim::time::{SimDuration, SimTime};
+use dsa_svc::prelude::*;
+use dsa_telemetry::{CausalGraph, Phase, SegmentKind};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// 1. Exact partition across submission modes and placements.
+// ---------------------------------------------------------------------
+
+#[test]
+fn attributed_segments_partition_end_to_end_latency() {
+    let points: Vec<(&str, Measure)> = vec![
+        ("sync memcpy 4K", Measure::new(OpKind::Memcpy, 4096).iters(32)),
+        (
+            "async memcpy 256K qd16",
+            Measure::new(OpKind::Memcpy, 256 << 10).iters(48).mode(Mode::Async { qd: 16 }),
+        ),
+        ("sync crc32 64K", Measure::new(OpKind::Crc32, 64 << 10).iters(16)),
+        (
+            "sync batch memcpy bs4",
+            Measure::new(OpKind::Memcpy, 16 << 10).iters(16).mode(Mode::SyncBatch { bs: 4 }),
+        ),
+        (
+            "remote dst + cache control",
+            Measure::new(OpKind::Memcpy, 64 << 10)
+                .iters(16)
+                .locations(Location::local_dram(), Location::remote_dram())
+                .cache_control(true),
+        ),
+    ];
+    for (name, m) in points {
+        let mut rt = DsaRuntime::spr_default();
+        let hub = rt.trace();
+        m.try_run(&mut rt).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let traces = hub.job_traces();
+        assert!(!traces.is_empty(), "{name}: no job traces recorded");
+        for t in &traces {
+            assert!(t.end >= t.start, "{name}: trace #{} runs backwards", t.trace_id);
+            assert_eq!(
+                t.attributed_total(),
+                t.total(),
+                "{name}: trace #{} segments must partition [start, end] exactly",
+                t.trace_id
+            );
+        }
+        // The aggregate partition check must hold too (u128 ps sums).
+        let overall = hub.critpath_profile().overall().expect("profile is non-empty");
+        assert_eq!(overall.attributed_ps(), overall.total_ps, "{name}: aggregate partition");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Segments reconcile with the descriptor phase spans.
+// ---------------------------------------------------------------------
+
+#[test]
+fn segments_reconcile_with_descriptor_phase_spans() {
+    let mut rt = DsaRuntime::spr_default();
+    let hub = rt.trace();
+    Measure::new(OpKind::Memcpy, 64 << 10).iters(24).try_run(&mut rt).expect("sync run");
+
+    let traces = hub.job_traces();
+    let spans = hub.descriptor_spans();
+    assert_eq!(traces.len(), spans.len(), "one trace per descriptor in sync mode");
+    for (t, s) in traces.iter().zip(spans.iter()) {
+        assert_eq!(t.segment(SegmentKind::WqWait), s.phase_duration(Phase::Wait));
+        assert_eq!(t.segment(SegmentKind::PeService), s.phase_duration(Phase::Translate));
+        assert_eq!(
+            t.segment(SegmentKind::MemoryHop),
+            s.phase_duration(Phase::Read) + s.phase_duration(Phase::Write)
+        );
+        assert_eq!(t.segment(SegmentKind::CompletionWrite), s.phase_duration(Phase::Complete));
+        // Software prep covers descriptor alloc/prepare *plus* the portal
+        // write the Submit phase times, so it can only be wider.
+        assert!(t.segment(SegmentKind::SoftwarePrep) >= s.phase_duration(Phase::Submit));
+        assert_eq!(t.end, s.marks[6], "trace and span agree on completion visibility");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Engine-level causal observer is digest-neutral.
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+enum Msg {
+    Tick,
+    Job { bytes: u64, from: ComponentId },
+    Done { bytes: u64 },
+}
+
+impl Msg {
+    fn fold(&self, h: &mut Fnv1a) {
+        match self {
+            Msg::Tick => h.write_u64(1),
+            Msg::Job { bytes, from } => {
+                h.write_u64(2);
+                h.write_u64(*bytes);
+                h.write_u64(from.index() as u64);
+            }
+            Msg::Done { bytes } => {
+                h.write_u64(3);
+                h.write_u64(*bytes);
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    completed: u64,
+}
+
+/// Open-loop source: `jobs` fixed-size transfers, one every `gap`,
+/// round-robined over the PEs (the fig07 shape).
+struct Source {
+    me: ComponentId,
+    pes: Vec<ComponentId>,
+    next: usize,
+    jobs: u64,
+    gap: SimDuration,
+}
+
+impl Component<Msg, Tally> for Source {
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>, tally: &mut Tally) {
+        match msg {
+            Msg::Tick if self.jobs > 0 => {
+                self.jobs -= 1;
+                let pe = self.pes[self.next % self.pes.len()];
+                self.next += 1;
+                ctx.send(SimDuration::ZERO, pe, Msg::Job { bytes: 64 << 10, from: self.me });
+                if self.jobs > 0 {
+                    ctx.send_self(self.gap, Msg::Tick);
+                }
+            }
+            Msg::Tick => {}
+            Msg::Done { .. } => tally.completed += 1,
+            Msg::Job { .. } => unreachable!("sources never receive jobs"),
+        }
+    }
+}
+
+/// Fixed-rate processing engine; completions bounce back to the source.
+struct Pe {
+    busy_until: SimTime,
+    ps_per_kib: u64,
+}
+
+impl Component<Msg, Tally> for Pe {
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>, _tally: &mut Tally) {
+        if let Msg::Job { bytes, from } = msg {
+            let service = SimDuration::from_ps(self.ps_per_kib * bytes.div_ceil(1024));
+            let start = self.busy_until.max(ctx.now());
+            self.busy_until = start + service;
+            let delay = SimDuration::from_ps(self.busy_until.as_ps() - ctx.now().as_ps());
+            ctx.send(delay, from, Msg::Done { bytes });
+        }
+    }
+}
+
+/// Runs the fig07-shaped cluster; optionally records causal edges.
+fn run_fig07_cluster(graph: Option<Rc<RefCell<CausalGraph>>>) -> (u64, u64, u64) {
+    let mut eng: Engine<Msg, Tally> = Engine::new(Tally::default());
+    let digest = Rc::new(RefCell::new(Fnv1a::new()));
+    let sink = digest.clone();
+    eng.set_observer(move |t, id, msg: &Msg| {
+        let mut h = sink.borrow_mut();
+        h.write_u64(t.as_ps());
+        h.write_u64(id.index() as u64);
+        msg.fold(&mut h);
+    });
+    if let Some(g) = graph {
+        eng.set_cause_observer(move |edge| g.borrow_mut().record(edge));
+    }
+    let pes: Vec<ComponentId> =
+        (0..4).map(|_| eng.add(Pe { busy_until: SimTime::ZERO, ps_per_kib: 35_000 })).collect();
+    let src = eng.add(Source {
+        me: ComponentId::from_index(4),
+        pes,
+        next: 0,
+        jobs: 300,
+        gap: SimDuration::from_ns(200),
+    });
+    eng.post(SimTime::ZERO, src, Msg::Tick);
+    eng.run();
+    let d = digest.borrow().finish();
+    (eng.events_processed(), d, eng.shared().completed)
+}
+
+#[test]
+fn cluster_digest_is_identical_with_causal_observer_attached() {
+    let plain = run_fig07_cluster(None);
+    let graph = Rc::new(RefCell::new(CausalGraph::new()));
+    let traced = run_fig07_cluster(Some(graph.clone()));
+    assert!(plain.2 > 0, "cluster must complete jobs");
+    assert_eq!(plain, traced, "(events, digest, completed) must be bit-identical");
+
+    let graph = graph.borrow();
+    // Every processed event was scheduled exactly once, and scheduling is
+    // the moment its edge is emitted — so edges == events processed.
+    assert_eq!(graph.len() as u64, traced.0, "one causal edge per event");
+    // Causality: parents fire before children are scheduled.
+    for e in graph.edges() {
+        assert!(e.parent < e.child, "parent seq precedes child seq");
+        assert!(e.fire_at >= e.scheduled_at, "no time travel");
+    }
+    // The last event's provenance chain reaches back to the external
+    // seed post, through more than one hop (Tick -> Job -> Done ...).
+    let last = graph.edges().iter().map(|e| e.child).max().expect("non-empty graph");
+    let path = graph.path_to(last);
+    assert!(path.len() > 1, "critical path has depth, got {}", path.len());
+    assert_eq!(path[0].parent, CausalEdge::EXTERNAL, "chain roots at the external seed");
+    assert!(graph.chain_latency(last) > SimDuration::ZERO);
+}
+
+// ---------------------------------------------------------------------
+// 4. Service-level tracing is digest-neutral and per-tenant.
+// ---------------------------------------------------------------------
+
+fn tenant_specs() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("aggr", 64 << 10, 400)
+            .with_arrival(Arrival::open(SimDuration::from_ns(300)))
+            .with_outstanding(64)
+            .with_retry_budget(8)
+            .with_backoff(SimDuration::from_ns(100)),
+        TenantSpec::new("polite", 16 << 10, 100)
+            .with_class(QosClass::Latency)
+            .with_arrival(Arrival::open(SimDuration::from_us(4)))
+            .with_outstanding(8)
+            .with_retry_budget(1),
+    ]
+}
+
+#[test]
+fn service_digest_is_identical_with_tracing_enabled() {
+    let cfg = || ServiceConfig::new(WqPlan::DedicatedPerTenant).with_seed(0xFA1C_0DE5);
+
+    let plain =
+        DsaService::new(cfg(), tenant_specs()).expect("plan fits the envelope").run().digest();
+
+    let mut svc = DsaService::new(cfg(), tenant_specs()).expect("plan fits the envelope");
+    let hub = svc.trace();
+    let traced = svc.run().digest();
+    assert_eq!(plain, traced, "tracing must not perturb the replay digest");
+
+    // Both tenants produced attributed critical paths, keyed by tenant id.
+    let profile = hub.critpath_profile();
+    assert!(profile.jobs() > 0, "traces were recorded");
+    let tenants: Vec<Option<u16>> = profile.keys().iter().map(|k| k.0).collect();
+    assert!(tenants.contains(&Some(0)), "aggressor tenant profiled: {tenants:?}");
+    assert!(tenants.contains(&Some(1)), "polite tenant profiled: {tenants:?}");
+    // And every service-path trace obeys the exact-partition invariant.
+    for t in hub.job_traces() {
+        assert_eq!(t.attributed_total(), t.total(), "trace #{} partitions exactly", t.trace_id);
+    }
+}
