@@ -264,9 +264,16 @@ fn main() {
         table::f2(storm_x),
         table::f2(pe_x)
     );
+    // The calendar queue must win on BOTH tracked workloads: the pure
+    // scheduler stress and the fig07-shaped offload cluster. A regression
+    // on either fails the bench (and the perfgate on top of it).
     assert!(
         storm_x > 1.0,
         "calendar queue must beat the heap on the event-storm workload (got {storm_x:.3}x)"
+    );
+    assert!(
+        pe_x > 1.0,
+        "calendar queue must beat the heap on the pe-scaling workload (got {pe_x:.3}x)"
     );
 
     // BENCH_simperf.json at the repo root: the tracked perf trajectory.

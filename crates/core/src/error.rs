@@ -9,6 +9,7 @@
 
 use dsa_device::cbdma::CbdmaError;
 use dsa_device::config::ConfigError;
+use dsa_device::descriptor::DescriptorError;
 use dsa_device::device::SubmitError;
 use dsa_sim::time::SimTime;
 
@@ -41,6 +42,10 @@ pub enum DsaError {
     /// A device configuration violated the hardware envelope (surfaced by
     /// [`AccelConfig::build`](crate::config::AccelConfig::build)).
     InvalidConfig(ConfigError),
+    /// A compiled op-program instruction produced a descriptor that fails
+    /// spec conformance (surfaced at `prepare()` time, before any
+    /// submission is attempted).
+    Descriptor(DescriptorError),
 }
 
 impl std::fmt::Display for DsaError {
@@ -56,6 +61,7 @@ impl std::fmt::Display for DsaError {
                 write!(f, "deadline {deadline} exceeded")
             }
             DsaError::InvalidConfig(e) => write!(f, "invalid device configuration: {e}"),
+            DsaError::Descriptor(e) => write!(f, "invalid descriptor: {e}"),
         }
     }
 }
@@ -66,6 +72,7 @@ impl std::error::Error for DsaError {
             DsaError::Submit(e) => Some(e),
             DsaError::Cbdma(e) => Some(e),
             DsaError::InvalidConfig(e) => Some(e),
+            DsaError::Descriptor(e) => Some(e),
             _ => None,
         }
     }
@@ -86,6 +93,12 @@ impl From<CbdmaError> for DsaError {
 impl From<ConfigError> for DsaError {
     fn from(e: ConfigError) -> DsaError {
         DsaError::InvalidConfig(e)
+    }
+}
+
+impl From<DescriptorError> for DsaError {
+    fn from(e: DescriptorError) -> DsaError {
+        DsaError::Descriptor(e)
     }
 }
 

@@ -125,6 +125,23 @@ impl Job {
         Job { desc, device: 0, wq: 0, wait: WaitMethod::SpinPoll, amortized: true }
     }
 
+    /// A job over one compiled op-program instruction: the descriptor is
+    /// rebuilt on the stack (no heap traffic) and the instruction's
+    /// placement applied. The per-attempt primitive behind
+    /// [`OpProgram`](crate::program::OpProgram) replay and the service
+    /// layer's retry loop.
+    pub fn from_instr(i: &crate::program::OpInstr) -> Job {
+        let mut desc = Descriptor::nop();
+        i.write_into(&mut desc);
+        Job {
+            desc,
+            device: i.device as usize,
+            wq: i.wq as usize,
+            wait: WaitMethod::SpinPoll,
+            amortized: true,
+        }
+    }
+
     /// A no-op descriptor (useful for probing offload overheads).
     pub fn nop() -> Job {
         Job::from_descriptor(Descriptor::nop())
@@ -591,6 +608,14 @@ impl Batch {
     /// Adds a job's descriptor to the batch.
     pub fn push(&mut self, job: Job) -> &mut Batch {
         self.descs.push(job.desc);
+        self
+    }
+
+    /// Adds a compiled op-program instruction's descriptor to the batch
+    /// (the instruction's placement is ignored; the batch's own
+    /// device/WQ targeting applies).
+    pub fn push_instr(&mut self, i: &crate::program::OpInstr) -> &mut Batch {
+        self.descs.push(i.descriptor());
         self
     }
 

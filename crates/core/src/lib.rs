@@ -13,6 +13,7 @@
 //! | Guidelines G1–G6    | [`guidelines`] — executable advisors            |
 //! | Offload runtimes (DML backends) | [`backend`] — CPU/DSA/CBDMA behind one trait |
 //! | G1–G3 as live policy | [`dispatch::Dispatcher`] — per-call backend routing |
+//! | Pre-allocated descriptors (Fig. 5) | [`program::OpProgram`] — compiled, allocation-free op replay |
 //!
 //! Everything runs against a [`runtime::DsaRuntime`]: the simulated SPR
 //! (or ICX) platform with its memory system and DSA instances.
@@ -46,6 +47,7 @@ pub mod dto;
 pub mod error;
 pub mod guidelines;
 pub mod job;
+pub mod program;
 pub mod runtime;
 pub mod submit;
 pub mod telemetry;
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use crate::dto::Dto;
     pub use crate::error::DsaError;
     pub use crate::job::{AsyncQueue, Batch, Job, JobReport};
+    pub use crate::program::{OpInstr, OpProgram, ProgramBuilder};
     pub use crate::runtime::{DsaRuntime, RuntimeBuilder};
     pub use crate::submit::{SubmitMethod, WaitMethod};
     pub use crate::telemetry::TelemetryLog;
@@ -68,4 +71,5 @@ pub mod prelude {
 
 pub use error::DsaError;
 pub use job::{AsyncQueue, Batch, Job, JobHandle, JobReport};
+pub use program::{OpInstr, OpProgram, ProgramBuilder};
 pub use runtime::DsaRuntime;

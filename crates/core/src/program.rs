@@ -1,0 +1,591 @@
+//! Compiled op programs — the zero-allocation prepare/step layer.
+//!
+//! The paper's guidance on offload overhead (Fig. 5) is blunt: descriptor
+//! *allocation* dominates the software side of an offload, and real
+//! deployments amortize it by pre-allocating descriptors once and reusing
+//! them per submission. This module is that idea as an API. A
+//! [`ProgramBuilder`] **compiles** workload configuration — op kind,
+//! operand addresses and sizes, placement (device/WQ), and fault policy —
+//! into a flat [`OpProgram`] of fixed-width [`OpInstr`] words, validating
+//! every resulting descriptor against the device's
+//! [`DeviceCaps`](dsa_device::config::DeviceCaps) exactly once, at
+//! [`prepare`](ProgramBuilder::prepare) time.
+//!
+//! Replay then touches no heap: [`OpProgram::fetch`] rebuilds one pooled
+//! [`Descriptor`] slot in place ([`Descriptor::rebuild`] resets every
+//! field, so nothing leaks between instructions), and
+//! [`OpProgram::step`]/[`Job::from_instr`]/[`Batch::push_instr`]/
+//! [`Dispatcher::run_program`](crate::dispatch::Dispatcher::run_program)
+//! drive submission from those slots. Because the rebuilt descriptor is
+//! field-for-field identical to one built by the `Descriptor`
+//! constructors, every execution digest is bit-identical to the
+//! allocate-per-job path it replaces.
+//!
+//! ```
+//! use dsa_core::prelude::*;
+//! use dsa_mem::buffer::Location;
+//!
+//! let mut rt = DsaRuntime::spr_default();
+//! let src = rt.alloc(4096, Location::local_dram());
+//! let dst = rt.alloc(4096, Location::local_dram());
+//! rt.fill_pattern(&src, 7);
+//!
+//! // Compile once…
+//! let mut prog = ProgramBuilder::new().memcpy(&src, &dst).crc32(&dst).prepare(&rt)?;
+//! // …replay with no steady-state allocation.
+//! for _ in 0..3 {
+//!     prog.rewind();
+//!     prog.run(&mut rt)?;
+//! }
+//! assert_eq!(rt.read(&dst).unwrap().len(), 4096);
+//! # Ok::<(), dsa_core::DsaError>(())
+//! ```
+
+use crate::backend::OffloadRequest;
+use crate::error::DsaError;
+use crate::job::{Job, JobReport};
+use crate::runtime::DsaRuntime;
+use dsa_device::descriptor::{Descriptor, Flags, OpParams, Opcode};
+use dsa_device::device::SubmitError;
+use dsa_mem::memory::BufferHandle;
+use dsa_ops::dif::DifConfig;
+
+/// One fixed-width compiled instruction: a descriptor's worth of operands
+/// plus placement, flattened into plain words so a program is a dense
+/// `Vec<OpInstr>` with no per-instruction heap cells.
+///
+/// The operation-specific [`OpParams`] collapse into two scalar operand
+/// words (`operand`, `operand2`) using the opcode to pick the layout —
+/// the same trick as the 64-byte wire format's bytes 40..52.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpInstr {
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Raw descriptor flag bits ([`Flags::bits`]).
+    pub flag_bits: u32,
+    /// Source address (0 when unused).
+    pub src: u64,
+    /// Destination address (0 when unused).
+    pub dst: u64,
+    /// Transfer size in bytes.
+    pub len: u32,
+    /// First operand word: pattern, second destination, delta record
+    /// address, or packed DIF config, per the opcode.
+    pub operand: u64,
+    /// Second operand word: CRC seed or delta max-size, per the opcode.
+    pub operand2: u32,
+    /// Completion-record address (0 = none).
+    pub completion: u64,
+    /// Target device index.
+    pub device: u16,
+    /// Target WQ index on that device.
+    pub wq: u16,
+}
+
+impl OpInstr {
+    /// Compiles a descriptor (plus placement) into an instruction word.
+    /// Lossless: [`descriptor`](Self::descriptor) inverts it exactly.
+    pub fn from_descriptor(desc: &Descriptor, device: u16, wq: u16) -> OpInstr {
+        let (operand, operand2) = match &desc.params {
+            OpParams::None => (0, 0),
+            OpParams::Pattern(p) => (*p, 0),
+            OpParams::Dest2(d) => (*d, 0),
+            OpParams::CrcSeed(s) => (0, *s),
+            OpParams::Delta { record_addr, max_size } => (*record_addr, *max_size),
+            OpParams::Dif(cfg) => (cfg.pack(), 0),
+        };
+        OpInstr {
+            opcode: desc.opcode,
+            flag_bits: desc.flags.bits(),
+            src: desc.src,
+            dst: desc.dst,
+            len: desc.xfer_size,
+            operand,
+            operand2,
+            completion: desc.completion_addr,
+            device,
+            wq,
+        }
+    }
+
+    /// Recovers the operation-specific params from the operand words,
+    /// using the opcode to pick the layout. Total: the decode is
+    /// infallible for every opcode (DIF configs unpack totally).
+    pub fn params(&self) -> OpParams {
+        match self.opcode {
+            Opcode::Fill | Opcode::ComparePattern => OpParams::Pattern(self.operand),
+            Opcode::Dualcast => OpParams::Dest2(self.operand),
+            Opcode::CrcGen | Opcode::CopyCrc => OpParams::CrcSeed(self.operand2),
+            Opcode::CreateDelta | Opcode::ApplyDelta => {
+                OpParams::Delta { record_addr: self.operand, max_size: self.operand2 }
+            }
+            Opcode::DifCheck | Opcode::DifInsert | Opcode::DifStrip | Opcode::DifUpdate => {
+                OpParams::Dif(DifConfig::unpack(self.operand))
+            }
+            _ => OpParams::None,
+        }
+    }
+
+    /// Materializes a fresh descriptor (allocation-free: every `OpParams`
+    /// variant is plain data).
+    pub fn descriptor(&self) -> Descriptor {
+        let mut d = Descriptor::nop();
+        self.write_into(&mut d);
+        d
+    }
+
+    /// Refills a pooled descriptor slot in place — the per-step hot path.
+    /// Produces exactly the descriptor this instruction was compiled from,
+    /// regardless of what the slot held before.
+    pub fn write_into(&self, slot: &mut Descriptor) {
+        slot.rebuild(self.opcode, self.src, self.dst, self.len, self.params());
+        slot.flags = Flags::from_bits(self.flag_bits);
+        slot.completion_addr = self.completion;
+    }
+
+    /// The instruction as a backend-neutral [`OffloadRequest`], so policy
+    /// layers (the [`Dispatcher`](crate::dispatch::Dispatcher)) can route
+    /// it to the CPU as readily as to the device. Operand handles mirror
+    /// the request constructors: fill aliases `dst` for both operands,
+    /// CRC aliases `src`.
+    pub fn offload_request(&self) -> OffloadRequest {
+        let len = u64::from(self.len);
+        let src = BufferHandle::from_raw(self.src, len);
+        let dst = BufferHandle::from_raw(self.dst, len);
+        let (src, dst) = match self.opcode {
+            Opcode::Fill => (dst, dst),
+            Opcode::CrcGen => (src, src),
+            _ => (src, dst),
+        };
+        let pattern = match self.opcode {
+            Opcode::Fill | Opcode::ComparePattern => self.operand,
+            _ => 0,
+        };
+        OffloadRequest {
+            op: self.opcode.op_kind(),
+            src,
+            dst,
+            pattern,
+            cache_control: Flags::from_bits(self.flag_bits).contains(Flags::CACHE_CONTROL),
+        }
+    }
+}
+
+/// Compiles workload configuration into an [`OpProgram`].
+///
+/// Placement (`on_device`/`on_wq`) and policy flags (`cache_control`,
+/// `block_on_fault`) apply to every *data* operation pushed after them;
+/// `nop`/`drain` never take cache control (the spec reserves it). The
+/// terminal [`prepare`](Self::prepare) validates each compiled descriptor
+/// against the target device's capabilities, so replay never pays a
+/// validation-failure surprise mid-stream.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    device: u16,
+    wq: u16,
+    cache_control: bool,
+    block_on_fault: bool,
+    instrs: Vec<OpInstr>,
+}
+
+impl ProgramBuilder {
+    /// An empty program targeting device 0, WQ 0.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Targets device `i` for subsequently pushed operations.
+    pub fn on_device(mut self, i: usize) -> ProgramBuilder {
+        self.device = i as u16;
+        self
+    }
+
+    /// Targets WQ `i` for subsequently pushed operations.
+    pub fn on_wq(mut self, i: usize) -> ProgramBuilder {
+        self.wq = i as u16;
+        self
+    }
+
+    /// Steers destination writes of subsequent data ops into the LLC (G3).
+    pub fn cache_control(mut self, on: bool) -> ProgramBuilder {
+        self.cache_control = on;
+        self
+    }
+
+    /// Fault policy for subsequent data ops: block on page faults instead
+    /// of partially completing.
+    pub fn block_on_fault(mut self, on: bool) -> ProgramBuilder {
+        self.block_on_fault = on;
+        self
+    }
+
+    fn push_data_op(&mut self, mut d: Descriptor) {
+        d.set_cache_control(self.cache_control);
+        d.set_block_on_fault(self.block_on_fault);
+        self.instrs.push(OpInstr::from_descriptor(&d, self.device, self.wq));
+    }
+
+    /// Appends a pre-built descriptor verbatim (no policy flags applied) —
+    /// the escape hatch for op shapes without a dedicated pusher.
+    pub fn push_descriptor(mut self, d: &Descriptor) -> ProgramBuilder {
+        self.instrs.push(OpInstr::from_descriptor(d, self.device, self.wq));
+        self
+    }
+
+    /// Appends a no-op (offload-overhead probes).
+    pub fn nop(mut self) -> ProgramBuilder {
+        self.instrs.push(OpInstr::from_descriptor(&Descriptor::nop(), self.device, self.wq));
+        self
+    }
+
+    /// Appends a drain barrier.
+    pub fn drain(mut self) -> ProgramBuilder {
+        self.instrs.push(OpInstr::from_descriptor(&Descriptor::drain(), self.device, self.wq));
+        self
+    }
+
+    /// Appends a memory copy.
+    pub fn memcpy(mut self, src: &BufferHandle, dst: &BufferHandle) -> ProgramBuilder {
+        let len = src.len().min(dst.len()) as u32;
+        self.push_data_op(Descriptor::memmove(src.addr(), dst.addr(), len));
+        self
+    }
+
+    /// Appends a fill with an 8-byte pattern.
+    pub fn fill(mut self, dst: &BufferHandle, pattern: u64) -> ProgramBuilder {
+        self.push_data_op(Descriptor::fill(dst.addr(), dst.len() as u32, pattern));
+        self
+    }
+
+    /// Appends a memory compare.
+    pub fn compare(mut self, a: &BufferHandle, b: &BufferHandle) -> ProgramBuilder {
+        let len = a.len().min(b.len()) as u32;
+        self.push_data_op(Descriptor::compare(a.addr(), b.addr(), len));
+        self
+    }
+
+    /// Appends a compare against an 8-byte pattern.
+    pub fn compare_pattern(mut self, buf: &BufferHandle, pattern: u64) -> ProgramBuilder {
+        self.push_data_op(Descriptor::compare_pattern(buf.addr(), buf.len() as u32, pattern));
+        self
+    }
+
+    /// Appends a CRC32-C generation over `src`.
+    pub fn crc32(mut self, src: &BufferHandle) -> ProgramBuilder {
+        self.push_data_op(Descriptor::crc_gen(src.addr(), src.len() as u32));
+        self
+    }
+
+    /// Appends a copy-with-CRC.
+    pub fn copy_crc(mut self, src: &BufferHandle, dst: &BufferHandle) -> ProgramBuilder {
+        let len = src.len().min(dst.len()) as u32;
+        self.push_data_op(Descriptor::copy_crc(src.addr(), dst.addr(), len));
+        self
+    }
+
+    /// Appends a dualcast to two destinations.
+    pub fn dualcast(
+        mut self,
+        src: &BufferHandle,
+        dst1: &BufferHandle,
+        dst2: &BufferHandle,
+    ) -> ProgramBuilder {
+        self.push_data_op(Descriptor::dualcast(
+            src.addr(),
+            dst1.addr(),
+            dst2.addr(),
+            src.len() as u32,
+        ));
+        self
+    }
+
+    /// Appends a DIF insert from raw blocks in `src` to protected blocks
+    /// in `dst`.
+    pub fn dif_insert(
+        mut self,
+        src: &BufferHandle,
+        dst: &BufferHandle,
+        cfg: DifConfig,
+    ) -> ProgramBuilder {
+        self.push_data_op(Descriptor::dif_insert(src.addr(), dst.addr(), src.len() as u32, cfg));
+        self
+    }
+
+    /// Appends a cache flush over `buf`.
+    pub fn cache_flush(mut self, buf: &BufferHandle) -> ProgramBuilder {
+        self.push_data_op(Descriptor::cache_flush(buf.addr(), buf.len() as u32));
+        self
+    }
+
+    /// Number of instructions compiled so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Compiles the program: checks placement against `rt`'s topology and
+    /// validates every instruction's descriptor against the target
+    /// device's capabilities — the one-time cost that buys allocation- and
+    /// validation-free replay.
+    ///
+    /// # Errors
+    ///
+    /// [`DsaError::UnknownDevice`]/[`DsaError::Submit`] for placement
+    /// outside the topology; [`DsaError::Descriptor`] for the first
+    /// instruction whose descriptor fails spec conformance.
+    pub fn prepare(self, rt: &DsaRuntime) -> Result<OpProgram, DsaError> {
+        let mut slot = Descriptor::nop();
+        for i in &self.instrs {
+            let device = i.device as usize;
+            if device >= rt.device_count() {
+                return Err(DsaError::UnknownDevice { device });
+            }
+            let dev = rt.device(device);
+            if i.wq as usize >= dev.wq_count() {
+                return Err(DsaError::Submit(SubmitError::UnknownWq { wq: i.wq as usize }));
+            }
+            i.write_into(&mut slot);
+            slot.validate(dev.caps())?;
+        }
+        Ok(OpProgram { instrs: self.instrs, pc: 0, slot })
+    }
+}
+
+/// A compiled, validated program plus its single pooled descriptor slot.
+///
+/// Execution state is just the program counter; [`rewind`](Self::rewind)
+/// makes the program reusable across replays without reallocation.
+#[derive(Clone, Debug)]
+pub struct OpProgram {
+    instrs: Vec<OpInstr>,
+    pc: usize,
+    slot: Descriptor,
+}
+
+impl OpProgram {
+    /// Total instruction count.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The program counter: index of the next instruction to fetch.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Instructions left before the program is exhausted.
+    pub fn remaining(&self) -> usize {
+        self.instrs.len() - self.pc
+    }
+
+    /// Resets the program counter for another replay.
+    pub fn rewind(&mut self) {
+        self.pc = 0;
+    }
+
+    /// The compiled instructions.
+    pub fn instrs(&self) -> &[OpInstr] {
+        &self.instrs
+    }
+
+    /// The pooled descriptor slot as last filled by
+    /// [`fetch`](Self::fetch).
+    pub fn slot(&self) -> &Descriptor {
+        &self.slot
+    }
+
+    /// Fetches the next instruction: advances the program counter and
+    /// refills the pooled slot in place. Returns `None` once exhausted.
+    /// Allocation-free.
+    pub fn fetch(&mut self) -> Option<OpInstr> {
+        let i = *self.instrs.get(self.pc)?;
+        self.pc += 1;
+        i.write_into(&mut self.slot);
+        Some(i)
+    }
+
+    /// Executes one instruction synchronously (submit, spin-poll, advance
+    /// the clock), returning its report — or `Ok(None)` when the program
+    /// is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission failures; the program counter has already
+    /// advanced past the failing instruction.
+    pub fn step(&mut self, rt: &mut DsaRuntime) -> Result<Option<JobReport>, DsaError> {
+        let Some(i) = self.fetch() else {
+            return Ok(None);
+        };
+        Job::from_instr(&i).execute(rt).map(Some)
+    }
+
+    /// Runs every remaining instruction synchronously; returns how many
+    /// executed.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and propagates the first failure.
+    pub fn run(&mut self, rt: &mut DsaRuntime) -> Result<u64, DsaError> {
+        let mut n = 0;
+        while self.step(rt)?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_device::descriptor::Status;
+    use dsa_mem::buffer::Location;
+    use dsa_ops::dif::DifBlockSize;
+
+    fn desc_shapes() -> Vec<Descriptor> {
+        let cfg = DifConfig { block: DifBlockSize::B512, app_tag: 3, starting_ref_tag: 17 };
+        vec![
+            Descriptor::nop(),
+            Descriptor::drain(),
+            Descriptor::memmove(0x1000, 0x2000, 4096),
+            Descriptor::fill(0x1000, 4096, 0xAB),
+            Descriptor::compare(0x1000, 0x2000, 4096),
+            Descriptor::compare_pattern(0x1000, 4096, 0xCD),
+            Descriptor::crc_gen(0x1000, 4096).with_completion_addr(0x40),
+            Descriptor::copy_crc(0x1000, 0x2000, 4096),
+            Descriptor::dualcast(0x1000, 0x2000, 0x4000, 4096),
+            Descriptor::delta_create(0x1000, 0x2000, 4096, 0x3000, 1024),
+            Descriptor::delta_apply(0x3000, 256, 0x2000, 4096),
+            Descriptor::dif_insert(0x1000, 0x2000, 1024, cfg),
+            Descriptor::dif_check(0x1000, 1040, cfg),
+            Descriptor::cache_flush(0x1000, 4096).with_cache_control().with_block_on_fault(),
+        ]
+    }
+
+    #[test]
+    fn instr_roundtrips_every_descriptor_shape() {
+        for d in desc_shapes() {
+            let i = OpInstr::from_descriptor(&d, 1, 2);
+            assert_eq!(i.descriptor(), d, "{:?}", d.opcode);
+            assert_eq!(i.device, 1);
+            assert_eq!(i.wq, 2);
+            // Pooled-slot rebuild from a dirty slot matches too.
+            let mut slot = Descriptor::dualcast(9, 8, 0x7000, 7).with_completion_addr(0x20);
+            i.write_into(&mut slot);
+            assert_eq!(slot, d);
+        }
+    }
+
+    #[test]
+    fn prepare_validates_against_device_caps() {
+        let rt = DsaRuntime::spr_default();
+        // A compiled delta op with a misaligned size must fail at prepare,
+        // not at replay.
+        let bad = Descriptor::delta_create(0x1000, 0x2000, 100, 0x3000, 64);
+        let err = ProgramBuilder::new().push_descriptor(&bad).prepare(&rt).unwrap_err();
+        assert!(matches!(err, DsaError::Descriptor(_)), "{err:?}");
+        // Placement outside the topology fails too.
+        let err = ProgramBuilder::new().on_device(9).nop().prepare(&rt).unwrap_err();
+        assert_eq!(err, DsaError::UnknownDevice { device: 9 });
+        let err = ProgramBuilder::new().on_wq(99).nop().prepare(&rt).unwrap_err();
+        assert!(matches!(err, DsaError::Submit(_)));
+    }
+
+    #[test]
+    fn program_replay_matches_job_path_results() {
+        // The compiled path and the per-job path must produce identical
+        // data movement and identical clocks for the same op sequence.
+        let mut rt_prog = DsaRuntime::spr_default();
+        let mut rt_jobs = DsaRuntime::spr_default();
+        let bufs = |rt: &mut DsaRuntime| {
+            let src = rt.alloc(8192, Location::local_dram());
+            let dst = rt.alloc(8192, Location::local_dram());
+            rt.fill_pattern(&src, 0x5A);
+            (src, dst)
+        };
+        let (ps, pd) = bufs(&mut rt_prog);
+        let (js, jd) = bufs(&mut rt_jobs);
+
+        let mut prog = ProgramBuilder::new()
+            .memcpy(&ps, &pd)
+            .crc32(&pd)
+            .fill(&pd, 0x11)
+            .prepare(&rt_prog)
+            .unwrap();
+        assert_eq!(prog.len(), 3);
+        assert_eq!(prog.run(&mut rt_prog).unwrap(), 3);
+
+        Job::memcpy(&js, &jd).execute(&mut rt_jobs).unwrap();
+        Job::crc32(&jd).execute(&mut rt_jobs).unwrap();
+        Job::fill(&jd, 0x11).execute(&mut rt_jobs).unwrap();
+
+        assert_eq!(rt_prog.read(&pd).unwrap(), rt_jobs.read(&jd).unwrap());
+        assert_eq!(rt_prog.now(), rt_jobs.now(), "clocks must be bit-identical");
+    }
+
+    #[test]
+    fn rewound_replay_is_steady_state() {
+        let mut rt = DsaRuntime::spr_default();
+        let src = rt.alloc(4096, Location::local_dram());
+        let dst = rt.alloc(4096, Location::local_dram());
+        rt.fill_pattern(&src, 9);
+        let mut prog =
+            ProgramBuilder::new().memcpy(&src, &dst).compare(&src, &dst).prepare(&rt).unwrap();
+        for round in 0..5 {
+            prog.rewind();
+            assert_eq!(prog.pc(), 0);
+            assert_eq!(prog.remaining(), 2);
+            let copy = prog.step(&mut rt).unwrap().unwrap();
+            assert_eq!(copy.record.status, Status::Success, "round {round}");
+            let cmp = prog.step(&mut rt).unwrap().unwrap();
+            assert_eq!(cmp.record.status, Status::Success, "compare matches after copy");
+            assert!(prog.step(&mut rt).unwrap().is_none(), "program exhausted");
+        }
+    }
+
+    #[test]
+    fn policy_flags_apply_to_data_ops_only() {
+        let rt = DsaRuntime::spr_default();
+        let prog = ProgramBuilder::new()
+            .cache_control(true)
+            .block_on_fault(true)
+            .nop()
+            .memcpy(&BufferHandle::from_raw(0x1000, 64), &BufferHandle::from_raw(0x2000, 64))
+            .prepare(&rt)
+            .unwrap();
+        let nop = prog.instrs()[0].descriptor();
+        assert!(!nop.flags.contains(Flags::CACHE_CONTROL), "nop must stay flag-clean");
+        let cp = prog.instrs()[1].descriptor();
+        assert!(cp.flags.contains(Flags::CACHE_CONTROL));
+        assert!(cp.flags.contains(Flags::BLOCK_ON_FAULT));
+    }
+
+    #[test]
+    fn offload_request_mirrors_constructor_aliasing() {
+        let src = BufferHandle::from_raw(0x1000, 256);
+        let dst = BufferHandle::from_raw(0x2000, 256);
+        let rt = DsaRuntime::spr_default();
+        let prog = ProgramBuilder::new()
+            .fill(&dst, 0xEE)
+            .crc32(&src)
+            .memcpy(&src, &dst)
+            .prepare(&rt)
+            .unwrap();
+        let fill = prog.instrs()[0].offload_request();
+        assert_eq!(fill.src.addr(), fill.dst.addr(), "fill aliases dst");
+        assert_eq!(fill.pattern, 0xEE);
+        let crc = prog.instrs()[1].offload_request();
+        assert_eq!(crc.dst.addr(), 0x1000, "crc aliases src");
+        let cp = prog.instrs()[2].offload_request();
+        assert_eq!((cp.src.addr(), cp.dst.addr()), (0x1000, 0x2000));
+        assert_eq!(cp.bytes(), 256);
+    }
+}

@@ -153,6 +153,14 @@ impl Flags {
     pub fn bits(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a flag set from raw bits (inverse of [`bits`](Self::bits)).
+    /// Total: unknown bits are carried verbatim and rejected later by
+    /// [`Descriptor::validate`], matching how the portal treats the wire
+    /// dword.
+    pub fn from_bits(bits: u32) -> Flags {
+        Flags(bits)
+    }
 }
 
 impl std::ops::BitOr for Flags {
@@ -331,16 +339,51 @@ pub struct Descriptor {
 
 impl Descriptor {
     /// The base shape every constructor builds on: completion requested,
-    /// operation-specific fields filled in by the caller.
+    /// operation-specific fields filled in by the caller. Routes through
+    /// [`rebuild`](Self::rebuild) so a pooled slot overwritten in place is
+    /// field-for-field identical to a freshly constructed descriptor.
     fn base(opcode: Opcode, src: u64, dst: u64, len: u32, params: OpParams) -> Descriptor {
-        Descriptor {
-            opcode,
-            flags: Flags::REQUEST_COMPLETION,
-            src,
-            dst,
-            xfer_size: len,
+        let mut d = Descriptor {
+            opcode: Opcode::Nop,
+            flags: Flags::empty(),
+            src: 0,
+            dst: 0,
+            xfer_size: 0,
             completion_addr: 0,
-            params,
+            params: OpParams::None,
+        };
+        d.rebuild(opcode, src, dst, len, params);
+        d
+    }
+
+    /// Overwrites every field in place — the zero-allocation counterpart of
+    /// the constructors, used by op-program interpreters to refill one
+    /// pooled descriptor slot per step. Flags reset to the constructor
+    /// default (completion requested) and the completion address clears, so
+    /// no state leaks from the slot's previous occupant.
+    pub fn rebuild(&mut self, opcode: Opcode, src: u64, dst: u64, len: u32, params: OpParams) {
+        self.opcode = opcode;
+        self.flags = Flags::REQUEST_COMPLETION;
+        self.src = src;
+        self.dst = dst;
+        self.xfer_size = len;
+        self.completion_addr = 0;
+        self.params = params;
+    }
+
+    /// In-place counterpart of [`with_cache_control`](Self::with_cache_control)
+    /// for pooled slots: sets (never clears) the cache-control flag when
+    /// `on` is true.
+    pub fn set_cache_control(&mut self, on: bool) {
+        if on {
+            self.flags = self.flags | Flags::CACHE_CONTROL;
+        }
+    }
+
+    /// In-place counterpart of [`with_block_on_fault`](Self::with_block_on_fault).
+    pub fn set_block_on_fault(&mut self, on: bool) {
+        if on {
+            self.flags = self.flags | Flags::BLOCK_ON_FAULT;
         }
     }
 
@@ -356,54 +399,22 @@ impl Descriptor {
 
     /// A memory-move descriptor with a completion record requested.
     pub fn memmove(src: u64, dst: u64, len: u32) -> Descriptor {
-        Descriptor {
-            opcode: Opcode::Memmove,
-            flags: Flags::REQUEST_COMPLETION,
-            src,
-            dst,
-            xfer_size: len,
-            completion_addr: 0,
-            params: OpParams::None,
-        }
+        Descriptor::base(Opcode::Memmove, src, dst, len, OpParams::None)
     }
 
     /// A fill descriptor.
     pub fn fill(dst: u64, len: u32, pattern: u64) -> Descriptor {
-        Descriptor {
-            opcode: Opcode::Fill,
-            flags: Flags::REQUEST_COMPLETION,
-            src: 0,
-            dst,
-            xfer_size: len,
-            completion_addr: 0,
-            params: OpParams::Pattern(pattern),
-        }
+        Descriptor::base(Opcode::Fill, 0, dst, len, OpParams::Pattern(pattern))
     }
 
     /// A compare descriptor (`src` vs `dst` per the spec's operand naming).
     pub fn compare(a: u64, b: u64, len: u32) -> Descriptor {
-        Descriptor {
-            opcode: Opcode::Compare,
-            flags: Flags::REQUEST_COMPLETION,
-            src: a,
-            dst: b,
-            xfer_size: len,
-            completion_addr: 0,
-            params: OpParams::None,
-        }
+        Descriptor::base(Opcode::Compare, a, b, len, OpParams::None)
     }
 
     /// A CRC-generation descriptor.
     pub fn crc_gen(src: u64, len: u32) -> Descriptor {
-        Descriptor {
-            opcode: Opcode::CrcGen,
-            flags: Flags::REQUEST_COMPLETION,
-            src,
-            dst: 0,
-            xfer_size: len,
-            completion_addr: 0,
-            params: OpParams::CrcSeed(0),
-        }
+        Descriptor::base(Opcode::CrcGen, src, 0, len, OpParams::CrcSeed(0))
     }
 
     /// A compare-against-pattern descriptor.
@@ -619,12 +630,7 @@ impl Descriptor {
                 b[48..52].copy_from_slice(&max_size.to_le_bytes());
             }
             OpParams::Dif(cfg) => {
-                b[40] = match cfg.block {
-                    dsa_ops::dif::DifBlockSize::B512 => 0,
-                    dsa_ops::dif::DifBlockSize::B520 => 1,
-                    dsa_ops::dif::DifBlockSize::B4096 => 2,
-                    dsa_ops::dif::DifBlockSize::B4104 => 3,
-                };
+                b[40] = cfg.block.code();
                 b[42..44].copy_from_slice(&cfg.app_tag.to_le_bytes());
                 b[44..48].copy_from_slice(&cfg.starting_ref_tag.to_le_bytes());
             }
@@ -930,6 +936,62 @@ mod tests {
         let r = CompletionRecord::success(4096);
         assert_eq!(r.bytes_completed, 4096);
         assert_eq!(r.status, Status::Success);
+    }
+
+    #[test]
+    fn flags_bits_roundtrip() {
+        let f = Flags::REQUEST_COMPLETION | Flags::CACHE_CONTROL | Flags::FENCE;
+        assert_eq!(Flags::from_bits(f.bits()), f);
+        assert_eq!(Flags::from_bits(0), Flags::empty());
+    }
+
+    /// Rebuilding a dirty pooled slot must be indistinguishable from
+    /// constructing fresh — same fields, same 64-byte wire image — for
+    /// every constructor shape. Digest bit-identity across the compiled
+    /// op-program path rides on this.
+    #[test]
+    fn rebuild_matches_every_constructor() {
+        let cfg =
+            DifConfig { block: dsa_ops::dif::DifBlockSize::B520, app_tag: 7, starting_ref_tag: 99 };
+        let fresh = [
+            Descriptor::nop(),
+            Descriptor::drain(),
+            Descriptor::memmove(0x1000, 0x2000, 4096),
+            Descriptor::fill(0x1000, 4096, 0xAB),
+            Descriptor::compare(0x1000, 0x2000, 4096),
+            Descriptor::compare_pattern(0x1000, 4096, 0xCD),
+            Descriptor::crc_gen(0x1000, 4096),
+            Descriptor::copy_crc(0x1000, 0x2000, 4096),
+            Descriptor::dualcast(0x1000, 0x2000, 0x4000, 4096),
+            Descriptor::delta_create(0x1000, 0x2000, 4096, 0x3000, 1024),
+            Descriptor::delta_apply(0x3000, 256, 0x2000, 4096),
+            Descriptor::dif_insert(0x1000, 0x2000, 520, cfg),
+            Descriptor::cache_flush(0x1000, 4096),
+        ];
+        // The slot starts maximally dirty: every field set, extra flags,
+        // a completion address, and rich params.
+        for want in fresh {
+            let mut slot = Descriptor::dualcast(1, 2, 0x9000, 64)
+                .with_cache_control()
+                .with_completion_addr(0x20);
+            slot.rebuild(want.opcode, want.src, want.dst, want.xfer_size, want.params.clone());
+            assert_eq!(slot, want, "{:?}", want.opcode);
+            assert_eq!(slot.to_bytes(), want.to_bytes());
+        }
+    }
+
+    #[test]
+    fn set_flags_match_by_value_builders() {
+        let by_value = Descriptor::memmove(1, 2, 64).with_cache_control().with_block_on_fault();
+        let mut in_place = Descriptor::memmove(1, 2, 64);
+        in_place.set_cache_control(true);
+        in_place.set_block_on_fault(true);
+        assert_eq!(in_place, by_value);
+        // `false` is a no-op on the constructor default.
+        let mut plain = Descriptor::memmove(1, 2, 64);
+        plain.set_cache_control(false);
+        plain.set_block_on_fault(false);
+        assert_eq!(plain, Descriptor::memmove(1, 2, 64));
     }
 }
 

@@ -1,0 +1,12 @@
+//! R5 fixture: heap allocation on the hot path. Every allocating construct
+//! the rule names appears once in non-test code.
+
+pub fn hot(xs: &[u64]) -> u64 {
+    let boxed = Box::new(xs.len() as u64);
+    let mut pooled = Vec::new();
+    pooled.push(*boxed);
+    let copied = xs.to_vec();
+    let doubled = copied.clone();
+    let literal = vec![1u64, 2, 3];
+    doubled.iter().chain(literal.iter()).chain(pooled.iter()).sum()
+}

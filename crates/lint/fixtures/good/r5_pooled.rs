@@ -1,0 +1,25 @@
+//! R5 fixture: the sanctioned shapes — capacity reserved up front, arenas
+//! reused via clear(), and one-time construction documented with a pragma.
+
+pub struct Pool {
+    slots: Vec<u64>,
+}
+
+impl Pool {
+    pub fn new() -> Pool {
+        let slots = Vec::new(); // dsa-lint: allow(hot-alloc, arena built once per engine)
+        Pool { slots }
+    }
+
+    pub fn with_capacity(n: usize) -> Pool {
+        Pool { slots: Vec::with_capacity(n) }
+    }
+
+    pub fn recycle(&mut self) {
+        self.slots.clear();
+    }
+
+    pub fn fill(&mut self, xs: &[u64]) {
+        self.slots.extend_from_slice(xs);
+    }
+}

@@ -10,6 +10,7 @@
 //! | R2 | `unwrap` | no `.unwrap()`/`.expect()` in library non-test code |
 //! | R3 | `float-cast` | no float↔int `as` casts in timeline arithmetic outside `sim::time` |
 //! | R4 | `raw-descriptor` | no raw `Descriptor { .. }` literals bypassing `Descriptor::validate()` |
+//! | R5 | `hot-alloc` | no `Box::new`/`Vec::new`/`vec![..]`/`.to_vec()`/`.clone()` in the designated hot-path modules |
 //!
 //! Exceptions are documented inline with `// dsa-lint: allow(rule, reason)`.
 //! See `crates/lint/RULES.md` for the full rationale.

@@ -17,6 +17,7 @@ pub const RULES: &[&str] = &[
     "unwrap",         // R2
     "float-cast",     // R3
     "raw-descriptor", // R4
+    "hot-alloc",      // R5
     "pragma",         // pragma hygiene
 ];
 
@@ -47,6 +48,7 @@ fn canonical_rule(name: &str) -> Option<&'static str> {
         "r2" | "unwrap" => Some("unwrap"),
         "r3" | "float-cast" => Some("float-cast"),
         "r4" | "raw-descriptor" => Some("raw-descriptor"),
+        "r5" | "hot-alloc" => Some("hot-alloc"),
         "pragma" => Some("pragma"),
         _ => None,
     }
@@ -64,6 +66,26 @@ fn in_det_core(path: &str) -> bool {
         // contract as the sim core even though the rest of the
         // telemetry crate (exporters, pretty-printers) does not.
         || path == "crates/telemetry/src/causal.rs"
+}
+
+/// True for the designated hot-path modules, where steady-state heap
+/// allocation is banned (R5). These are the files the zero-allocation
+/// audits (`crates/{sim,core}/tests/zero_alloc.rs`) measure: the SoA event
+/// store and schedulers the engine's pop/push loop runs on, the compiled
+/// op-program replay path, and the byte-level op kernels executed per
+/// descriptor. The list is explicit (not directory-based) because sibling
+/// modules in the same crates allocate by design — e.g. delta-record ops
+/// return owned buffers, and `prepare()`-time builders are the sanctioned
+/// home for allocation.
+fn in_hot_path(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/sim/src/store.rs"
+            | "crates/sim/src/sched.rs"
+            | "crates/core/src/program.rs"
+            | "crates/ops/src/memops.rs"
+            | "crates/ops/src/crc32.rs"
+    )
 }
 
 /// True for library source (any crate's `src/`, including the root package).
@@ -99,6 +121,9 @@ pub fn check_lexed(path: &str, lexed: &Lexed) -> Vec<Violation> {
         }
         if in_det_core(path) && path != "crates/sim/src/time.rs" {
             rule_float_cast(path, tokens, &test_lines, &mut raw);
+        }
+        if in_hot_path(path) {
+            rule_hot_alloc(path, tokens, &test_lines, &mut raw);
         }
     }
 
@@ -364,6 +389,64 @@ fn rule_float_cast(
     }
 }
 
+/// R5: no heap allocation in the designated hot-path modules (see
+/// [`in_hot_path`]). The engine loop, the scheduler arenas, the op-program
+/// replay path, and the per-descriptor kernels must run out of storage
+/// acquired up front — that is the property the counting-allocator tests
+/// pin at runtime, and this rule keeps allocating constructs from creeping
+/// in between audit runs. Flagged: `Box::new`, `Vec::new`, `vec![..]`,
+/// `.to_vec()`, `.clone()`. Sanctioned alternatives: `Vec::with_capacity`
+/// at construction, `clear()` + reuse, `Copy` types on the wire. One-time
+/// construction sites carry a pragma naming the invariant ("built once per
+/// engine"), which doubles as documentation of where allocation *is* legal.
+fn rule_hot_alloc(
+    path: &str,
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || test_lines.contains(&t.line) {
+            continue;
+        }
+        let prev_is = |offset: usize, s: &str| i >= offset && tokens[i - offset].text == s;
+        let next_is = |offset: usize, s: &str| tokens.get(i + offset).is_some_and(|t| t.text == s);
+        match t.text.as_str() {
+            "new" if prev_is(1, "::") && (prev_is(2, "Box") || prev_is(2, "Vec")) => flag(
+                out,
+                path,
+                t.line,
+                "hot-alloc",
+                format!(
+                    "{}::new allocates on the hot path; pre-size with with_capacity \
+                     and reuse (or document one-time construction with a pragma)",
+                    tokens[i - 2].text
+                ),
+            ),
+            "vec" if next_is(1, "!") => flag(
+                out,
+                path,
+                t.line,
+                "hot-alloc",
+                "vec![..] allocates on the hot path; pre-size and reuse \
+                 (or document one-time construction with a pragma)",
+            ),
+            "to_vec" | "clone" if prev_is(1, ".") && next_is(1, "(") => flag(
+                out,
+                path,
+                t.line,
+                "hot-alloc",
+                format!(
+                    ".{}() copies into a fresh heap allocation; hot-path data \
+                     must be Copy or borrowed (or document with a pragma)",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
 /// Tokens that, when immediately preceding `Descriptor {`, mean the brace
 /// opens an item body or impl block rather than a struct literal.
 const TYPE_POSITION_PREV: &[&str] = &["impl", "for", "struct", "enum", "trait", "mod", "dyn", "->"];
@@ -507,6 +590,31 @@ mod tests {
         // argument of the same call is not a float->int round trip.
         let src = "fn f(w: u16, n: u64) { push(w as u16, n as f64); }\n";
         assert!(lint("crates/device/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_alloc_in_hot_modules_only() {
+        let src = "fn f(xs: &[u64]) -> u64 { let v = xs.to_vec(); let b = Box::new(v.clone()); \
+                   let mut w = Vec::new(); w.push(b.len() as u64); vec![0u64].len() as u64 }\n";
+        let v = lint("crates/sim/src/sched.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "hot-alloc").count(), 5, "{v:?}");
+        // The same code one module over (not a designated hot path) is legal.
+        assert!(lint("crates/sim/src/engine.rs", src).is_empty());
+        assert!(lint("crates/ops/src/delta.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_exempts_tests_and_allows_with_capacity() {
+        let src = "fn f(n: usize) -> Vec<u64> { Vec::with_capacity(n) }\n\
+                   #[cfg(test)]\nmod tests {\n  fn g() -> Vec<u64> { vec![1, 2].to_vec() }\n}\n";
+        assert!(lint("crates/core/src/program.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_pragma_documents_one_time_construction() {
+        let src = "fn f() -> Vec<u64> { Vec::new() } \
+                   // dsa-lint: allow(hot-alloc, arena built once per engine)\n";
+        assert!(lint("crates/sim/src/store.rs", src).is_empty());
     }
 
     #[test]

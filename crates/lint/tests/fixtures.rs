@@ -61,13 +61,41 @@ fn bad_r4_raw_descriptor_literals_are_flagged() {
 }
 
 #[test]
+fn bad_r5_hot_alloc_is_flagged_in_hot_modules_only() {
+    let v = lint_fixture("bad", "r5_hotalloc.rs", "crates/sim/src/sched.rs");
+    assert_eq!(
+        rules_of(&v),
+        vec!["hot-alloc", "hot-alloc", "hot-alloc", "hot-alloc", "hot-alloc"],
+        "{v:?}"
+    );
+
+    // The same code outside the designated hot-path modules is legal:
+    // allocation policy is per-module, not per-crate.
+    for outside in
+        ["crates/sim/src/engine.rs", "crates/core/src/dispatch.rs", "crates/ops/src/delta.rs"]
+    {
+        let v = lint_fixture("bad", "r5_hotalloc.rs", outside);
+        assert!(v.is_empty(), "{outside}: {v:?}");
+    }
+}
+
+#[test]
+fn good_r5_pooled_shapes_pass_inside_the_hot_scope() {
+    for hot in ["crates/sim/src/store.rs", "crates/core/src/program.rs", "crates/ops/src/memops.rs"]
+    {
+        let v = lint_fixture("good", "r5_pooled.rs", hot);
+        assert!(v.is_empty(), "{hot}: {v:?}");
+    }
+}
+
+#[test]
 fn bad_reasonless_pragma_suppresses_but_is_itself_flagged() {
     let v = lint_fixture("bad", "pragma_no_reason.rs", "crates/core/src/fixture.rs");
     assert_eq!(rules_of(&v), vec!["pragma"], "{v:?}");
 }
 
 #[test]
-fn all_four_rule_classes_fire_across_the_bad_corpus() {
+fn all_five_rule_classes_fire_across_the_bad_corpus() {
     let mut seen = std::collections::BTreeSet::new();
     for (file, path) in [
         ("r1_wallclock.rs", "crates/sim/src/fixture.rs"),
@@ -75,12 +103,13 @@ fn all_four_rule_classes_fire_across_the_bad_corpus() {
         ("r2_unwrap.rs", "crates/device/src/fixture.rs"),
         ("r3_floatcast.rs", "crates/sim/src/fixture.rs"),
         ("r4_raw_descriptor.rs", "crates/core/src/fixture.rs"),
+        ("r5_hotalloc.rs", "crates/sim/src/sched.rs"),
     ] {
         for v in lint_fixture("bad", file, path) {
             seen.insert(v.rule);
         }
     }
-    for rule in ["nondeterminism", "unwrap", "float-cast", "raw-descriptor"] {
+    for rule in ["nondeterminism", "unwrap", "float-cast", "raw-descriptor", "hot-alloc"] {
         assert!(seen.contains(rule), "rule {rule} never fired; saw {seen:?}");
     }
 }

@@ -32,7 +32,8 @@
 //! assert_eq!(*eng.shared(), 4);
 //! ```
 
-use crate::sched::{CalendarScheduler, Event, Scheduler};
+use crate::sched::{CalendarScheduler, EventKey, Scheduler};
+use crate::store::EventStore;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a component registered with an [`Engine`].
@@ -158,12 +159,16 @@ pub type CauseObserver = Box<dyn FnMut(CausalEdge)>;
 /// (crate::sched::HeapScheduler) can be swapped in via
 /// [`with_scheduler`](Engine::with_scheduler) — the determinism tests diff
 /// the two and assert bit-identical event streams.
-pub struct Engine<M, S, Q: Scheduler<M> = CalendarScheduler<M>> {
+pub struct Engine<M, S, Q: Scheduler<M> = CalendarScheduler> {
     // `None` marks the slot of the component currently executing — the
     // box is taken out for the duration of its `handle` call, which
     // sidesteps aliasing with `&mut self` without allocating a tombstone.
     components: Vec<Option<Box<dyn Component<M, S>>>>,
     sched: Q,
+    // Pooled payload arena: schedulers move 20-byte keys, payloads stay
+    // put here and slots recycle LIFO, so the steady-state loop never
+    // allocates.
+    store: EventStore<M>,
     // Reused across `run_until` calls so steady-state dispatch does not
     // allocate.
     outbox: Vec<(SimTime, ComponentId, M)>,
@@ -192,6 +197,7 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
         Self {
             components: Vec::new(),
             sched,
+            store: EventStore::new(),
             outbox: Vec::new(),
             shared,
             now: SimTime::ZERO,
@@ -246,7 +252,8 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
                 target,
             });
         }
-        self.sched.push(Event { time: at, seq: self.seq, target, msg });
+        let slot = self.store.alloc(at, self.seq, target, msg);
+        self.sched.push(EventKey { time: at, seq: self.seq, slot }, &self.store);
     }
 
     /// The current simulated time.
@@ -269,6 +276,12 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
         self.events_processed
     }
 
+    /// Peak concurrent event population since construction — the size the
+    /// pooled event arena grew to. Steady-state runs hold this flat.
+    pub fn event_pool_high_water(&self) -> usize {
+        self.store.high_water()
+    }
+
     /// Runs until the event queue drains (or a component calls
     /// [`Ctx::stop`]). Returns the final simulated time.
     pub fn run(&mut self) -> SimTime {
@@ -279,15 +292,16 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
     /// next event would be after `deadline` (that event stays queued).
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         let mut stop = false;
-        while let Some(ev) = self.sched.pop_before(deadline) {
-            debug_assert!(ev.time >= self.now, "event queue went backwards");
-            self.now = ev.time;
+        while let Some(key) = self.sched.pop_before(deadline, &self.store) {
+            debug_assert!(key.time >= self.now, "event queue went backwards");
+            let (target, msg) = self.store.release(key.slot);
+            self.now = key.time;
             self.events_processed += 1;
-            self.current_cause = ev.seq;
+            self.current_cause = key.seq;
             if let Some(obs) = &mut self.observer {
-                obs(ev.time, ev.target, &ev.msg);
+                obs(key.time, target, &msg);
             }
-            let idx = ev.target.0;
+            let idx = target.0;
             assert!(idx < self.components.len(), "message for unknown component {idx}");
             // Take the component out to sidestep aliasing with `self`.
             let Some(mut comp) = self.components[idx].take() else {
@@ -295,8 +309,8 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
             };
             {
                 let mut ctx =
-                    Ctx { now: self.now, me: ev.target, outbox: &mut self.outbox, stop: &mut stop };
-                comp.handle(ev.msg, &mut ctx, &mut self.shared);
+                    Ctx { now: self.now, me: target, outbox: &mut self.outbox, stop: &mut stop };
+                comp.handle(msg, &mut ctx, &mut self.shared);
             }
             self.components[idx] = Some(comp);
             for (time, target, msg) in self.outbox.drain(..) {
@@ -310,7 +324,8 @@ impl<M, S, Q: Scheduler<M>> Engine<M, S, Q> {
                         target,
                     });
                 }
-                self.sched.push(Event { time, seq: self.seq, target, msg });
+                let slot = self.store.alloc(time, self.seq, target, msg);
+                self.sched.push(EventKey { time, seq: self.seq, slot }, &self.store);
             }
             if stop {
                 break;

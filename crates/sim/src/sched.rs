@@ -6,55 +6,62 @@
 //! importantly, *diffed*: the determinism tests run the same workload on
 //! two schedulers and assert bit-identical event streams.
 //!
+//! Schedulers move [`EventKey`]s — `(time, seq, slot)` triples 20 bytes
+//! wide — while payloads stay put in the engine's [`EventStore`]. That
+//! split is what makes the queue fast: ordering work touches dense key
+//! arrays, payloads are read exactly once at delivery, and the store can
+//! prefetch them because the scheduler knows its drain order.
+//!
 //! Two implementations ship:
 //!
 //! * [`HeapScheduler`] — the reference `BinaryHeap` ordered by
 //!   `(time, seq)`. Simple, `O(log n)` per operation, and the behavioural
 //!   baseline every other scheduler must match exactly.
-//! * [`CalendarScheduler`] — a two-level calendar queue: a ring of
-//!   fixed-width time buckets covering the near future plus a sorted
-//!   overflow heap for everything beyond the ring's horizon. Events near
-//!   the clock (the overwhelmingly common case in this workspace's
-//!   device/fabric models) cost `O(1)` amortized per push/pop instead of
-//!   `O(log n)`, and event payloads live in a pooled slab so steady-state
-//!   scheduling performs no allocation at all.
+//! * [`CalendarScheduler`] — a ladder-style calendar queue: a ring of
+//!   coarse time buckets covering the near future, each split on cursor
+//!   arrival into one exactly-sorted run via an in-cache counting sort,
+//!   plus a sorted overflow heap for everything beyond (or behind) the
+//!   ring's horizon. Pushes append to one of a few hundred hot bucket
+//!   tails, pops walk a sorted run linearly while prefetching payload
+//!   slots ahead of the cursor — `O(1)` amortized per event, and no
+//!   allocation at all once the bucket arenas reach their high-water size.
 //!
 //! Both order events by ascending `(time, seq)`: the sequence number is
 //! assigned by the engine in send order, so simultaneous events pop FIFO
 //! and every run is deterministic.
 
-use crate::engine::ComponentId;
+use crate::store::EventStore;
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// One queued event: delivery time, engine-assigned sequence number (the
-/// FIFO tie-break), target component, and the message itself.
-#[derive(Debug)]
-pub struct Event<M> {
+/// One queued event's ordering key: delivery time, engine-assigned sequence
+/// number (the FIFO tie-break), and the payload's [`EventStore`] slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventKey {
     /// Delivery time.
     pub time: SimTime,
     /// Engine-assigned sequence number; unique, monotone in send order.
     pub seq: u64,
-    /// Receiving component.
-    pub target: ComponentId,
-    /// The message payload.
-    pub msg: M,
+    /// Payload slot in the engine's [`EventStore`].
+    pub slot: u32,
 }
 
 /// A pending-event queue ordered by ascending `(time, seq)`.
 ///
-/// Implementations must be exact: `pop_before` returns events in strict
+/// Implementations must be exact: `pop_before` returns keys in strict
 /// `(time, seq)` order, and an event with `time <= deadline` is eligible
-/// while one past the deadline stays queued untouched.
+/// while one past the deadline stays queued untouched. The `store`
+/// reference exists for payload prefetching; schedulers must not release
+/// slots themselves.
 pub trait Scheduler<M> {
-    /// Enqueues one event. `seq` values are unique and increase with every
-    /// call, but `time` values arrive in any order `>= ` the last pop.
-    fn push(&mut self, ev: Event<M>);
+    /// Enqueues one event key. `seq` values are unique and increase with
+    /// every call, but `time` values arrive in any order `>=` the last pop.
+    fn push(&mut self, key: EventKey, store: &EventStore<M>);
 
-    /// Removes and returns the earliest event if its time is `<= deadline`;
+    /// Removes and returns the earliest key if its time is `<= deadline`;
     /// returns `None` (leaving the queue intact) otherwise.
-    fn pop_before(&mut self, deadline: SimTime) -> Option<Event<M>>;
+    fn pop_before(&mut self, deadline: SimTime, store: &EventStore<M>) -> Option<EventKey>;
 
     /// Number of queued events.
     fn len(&self) -> usize;
@@ -70,51 +77,36 @@ pub trait Scheduler<M> {
 
 // ---------------------------------------------------------------- heap
 
-struct HeapNode<M>(Event<M>);
-
-impl<M> PartialEq for HeapNode<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.time == other.0.time && self.0.seq == other.0.seq
-    }
-}
-impl<M> Eq for HeapNode<M> {}
-impl<M> PartialOrd for HeapNode<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for HeapNode<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.0.time, self.0.seq).cmp(&(other.0.time, other.0.seq))
-    }
-}
-
 /// The reference scheduler: a binary heap ordered by `(time, seq)`.
-pub struct HeapScheduler<M> {
-    heap: BinaryHeap<Reverse<HeapNode<M>>>,
+pub struct HeapScheduler {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
 }
 
-impl<M> HeapScheduler<M> {
+impl HeapScheduler {
     /// An empty heap scheduler.
-    pub fn new() -> HeapScheduler<M> {
+    pub fn new() -> HeapScheduler {
         HeapScheduler { heap: BinaryHeap::new() }
     }
 }
 
-impl<M> Default for HeapScheduler<M> {
+impl Default for HeapScheduler {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M> Scheduler<M> for HeapScheduler<M> {
-    fn push(&mut self, ev: Event<M>) {
-        self.heap.push(Reverse(HeapNode(ev)));
+impl<M> Scheduler<M> for HeapScheduler {
+    fn push(&mut self, key: EventKey, _store: &EventStore<M>) {
+        self.heap.push(Reverse((key.time.as_ps(), key.seq, key.slot)));
     }
 
-    fn pop_before(&mut self, deadline: SimTime) -> Option<Event<M>> {
-        if self.heap.peek().is_some_and(|Reverse(n)| n.0.time <= deadline) {
-            self.heap.pop().map(|Reverse(n)| n.0)
+    fn pop_before(&mut self, deadline: SimTime, _store: &EventStore<M>) -> Option<EventKey> {
+        if self.heap.peek().is_some_and(|&Reverse((t, _, _))| t <= deadline.as_ps()) {
+            self.heap.pop().map(|Reverse((t, seq, slot))| EventKey {
+                time: SimTime::from_ps(t),
+                seq,
+                slot,
+            })
         } else {
             None
         }
@@ -132,205 +124,328 @@ impl<M> Scheduler<M> for HeapScheduler<M> {
 // ------------------------------------------------------------ calendar
 
 /// Ring-bucket count (power of two).
-const NBUCKETS: usize = 1 << 12;
-/// log2 of the bucket width in picoseconds: 2^12 ps ≈ 4.1 ns per bucket,
-/// so the ring covers ≈ 16.8 µs of near future — wider than the event
-/// horizons of the device, fabric, and service models in this workspace.
-const WIDTH_SHIFT: u32 = 12;
+const NBUCKETS: usize = 1 << 10;
+/// log2 of the coarse bucket width in picoseconds: 2^15 ps ≈ 32.8 ns per
+/// bucket, so the ring covers ≈ 33.6 µs of near future — wider than the
+/// event horizons of the device, fabric, and service models in this
+/// workspace. Chosen by sweeping geometries on the `simperf` workloads:
+/// coarse buckets keep the push fan-out down to ~1k hot tail lines, and the
+/// split (below) restores exact order one bucket at a time.
+const WIDTH_SHIFT: u32 = 15;
+/// Buckets at or below this population skip the counting sort and go
+/// straight to insertion sort when split.
+const RADIX_MIN: usize = 25;
 
-/// One ring bucket: events of a single absolute window, sorted ascending
-/// by `(time, seq)`; `head` is the index of the next event to pop, so a
-/// drained prefix costs no memmove and the `Vec` allocation is reused
-/// across window laps.
-struct Bucket {
-    items: Vec<(u64, u64, u32)>, // (time ps, seq, slab slot)
-    head: usize,
+/// One ring entry. 24 bytes: the full `(time, seq)` order key plus the
+/// payload slot, so splits and merges never have to chase into the store.
+#[derive(Clone, Copy)]
+struct Entry {
+    t: u64,
+    seq: u64,
+    slot: u32,
 }
 
-impl Bucket {
-    const fn new() -> Bucket {
-        Bucket { items: Vec::new(), head: 0 }
-    }
-
-    fn live(&self) -> bool {
-        self.head < self.items.len()
-    }
-
-    /// Inserts keeping `items[head..]` sorted; the common case (monotone
-    /// seq, clustered times) appends in O(1).
-    fn insert(&mut self, key: (u64, u64, u32)) {
-        if self.items.last().is_none_or(|&last| (last.0, last.1) <= (key.0, key.1)) {
-            self.items.push(key);
-            return;
-        }
-        let tail = &self.items[self.head..];
-        let pos = tail.partition_point(|&(t, s, _)| (t, s) < (key.0, key.1));
-        self.items.insert(self.head + pos, key);
+impl Entry {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.t, self.seq)
     }
 }
 
-/// A two-level calendar queue: near-future ring + sorted overflow.
+/// A ladder-style calendar queue: coarse ring + split runs + overflow.
 ///
-/// Events whose time falls within the ring's current window (`NBUCKETS`
-/// buckets of `2^WIDTH_SHIFT` ps each, starting at the cursor) go into
-/// their bucket; later (or, after a deadline-bounded run, earlier-than-
-/// cursor) events go to the overflow heap. Popping compares the ring's
-/// candidate with the overflow's top, so ordering is exact regardless of
-/// which side an event landed on. Payloads are pooled in a slab and
-/// bucket `Vec`s are reused, so steady-state scheduling does not allocate.
-pub struct CalendarScheduler<M> {
-    /// Pooled payload storage; `free` lists recycled slots.
-    slab: Vec<Option<(ComponentId, M)>>,
-    free: Vec<u32>,
-    buckets: Vec<Bucket>,
-    /// Absolute bucket number (`time_ps >> WIDTH_SHIFT`) of the cursor;
-    /// the ring window is `[cur, cur + NBUCKETS)`.
+/// Events within the ring window (`NBUCKETS` buckets of `2^WIDTH_SHIFT` ps
+/// each, starting at the cursor) append unsorted to their bucket's tail.
+/// When the cursor reaches a bucket it is *split*: an in-cache counting
+/// sort on the next 8 time bits groups the entries, a near-sorted insertion
+/// pass polishes the run into exact `(time, seq)` order, and draining
+/// becomes a linear walk that prefetches payload slots ahead of the cursor.
+/// Pushes that land in the bucket currently being drained go to a small
+/// sorted side stack merged on the fly; events beyond (or, after a bounded
+/// run walked the cursor forward, behind) the window go to the overflow
+/// heap, whose top is compared at every pop so ordering stays exact no
+/// matter where an event landed. All arenas — bucket tails, the split run,
+/// the side stack, the overflow — are reused, so steady-state scheduling
+/// performs no allocation.
+pub struct CalendarScheduler {
+    /// Coarse buckets: unsorted append-only tails, indexed by
+    /// `(time_ps >> WIDTH_SHIFT) & (NBUCKETS - 1)`.
+    rung: Vec<Vec<Entry>>,
+    /// One bit per bucket: set while the bucket holds entries. Finding the
+    /// next live bucket is a word scan instead of a bucket walk.
+    occ: Vec<u64>,
+    /// Absolute bucket number (`time_ps >> WIDTH_SHIFT`) of the cursor; the
+    /// ring window is `[cur, cur + NBUCKETS)`.
     cur: u64,
-    /// Events currently stored in ring buckets.
-    ring_len: usize,
+    /// Absolute bucket number currently split into `flat`; `u64::MAX`
+    /// before the first split. Pushes landing here go to `extra`.
+    split_ab: u64,
+    /// Entries currently stored in ring buckets (excludes `flat`/`extra`).
+    rung_len: usize,
+    /// The split-out, exactly sorted run of the current bucket.
+    flat: Vec<Entry>,
+    /// Drain cursor into `flat`.
+    fi: usize,
+    /// Same-bucket late arrivals, kept reverse-sorted by `(time, seq)` so
+    /// the next candidate pops from the back in O(1).
+    extra: Vec<Entry>,
+    /// Counting-sort workspace (256 sub-buckets per split).
+    counts: Vec<u32>,
+    scratch: Vec<Entry>,
     /// Events outside the ring window, ordered by `(time ps, seq)`.
     overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
     len: usize,
 }
 
-impl<M> CalendarScheduler<M> {
+impl CalendarScheduler {
     /// An empty calendar scheduler.
-    pub fn new() -> CalendarScheduler<M> {
-        let mut buckets = Vec::with_capacity(NBUCKETS);
-        buckets.resize_with(NBUCKETS, Bucket::new);
+    pub fn new() -> CalendarScheduler {
         CalendarScheduler {
-            slab: Vec::new(),
-            free: Vec::new(),
-            buckets,
+            // dsa-lint: allow(hot-alloc, ring arenas built once; buckets reuse capacity forever)
+            rung: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            occ: vec![0; NBUCKETS / 64], // dsa-lint: allow(hot-alloc, built once per scheduler)
             cur: 0,
-            ring_len: 0,
+            split_ab: u64::MAX,
+            rung_len: 0,
+            flat: Vec::new(), // dsa-lint: allow(hot-alloc, split-run arena built once, reused)
+            fi: 0,
+            extra: Vec::new(), // dsa-lint: allow(hot-alloc, side-stack arena built once, reused)
+            counts: vec![0; 256], // dsa-lint: allow(hot-alloc, counting-sort workspace built once)
+            scratch: Vec::new(), // dsa-lint: allow(hot-alloc, counting-sort arena built once)
             overflow: BinaryHeap::new(),
             len: 0,
         }
     }
 
-    fn alloc_slot(&mut self, target: ComponentId, msg: M) -> u32 {
-        match self.free.pop() {
-            Some(i) => {
-                self.slab[i as usize] = Some((target, msg));
-                i
-            }
-            None => {
-                self.slab.push(Some((target, msg)));
-                (self.slab.len() - 1) as u32
-            }
+    #[inline]
+    fn rung_append(&mut self, e: Entry) {
+        let b = ((e.t >> WIDTH_SHIFT) as usize) & (NBUCKETS - 1);
+        let v = &mut self.rung[b];
+        if v.is_empty() {
+            self.occ[b >> 6] |= 1 << (b & 63);
         }
+        v.push(e);
+        self.rung_len += 1;
     }
 
-    fn take_slot(&mut self, slot: u32) -> (ComponentId, M) {
-        self.free.push(slot);
-        match self.slab[slot as usize].take() {
-            Some(p) => p,
-            None => unreachable!("calendar slab slot {slot} popped twice"),
-        }
-    }
-
-    fn ring_insert(&mut self, key: (u64, u64, u32)) {
-        let ab = key.0 >> WIDTH_SHIFT;
-        self.buckets[(ab as usize) & (NBUCKETS - 1)].insert(key);
-        self.ring_len += 1;
-    }
-
-    /// Moves overflow events that now fit the ring window into it. Only
-    /// sound when the ring guarantees hold for `self.cur` (empty ring or
-    /// freshly re-based cursor).
-    fn migrate_overflow(&mut self) {
-        while let Some(&Reverse((t, _, _))) = self.overflow.peek() {
-            let ab = t >> WIDTH_SHIFT;
-            if ab < self.cur || ab >= self.cur + NBUCKETS as u64 {
-                break;
-            }
-            if let Some(Reverse(key)) = self.overflow.pop() {
-                self.ring_insert(key);
-            }
-        }
-    }
-
-    /// Advances the cursor to the first live bucket and returns its head
-    /// key. Sound because every ring event's absolute bucket is `>= cur`
-    /// (pushes behind the cursor are routed to overflow), so skipped
-    /// buckets are genuinely empty.
-    fn ring_candidate(&mut self) -> Option<(u64, u64, u32)> {
-        if self.ring_len == 0 {
+    /// First live bucket at or after `from`, or `None` when the ring is
+    /// empty. Sound because every ring entry's absolute bucket is within
+    /// `[cur, cur + NBUCKETS)`.
+    #[inline]
+    fn next_live(&self, from: u64) -> Option<u64> {
+        if self.rung_len == 0 {
             return None;
         }
-        for _ in 0..NBUCKETS {
-            let b = &self.buckets[(self.cur as usize) & (NBUCKETS - 1)];
-            if b.live() {
-                return Some(b.items[b.head]);
+        let start = (from as usize) & (NBUCKETS - 1);
+        let mut w = start >> 6;
+        let mut word = self.occ[w] & (!0u64 << (start & 63));
+        loop {
+            if word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                let b = (w << 6) | bit;
+                let dist = b.wrapping_sub(start) & (NBUCKETS - 1);
+                return Some(from + dist as u64);
             }
-            self.cur += 1;
+            w = (w + 1) & (NBUCKETS / 64 - 1);
+            word = self.occ[w];
         }
-        unreachable!("ring_len > 0 but no live bucket within the window");
+    }
+
+    /// Splits bucket `ab` into the exactly sorted `flat` run.
+    fn split<M>(&mut self, ab: u64, store: &EventStore<M>) {
+        let b = (ab as usize) & (NBUCKETS - 1);
+        self.split_ab = ab;
+        let v = &mut self.rung[b];
+        self.rung_len -= v.len();
+        self.occ[b >> 6] &= !(1 << (b & 63));
+        let n = v.len();
+        self.fi = 0;
+        self.flat.clear();
+        if n <= RADIX_MIN {
+            self.flat.append(v);
+        } else {
+            // Counting sort on the 8 time bits below the bucket width
+            // groups entries into near-sorted order; the scatter is stable,
+            // so equal sub-keys keep their (seq-ordered) append order.
+            self.scratch.clear();
+            self.scratch.append(v);
+            let shift = WIDTH_SHIFT.saturating_sub(8);
+            self.counts.fill(0);
+            for e in &self.scratch {
+                self.counts[((e.t >> shift) & 255) as usize] += 1;
+            }
+            let mut sum = 0u32;
+            for c in self.counts.iter_mut() {
+                let x = *c;
+                *c = sum;
+                sum += x;
+            }
+            self.flat.resize(n, Entry { t: 0, seq: 0, slot: 0 });
+            for e in &self.scratch {
+                let k = ((e.t >> shift) & 255) as usize;
+                self.flat[self.counts[k] as usize] = *e;
+                self.counts[k] += 1;
+            }
+        }
+        // Polish the near-sorted run into exact (time, seq) order.
+        for i in 1..self.flat.len() {
+            let e = self.flat[i];
+            let mut j = i;
+            while j > 0 && self.flat[j - 1].key() > e.key() {
+                self.flat[j] = self.flat[j - 1];
+                j -= 1;
+            }
+            self.flat[j] = e;
+        }
+        for e in self.flat.iter().take(6) {
+            store.prefetch(e.slot);
+        }
+    }
+
+    /// Pulls overflow events that fit the ring window back into it; when
+    /// the ring is empty, first re-bases the window at the overflow
+    /// minimum. Called at every cursor advance, so during a single
+    /// bucket's drain the overflow top is never inside the window.
+    fn migrate_overflow(&mut self) {
+        while let Some(&Reverse((t, seq, slot))) = self.overflow.peek() {
+            let ab = t >> WIDTH_SHIFT;
+            if self.rung_len == 0 && self.flat.len() == self.fi && self.extra.is_empty() {
+                // Nothing lives in the ring: jump the window to the
+                // overflow minimum instead of walking to it.
+                self.cur = self.cur.max(ab.min(self.cur.wrapping_add(u64::MAX / 2)));
+                if ab >= self.cur + NBUCKETS as u64 || ab < self.cur {
+                    self.cur = ab;
+                }
+            }
+            if ab.wrapping_sub(self.cur) >= NBUCKETS as u64 {
+                break;
+            }
+            self.overflow.pop();
+            self.rung_append(Entry { t, seq, slot });
+        }
+    }
+
+    /// The next `(time, seq)`-minimal candidate among the current split
+    /// run and side stack. Advances the cursor (splitting buckets) until
+    /// one exists or the ring and overflow are exhausted.
+    fn current_candidate<M>(&mut self, store: &EventStore<M>) -> Option<(Entry, Source)> {
+        loop {
+            let f = self.flat.get(self.fi).copied();
+            let x = self.extra.last().copied();
+            match (f, x) {
+                (Some(fe), Some(xe)) => {
+                    return Some(if fe.key() <= xe.key() {
+                        (fe, Source::Flat)
+                    } else {
+                        (xe, Source::Extra)
+                    });
+                }
+                (Some(fe), None) => return Some((fe, Source::Flat)),
+                (None, Some(xe)) => return Some((xe, Source::Extra)),
+                (None, None) => {
+                    self.migrate_overflow();
+                    match self.next_live(self.cur) {
+                        Some(ab) => {
+                            self.cur = ab;
+                            self.split(ab, store);
+                        }
+                        None => return None,
+                    }
+                }
+            }
+        }
     }
 }
 
-impl<M> Default for CalendarScheduler<M> {
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Flat,
+    Extra,
+}
+
+impl Default for CalendarScheduler {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M> Scheduler<M> for CalendarScheduler<M> {
-    fn push(&mut self, ev: Event<M>) {
-        let t = ev.time.as_ps();
-        let slot = self.alloc_slot(ev.target, ev.msg);
+impl<M> Scheduler<M> for CalendarScheduler {
+    fn push(&mut self, key: EventKey, _store: &EventStore<M>) {
+        let t = key.time.as_ps();
+        let e = Entry { t, seq: key.seq, slot: key.slot };
         let ab = t >> WIDTH_SHIFT;
         if self.len == 0 {
             // Empty queue: re-base the ring window wherever this event is.
             self.cur = ab;
-        }
-        if ab >= self.cur && ab < self.cur + NBUCKETS as u64 {
-            self.ring_insert((t, ev.seq, slot));
-        } else {
-            self.overflow.push(Reverse((t, ev.seq, slot)));
+            if self.split_ab != ab {
+                self.split_ab = u64::MAX;
+            }
         }
         self.len += 1;
+        if ab == self.split_ab {
+            // The bucket is mid-drain; keep the side stack reverse-sorted
+            // so candidates pop from the back. Arrivals here are at or
+            // after `now`, which sorts at or near the back — the scan is
+            // a handful of compares.
+            let pos = self.extra.iter().rposition(|x| x.key() > e.key());
+            match pos {
+                Some(p) => self.extra.insert(p + 1, e),
+                None => self.extra.insert(0, e),
+            }
+        } else if ab.wrapping_sub(self.cur) < NBUCKETS as u64 {
+            self.rung_append(e);
+        } else {
+            // Beyond the window — or behind the cursor after a bounded
+            // run walked it forward. Both sides stay exact because every
+            // pop compares against the overflow top.
+            self.overflow.push(Reverse((t, key.seq, key.slot)));
+        }
     }
 
-    fn pop_before(&mut self, deadline: SimTime) -> Option<Event<M>> {
+    fn pop_before(&mut self, deadline: SimTime, store: &EventStore<M>) -> Option<EventKey> {
         if self.len == 0 {
             return None;
         }
-        if self.ring_len == 0 {
-            // Everything is in overflow: jump the window to its minimum
-            // and pull the near future back into the ring.
-            if let Some(&Reverse((t, _, _))) = self.overflow.peek() {
-                self.cur = t >> WIDTH_SHIFT;
-                self.migrate_overflow();
-            }
-        }
-        let ring = self.ring_candidate();
+        let cand = self.current_candidate(store);
+        // The overflow top can precede the ring candidate (behind-cursor
+        // pushes); compare before committing.
         let over = self.overflow.peek().map(|&Reverse(k)| k);
-        let from_ring = match (ring, over) {
-            (Some(r), Some(o)) => (r.0, r.1) <= (o.0, o.1),
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
+        let from_over = match (cand, over) {
+            (Some((c, _)), Some((t, seq, _))) => (t, seq) < c.key(),
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
             (None, None) => return None,
         };
-        let (t, seq, slot) = (if from_ring { ring } else { over })?;
-        if t > deadline.as_ps() {
+        if from_over {
+            let &Reverse((t, seq, slot)) = self.overflow.peek()?;
+            if t > deadline.as_ps() {
+                return None;
+            }
+            self.overflow.pop();
+            self.len -= 1;
+            return Some(EventKey { time: SimTime::from_ps(t), seq, slot });
+        }
+        let (e, src) = cand?;
+        if e.t > deadline.as_ps() {
             return None;
         }
-        if from_ring {
-            let b = &mut self.buckets[(t >> WIDTH_SHIFT) as usize & (NBUCKETS - 1)];
-            b.head += 1;
-            if !b.live() {
-                b.items.clear();
-                b.head = 0;
+        match src {
+            Source::Flat => {
+                self.fi += 1;
+                if let Some(n) = self.flat.get(self.fi + 5) {
+                    store.prefetch(n.slot);
+                }
+                if self.fi == self.flat.len() {
+                    self.flat.clear();
+                    self.fi = 0;
+                }
             }
-            self.ring_len -= 1;
-        } else {
-            self.overflow.pop();
+            Source::Extra => {
+                self.extra.pop();
+            }
         }
         self.len -= 1;
-        let (target, msg) = self.take_slot(slot);
-        Some(Event { time: SimTime::from_ps(t), seq, target, msg })
+        Some(EventKey { time: SimTime::from_ps(e.t), seq: e.seq, slot: e.slot })
     }
 
     fn len(&self) -> usize {
@@ -345,96 +460,153 @@ impl<M> Scheduler<M> for CalendarScheduler<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::ComponentId;
     use crate::rng::SplitMix64;
 
-    fn ev(time_ps: u64, seq: u64) -> Event<u32> {
-        Event { time: SimTime::from_ps(time_ps), seq, target: ComponentId::from_index(0), msg: 0 }
+    struct Rig<S> {
+        store: EventStore<u32>,
+        sched: S,
     }
 
-    fn drain<S: Scheduler<u32>>(s: &mut S) -> Vec<(u64, u64)> {
-        let mut out = Vec::new();
-        while let Some(e) = s.pop_before(SimTime::MAX) {
-            out.push((e.time.as_ps(), e.seq));
+    impl<S: Scheduler<u32>> Rig<S> {
+        fn new(sched: S) -> Self {
+            Rig { store: EventStore::new(), sched }
         }
-        out
+
+        fn push(&mut self, time_ps: u64, seq: u64) {
+            let slot =
+                self.store.alloc(SimTime::from_ps(time_ps), seq, ComponentId::from_index(0), 0);
+            self.sched.push(EventKey { time: SimTime::from_ps(time_ps), seq, slot }, &self.store);
+        }
+
+        fn pop_before(&mut self, deadline: SimTime) -> Option<(u64, u64)> {
+            let key = self.sched.pop_before(deadline, &self.store)?;
+            assert_eq!(self.store.seq(key.slot), key.seq, "key/store seq must agree");
+            self.store.release(key.slot);
+            Some((key.time.as_ps(), key.seq))
+        }
+
+        fn drain(&mut self) -> Vec<(u64, u64)> {
+            let mut out = Vec::new();
+            while let Some(p) = self.pop_before(SimTime::MAX) {
+                out.push(p);
+            }
+            out
+        }
     }
 
     #[test]
     fn both_schedulers_sort_identically() {
         let mut rng = SplitMix64::new(42);
-        let mut cal = CalendarScheduler::new();
-        let mut heap = HeapScheduler::new();
+        let mut cal = Rig::new(CalendarScheduler::new());
+        let mut heap = Rig::new(HeapScheduler::new());
         for seq in 0..10_000u64 {
             // Mixed scales: same-bucket clusters, ring-distance, and
             // far-overflow times.
             let t = rng.next_u64() % 100_000_000; // up to 100 µs
-            cal.push(ev(t, seq));
-            heap.push(ev(t, seq));
+            cal.push(t, seq);
+            heap.push(t, seq);
         }
-        assert_eq!(drain(&mut cal), drain(&mut heap));
+        assert_eq!(cal.drain(), heap.drain());
     }
 
     #[test]
     fn fifo_among_simultaneous() {
-        let mut cal = CalendarScheduler::new();
+        let mut cal = Rig::new(CalendarScheduler::new());
         for seq in 0..100u64 {
-            cal.push(ev(5_000, seq));
+            cal.push(5_000, seq);
         }
-        let order = drain(&mut cal);
+        let order = cal.drain();
         assert!(order.windows(2).all(|w| w[0].1 < w[1].1), "same-time events pop in seq order");
     }
 
     #[test]
     fn deadline_boundary_exact() {
-        let mut cal = CalendarScheduler::<u32>::new();
-        cal.push(ev(1_000, 1));
-        cal.push(ev(1_001, 2));
+        let mut cal = Rig::new(CalendarScheduler::new());
+        cal.push(1_000, 1);
+        cal.push(1_001, 2);
         let deadline = SimTime::from_ps(1_000);
-        assert_eq!(cal.pop_before(deadline).map(|e| e.seq), Some(1), "event at deadline runs");
-        assert_eq!(cal.pop_before(deadline).map(|e| e.seq), None, "event past deadline stays");
-        assert_eq!(cal.len(), 1);
-        assert_eq!(cal.pop_before(SimTime::MAX).map(|e| e.seq), Some(2));
-        assert!(cal.is_empty());
+        assert_eq!(cal.pop_before(deadline).map(|e| e.1), Some(1), "event at deadline runs");
+        assert_eq!(cal.pop_before(deadline).map(|e| e.1), None, "event past deadline stays");
+        assert_eq!(Scheduler::<u32>::len(&cal.sched), 1);
+        assert_eq!(cal.pop_before(SimTime::MAX).map(|e| e.1), Some(2));
+        assert!(Scheduler::<u32>::is_empty(&cal.sched));
     }
 
     #[test]
     fn push_behind_cursor_after_bounded_run_stays_ordered() {
-        let mut cal = CalendarScheduler::<u32>::new();
-        cal.push(ev(10, 1));
+        let mut cal = Rig::new(CalendarScheduler::new());
+        cal.push(10, 1);
         // Far beyond the ring window: lands in overflow.
         let far = (NBUCKETS as u64 + 10) << WIDTH_SHIFT;
-        cal.push(ev(far, 2));
-        assert_eq!(cal.pop_before(SimTime::MAX).map(|e| e.seq), Some(1));
-        // A bounded pop walks the cursor forward without popping…
+        cal.push(far, 2);
+        assert_eq!(cal.pop_before(SimTime::MAX).map(|e| e.1), Some(1));
+        // A bounded pop may walk the cursor forward without popping…
         assert!(cal.pop_before(SimTime::from_ps(100)).is_none());
         // …then a push earlier than the far event (behind the cursor) must
         // still pop first.
-        cal.push(ev(200, 3));
-        assert_eq!(cal.pop_before(SimTime::MAX).map(|e| e.seq), Some(3));
-        assert_eq!(cal.pop_before(SimTime::MAX).map(|e| e.seq), Some(2));
+        cal.push(200, 3);
+        assert_eq!(cal.pop_before(SimTime::MAX).map(|e| e.1), Some(3));
+        assert_eq!(cal.pop_before(SimTime::MAX).map(|e| e.1), Some(2));
     }
 
     #[test]
-    fn slab_slots_are_recycled() {
-        let mut cal = CalendarScheduler::<u32>::new();
+    fn mid_drain_pushes_interleave_exactly() {
+        // Events landing in the bucket being drained (the `extra` path)
+        // must interleave with the split run in exact (time, seq) order.
+        let mut cal = Rig::new(CalendarScheduler::new());
+        for seq in 0..40u64 {
+            cal.push(seq * 7, seq);
+        }
+        // Start draining the first bucket…
+        assert_eq!(cal.pop_before(SimTime::MAX), Some((0, 0)));
+        // …then push into the same bucket, between and at existing times.
+        cal.push(8, 100);
+        cal.push(14, 101); // ties with seq 2's time: must pop after it
+        let rest = cal.drain();
+        let mut expect: Vec<(u64, u64)> = (1..40u64).map(|s| (s * 7, s)).collect();
+        expect.push((8, 100));
+        expect.push((14, 101));
+        expect.sort_by_key(|&(t, s)| (t, s));
+        assert_eq!(rest, expect);
+    }
+
+    #[test]
+    fn large_bucket_splits_through_counting_sort() {
+        // More than RADIX_MIN entries in one coarse bucket, pushed in
+        // reverse time order, exercises the radix split path.
+        let mut cal = Rig::new(CalendarScheduler::new());
+        let n = 400u64;
+        for i in 0..n {
+            let t = (n - i) * 80; // all within one 32768 ps bucket
+            cal.push(t % (1 << WIDTH_SHIFT), i);
+        }
+        let order = cal.drain();
+        assert_eq!(order.len(), n as usize);
+        assert!(order.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    }
+
+    #[test]
+    fn bucket_arenas_are_recycled() {
+        let mut cal = Rig::new(CalendarScheduler::new());
         for round in 0..100u64 {
             for i in 0..16u64 {
-                cal.push(ev(round * 1_000 + i, round * 16 + i));
+                cal.push(round * 1_000 + i, round * 16 + i);
             }
             while cal.pop_before(SimTime::MAX).is_some() {}
         }
-        assert!(cal.slab.len() <= 16, "slab stays at peak population: {}", cal.slab.len());
+        assert_eq!(cal.store.high_water(), 16, "store stays at peak population");
     }
 
     #[test]
     fn sparse_far_future_rebases_instead_of_walking() {
-        let mut cal = CalendarScheduler::<u32>::new();
+        let mut cal = Rig::new(CalendarScheduler::new());
         // Three events a millisecond apart: each pop must re-base.
         for (i, t) in [1u64, 1_000_000_000, 2_000_000_000].iter().enumerate() {
-            cal.push(ev(*t, i as u64));
+            cal.push(*t, i as u64);
         }
         assert_eq!(
-            drain(&mut cal),
+            cal.drain(),
             vec![(1, 0), (1_000_000_000, 1), (2_000_000_000, 2)],
             "re-base jumps straight to the overflow minimum"
         );

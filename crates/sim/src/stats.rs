@@ -355,9 +355,35 @@ impl Fnv1a {
         }
     }
 
+    /// `PRIME^n mod 2^64` for `n` in `0..=8`: xor-ing a zero byte leaves
+    /// the state unchanged, so a run of `n` trailing zero bytes folds into
+    /// one multiply by `PRIME^n`.
+    const PRIME_POW: [u64; 9] = {
+        let mut p = [1u64; 9];
+        let mut i = 1;
+        while i < 9 {
+            p[i] = p[i - 1].wrapping_mul(Fnv1a::PRIME);
+            i += 1;
+        }
+        p
+    };
+
     /// Folds one little-endian `u64` into the hash.
+    ///
+    /// Bit-identical to `write(&v.to_le_bytes())`, but high zero bytes —
+    /// the common case for times, sequence numbers, and small payload
+    /// fields — collapse into a single multiply instead of eight
+    /// xor-multiply rounds.
+    #[inline]
     pub fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
+        let nz = (8 - v.leading_zeros() / 8) as usize;
+        let mut x = v;
+        for _ in 0..nz {
+            self.0 ^= x & 0xff;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+            x >>= 8;
+        }
+        self.0 = self.0.wrapping_mul(Self::PRIME_POW[8 - nz]);
     }
 
     /// The current hash value.
@@ -415,6 +441,29 @@ impl Throughput {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fnv_write_u64_fast_path_is_bit_identical() {
+        use crate::rng::SplitMix64;
+        let bytewise = |v: u64| {
+            let mut h = Fnv1a::new();
+            h.write(&v.to_le_bytes());
+            h.finish()
+        };
+        let fast = |v: u64| {
+            let mut h = Fnv1a::new();
+            h.write_u64(v);
+            h.finish()
+        };
+        for v in [0, 1, 0xff, 0x100, u64::MAX, u64::MAX >> 1, 1 << 63, 0x0102_0304_0506_0708] {
+            assert_eq!(fast(v), bytewise(v), "v = {v:#x}");
+        }
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let v = rng.next_u64() >> (rng.next_u64() % 64);
+            assert_eq!(fast(v), bytewise(v), "v = {v:#x}");
+        }
+    }
 
     #[test]
     fn counter_tracks_mean() {

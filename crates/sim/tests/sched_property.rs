@@ -6,11 +6,39 @@
 
 use dsa_sim::engine::{Component, ComponentId, Ctx, Engine};
 use dsa_sim::rng::SplitMix64;
-use dsa_sim::sched::{CalendarScheduler, Event, HeapScheduler, Scheduler};
+use dsa_sim::sched::{CalendarScheduler, EventKey, HeapScheduler, Scheduler};
+use dsa_sim::store::EventStore;
 use dsa_sim::time::{SimDuration, SimTime};
 
-fn ev(time_ps: u64, seq: u64) -> Event<u64> {
-    Event { time: SimTime::from_ps(time_ps), seq, target: ComponentId::from_index(0), msg: seq }
+/// A scheduler plus the payload store backing it — the pair the engine
+/// owns, reproduced here so tests can drive the queue directly.
+struct Rig<S> {
+    store: EventStore<u64>,
+    sched: S,
+}
+
+impl<S: Scheduler<u64>> Rig<S> {
+    fn new(sched: S) -> Self {
+        Rig { store: EventStore::new(), sched }
+    }
+
+    fn push(&mut self, time_ps: u64, seq: u64) {
+        let t = SimTime::from_ps(time_ps);
+        let slot = self.store.alloc(t, seq, ComponentId::from_index(0), seq);
+        self.sched.push(EventKey { time: t, seq, slot }, &self.store);
+    }
+
+    /// Pops one eligible event, returning `(time_ps, seq, payload)` the
+    /// way the engine observes it (payload read out of the store slot).
+    fn pop_before(&mut self, deadline: SimTime) -> Option<(u64, u64, u64)> {
+        let key = self.sched.pop_before(deadline, &self.store)?;
+        let (_, msg) = self.store.release(key.slot);
+        Some((key.time.as_ps(), key.seq, msg))
+    }
+
+    fn len(&self) -> usize {
+        self.sched.len()
+    }
 }
 
 /// Replays one randomized push/pop script against both schedulers and
@@ -18,8 +46,8 @@ fn ev(time_ps: u64, seq: u64) -> Event<u64> {
 /// contract: times never precede the last popped event.
 fn diff_schedulers(seed: u64, ops: usize, spread_ps: u64) {
     let mut rng = SplitMix64::new(seed);
-    let mut cal: CalendarScheduler<u64> = CalendarScheduler::new();
-    let mut heap: HeapScheduler<u64> = HeapScheduler::new();
+    let mut cal = Rig::new(CalendarScheduler::new());
+    let mut heap = Rig::new(HeapScheduler::new());
     let mut seq = 0u64;
     let mut now = 0u64;
     for _ in 0..ops {
@@ -27,11 +55,11 @@ fn diff_schedulers(seed: u64, ops: usize, spread_ps: u64) {
         if r.is_multiple_of(4) {
             // Bounded pop: deadline a random distance ahead of `now`.
             let deadline = SimTime::from_ps(now + r % spread_ps.max(1));
-            let a = cal.pop_before(deadline).map(|e| (e.time, e.seq, e.msg));
-            let b = heap.pop_before(deadline).map(|e| (e.time, e.seq, e.msg));
+            let a = cal.pop_before(deadline);
+            let b = heap.pop_before(deadline);
             assert_eq!(a, b, "divergence at seed {seed}");
             if let Some((t, _, _)) = a {
-                now = t.as_ps();
+                now = t;
             }
         } else {
             // Push 1-3 events; every 5th burst is simultaneous to stress
@@ -44,21 +72,22 @@ fn diff_schedulers(seed: u64, ops: usize, spread_ps: u64) {
                     t = now + rng.next_u64() % spread_ps.max(1);
                 }
                 seq += 1;
-                cal.push(ev(t, seq));
-                heap.push(ev(t, seq));
+                cal.push(t, seq);
+                heap.push(t, seq);
             }
         }
         assert_eq!(cal.len(), heap.len());
     }
     // Drain both: residue must match exactly, in order.
     loop {
-        let a = cal.pop_before(SimTime::MAX).map(|e| (e.time, e.seq, e.msg));
-        let b = heap.pop_before(SimTime::MAX).map(|e| (e.time, e.seq, e.msg));
+        let a = cal.pop_before(SimTime::MAX);
+        let b = heap.pop_before(SimTime::MAX);
         assert_eq!(a, b, "drain divergence at seed {seed}");
         if a.is_none() {
             break;
         }
     }
+    assert_eq!(cal.store.live(), 0, "every scheduled slot was released");
 }
 
 #[test]
@@ -71,7 +100,7 @@ fn randomized_streams_pop_identically_near_spread() {
 
 #[test]
 fn randomized_streams_pop_identically_ring_spread() {
-    // Spread inside the ring window (≈16.8 µs).
+    // Spread inside the ring window (≈33.6 µs).
     for seed in 0..8 {
         diff_schedulers(0xB0B + seed, 4_000, 10_000_000);
     }
@@ -87,16 +116,16 @@ fn randomized_streams_pop_identically_overflow_spread() {
 
 #[test]
 fn same_timestamp_storm_is_fifo_stable() {
-    let mut cal: CalendarScheduler<u64> = CalendarScheduler::new();
-    let mut heap: HeapScheduler<u64> = HeapScheduler::new();
+    let mut cal = Rig::new(CalendarScheduler::new());
+    let mut heap = Rig::new(HeapScheduler::new());
     for seq in 1..=10_000u64 {
-        cal.push(ev(777_000, seq));
-        heap.push(ev(777_000, seq));
+        cal.push(777_000, seq);
+        heap.push(777_000, seq);
     }
     let mut expect = 1u64;
     while let (Some(a), Some(b)) = (cal.pop_before(SimTime::MAX), heap.pop_before(SimTime::MAX)) {
-        assert_eq!(a.seq, expect);
-        assert_eq!(b.seq, expect);
+        assert_eq!(a.1, expect);
+        assert_eq!(b.1, expect);
         expect += 1;
     }
     assert_eq!(expect, 10_001);
@@ -165,8 +194,8 @@ fn engine_runs_identically_under_both_schedulers() {
         let end = eng.run();
         (eng.shared().clone(), eng.events_processed(), end)
     }
-    let a = run(CalendarScheduler::<u32>::new());
-    let b = run(HeapScheduler::<u32>::new());
+    let a = run(CalendarScheduler::new());
+    let b = run(HeapScheduler::new());
     assert_eq!(a.0, b.0, "event logs must be bit-identical");
     assert_eq!(a.1, b.1, "events_processed must match");
     assert_eq!(a.2, b.2, "final clocks must match");
