@@ -1,0 +1,15 @@
+//! R6 two-hop corpus, hop 0 — linted as `crates/sim/src/det_fixture.rs`.
+//!
+//! This det-core entry point is lexically spotless: no wall clocks, no
+//! hash containers, nothing R1 can object to. The nondeterminism is two
+//! calls away, laundered through a helper in a crate the lexical
+//! hash-container scope never covers. Only the call-graph taint pass can
+//! see it from here.
+
+use dsa_workloads::relay_fixture::relay_delay;
+
+/// Picks the next event delay. R6 must flag this function with a chain
+/// through `relay_delay` to the hash-iterating leaf.
+pub fn schedule_next(seed: u64) -> u64 {
+    relay_delay(seed)
+}

@@ -1,0 +1,23 @@
+//! R6 two-hop corpus, hop 2 (the source) — linted as
+//! `crates/telemetry/src/leaf_hash.rs`.
+//!
+//! Iterates a `HashMap`. Lexical R1 *permits* this here: the telemetry
+//! crate (outside `causal.rs`) is not in the det-core hash-container
+//! scope, and that is correct as a lexical policy — presentation code may
+//! use hash maps. The hole is reachability: a det-core function calling
+//! into this picks up iteration-order dependence, which is exactly what
+//! R6's graph taint closes.
+
+use std::collections::HashMap;
+
+/// Folds a map in iteration order — a different u64 per process run.
+pub fn coarse_stamp(seed: u64) -> u64 {
+    let mut m = HashMap::new();
+    m.insert(seed, seed ^ 0x9e37_79b9);
+    m.insert(seed.rotate_left(7), seed);
+    let mut acc = 0u64;
+    for (k, v) in m.iter() {
+        acc = acc.wrapping_mul(31).wrapping_add(k ^ v);
+    }
+    acc
+}

@@ -1,0 +1,29 @@
+//! R7 unit-consistency corpus — linted as a timeline-math path such as
+//! `crates/mem/src/link_fixture.rs`. Three distinct ways to silently
+//! change units; each line marked BAD must produce one finding.
+
+/// A queued transfer with a picosecond deadline.
+pub struct Pending {
+    pub deadline_ps: u64,
+}
+
+/// BAD: adds a byte count to a picosecond timestamp. Compiles fine —
+/// both are u64 — and is wrong by twelve orders of magnitude.
+pub fn arrival(now_ps: u64, frame: &[u8]) -> u64 {
+    now_ps + frame.len() as u64
+}
+
+/// BAD: feeds a raw magic number into a ps-typed constructor. The
+/// calibration story behind 5_000 is lost the moment it is inlined.
+pub fn gap() -> u64 {
+    from_ps(5_000)
+}
+
+/// BAD: assigns a raw literal to a ps-named field.
+pub fn stamp(job: &mut Pending) {
+    job.deadline_ps = 7_500_000;
+}
+
+fn from_ps(ps: u64) -> u64 {
+    ps
+}

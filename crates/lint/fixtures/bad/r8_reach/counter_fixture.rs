@@ -1,0 +1,14 @@
+//! R8 transitive-reach corpus, helper side — linted as
+//! `crates/workloads/src/counter_fixture.rs`. Owning a process-global
+//! counter is legal *here* (workloads is not a shard module); the
+//! violation belongs to the shard-side caller that reaches it.
+
+static mut CALLS: u64 = 0;
+
+/// Bumps a process-global counter — fine locally, poison for shards.
+pub fn bump_global() -> u64 {
+    unsafe {
+        CALLS += 1;
+        CALLS
+    }
+}

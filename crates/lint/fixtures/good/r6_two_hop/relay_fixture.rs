@@ -1,0 +1,9 @@
+//! Good twin of the R6 two-hop corpus, hop 1 — linted as
+//! `crates/workloads/src/relay_fixture.rs`.
+
+use dsa_telemetry::leaf_hash::coarse_stamp;
+
+/// Forwards to the ordered leaf; carries no taint.
+pub fn relay_delay(seed: u64) -> u64 {
+    coarse_stamp(seed) | 1
+}

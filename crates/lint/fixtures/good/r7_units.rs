@@ -1,0 +1,39 @@
+//! Good twin of the R7 corpus — the same computations written with unit
+//! discipline: literals live in named consts, byte counts cross into
+//! picoseconds only through a conversion helper.
+
+/// Link gap between back-to-back frames.
+pub const LINK_GAP_PS: u64 = 5_000;
+
+/// Wire time of one byte at the modeled link rate.
+pub const BYTE_TIME_PS: u64 = 50;
+
+/// A queued transfer with a picosecond deadline.
+pub struct Pending {
+    pub deadline_ps: u64,
+}
+
+/// Converts a byte count to wire time. Carries both unit families, so
+/// R7 treats uses of it as sanctioned conversions.
+pub fn bytes_to_ps(bytes: u64) -> u64 {
+    bytes * BYTE_TIME_PS
+}
+
+/// Pure ps arithmetic through the conversion helper — silent under R7.
+pub fn arrival(now_ps: u64, frame: &[u8]) -> u64 {
+    now_ps + bytes_to_ps(frame.len() as u64)
+}
+
+/// Named const into the ps constructor — silent under R7.
+pub fn gap() -> u64 {
+    from_ps(LINK_GAP_PS)
+}
+
+/// Const-derived field store — silent under R7.
+pub fn stamp(job: &mut Pending) {
+    job.deadline_ps = LINK_GAP_PS;
+}
+
+fn from_ps(ps: u64) -> u64 {
+    ps
+}

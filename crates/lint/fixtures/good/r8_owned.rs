@@ -1,0 +1,42 @@
+//! Good twin of the R8 corpus — linted as a shard module path. All state
+//! is owned by value: the shard struct holds plain containers, mutation
+//! goes through `&mut self`, and the only shared-state construct in the
+//! file sits under `#[cfg(test)]`, where R8 does not apply.
+
+use std::collections::BTreeMap;
+
+/// Per-shard state: owned, `Send` by construction, movable wholesale.
+pub struct ShardState {
+    pending: Vec<u64>,
+    by_tenant: BTreeMap<u64, u64>,
+}
+
+impl ShardState {
+    /// Creates an empty shard.
+    pub fn new() -> ShardState {
+        ShardState { pending: Vec::new(), by_tenant: BTreeMap::new() }
+    }
+
+    /// Queues a tenant's transfer on this shard only.
+    pub fn push(&mut self, tenant: u64) {
+        self.pending.push(tenant);
+        *self.by_tenant.entry(tenant).or_insert(0) += 1;
+    }
+
+    /// Transfers queued for `tenant` on this shard.
+    pub fn queued_for(&self, tenant: u64) -> u64 {
+        self.by_tenant.get(&tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ShardState;
+    use std::rc::Rc;
+
+    #[test]
+    fn rc_in_tests_is_fine() {
+        let shared = Rc::new(ShardState::new());
+        assert_eq!(shared.queued_for(7), 0);
+    }
+}

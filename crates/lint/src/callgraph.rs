@@ -1,0 +1,549 @@
+//! Approximate workspace call graph + interprocedural taint rules.
+//!
+//! Built on [`crate::resolve`]'s per-file symbols, this module links call
+//! sites to declarations across the whole workspace and runs the two
+//! reachability rules:
+//!
+//! * **R6 `det-taint`** — a function in the det-core scope *transitively*
+//!   reaches a nondeterminism source (wall clock, `thread::spawn`, RNG
+//!   seeding, iteration over a hash container) through the call graph.
+//!   The lexical R1 rule sees only the file it is looking at; R6 catches
+//!   nondeterminism laundered through helpers in non-scoped crates.
+//! * **R8 `shard-isolation` (transitive half)** — a function in a
+//!   ROADMAP-item-1 shard module reaches process-global mutable state
+//!   (`static mut`, `thread_local!`) anywhere in the workspace. Note the
+//!   deliberate asymmetry with R8's lexical half: interior-mutability
+//!   *types* (`Rc`, `RefCell`, …) are banned only lexically in the shard
+//!   files themselves, because an `Rc` inside a callee (say, a telemetry
+//!   hub) is per-instance state each shard can own privately — it does not
+//!   break Send-per-shard partitioning. Process-global state does, no
+//!   matter how many calls away it hides.
+//!
+//! Call resolution is CHA-style and deliberately over-approximate: a
+//! `.method(..)` site links to *every* workspace method of that name
+//! (minus a denylist of ubiquitous std names such as `len`/`clone` that
+//! workspace types also implement), and path calls resolve through the
+//! file's `use` map. Over-approximation errs toward extra findings, which
+//! a reasoned pragma on the function can document away.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::resolve::{normalize_crate_seg, resolve_file, FileSyms, FnDecl};
+use crate::rules::{suppressed, Violation};
+use crate::scopes::Scopes;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee (R6/R8 walk these in reverse: callee → callers).
+    pub to: usize,
+    /// 1-based line of the call site (in the caller's file).
+    pub line: u32,
+}
+
+/// A direct nondeterminism or shared-state source inside one function.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// What was found, e.g. "`Instant::now()` wall clock".
+    pub desc: String,
+    /// 1-based line of the source token.
+    pub line: u32,
+}
+
+/// How a function became tainted.
+#[derive(Debug, Clone, Copy)]
+enum Taint {
+    /// The function contains a source itself.
+    Direct,
+    /// Tainted through a call to `callee`.
+    Via { callee: usize },
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All non-test functions from graph-eligible files.
+    pub fns: Vec<FnDecl>,
+    /// Forward edges, indexed by caller.
+    pub edges: Vec<Vec<Edge>>,
+    /// Reverse edges, indexed by callee.
+    pub redges: Vec<Vec<Edge>>,
+    /// Direct nondeterminism sources per function.
+    pub det_sources: Vec<Vec<Source>>,
+    /// Direct process-global-state sources per function.
+    pub state_sources: Vec<Vec<Source>>,
+}
+
+/// Method names too ubiquitous to CHA-link: std container/iterator/trait
+/// vocabulary that workspace types also implement. Linking `.len()` to
+/// every workspace `len` would connect everything to everything. Domain
+/// method names (`submit`, `translate`, `step`, …) stay linkable.
+const CHA_DENYLIST: &[&str] = &[
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "clear",
+    "clone",
+    "contains",
+    "contains_key",
+    "entry",
+    "extend",
+    "drain",
+    "retain",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "min",
+    "max",
+    "cmp",
+    "partial_cmp",
+    "eq",
+    "fmt",
+    "hash",
+    "default",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "to_string",
+    "new",
+    "with_capacity",
+];
+
+/// Hash-container methods whose results depend on iteration order.
+const HASH_ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain", "retain"];
+
+impl Graph {
+    /// Builds the graph from lexed files (workspace-relative path + lexed
+    /// source). Files outside any library module tree (tests, benches,
+    /// examples) and `#[cfg(test)]` functions are excluded.
+    pub fn build(files: &[(String, Lexed)]) -> Graph {
+        let syms: Vec<FileSyms> =
+            files.iter().map(|(path, lexed)| resolve_file(path, lexed)).collect();
+
+        let mut global_statics: BTreeSet<String> = BTreeSet::new();
+        for s in &syms {
+            if s.module.is_some() {
+                global_statics.extend(s.mut_statics.iter().cloned());
+            }
+        }
+
+        let mut g = Graph::default();
+        let mut fn_file: Vec<usize> = Vec::new();
+        for (file_idx, s) in syms.iter().enumerate() {
+            if s.module.is_none() {
+                continue;
+            }
+            for decl in &s.fns {
+                if decl.is_test {
+                    continue;
+                }
+                g.fns.push(decl.clone());
+                fn_file.push(file_idx);
+            }
+        }
+
+        // Indices for call resolution.
+        let mut free: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut by_owner: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (idx, f) in g.fns.iter().enumerate() {
+            match &f.owner {
+                None => free.entry((f.module.clone(), f.name.clone())).or_default().push(idx),
+                Some(owner) => {
+                    by_owner.entry((owner.clone(), f.name.clone())).or_default().push(idx);
+                    by_name.entry(f.name.clone()).or_default().push(idx);
+                }
+            }
+        }
+
+        g.edges = vec![Vec::new(); g.fns.len()];
+        g.redges = vec![Vec::new(); g.fns.len()];
+        g.det_sources = vec![Vec::new(); g.fns.len()];
+        g.state_sources = vec![Vec::new(); g.fns.len()];
+
+        for (caller, &file_idx) in fn_file.iter().enumerate() {
+            let tokens = &files[file_idx].1.tokens;
+            let file_syms = &syms[file_idx];
+            let (start, end) = g.fns[caller].body;
+            let mut seen_edges: BTreeSet<usize> = BTreeSet::new();
+            let mut j = start;
+            while j < end.min(tokens.len()) {
+                let t = &tokens[j];
+                if t.kind != TokenKind::Ident {
+                    j += 1;
+                    continue;
+                }
+                scan_sources(
+                    tokens,
+                    j,
+                    file_syms,
+                    &global_statics,
+                    &mut g.det_sources[caller],
+                    &mut g.state_sources[caller],
+                );
+                if is_call_site(tokens, j)
+                    && !tokens.get(j.wrapping_sub(1)).is_some_and(|p| p.is_ident("fn"))
+                {
+                    let callees = if j > start && tokens[j - 1].is_punct(".") {
+                        // Method call: CHA by name, minus the denylist.
+                        if CHA_DENYLIST.contains(&t.text.as_str()) {
+                            Vec::new()
+                        } else {
+                            by_name.get(&t.text).cloned().unwrap_or_default()
+                        }
+                    } else {
+                        let segs = path_before(tokens, j, start);
+                        resolve_path_call(
+                            &segs,
+                            &t.text,
+                            &g.fns[caller],
+                            file_syms,
+                            &free,
+                            &by_owner,
+                        )
+                    };
+                    for callee in callees {
+                        if callee != caller && seen_edges.insert(callee) {
+                            g.edges[caller].push(Edge { to: callee, line: t.line });
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+
+        for caller in 0..g.fns.len() {
+            for e in g.edges[caller].clone() {
+                g.redges[e.to].push(Edge { to: caller, line: e.line });
+            }
+        }
+        g
+    }
+
+    /// Finds a function by module path and name (tests use this).
+    pub fn find(&self, module: &str, name: &str) -> Option<usize> {
+        self.fns.iter().position(|f| f.module == module && f.name == name)
+    }
+
+    /// `module::name` or `module::Owner::name` for messages.
+    pub fn qualified(&self, idx: usize) -> String {
+        let f = &self.fns[idx];
+        match &f.owner {
+            Some(o) => format!("{}::{}::{}", f.module, o, f.name),
+            None => format!("{}::{}", f.module, f.name),
+        }
+    }
+
+    /// Reverse-BFS taint: marks every function that reaches a seed (a
+    /// function with a direct source) through the call graph. Cycle-safe:
+    /// each function is tainted at most once (first, shortest discovery).
+    fn propagate(&self, sources: &[Vec<Source>]) -> Vec<Option<Taint>> {
+        let mut taint: Vec<Option<Taint>> = vec![None; self.fns.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for (idx, s) in sources.iter().enumerate() {
+            if !s.is_empty() {
+                taint[idx] = Some(Taint::Direct);
+                queue.push(idx);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let f = queue[head];
+            head += 1;
+            for e in &self.redges[f] {
+                if taint[e.to].is_none() {
+                    taint[e.to] = Some(Taint::Via { callee: f });
+                    queue.push(e.to);
+                }
+            }
+        }
+        taint
+    }
+
+    /// Renders the call chain from `start` to its source root:
+    /// `(chain of callee names, root index)`.
+    fn chain(&self, taint: &[Option<Taint>], start: usize) -> (Vec<String>, usize) {
+        let mut names = Vec::new();
+        let mut cur = start;
+        loop {
+            match taint[cur] {
+                Some(Taint::Via { callee, .. }) => {
+                    names.push(self.qualified(callee));
+                    cur = callee;
+                }
+                _ => return (names, cur),
+            }
+        }
+    }
+}
+
+/// True if the ident at `j` is directly called: followed by `(`, allowing
+/// a turbofish (`collect::<Vec<_>>(..)`) in between.
+fn is_call_site(tokens: &[Token], j: usize) -> bool {
+    match tokens.get(j + 1) {
+        Some(n) if n.is_punct("(") => true,
+        Some(n) if n.is_punct("::") && tokens.get(j + 2).is_some_and(|a| a.is_punct("<")) => {
+            let mut depth = 0usize;
+            let mut k = j + 2;
+            while k < tokens.len() {
+                if tokens[k].is_punct("<") {
+                    depth += 1;
+                } else if tokens[k].is_punct(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return tokens.get(k + 1).is_some_and(|a| a.is_punct("("));
+                    }
+                }
+                k += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Collects the `::`-joined path segments immediately before the called
+/// ident at `j` (`dsa_sim :: time :: scale_bytes(` → `[dsa_sim, time]`).
+fn path_before(tokens: &[Token], j: usize, start: usize) -> Vec<String> {
+    let mut segs = Vec::new();
+    let mut k = j;
+    while k >= start + 2 && tokens[k - 1].is_punct("::") && tokens[k - 2].kind == TokenKind::Ident {
+        segs.push(tokens[k - 2].text.clone());
+        k -= 2;
+    }
+    segs.reverse();
+    segs
+}
+
+/// Resolves a non-method call (`name(..)` or `path::name(..)`) to zero or
+/// more workspace functions.
+fn resolve_path_call(
+    segs: &[String],
+    name: &str,
+    caller: &FnDecl,
+    syms: &FileSyms,
+    free: &BTreeMap<(String, String), Vec<usize>>,
+    by_owner: &BTreeMap<(String, String), Vec<usize>>,
+) -> Vec<usize> {
+    // Expand the head segment through the use map / path keywords into a
+    // full path, then try both readings: `module::fn` and `Type::method`.
+    let full: Vec<String> = if segs.is_empty() {
+        match syms.uses.get(name) {
+            Some(path) => path.clone(),
+            // Unqualified call: same-module free function.
+            None => {
+                let mut p: Vec<String> = caller.module.split("::").map(|s| s.to_string()).collect();
+                p.push(name.to_string());
+                p
+            }
+        }
+    } else {
+        let mut p: Vec<String> = match segs[0].as_str() {
+            "crate" => {
+                let root = caller.module.split("::").next().unwrap_or("?");
+                let mut v = vec![root.to_string()];
+                v.extend(segs[1..].iter().cloned());
+                v
+            }
+            "self" => {
+                let mut v: Vec<String> = caller.module.split("::").map(|s| s.to_string()).collect();
+                v.extend(segs[1..].iter().cloned());
+                v
+            }
+            "super" => {
+                let mut v: Vec<String> = caller.module.split("::").map(|s| s.to_string()).collect();
+                v.pop();
+                v.extend(segs[1..].iter().cloned());
+                v
+            }
+            "Self" => {
+                // `Self::helper()` — resolve against the enclosing impl.
+                let mut v = Vec::new();
+                if let Some(owner) = &caller.owner {
+                    v.push(owner.clone());
+                }
+                v.extend(segs[1..].iter().cloned());
+                v
+            }
+            head => match syms.uses.get(head) {
+                Some(path) => {
+                    let mut v = path.clone();
+                    v.extend(segs[1..].iter().cloned());
+                    v
+                }
+                None => {
+                    let mut v = vec![normalize_crate_seg(head)];
+                    v.extend(segs[1..].iter().cloned());
+                    v
+                }
+            },
+        };
+        p.push(name.to_string());
+        p
+    };
+
+    let mut out = Vec::new();
+    if full.len() >= 2 {
+        // Look up by the path's final segment, not the spelled name: for
+        // an aliased import (`use m::walk_cost as wc;` then `wc(x)`) the
+        // declaration is under the target name, not the alias.
+        let fn_name = full[full.len() - 1].clone();
+        let module = full[..full.len() - 1].join("::");
+        if let Some(hits) = free.get(&(module, fn_name.clone())) {
+            out.extend(hits.iter().copied());
+        }
+        let owner = &full[full.len() - 2];
+        if let Some(hits) = by_owner.get(&(owner.clone(), fn_name)) {
+            out.extend(hits.iter().copied());
+        }
+    }
+    out
+}
+
+/// Checks the ident at `j` for direct nondeterminism / global-state
+/// sources and records them.
+fn scan_sources(
+    tokens: &[Token],
+    j: usize,
+    syms: &FileSyms,
+    global_statics: &BTreeSet<String>,
+    det: &mut Vec<Source>,
+    state: &mut Vec<Source>,
+) {
+    let t = &tokens[j];
+    let prev_is = |off: usize, s: &str| j >= off && tokens[j - off].text == s;
+    let next_is = |off: usize, s: &str| tokens.get(j + off).is_some_and(|t| t.text == s);
+    match t.text.as_str() {
+        "SystemTime" => {
+            det.push(Source { desc: "std::time::SystemTime wall clock".into(), line: t.line })
+        }
+        "Instant"
+            if (prev_is(1, "::") && prev_is(2, "time"))
+                || (next_is(1, "::") && next_is(2, "now")) =>
+        {
+            det.push(Source { desc: "std::time::Instant wall clock".into(), line: t.line })
+        }
+        "spawn" if prev_is(1, "::") && prev_is(2, "thread") => det
+            .push(Source { desc: "thread::spawn scheduling nondeterminism".into(), line: t.line }),
+        "thread_rng" | "from_entropy" => {
+            det.push(Source { desc: format!("`{}` entropy-seeded RNG", t.text), line: t.line })
+        }
+        name if syms.hash_names.contains(name) => {
+            // Iteration over a hash-typed binding: `name.iter()` family or
+            // `for x in [&][mut] name`.
+            let method_iter = next_is(1, ".")
+                && tokens.get(j + 2).is_some_and(|m| HASH_ITER_METHODS.contains(&m.text.as_str()))
+                && next_is(3, "(");
+            let mut p = j;
+            while p > 0 && matches!(tokens[p - 1].text.as_str(), "&" | "mut") {
+                p -= 1;
+            }
+            let for_iter = p > 0 && tokens[p - 1].is_ident("in");
+            if method_iter || for_iter {
+                det.push(Source {
+                    desc: format!("iteration over hash container `{name}`"),
+                    line: t.line,
+                });
+            }
+        }
+        _ => {}
+    }
+    if global_statics.contains(&t.text) {
+        state.push(Source {
+            desc: format!("process-global mutable state `{}`", t.text),
+            line: t.line,
+        });
+    }
+}
+
+/// Runs the workspace-level rules (R6 det-taint, R8 shard-isolation's
+/// transitive half) and applies pragma suppression per declaring file.
+pub fn check_workspace(files: &[(String, Lexed)]) -> Vec<Violation> {
+    let g = Graph::build(files);
+    let det_taint = g.propagate(&g.det_sources);
+    let state_taint = g.propagate(&g.state_sources);
+    let pragmas: BTreeMap<&str, &Lexed> = files.iter().map(|(p, l)| (p.as_str(), l)).collect();
+    let scopes = Scopes::builtin();
+
+    let mut out = Vec::new();
+    for idx in 0..g.fns.len() {
+        let decl = &g.fns[idx];
+        // R6: det-core functions that *transitively* reach a source.
+        // Direct sources inside det-core files are R1's (lexical) job —
+        // reporting them twice would be noise.
+        if scopes.in_scope("det-core", &decl.file) {
+            if let Some(Taint::Via { .. }) = det_taint[idx] {
+                let (chain, root) = g.chain(&det_taint, idx);
+                let src = &g.det_sources[root][0];
+                out.push(Violation {
+                    file: decl.file.clone(),
+                    line: decl.line,
+                    rule: "det-taint",
+                    message: format!(
+                        "fn `{}` reaches nondeterminism source ({}, {}:{}) via {}",
+                        g.qualified(idx),
+                        src.desc,
+                        g.fns[root].file,
+                        src.line,
+                        chain.join(" -> "),
+                    ),
+                });
+            }
+        }
+        // R8 transitive: shard modules reaching global mutable state,
+        // whether they touch it directly or through any call chain.
+        if scopes.in_scope("shard-isolation", &decl.file) {
+            match state_taint[idx] {
+                Some(Taint::Direct) => {
+                    let src = &g.state_sources[idx][0];
+                    out.push(Violation {
+                        file: decl.file.clone(),
+                        line: decl.line,
+                        rule: "shard-isolation",
+                        message: format!(
+                            "fn `{}` touches {} (declared workspace-wide); shard modules \
+                             must own their state",
+                            g.qualified(idx),
+                            src.desc,
+                        ),
+                    });
+                }
+                Some(Taint::Via { .. }) => {
+                    let (chain, root) = g.chain(&state_taint, idx);
+                    let src = &g.state_sources[root][0];
+                    out.push(Violation {
+                        file: decl.file.clone(),
+                        line: decl.line,
+                        rule: "shard-isolation",
+                        message: format!(
+                            "fn `{}` reaches {} ({}:{}) via {}; shard modules must own \
+                             their state",
+                            g.qualified(idx),
+                            src.desc,
+                            g.fns[root].file,
+                            src.line,
+                            chain.join(" -> "),
+                        ),
+                    });
+                }
+                None => {}
+            }
+        }
+    }
+
+    out.retain(|v| {
+        !pragmas.get(v.file.as_str()).is_some_and(|l| suppressed(&l.pragmas, v.rule, v.line))
+    });
+    out
+}

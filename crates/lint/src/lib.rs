@@ -6,11 +6,21 @@
 //!
 //! | rule | name | checks |
 //! |------|------|--------|
-//! | R1 | `nondeterminism` | no `std::time::Instant`/`SystemTime`, no `thread::spawn`; no `HashMap`/`HashSet` in `crates/{sim,device,core}/src` |
+//! | R1 | `nondeterminism` | no `std::time::Instant`/`SystemTime`, no `thread::spawn`; no `HashMap`/`HashSet` in the det-core scope |
 //! | R2 | `unwrap` | no `.unwrap()`/`.expect()` in library non-test code |
 //! | R3 | `float-cast` | no float↔int `as` casts in timeline arithmetic outside `sim::time` |
 //! | R4 | `raw-descriptor` | no raw `Descriptor { .. }` literals bypassing `Descriptor::validate()` |
 //! | R5 | `hot-alloc` | no `Box::new`/`Vec::new`/`vec![..]`/`.to_vec()`/`.clone()` in the designated hot-path modules |
+//! | R6 | `det-taint` | no det-core function may *transitively* reach a nondeterminism source through the call graph |
+//! | R7 | `unit-consistency` | no ps/byte mixing and no raw literals across ps boundaries in timeline math |
+//! | R8 | `shard-isolation` | no shared-mutable-state constructs in (or reachable from) the ROADMAP-item-1 shard modules |
+//!
+//! R1–R5 and R7 plus R8's lexical half are per-file token scans
+//! ([`rules`]). R6 and R8's transitive half are *workspace* rules: a
+//! resolution pass ([`resolve`]) builds a symbol table, [`callgraph`]
+//! links call sites across crates, and taint propagates over the reversed
+//! edges. Rule scopes are data, not code: `crates/lint/scopes.toml`,
+//! parsed by [`scopes`].
 //!
 //! Exceptions are documented inline with `// dsa-lint: allow(rule, reason)`.
 //! See `crates/lint/RULES.md` for the full rationale.
@@ -19,8 +29,11 @@
 //! Cargo.lock stays dependency-free), so parsing is done by a hand-rolled
 //! lexer in [`lexer`] rather than `syn`.
 
+pub mod callgraph;
 pub mod lexer;
+pub mod resolve;
 pub mod rules;
+pub mod scopes;
 
 pub use rules::{check_file, Violation, RULES};
 
@@ -30,21 +43,37 @@ use std::path::{Path, PathBuf};
 /// Directories never descended into during the workspace walk.
 const SKIP_DIRS: &[&str] = &["target", "fixtures"];
 
+/// Lints a set of in-memory files (workspace-relative path + source) as
+/// one workspace: every per-file rule runs on each file, then the
+/// resolution pass builds the cross-file call graph and the workspace
+/// rules (R6 `det-taint`, R8's transitive half) run over it. Returns
+/// violations sorted by file and line.
+pub fn check_files(files: &[(String, String)]) -> Vec<Violation> {
+    let lexed: Vec<(String, lexer::Lexed)> =
+        files.iter().map(|(path, source)| (path.clone(), lexer::lex(source))).collect();
+    let mut out = Vec::new();
+    for (path, lex) in &lexed {
+        out.extend(rules::check_lexed(path, lex));
+    }
+    out.extend(callgraph::check_workspace(&lexed));
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)).then(a.rule.cmp(b.rule)));
+    out
+}
+
 /// Lints every `.rs` file under `root` (skipping `target/`, hidden
 /// directories, and lint fixture corpora). Returns violations sorted by
 /// file and line.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
-    let mut files = Vec::new();
-    collect_rs(root, Path::new(""), &mut files)?;
-    files.sort();
-    let mut out = Vec::new();
-    for rel in files {
+    let mut paths = Vec::new();
+    collect_rs(root, Path::new(""), &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in paths {
         let source = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        out.extend(rules::check_file(&rel_str, &source));
+        files.push((rel_str, source));
     }
-    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(out)
+    Ok(check_files(&files))
 }
 
 fn collect_rs(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

@@ -3,19 +3,41 @@
 //! ```text
 //! cargo run -p dsa-lint              # report violations
 //! cargo run -p dsa-lint -- --deny    # exit non-zero if any (the CI gate)
+//! cargo run -p dsa-lint -- --json    # machine-readable findings on stdout
 //! cargo run -p dsa-lint -- --root P  # lint a different workspace root
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Escapes a string for a JSON string literal (the crate is
+/// dependency-free, so no serde — findings are flat and the escape set
+/// small enough to write by hand).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let mut deny = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -27,9 +49,10 @@ fn main() -> ExitCode {
                 println!(
                     "dsa-lint: workspace determinism + DSA-spec conformance linter\n\
                      \n\
-                     usage: dsa-lint [--deny] [--root PATH]\n\
+                     usage: dsa-lint [--deny] [--json] [--root PATH]\n\
                      \n\
                      --deny   exit non-zero if any violation is found (CI gate)\n\
+                     --json   print findings as a JSON array on stdout\n\
                      --root   workspace root to lint (default: found from cwd)\n\
                      \n\
                      rules: {}\n\
@@ -63,14 +86,41 @@ fn main() -> ExitCode {
         }
     };
 
-    for v in &violations {
-        println!("{v}");
+    if json {
+        // One finding per object; stable field order; the whole report is
+        // a single array so `jq`/problem-matcher consumers need no
+        // line-format knowledge.
+        let items: Vec<String> = violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                    json_escape(&v.file),
+                    v.line,
+                    v.rule,
+                    json_escape(&v.message)
+                )
+            })
+            .collect();
+        if items.is_empty() {
+            println!("[]");
+        } else {
+            println!("[\n{}\n]", items.join(",\n"));
+        }
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
     }
     if violations.is_empty() {
-        println!("dsa-lint: clean ({} rules enforced)", dsa_lint::RULES.len());
+        if !json {
+            println!("dsa-lint: clean ({} rules enforced)", dsa_lint::RULES.len());
+        }
         ExitCode::SUCCESS
     } else {
-        println!("dsa-lint: {} violation(s)", violations.len());
+        if !json {
+            println!("dsa-lint: {} violation(s)", violations.len());
+        }
         if deny {
             ExitCode::FAILURE
         } else {

@@ -13,12 +13,15 @@ use std::collections::BTreeSet;
 
 /// Canonical rule names, in severity-agnostic display order.
 pub const RULES: &[&str] = &[
-    "nondeterminism", // R1
-    "unwrap",         // R2
-    "float-cast",     // R3
-    "raw-descriptor", // R4
-    "hot-alloc",      // R5
-    "pragma",         // pragma hygiene
+    "nondeterminism",   // R1
+    "unwrap",           // R2
+    "float-cast",       // R3
+    "raw-descriptor",   // R4
+    "hot-alloc",        // R5
+    "det-taint",        // R6 (interprocedural, see crate::callgraph)
+    "unit-consistency", // R7
+    "shard-isolation",  // R8 (lexical half here; transitive half in callgraph)
+    "pragma",           // pragma hygiene
 ];
 
 /// One lint finding.
@@ -40,7 +43,7 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Maps a pragma's rule argument (canonical name or `r1`..`r4` shorthand)
+/// Maps a pragma's rule argument (canonical name or `r1`..`r8` shorthand)
 /// to the canonical name, or `None` if unknown.
 fn canonical_rule(name: &str) -> Option<&'static str> {
     match name {
@@ -49,43 +52,54 @@ fn canonical_rule(name: &str) -> Option<&'static str> {
         "r3" | "float-cast" => Some("float-cast"),
         "r4" | "raw-descriptor" => Some("raw-descriptor"),
         "r5" | "hot-alloc" => Some("hot-alloc"),
+        "r6" | "det-taint" => Some("det-taint"),
+        "r7" | "unit-consistency" => Some("unit-consistency"),
+        "r8" | "shard-isolation" => Some("shard-isolation"),
         "pragma" => Some("pragma"),
         _ => None,
     }
 }
 
+/// True if a pragma in `pragmas` suppresses `rule` at `line` (a pragma
+/// covers its own line and the line directly below). Shared between the
+/// per-file engine and the workspace (call-graph) rules.
+pub(crate) fn suppressed(pragmas: &[crate::lexer::Pragma], rule: &'static str, line: u32) -> bool {
+    pragmas
+        .iter()
+        .any(|p| canonical_rule(&p.rule) == Some(rule) && (p.line == line || p.line + 1 == line))
+}
+
 /// True for files in the deterministic-simulation core, where the strictest
-/// rules (hash containers, float casts) apply.
+/// rules (hash containers, det-taint) apply. The member list lives in
+/// `crates/lint/scopes.toml` (`[det-core]`) — rule scope is data, not code.
 fn in_det_core(path: &str) -> bool {
-    path.starts_with("crates/sim/src/")
-        || path.starts_with("crates/device/src/")
-        || path.starts_with("crates/core/src/")
-        || path.starts_with("crates/svc/src/")
-        // The causal-attribution module feeds replay digests and the
-        // critical-path report, so it carries the same determinism
-        // contract as the sim core even though the rest of the
-        // telemetry crate (exporters, pretty-printers) does not.
-        || path == "crates/telemetry/src/causal.rs"
+    crate::scopes::Scopes::builtin().in_scope("det-core", path)
+}
+
+/// True for files doing integer-picosecond timeline arithmetic, where R3
+/// (float-cast) and R7 (unit-consistency) apply. Wider than det-core: it
+/// pulls in `crates/mem/src`, whose link math converts bytes to
+/// picoseconds. `sim/src/time.rs` is carved out — it is the sanctioned
+/// home for conversions. See `[timeline-math]` in `crates/lint/scopes.toml`.
+fn in_timeline_math(path: &str) -> bool {
+    crate::scopes::Scopes::builtin().in_scope("timeline-math", path)
 }
 
 /// True for the designated hot-path modules, where steady-state heap
 /// allocation is banned (R5). These are the files the zero-allocation
-/// audits (`crates/{sim,core}/tests/zero_alloc.rs`) measure: the SoA event
-/// store and schedulers the engine's pop/push loop runs on, the compiled
-/// op-program replay path, and the byte-level op kernels executed per
-/// descriptor. The list is explicit (not directory-based) because sibling
-/// modules in the same crates allocate by design — e.g. delta-record ops
-/// return owned buffers, and `prepare()`-time builders are the sanctioned
-/// home for allocation.
+/// audits (`crates/{sim,core}/tests/zero_alloc.rs`) measure. The list is
+/// explicit (not directory-based) because sibling modules in the same
+/// crates allocate by design; it lives in `crates/lint/scopes.toml`
+/// (`[hot-alloc]`).
 fn in_hot_path(path: &str) -> bool {
-    matches!(
-        path,
-        "crates/sim/src/store.rs"
-            | "crates/sim/src/sched.rs"
-            | "crates/core/src/program.rs"
-            | "crates/ops/src/memops.rs"
-            | "crates/ops/src/crc32.rs"
-    )
+    crate::scopes::Scopes::builtin().in_scope("hot-alloc", path)
+}
+
+/// True for the modules ROADMAP item 1 will run one-per-shard-thread,
+/// where R8 bans shared-mutable-state constructs. See `[shard-isolation]`
+/// in `crates/lint/scopes.toml`.
+fn in_shard_scope(path: &str) -> bool {
+    crate::scopes::Scopes::builtin().in_scope("shard-isolation", path)
 }
 
 /// True for library source (any crate's `src/`, including the root package).
@@ -119,11 +133,15 @@ pub fn check_lexed(path: &str, lexed: &Lexed) -> Vec<Violation> {
             rule_unwrap(path, tokens, &test_lines, &mut raw);
             rule_raw_descriptor(path, tokens, &test_lines, &mut raw);
         }
-        if in_det_core(path) && path != "crates/sim/src/time.rs" {
+        if in_timeline_math(path) {
             rule_float_cast(path, tokens, &test_lines, &mut raw);
+            rule_unit_consistency(path, tokens, &test_lines, &mut raw);
         }
         if in_hot_path(path) {
             rule_hot_alloc(path, tokens, &test_lines, &mut raw);
+        }
+        if in_shard_scope(path) {
+            rule_shard_isolation(path, tokens, &test_lines, &mut raw);
         }
     }
 
@@ -153,20 +171,14 @@ pub fn check_lexed(path: &str, lexed: &Lexed) -> Vec<Violation> {
 
     // Apply suppressions: a pragma on the violation's line or the line above
     // silences that rule there. Pragma-hygiene findings are never silenced.
-    raw.retain(|v| {
-        if v.rule == "pragma" {
-            return true;
-        }
-        !lexed.pragmas.iter().any(|p| {
-            canonical_rule(&p.rule) == Some(v.rule) && (p.line == v.line || p.line + 1 == v.line)
-        })
-    });
+    raw.retain(|v| v.rule == "pragma" || !suppressed(&lexed.pragmas, v.rule, v.line));
     raw
 }
 
 /// Computes the set of source lines covered by `#[cfg(test)]` / `#[test]`
-/// items, by brace-matching the item that follows the attribute.
-fn test_line_set(tokens: &[Token]) -> BTreeSet<u32> {
+/// items, by brace-matching the item that follows the attribute. Also used
+/// by the resolver to mark test functions out of the call graph.
+pub(crate) fn test_line_set(tokens: &[Token]) -> BTreeSet<u32> {
     let mut set = BTreeSet::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -447,6 +459,243 @@ fn rule_hot_alloc(
     }
 }
 
+/// True if the (lowercased) identifier names a picosecond-typed value:
+/// the workspace convention is a `_ps` suffix (`interval_ps`, `GAP_PS`)
+/// or the `as_ps()` accessor.
+fn is_ps_ident(name: &str) -> bool {
+    let l = name.to_ascii_lowercase();
+    l.ends_with("_ps") || l == "as_ps"
+}
+
+/// True if the identifier names a byte-count value: `len()`, a `_len`
+/// suffix, or anything spelled with `bytes`.
+fn is_bytes_ident(name: &str) -> bool {
+    let l = name.to_ascii_lowercase();
+    l.contains("bytes") || l == "len" || l.ends_with("_len") || l == "nbytes"
+}
+
+/// Punct tokens a term walk stops at (additive/comparison/statement
+/// boundaries). Multiplicative operators continue the walk: in
+/// `bytes * PS_PER_BYTE` the factors form *one* term, so a named
+/// conversion constant neutralizes the byte operand.
+fn is_term_boundary(text: &str) -> bool {
+    matches!(text, "+" | "-" | ";" | "," | "{" | "}" | "=" | "<" | ">" | "&" | "|" | "?" | "..")
+}
+
+/// Collects identifier texts of the term starting at `k` (walking right).
+fn term_idents_fwd(tokens: &[Token], mut k: usize, out: &mut Vec<String>) {
+    let mut depth = 0usize;
+    for _ in 0..16 {
+        let Some(t) = tokens.get(k) else { return };
+        match t.kind {
+            TokenKind::Ident => out.push(t.text.clone()),
+            TokenKind::Punct => match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" if depth == 0 => return,
+                ")" | "]" => depth -= 1,
+                "." | "::" | "*" | "/" => {}
+                other if depth == 0 && is_term_boundary(other) => return,
+                _ => {}
+            },
+            _ => {}
+        }
+        k += 1;
+    }
+}
+
+/// Collects identifier texts of the term ending at `k` (walking left).
+fn term_idents_back(tokens: &[Token], mut k: usize, out: &mut Vec<String>) {
+    let mut depth = 0usize;
+    for _ in 0..16 {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Ident => out.push(t.text.clone()),
+            TokenKind::Punct => match t.text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" if depth == 0 => return,
+                "(" | "[" => depth -= 1,
+                "." | "::" | "*" | "/" => {}
+                other if depth == 0 && is_term_boundary(other) => return,
+                _ => {}
+            },
+            _ => {}
+        }
+        if k == 0 {
+            return;
+        }
+        k -= 1;
+    }
+}
+
+/// True if the statement containing token `i` is a `const`/`static` item —
+/// the sanctioned home for raw ps literals (naming the constant *is* the
+/// fix R7 asks for).
+fn stmt_is_const_item(tokens: &[Token], i: usize) -> bool {
+    let mut start = i;
+    while start > 0 {
+        let t = &tokens[start - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        start -= 1;
+    }
+    tokens[start..(start + 3).min(tokens.len())]
+        .iter()
+        .any(|t| t.is_ident("const") || t.is_ident("static"))
+}
+
+/// R7: unit consistency in timeline math. Two heuristics over the `u64`
+/// ps/bytes convention:
+///
+/// 1. An additive expression with a picosecond term on one side and a
+///    byte-count term on the other (`deadline_ps + frame.len()`). Terms
+///    extend across `*`//`, so a conversion factor (`bytes *
+///    PS_PER_BYTE`) makes the term ps-typed and is not flagged.
+/// 2. A bare integer literal crossing a ps API boundary — `from_ps(5_000)`
+///    or `timeout_ps = 2_500_000` — outside a `const`/`static` item. The
+///    magic number's unit lives only in the author's head; naming it
+///    (`const LINK_GAP_PS`) or deriving it (`SimDuration::from_ns`) keeps
+///    the unit in the source.
+fn rule_unit_consistency(
+    path: &str,
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if test_lines.contains(&t.line) {
+            continue;
+        }
+        // (1) ps ± bytes mixes.
+        if t.kind == TokenKind::Punct && (t.text == "+" || t.text == "-") && i > 0 {
+            let prev = &tokens[i - 1];
+            let binary = matches!(prev.kind, TokenKind::Ident | TokenKind::Number)
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if !binary {
+                continue;
+            }
+            let rhs =
+                if tokens.get(i + 1).is_some_and(|e| e.is_punct("=")) { i + 2 } else { i + 1 };
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            term_idents_back(tokens, i - 1, &mut left);
+            term_idents_fwd(tokens, rhs, &mut right);
+            let class = |ids: &[String]| {
+                (ids.iter().any(|n| is_ps_ident(n)), ids.iter().any(|n| is_bytes_ident(n)))
+            };
+            let (lp, lb) = class(&left);
+            let (rp, rb) = class(&right);
+            if (lp && !lb && rb && !rp) || (rp && !rb && lb && !lp) {
+                flag(
+                    out,
+                    path,
+                    t.line,
+                    "unit-consistency",
+                    "arithmetic mixes picosecond and byte-count terms; convert \
+                     explicitly (scale_bytes / SimDuration arithmetic) before combining",
+                );
+            }
+        }
+        // (2) raw literals crossing a ps boundary.
+        if t.kind == TokenKind::Ident && is_ps_ident(&t.text) && !stmt_is_const_item(tokens, i) {
+            let lit = match (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3)) {
+                (Some(open), Some(n), Some(close))
+                    if open.is_punct("(") && n.kind == TokenKind::Number && close.is_punct(")") =>
+                {
+                    Some(n)
+                }
+                (Some(eq), Some(n), _)
+                    if (eq.is_punct("=") || eq.is_punct(":")) && n.kind == TokenKind::Number =>
+                {
+                    Some(n)
+                }
+                _ => None,
+            };
+            if let Some(n) = lit {
+                let digits: String = n.text.chars().filter(|c| c.is_ascii_digit()).collect();
+                let trivial = digits.chars().all(|c| c == '0')
+                    || digits.trim_start_matches('0').parse::<u64>() == Ok(1);
+                if !trivial {
+                    flag(
+                        out,
+                        path,
+                        n.line,
+                        "unit-consistency",
+                        format!(
+                            "raw literal `{}` crosses a picosecond boundary; name it \
+                             (`const .._PS`) or derive it (SimDuration::from_ns/from_us)",
+                            n.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// R8 (lexical half): shared-mutable-state constructs banned in the
+/// ROADMAP-item-1 shard modules. Each shard thread will own its engine,
+/// scheduler, store, and service slice outright; `Rc`/`RefCell` make the
+/// types `!Send`, interior mutability hides writes from the
+/// one-owner-per-shard story, and `static mut` / `thread_local!` /
+/// atomics are process-global by construction. The transitive half
+/// (reaching global state through calls) lives in `crate::callgraph`.
+fn rule_shard_isolation(
+    path: &str,
+    tokens: &[Token],
+    test_lines: &BTreeSet<u32>,
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || test_lines.contains(&t.line) {
+            continue;
+        }
+        let next_is = |offset: usize, s: &str| tokens.get(i + offset).is_some_and(|t| t.text == s);
+        match t.text.as_str() {
+            "Rc" | "RefCell" | "Cell" | "UnsafeCell" | "OnceCell" | "OnceLock" | "Mutex"
+            | "RwLock" => flag(
+                out,
+                path,
+                t.line,
+                "shard-isolation",
+                format!(
+                    "`{}` breaks Send-per-shard partitioning; shard modules own their \
+                     state outright (or document the invariant with a pragma)",
+                    t.text
+                ),
+            ),
+            "static" if next_is(1, "mut") => flag(
+                out,
+                path,
+                t.line,
+                "shard-isolation",
+                "`static mut` is process-global state; shard modules must not share \
+                 mutable state",
+            ),
+            "thread_local" if next_is(1, "!") => flag(
+                out,
+                path,
+                t.line,
+                "shard-isolation",
+                "`thread_local!` pins state to OS threads; shard state must live in \
+                 the shard's own struct",
+            ),
+            name if name.starts_with("Atomic") && name.len() > "Atomic".len() => flag(
+                out,
+                path,
+                t.line,
+                "shard-isolation",
+                format!(
+                    "`{name}` implies cross-thread shared state; shards communicate \
+                     only through the merge step"
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
 /// Tokens that, when immediately preceding `Descriptor {`, mean the brace
 /// opens an item body or impl block rather than a struct literal.
 const TYPE_POSITION_PREV: &[&str] = &["impl", "for", "struct", "enum", "trait", "mod", "dyn", "->"];
@@ -642,5 +891,75 @@ mod tests {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert!(lint("crates/core/tests/it.rs", src).is_empty());
         assert!(lint("tests/smoke.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_ps_byte_mixes() {
+        let src = "fn f(now_ps: u64, frame: &[u8]) -> u64 { now_ps + frame.len() as u64 }\n";
+        let v = lint("crates/sim/src/x.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "unit-consistency").count(), 1, "{v:?}");
+        // The mem crate's link math is in the timeline-math scope too.
+        let v = lint("crates/mem/src/x.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "unit-consistency").count(), 1, "{v:?}");
+        // Outside the scope the same code is legal.
+        assert!(lint("crates/workloads/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_allows_pure_ps_sums_and_conversions() {
+        // Both sides ps-typed, including through method calls and factors.
+        let a = "fn f(t: SimTime, earned: u64, interval_ps: u64) -> u64 {\n\
+                 t.as_ps() + earned * interval_ps }\n";
+        assert!(lint("crates/svc/src/x.rs", a).is_empty(), "pure ps sum");
+        // A named conversion constant makes the byte factor a ps term.
+        let b = "fn f(now_ps: u64, bytes: u64) -> u64 { now_ps + bytes * LINK_PS_PER_BYTE_PS }\n";
+        assert!(lint("crates/sim/src/x.rs", b).is_empty(), "converted term");
+        // Pure byte math never fires.
+        let c = "fn f(a_bytes: u64, chunk: &[u8]) -> u64 { a_bytes + chunk.len() as u64 }\n";
+        assert!(lint("crates/sim/src/x.rs", c).is_empty(), "pure bytes");
+    }
+
+    #[test]
+    fn r7_flags_raw_literals_crossing_ps_boundaries() {
+        let call = "fn f() -> SimTime { SimTime::from_ps(2_500_000) }\n";
+        let v = lint("crates/sim/src/x.rs", call);
+        assert_eq!(v.iter().filter(|v| v.rule == "unit-consistency").count(), 1, "{v:?}");
+        let assign = "fn f(mut j: Job) { j.deadline_ps = 5_000_000; }\n";
+        let v = lint("crates/svc/src/x.rs", assign);
+        assert_eq!(v.iter().filter(|v| v.rule == "unit-consistency").count(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn r7_named_consts_and_trivial_literals_are_sanctioned() {
+        let named = "const LINK_GAP_PS: u64 = 1_500;\nfn f() -> SimTime { \
+                     SimTime::from_ps(LINK_GAP_PS) }\n";
+        assert!(lint("crates/sim/src/x.rs", named).is_empty());
+        let trivial = "fn f() -> SimTime { SimTime::from_ps(0).max(SimTime::from_ps(1)) }\n";
+        assert!(lint("crates/sim/src/x.rs", trivial).is_empty());
+        // Expressions (not bare literals) are the normal path and legal.
+        let expr = "fn f(n: u64, mhz: u64) -> SimTime { SimTime::from_ps(n * 1_000_000 / mhz) }\n";
+        assert!(lint("crates/sim/src/x.rs", expr).is_empty());
+    }
+
+    #[test]
+    fn r8_flags_shared_state_constructs_in_shard_modules() {
+        let src = "use std::rc::Rc;\nstruct S { c: RefCell<u64> }\n\
+                   static mut HITS: u64 = 0;\nthread_local! { static TL: u64 = 0; }\n\
+                   fn f() -> u64 { AtomicU64::new(0).into_inner() }\n";
+        let v = lint("crates/sim/src/engine.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "shard-isolation").count(), 5, "{v:?}");
+        // The same constructs outside the shard scope are not R8's business.
+        let v = lint("crates/telemetry/src/hub.rs", src);
+        assert!(v.iter().all(|v| v.rule != "shard-isolation"), "{v:?}");
+    }
+
+    #[test]
+    fn r8_exempts_tests_and_honors_pragmas() {
+        let test_only = "#[cfg(test)]\nmod tests {\n  use std::rc::Rc;\n  \
+                         fn g() -> Rc<u64> { Rc::new(1) }\n}\n";
+        assert!(lint("crates/sim/src/store.rs", test_only).is_empty());
+        let with_pragma = "// dsa-lint: allow(shard-isolation, read-only after init)\n\
+                           struct S { c: OnceLock<u64> }\n";
+        assert!(lint("crates/svc/src/service.rs", with_pragma).is_empty());
     }
 }

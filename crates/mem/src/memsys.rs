@@ -17,7 +17,7 @@ use crate::buffer::Location;
 use crate::cache::{DdioTracker, Llc};
 use crate::topology::Platform;
 use crate::translate::PageTable;
-use dsa_sim::time::{SimDuration, SimTime};
+use dsa_sim::time::{scale_bytes, SimDuration, SimTime};
 use dsa_sim::timeline::{BwResource, Interval};
 
 /// How a write interacts with the cache hierarchy.
@@ -219,7 +219,7 @@ impl MemSystem {
                         // Destination data is steered into the local LLC's
                         // DDIO ways; past their capacity it leaks to DRAM.
                         let spill = self.ddio.write(ready, addr, bytes);
-                        let kept = ((1.0 - spill) * bytes as f64) as u64;
+                        let kept = scale_bytes(bytes, 1.0 - spill);
                         let spilled = bytes - kept;
                         let mut end = ready;
                         let mut start = SimTime::MAX;
@@ -246,7 +246,7 @@ impl MemSystem {
                     WritePolicy::AllocateLlc => self.ddio.write(ready, addr, bytes),
                     WritePolicy::Memory => 0.0,
                 };
-                let kept = ((1.0 - spill) * bytes as f64) as u64;
+                let kept = scale_bytes(bytes, 1.0 - spill);
                 let spilled = bytes - kept;
                 let mut iv = self.llc_pipe.transfer(ready, kept.max(1));
                 if spilled > 0 {

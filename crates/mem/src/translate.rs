@@ -111,7 +111,11 @@ pub struct TranslateOutcome {
 /// ```
 #[derive(Clone, Debug)]
 pub struct TranslationCache {
-    entries: HashMap<u64, u64>, // page base -> last use tick
+    // BTreeMap, not HashMap: eviction scans the entries, and the R6
+    // det-taint rule is right that hash iteration order would leak into
+    // the victim choice (ticks break ties deterministically only because
+    // they are unique — the *scan order* must still be stable).
+    entries: BTreeMap<u64, u64>, // page base -> last use tick
     capacity: usize,
     walk_latency: SimDuration,
     tick: u64,
@@ -129,7 +133,7 @@ impl TranslationCache {
     pub fn new(capacity: usize, walk_latency: SimDuration) -> TranslationCache {
         assert!(capacity > 0, "translation cache needs capacity");
         TranslationCache {
-            entries: HashMap::with_capacity(capacity),
+            entries: BTreeMap::new(),
             capacity,
             walk_latency,
             tick: 0,
