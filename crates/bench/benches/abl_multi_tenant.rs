@@ -49,9 +49,13 @@ fn specs(polite: usize) -> Vec<TenantSpec> {
 }
 
 fn run_plan(plan: WqPlan, polite: usize) -> ServiceReport {
-    DsaService::new(ServiceConfig::new(plan).with_seed(SEED), specs(polite))
-        .expect("plan fits the DSA 1.0 envelope")
-        .run()
+    let cfg = ServiceConfig::builder()
+        .plan(plan)
+        .seed(SEED)
+        .tenants(specs(polite))
+        .build()
+        .expect("plan fits the DSA 1.0 envelope");
+    DsaService::from_config(cfg).expect("runtime accepts a validated config").run()
 }
 
 /// (mean polite share, worst polite p99 µs, total CPU-degraded jobs).

@@ -22,10 +22,10 @@
 //! behavioural drift. The calendar queue must beat the heap on the storm.
 
 use dsa_bench::table;
+use dsa_core::digest::Fnv1a;
 use dsa_sim::engine::{Component, ComponentId, Ctx, Engine};
 use dsa_sim::rng::SplitMix64;
 use dsa_sim::sched::{CalendarScheduler, HeapScheduler, Scheduler};
-use dsa_sim::stats::Fnv1a;
 use dsa_sim::time::{SimDuration, SimTime};
 
 /// Wall-clock seconds elapsed while running `f` — the one deliberately

@@ -46,6 +46,13 @@ pub enum DsaError {
     /// spec conformance (surfaced at `prepare()` time, before any
     /// submission is attempted).
     Descriptor(DescriptorError),
+    /// A service- or fleet-level configuration failed builder validation
+    /// (surfaced by `ServiceConfig::builder()` / `FleetConfig::builder()`
+    /// in `dsa-svc` before any runtime is constructed).
+    InvalidService {
+        /// What the builder rejected.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for DsaError {
@@ -62,6 +69,9 @@ impl std::fmt::Display for DsaError {
             }
             DsaError::InvalidConfig(e) => write!(f, "invalid device configuration: {e}"),
             DsaError::Descriptor(e) => write!(f, "invalid descriptor: {e}"),
+            DsaError::InvalidService { reason } => {
+                write!(f, "invalid service configuration: {reason}")
+            }
         }
     }
 }
@@ -114,6 +124,8 @@ mod tests {
         let e = DsaError::DeadlineExceeded { deadline: SimTime::from_ns(100) };
         assert!(e.to_string().contains("deadline"));
         assert!(DsaError::UnknownDevice { device: 3 }.to_string().contains('3'));
+        let e = DsaError::InvalidService { reason: "zero shards" };
+        assert_eq!(e.to_string(), "invalid service configuration: zero shards");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | Offload runtimes (DML backends) | [`backend`] — CPU/DSA/CBDMA behind one trait |
 //! | G1–G3 as live policy | [`dispatch::Dispatcher`] — per-call backend routing |
 //! | Pre-allocated descriptors (Fig. 5) | [`program::OpProgram`] — compiled, allocation-free op replay |
+//! | Replay verification  | [`digest::Fnv1a`] / [`digest::Digestible`] — the one FNV-1a digest primitive |
 //!
 //! Everything runs against a [`runtime::DsaRuntime`]: the simulated SPR
 //! (or ICX) platform with its memory system and DSA instances.
@@ -42,6 +43,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod digest;
 pub mod dispatch;
 pub mod dto;
 pub mod error;
@@ -58,6 +60,7 @@ pub mod prelude {
         CbdmaBackend, CpuBackend, DsaBackend, Engine, OffloadBackend, OffloadRequest, PoolPolicy,
     };
     pub use crate::config::AccelConfig;
+    pub use crate::digest::{Digestible, Fnv1a};
     pub use crate::dispatch::{Decision, DispatchPolicy, DispatchStats, Dispatcher};
     pub use crate::dto::Dto;
     pub use crate::error::DsaError;

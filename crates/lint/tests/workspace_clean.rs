@@ -18,7 +18,8 @@ fn workspace_lints_clean() {
 }
 
 /// The R8 sweep report (ISSUE 8 acceptance): the ROADMAP-item-1 shard
-/// modules — engine, scheduler, event store, service — carry zero
+/// modules — engine, scheduler, event store, service, and the fleet
+/// layer that actually runs them one-per-thread — carry zero
 /// shared-mutable-state findings, lexical or transitive. This is the
 /// static precondition for sharding the engine across threads: each
 /// shard can own its engine/sched/store/service slice outright.
@@ -38,6 +39,9 @@ fn shard_modules_carry_zero_shared_state_findings() {
         "crates/sim/src/sched.rs",
         "crates/sim/src/store.rs",
         "crates/svc/src/service.rs",
+        "crates/svc/src/actionq.rs",
+        "crates/svc/src/shard.rs",
+        "crates/svc/src/fleet.rs",
     ] {
         assert!(root.join(shard).is_file(), "shard module {shard} missing from workspace");
         assert!(

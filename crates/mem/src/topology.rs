@@ -160,6 +160,42 @@ impl Platform {
         self
     }
 
+    /// Returns a copy whose DDIO way allocation is divided among `sharers`
+    /// co-resident device contexts (never below one way).
+    ///
+    /// The DDIO ways are a per-socket resource: when the fleet layer packs
+    /// several shards' devices onto one socket, each shard's inbound
+    /// writes see only a slice of the LLC's I/O share, so the leaky-DMA
+    /// knee (paper Fig. 12 / ref. \[64\]) arrives proportionally earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sharers == 0`.
+    pub fn with_ddio_share(mut self, sharers: u32) -> Platform {
+        assert!(sharers > 0, "DDIO sharer count must be positive");
+        self.ddio_ways = (self.ddio_ways / sharers).max(1);
+        self
+    }
+
+    /// Returns a copy whose UPI bandwidth is divided among `sharers`
+    /// concurrent cross-socket streams (never below 1 milli-GB/s).
+    ///
+    /// The UPI link is a per-link resource: remote-socket placements from
+    /// several shards contend for the same directionally-shared lanes
+    /// (paper Fig. 8's cross-socket penalty), so each stream's remote-DRAM
+    /// bandwidth cap shrinks with the number of crossers. Latency is
+    /// unchanged — the hop count does not grow with contention in this
+    /// static model, only the share of lane bandwidth does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sharers == 0`.
+    pub fn with_upi_share(mut self, sharers: u32) -> Platform {
+        assert!(sharers > 0, "UPI sharer count must be positive");
+        self.upi_mgbps = (self.upi_mgbps / u64::from(sharers)).max(1);
+        self
+    }
+
     /// The timing parameters of a [`Location`].
     ///
     /// # Panics
@@ -259,6 +295,27 @@ mod tests {
         let spr = Platform::spr(); // 2000 MHz -> 0.5 ns per cycle
         assert_eq!(spr.cycles(2), SimDuration::from_ns(1));
         assert_eq!(spr.cycles(2000), SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn ddio_share_splits_ways_with_a_floor() {
+        let spr = Platform::spr(); // 2 DDIO ways
+        assert_eq!(spr.clone().with_ddio_share(1).ddio_ways, 2);
+        assert_eq!(spr.clone().with_ddio_share(2).ddio_ways, 1);
+        // Oversubscribed sockets floor at one way, never zero.
+        assert_eq!(spr.clone().with_ddio_share(8).ddio_ways, 1);
+        assert!(spr.clone().with_ddio_share(2).ddio_bytes() < spr.ddio_bytes());
+    }
+
+    #[test]
+    fn upi_share_caps_remote_bandwidth() {
+        let spr = Platform::spr();
+        let split = spr.clone().with_upi_share(4);
+        assert_eq!(split.upi_mgbps, spr.upi_mgbps / 4);
+        let remote = split.medium(Location::remote_dram());
+        assert_eq!(remote.read_mgbps, split.upi_mgbps, "UPI share binds remote reads");
+        // Latency is a hop property, not a contention property, here.
+        assert_eq!(remote.read_latency, spr.medium(Location::remote_dram()).read_latency);
     }
 
     #[test]

@@ -320,91 +320,6 @@ pub fn jain_fairness(shares: &[f64]) -> f64 {
     (sum * sum) / (shares.len() as f64 * sum_sq)
 }
 
-/// An incremental FNV-1a 64-bit hasher.
-///
-/// The workspace's replay-digest primitive: cheap, dependency-free, and
-/// stable across platforms, so a digest recorded in EXPERIMENTS.md or a
-/// `BENCH_*.json` artifact can be compared bit-for-bit run after run. Used
-/// by the service layer's `ServiceReport::digest` and the scheduler
-/// equivalence tests.
-///
-/// ```
-/// use dsa_sim::stats::Fnv1a;
-/// let mut h = Fnv1a::new();
-/// h.write(b"hello");
-/// let a = h.finish();
-/// assert_eq!(a, Fnv1a::digest(b"hello"));
-/// ```
-#[derive(Clone, Copy, Debug)]
-pub struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    /// A hasher at the FNV offset basis.
-    pub fn new() -> Fnv1a {
-        Fnv1a(Self::OFFSET)
-    }
-
-    /// Folds `bytes` into the hash.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    /// `PRIME^n mod 2^64` for `n` in `0..=8`: xor-ing a zero byte leaves
-    /// the state unchanged, so a run of `n` trailing zero bytes folds into
-    /// one multiply by `PRIME^n`.
-    const PRIME_POW: [u64; 9] = {
-        let mut p = [1u64; 9];
-        let mut i = 1;
-        while i < 9 {
-            p[i] = p[i - 1].wrapping_mul(Fnv1a::PRIME);
-            i += 1;
-        }
-        p
-    };
-
-    /// Folds one little-endian `u64` into the hash.
-    ///
-    /// Bit-identical to `write(&v.to_le_bytes())`, but high zero bytes —
-    /// the common case for times, sequence numbers, and small payload
-    /// fields — collapse into a single multiply instead of eight
-    /// xor-multiply rounds.
-    #[inline]
-    pub fn write_u64(&mut self, v: u64) {
-        let nz = (8 - v.leading_zeros() / 8) as usize;
-        let mut x = v;
-        for _ in 0..nz {
-            self.0 ^= x & 0xff;
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-            x >>= 8;
-        }
-        self.0 = self.0.wrapping_mul(Self::PRIME_POW[8 - nz]);
-    }
-
-    /// The current hash value.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-
-    /// One-shot convenience.
-    pub fn digest(bytes: &[u8]) -> u64 {
-        let mut h = Fnv1a::new();
-        h.write(bytes);
-        h.finish()
-    }
-}
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 /// Accumulates throughput observations and reports GB/s.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Throughput {
@@ -441,29 +356,6 @@ impl Throughput {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn fnv_write_u64_fast_path_is_bit_identical() {
-        use crate::rng::SplitMix64;
-        let bytewise = |v: u64| {
-            let mut h = Fnv1a::new();
-            h.write(&v.to_le_bytes());
-            h.finish()
-        };
-        let fast = |v: u64| {
-            let mut h = Fnv1a::new();
-            h.write_u64(v);
-            h.finish()
-        };
-        for v in [0, 1, 0xff, 0x100, u64::MAX, u64::MAX >> 1, 1 << 63, 0x0102_0304_0506_0708] {
-            assert_eq!(fast(v), bytewise(v), "v = {v:#x}");
-        }
-        let mut rng = SplitMix64::new(7);
-        for _ in 0..10_000 {
-            let v = rng.next_u64() >> (rng.next_u64() % 64);
-            assert_eq!(fast(v), bytewise(v), "v = {v:#x}");
-        }
-    }
 
     #[test]
     fn counter_tracks_mean() {

@@ -1,0 +1,169 @@
+//! The service's pending-action queue: a [`CalendarScheduler`] over
+//! per-tenant next-action instants.
+//!
+//! The original scheduling loop re-scanned every tenant per step to find
+//! the earliest admissible action — O(T) per job, which is fine for the
+//! tens of tenants the ablation benches drive but hopeless for the
+//! thousands-per-shard tenant counts the fleet layer shards out. A
+//! tenant's next-action instant depends only on its *own* state (arrival
+//! stream, core cursor, in-flight window, token bucket), so it changes
+//! exactly when that tenant steps — which makes the earliest-action scan
+//! an event queue: push the new instant after each step, pop the global
+//! minimum in O(1) amortized from the same calendar queue the simulation
+//! engine runs on. This is also what "each shard owns its own
+//! `CalendarScheduler`" means concretely: the queue is plain owned state,
+//! no shared-anything, so shards stay thread-independent (lint rule R8
+//! covers this module).
+//!
+//! Stale entries are handled lazily: re-scheduling or cancelling a tenant
+//! bumps its generation stamp, and outdated queue entries are skipped
+//! (and their payload slots released) when they surface at the head.
+
+use dsa_sim::engine::ComponentId;
+use dsa_sim::sched::{CalendarScheduler, EventKey, Scheduler};
+use dsa_sim::store::EventStore;
+use dsa_sim::time::SimTime;
+
+/// A deterministic earliest-next-action queue over tenant indices.
+///
+/// Ordering is exact `(time, push order)`: among tenants whose next
+/// actions coincide, the one whose instant was scheduled first pops
+/// first. Every operation is deterministic — two queues fed the same
+/// schedule/cancel/pop sequence drain identically.
+pub struct ActionQueue {
+    sched: CalendarScheduler,
+    store: EventStore<u64>,
+    /// Current generation stamp per tenant; queue entries carry the stamp
+    /// they were scheduled under and are dead once the two disagree.
+    stamp: Vec<u64>,
+    seq: u64,
+}
+
+impl ActionQueue {
+    /// An empty queue sized for `tenants` tenant indices.
+    pub fn with_tenants(tenants: usize) -> ActionQueue {
+        ActionQueue {
+            sched: CalendarScheduler::new(),
+            store: EventStore::new(),
+            stamp: vec![0; tenants],
+            seq: 0,
+        }
+    }
+
+    /// Schedules (or re-schedules) tenant `tenant`'s next admissible
+    /// action at `at`, invalidating any entry previously queued for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn schedule(&mut self, tenant: usize, at: SimTime) {
+        self.stamp[tenant] += 1;
+        let stamp = self.stamp[tenant];
+        let slot = self.store.alloc(at, self.seq, ComponentId::from_index(tenant), stamp);
+        self.sched.push(EventKey { time: at, seq: self.seq, slot }, &self.store);
+        self.seq += 1;
+    }
+
+    /// Invalidates any queued entry for `tenant` (a tenant whose stream
+    /// just went idle). Lazy: the dead entry is dropped when it surfaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn cancel(&mut self, tenant: usize) {
+        self.stamp[tenant] += 1;
+    }
+
+    /// Removes and returns the earliest live `(time, tenant)` action, or
+    /// `None` when no live entries remain.
+    pub fn pop(&mut self) -> Option<(SimTime, usize)> {
+        let horizon = SimTime::from_ps(u64::MAX);
+        while let Some(key) = self.sched.pop_before(horizon, &self.store) {
+            let (target, stamp) = self.store.release(key.slot);
+            let tenant = target.index();
+            if stamp == self.stamp[tenant] {
+                return Some((key.time, tenant));
+            }
+        }
+        None
+    }
+
+    /// Queued entries, live and stale alike (an upper bound on live work).
+    pub fn len(&self) -> usize {
+        <CalendarScheduler as Scheduler<u64>>::len(&self.sched)
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_sim::time::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order_with_push_order_ties() {
+        let mut q = ActionQueue::with_tenants(3);
+        q.schedule(2, t(30));
+        q.schedule(0, t(10));
+        q.schedule(1, t(10));
+        assert_eq!(q.pop(), Some((t(10), 0)), "earlier push wins the tie");
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(30), 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reschedule_invalidates_the_old_entry() {
+        let mut q = ActionQueue::with_tenants(2);
+        q.schedule(0, t(10));
+        q.schedule(1, t(20));
+        q.schedule(0, t(40)); // tenant 0 moved later; the t(10) entry is dead
+        assert_eq!(q.pop(), Some((t(20), 1)));
+        assert_eq!(q.pop(), Some((t(40), 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_drops_a_tenant() {
+        let mut q = ActionQueue::with_tenants(2);
+        q.schedule(0, t(10));
+        q.schedule(1, t(20));
+        q.cancel(0);
+        assert_eq!(q.pop(), Some((t(20), 1)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_pop_and_schedule_stays_exact() {
+        // Mimics the service loop: every pop re-schedules the same tenant
+        // later; the queue must keep returning the global minimum.
+        let mut q = ActionQueue::with_tenants(4);
+        for i in 0..4 {
+            q.schedule(i, t(10 * (i as u64 + 1)));
+        }
+        let mut order = Vec::new();
+        let mut rounds = 0;
+        while let Some((at, i)) = q.pop() {
+            order.push((at, i));
+            rounds += 1;
+            if rounds <= 4 {
+                q.schedule(i, at + SimDuration::from_ns(35));
+            } else {
+                q.cancel(i);
+            }
+        }
+        for w in order.windows(2) {
+            assert!(w[0].0 <= w[1].0, "non-monotone pops: {order:?}");
+        }
+        assert_eq!(order.len(), 8, "4 initial + 4 rescheduled pops");
+    }
+}

@@ -1,0 +1,713 @@
+//! The rack-scale fleet layer: shards the tenant space across N sockets ×
+//! M DSA devices and proves the parallel run bit-identical to a
+//! sequential replay.
+//!
+//! A [`Fleet`] is built from a validated [`FleetConfig`] and a
+//! deterministic [`ShardPlan`]: each shard owns a contiguous tenant
+//! range, its own [`DsaService`] (hence its own `DsaRuntime` and
+//! calendar-queue action scheduler), and its own SplitMix64 stream seeded
+//! from the master seed in shard order. Shards share *nothing* — no
+//! atomics, no locks, no channels; the only cross-shard effects are the
+//! static platform adjustments the plan computes up front (DDIO-way
+//! splits per socket, UPI bandwidth shares for crossing shards). Lint
+//! rule R8 (`shard-isolation`) checks that lexically and through the
+//! call graph.
+//!
+//! # The parallel-determinism proof
+//!
+//! [`Fleet::run_parallel`] forks K worker threads over contiguous shard
+//! chunks with `std::thread::scope`; each worker writes finished
+//! [`ShardReport`]s into its own disjoint slice of the result vector, so
+//! the join is a plain scope exit — no synchronization primitives, no
+//! result reordering. [`Fleet::run_sequential`] runs the identical shard
+//! closure in a plain loop. Because every shard is a pure function of its
+//! [`ShardAssignment`], both produce the same per-shard FNV-1a digests,
+//! and [`FleetReport::digest`] merges them **in shard order** through
+//! [`dsa_core::digest::merge_in_order`] — one number that must be
+//! bit-identical across thread counts. The `fleet_determinism` tier-1
+//! test pins exactly that for K ∈ {1, 2, 8} over three placement
+//! policies.
+
+use crate::service::{DsaService, ServiceConfig, WqPlan};
+use crate::shard::{ShardAssignment, ShardPlan};
+use crate::tenant::{QosClass, TenantSpec};
+use dsa_core::backend::PoolPolicy;
+use dsa_core::digest::{merge_in_order, Digestible, Fnv1a};
+use dsa_core::error::DsaError;
+use dsa_mem::topology::Platform;
+use dsa_sim::stats::DurationHistogram;
+use dsa_sim::time::{SimDuration, SimTime};
+
+/// The uniform workload template stamped out for every tenant in the
+/// fleet (tenant `i`'s spec is `profile.spec(i)`). Kept as plain data —
+/// not closures — so a [`FleetConfig`] stays `Send + Sync` and the plan
+/// stays a pure function of the config.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantProfile {
+    /// Bytes moved per job.
+    pub xfer: u64,
+    /// Jobs per tenant before the stream goes idle.
+    pub jobs: u64,
+    /// Open-loop arrival gap; `None` runs a closed loop with zero think.
+    pub open_gap: Option<SimDuration>,
+    /// Per-job deadline (misses and admission sheds feed the p999 /
+    /// miss-rate curves).
+    pub deadline: Option<SimDuration>,
+    /// Every `latency_every`-th tenant is [`QosClass::Latency`]
+    /// (0 = everyone is throughput class).
+    pub latency_every: u64,
+    /// In-flight window depth per tenant.
+    pub outstanding: usize,
+}
+
+impl TenantProfile {
+    /// A small-transfer profile suited to large tenant counts: 2 KiB
+    /// jobs, closed loop, depth 4, no deadline, all throughput class.
+    pub fn small() -> TenantProfile {
+        TenantProfile {
+            xfer: 2 << 10,
+            jobs: 2,
+            open_gap: None,
+            deadline: None,
+            latency_every: 0,
+            outstanding: 4,
+        }
+    }
+
+    /// The spec stamped out for global tenant id `gid`.
+    pub fn spec(&self, gid: u64) -> TenantSpec {
+        let mut spec = TenantSpec::new(&format!("t{gid}"), self.xfer, self.jobs)
+            .with_outstanding(self.outstanding)
+            .with_retry_budget(2);
+        if let Some(gap) = self.open_gap {
+            spec = spec.with_arrival(crate::arrival::Arrival::open(gap));
+        }
+        if let Some(d) = self.deadline {
+            spec = spec.with_deadline(d);
+        }
+        if self.latency_every > 0 && gid.is_multiple_of(self.latency_every) {
+            spec = spec.with_class(QosClass::Latency);
+        }
+        spec
+    }
+}
+
+/// Rack-shape + workload configuration for a [`Fleet`]. Built exclusively
+/// through [`FleetConfig::builder`]; the fields are private so every
+/// constructed config has passed validation.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    sockets: u32,
+    devices_per_socket: u32,
+    shards: u32,
+    tenants: u64,
+    placement: PoolPolicy,
+    plan: WqPlan,
+    seed: u64,
+    platform: Platform,
+    profile: TenantProfile,
+}
+
+impl FleetConfig {
+    /// Starts a builder with the defaults: 2 sockets × 4 devices, 8
+    /// shards, 1024 tenants, [`PoolPolicy::NumaLocal`] placement,
+    /// [`WqPlan::SharedAll`] inside each shard, [`Platform::spr`], and
+    /// [`TenantProfile::small`].
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder {
+            sockets: 2,
+            devices_per_socket: 4,
+            shards: 8,
+            tenants: 1024,
+            placement: PoolPolicy::NumaLocal,
+            plan: WqPlan::SharedAll,
+            seed: 0xF1EE_7D5A,
+            platform: Platform::spr(),
+            profile: TenantProfile::small(),
+        }
+    }
+
+    /// Total tenants across the fleet.
+    pub fn tenants(&self) -> u64 {
+        self.tenants
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Sockets in the rack shape.
+    pub fn sockets(&self) -> u32 {
+        self.sockets
+    }
+
+    /// DSA devices per socket.
+    pub fn devices_per_socket(&self) -> u32 {
+        self.devices_per_socket
+    }
+
+    /// Shard-to-slot placement policy.
+    pub fn placement(&self) -> PoolPolicy {
+        self.placement
+    }
+
+    /// Intra-shard WQ plan.
+    pub fn plan(&self) -> WqPlan {
+        self.plan
+    }
+
+    /// Master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-tenant workload template.
+    pub fn profile(&self) -> TenantProfile {
+        self.profile
+    }
+}
+
+/// By-value builder for [`FleetConfig`]. See [`FleetConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct FleetBuilder {
+    sockets: u32,
+    devices_per_socket: u32,
+    shards: u32,
+    tenants: u64,
+    placement: PoolPolicy,
+    plan: WqPlan,
+    seed: u64,
+    platform: Platform,
+    profile: TenantProfile,
+}
+
+impl FleetBuilder {
+    /// Sets the socket count of the rack shape.
+    pub fn sockets(mut self, sockets: u32) -> FleetBuilder {
+        self.sockets = sockets;
+        self
+    }
+
+    /// Sets the DSA device count per socket.
+    pub fn devices_per_socket(mut self, devices: u32) -> FleetBuilder {
+        self.devices_per_socket = devices;
+        self
+    }
+
+    /// Sets the shard count.
+    pub fn shards(mut self, shards: u32) -> FleetBuilder {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the total tenant count partitioned across shards.
+    pub fn tenants(mut self, tenants: u64) -> FleetBuilder {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Sets the shard-to-slot placement policy.
+    pub fn placement(mut self, placement: PoolPolicy) -> FleetBuilder {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the WQ plan every shard's service uses internally.
+    pub fn plan(mut self, plan: WqPlan) -> FleetBuilder {
+        self.plan = plan;
+        self
+    }
+
+    /// Sets the master seed (shard seeds derive from it in shard order).
+    pub fn seed(mut self, seed: u64) -> FleetBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the base platform every shard's runtime derives from.
+    pub fn platform(mut self, platform: Platform) -> FleetBuilder {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the per-tenant workload template.
+    pub fn profile(mut self, profile: TenantProfile) -> FleetBuilder {
+        self.profile = profile;
+        self
+    }
+
+    /// Validates the fleet shape and a representative shard.
+    ///
+    /// # Errors
+    ///
+    /// [`DsaError::InvalidService`] for a degenerate shape (zero sockets,
+    /// devices, shards, or tenants; a cross-socket placement on a
+    /// single-socket platform), and whatever
+    /// [`ServiceConfig::builder`] reports for shard 0's roster (the
+    /// largest shard) — zero-byte transfers, envelope violations, etc.
+    pub fn build(self) -> Result<FleetConfig, DsaError> {
+        if self.sockets == 0 || self.devices_per_socket == 0 {
+            return Err(DsaError::InvalidService { reason: "fleet needs at least one device" });
+        }
+        if self.shards == 0 {
+            return Err(DsaError::InvalidService { reason: "fleet needs at least one shard" });
+        }
+        if self.tenants == 0 {
+            return Err(DsaError::InvalidService { reason: "fleet needs at least one tenant" });
+        }
+        if self.profile.jobs == 0 {
+            return Err(DsaError::InvalidService { reason: "tenant profile offers zero jobs" });
+        }
+        let cfg = FleetConfig {
+            sockets: self.sockets,
+            devices_per_socket: self.devices_per_socket,
+            shards: self.shards,
+            tenants: self.tenants,
+            placement: self.placement,
+            plan: self.plan,
+            seed: self.seed,
+            platform: self.platform,
+            profile: self.profile,
+        };
+        let plan = cfg.shard_plan();
+        if plan.upi_crossers() > 0 && cfg.platform.sockets < 2 {
+            return Err(DsaError::InvalidService {
+                reason: "cross-socket placement on a single-socket platform",
+            });
+        }
+        // Validate the largest shard's roster through the service builder
+        // so plan-vs-envelope and profile errors surface here, not on a
+        // worker thread mid-run.
+        cfg.shard_service_config(&plan, 0)?;
+        Ok(cfg)
+    }
+}
+
+impl FleetConfig {
+    /// The deterministic partition this config implies.
+    pub fn shard_plan(&self) -> ShardPlan {
+        ShardPlan::new(
+            self.tenants,
+            self.shards,
+            self.sockets,
+            self.devices_per_socket,
+            self.placement,
+            self.seed,
+        )
+    }
+
+    /// The fully-derived [`ServiceConfig`] of shard `i` under `plan`.
+    fn shard_service_config(&self, plan: &ShardPlan, i: usize) -> Result<ServiceConfig, DsaError> {
+        let a = plan.shards()[i];
+        ServiceConfig::builder()
+            .plan(self.plan)
+            .seed(a.seed)
+            .platform(plan.platform_for(i, &self.platform))
+            .location(plan.location_for(i))
+            .tenants((a.tenant_lo..a.tenant_hi).map(|gid| self.profile.spec(gid)))
+            .build()
+    }
+}
+
+/// One shard's aggregated outcome: compact (no per-tenant rows), so a
+/// 100k-tenant sweep's live memory is K shards' runtimes, not the whole
+/// fleet's reports.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index (digest-merge position).
+    pub shard: u32,
+    /// Execution socket.
+    pub socket: u32,
+    /// Device within the socket.
+    pub device: u32,
+    /// True when the shard crossed the UPI link.
+    pub remote: bool,
+    /// Tenants the shard owned.
+    pub tenants: u64,
+    /// Jobs generated.
+    pub offered: u64,
+    /// Jobs completed on the accelerator.
+    pub dsa_completed: u64,
+    /// Jobs completed by the CPU fallback.
+    pub cpu_completed: u64,
+    /// Jobs shed at admission.
+    pub shed: u64,
+    /// Jobs failed outright.
+    pub failed: u64,
+    /// Completed jobs that finished past their deadline.
+    pub deadline_misses: u64,
+    /// Bytes offered.
+    pub offered_bytes: u64,
+    /// Bytes the accelerator served.
+    pub dsa_bytes: u64,
+    /// Σ share over the shard's tenants (for the fleet-wide Jain index).
+    pub share_sum: f64,
+    /// Σ share² over the shard's tenants.
+    pub share_sumsq: f64,
+    /// Intra-shard Jain fairness.
+    pub fairness: f64,
+    /// Latest completion on the shard's timeline.
+    pub makespan: SimTime,
+    /// Merged arrival-to-completion latency distribution.
+    pub latency: DurationHistogram,
+    /// The shard service's replay digest.
+    pub digest: u64,
+}
+
+impl Digestible for ShardReport {
+    fn fold(&self, h: &mut Fnv1a) {
+        h.write_u64(u64::from(self.shard));
+        h.write_u64(self.digest);
+    }
+}
+
+/// The fleet-wide outcome: per-shard rows plus cross-shard aggregates and
+/// the order-merged replay digest.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Placement policy the run used.
+    pub placement: PoolPolicy,
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Per-shard digests merged in shard order — THE number the
+    /// parallel-determinism proof compares across thread counts.
+    pub digest: u64,
+    /// Jain fairness over every tenant's accelerator-served share.
+    pub fairness: f64,
+    /// Latest completion across all shards' timelines.
+    pub makespan: SimTime,
+    /// Fleet-wide latency distribution (all shards merged).
+    pub latency: DurationHistogram,
+}
+
+impl FleetReport {
+    fn from_shards(placement: PoolPolicy, shards: Vec<ShardReport>) -> FleetReport {
+        let digests: Vec<u64> = shards.iter().map(|s| s.digest).collect();
+        let mut latency = DurationHistogram::new();
+        let (mut n, mut sum, mut sumsq) = (0u64, 0.0f64, 0.0f64);
+        let mut makespan = SimTime::ZERO;
+        for s in &shards {
+            latency.merge(&s.latency);
+            n += s.tenants;
+            sum += s.share_sum;
+            sumsq += s.share_sumsq;
+            makespan = makespan.max(s.makespan);
+        }
+        let fairness = if n == 0 || sumsq == 0.0 { 1.0 } else { (sum * sum) / (n as f64 * sumsq) };
+        FleetReport {
+            placement,
+            digest: merge_in_order(&digests),
+            fairness,
+            makespan,
+            latency,
+            shards,
+        }
+    }
+
+    /// Jobs generated across the fleet.
+    pub fn offered(&self) -> u64 {
+        self.shards.iter().map(|s| s.offered).sum()
+    }
+
+    /// Jobs completed on either path across the fleet.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.dsa_completed + s.cpu_completed).sum()
+    }
+
+    /// Jobs that failed their deadline — completed too late or shed at
+    /// admission because queueing alone had already blown it.
+    pub fn deadline_failures(&self) -> u64 {
+        self.shards.iter().map(|s| s.deadline_misses + s.shed).sum()
+    }
+
+    /// Deadline failures as a fraction of offered jobs (0.0 when nothing
+    /// was offered).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.deadline_failures() as f64 / offered as f64
+        }
+    }
+
+    /// Fleet-wide p999 arrival-to-completion latency, when any job
+    /// completed.
+    pub fn p999(&self) -> Option<SimDuration> {
+        self.latency.percentile(99.9)
+    }
+}
+
+impl Digestible for FleetReport {
+    fn fold(&self, h: &mut Fnv1a) {
+        h.write_u64(self.digest);
+    }
+}
+
+/// The sharded multi-socket fleet. See the module docs for the isolation
+/// and determinism story.
+pub struct Fleet {
+    cfg: FleetConfig,
+    plan: ShardPlan,
+}
+
+impl Fleet {
+    /// Builds the fleet's shard plan from a validated config.
+    pub fn new(cfg: FleetConfig) -> Fleet {
+        let plan = cfg.shard_plan();
+        Fleet { cfg, plan }
+    }
+
+    /// The deterministic partition in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Runs one shard start-to-finish: build its private service, drive
+    /// every tenant stream, aggregate, drop the runtime. Pure function of
+    /// the shard assignment — the core of the determinism argument.
+    fn run_shard(&self, i: usize) -> Result<ShardReport, DsaError> {
+        let a: ShardAssignment = self.plan.shards()[i];
+        let cfg = self.cfg.shard_service_config(&self.plan, i)?;
+        let mut svc = DsaService::from_config(cfg)?;
+        let rep = svc.run();
+        let mut out = ShardReport {
+            shard: a.shard,
+            socket: a.socket,
+            device: a.device,
+            remote: a.remote(),
+            tenants: a.tenants(),
+            offered: 0,
+            dsa_completed: 0,
+            cpu_completed: 0,
+            shed: 0,
+            failed: 0,
+            deadline_misses: 0,
+            offered_bytes: 0,
+            dsa_bytes: 0,
+            share_sum: 0.0,
+            share_sumsq: 0.0,
+            fairness: rep.fairness,
+            makespan: rep.makespan,
+            latency: DurationHistogram::new(),
+            digest: rep.digest(),
+        };
+        for t in 0..svc.tenant_count() {
+            let st = svc.stats(t);
+            out.offered += st.offered;
+            out.dsa_completed += st.dsa_completed;
+            out.cpu_completed += st.cpu_completed;
+            out.shed += st.shed;
+            out.failed += st.failed;
+            out.deadline_misses += st.deadline_misses;
+            out.offered_bytes += st.offered_bytes;
+            out.dsa_bytes += st.dsa_bytes;
+            let share = st.dsa_share();
+            out.share_sum += share;
+            out.share_sumsq += share * share;
+            out.latency.merge(&st.latency);
+        }
+        Ok(out)
+    }
+
+    /// Runs every shard on the calling thread, in shard order — the
+    /// reference replay the parallel run is compared against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's service-construction error (a config
+    /// from [`FleetConfig::builder`] has already validated shard 0).
+    pub fn run_sequential(&self) -> Result<FleetReport, DsaError> {
+        let mut shards = Vec::with_capacity(self.plan.shards().len());
+        for i in 0..self.plan.shards().len() {
+            shards.push(self.run_shard(i)?);
+        }
+        Ok(FleetReport::from_shards(self.cfg.placement, shards))
+    }
+
+    /// Runs the shards on up to `threads` worker threads (clamped to
+    /// `[1, shards]`) and merges the reports in shard order.
+    ///
+    /// Workers own contiguous shard chunks and write completed reports
+    /// into disjoint slices of one result vector — the scoped fork-join
+    /// needs no locks, no atomics, and no channels, so the shard-isolation
+    /// lint (R8) holds for this module too. The merged digest is
+    /// bit-identical to [`run_sequential`](Self::run_sequential)'s for
+    /// any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's error, in shard order.
+    pub fn run_parallel(&self, threads: usize) -> Result<FleetReport, DsaError> {
+        let n = self.plan.shards().len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            return self.run_sequential();
+        }
+        let mut results: Vec<Option<Result<ShardReport, DsaError>>> = Vec::new();
+        results.resize_with(n, || None);
+        let chunk = n.div_ceil(threads);
+        // Scoped fork-join: `scope` joins every worker before returning
+        // and propagates panics, so no JoinHandle bookkeeping is needed.
+        // Each worker's slice is disjoint by construction (`chunks_mut`).
+        std::thread::scope(|scope| {
+            for (ci, out) in results.chunks_mut(chunk).enumerate() {
+                let lo = ci * chunk;
+                scope.spawn(move || {
+                    for (k, slot) in out.iter_mut().enumerate() {
+                        *slot = Some(self.run_shard(lo + k));
+                    }
+                });
+            }
+        });
+        let mut shards = Vec::with_capacity(n);
+        for r in results {
+            match r {
+                Some(Ok(rep)) => shards.push(rep),
+                Some(Err(e)) => return Err(e),
+                // Unreachable: every slot is covered by exactly one chunk.
+                None => return Err(DsaError::InvalidService { reason: "shard never ran" }),
+            }
+        }
+        Ok(FleetReport::from_shards(self.cfg.placement, shards))
+    }
+
+    /// The fleet's merged replay digest from a sequential run — the
+    /// reference value any parallel run must reproduce bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard construction errors like
+    /// [`run_sequential`](Self::run_sequential).
+    pub fn digest(&self) -> Result<u64, DsaError> {
+        Ok(self.run_sequential()?.digest)
+    }
+}
+
+/// Short lowercase label for a placement policy, used by bench tables and
+/// `BENCH_fleet_scale.json` lane names.
+pub fn placement_label(p: PoolPolicy) -> &'static str {
+    match p {
+        PoolPolicy::RoundRobin => "round-robin",
+        PoolPolicy::LeastLoaded => "least-loaded",
+        PoolPolicy::NumaLocal => "numa-local",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(placement: PoolPolicy) -> Fleet {
+        let cfg = FleetConfig::builder()
+            .sockets(2)
+            .devices_per_socket(2)
+            .shards(4)
+            .tenants(32)
+            .placement(placement)
+            .build()
+            .unwrap();
+        Fleet::new(cfg)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_digest() {
+        let fleet = tiny(PoolPolicy::NumaLocal);
+        let seq = fleet.run_sequential().unwrap();
+        let par = fleet.run_parallel(4).unwrap();
+        assert_eq!(seq.digest, par.digest, "2-thread run must replay bit-identically");
+        assert_eq!(seq.offered(), par.offered());
+    }
+
+    #[test]
+    fn report_aggregates_every_tenant() {
+        let fleet = tiny(PoolPolicy::RoundRobin);
+        let rep = fleet.run_sequential().unwrap();
+        assert_eq!(rep.shards.len(), 4);
+        assert_eq!(rep.offered(), 32 * TenantProfile::small().jobs);
+        assert_eq!(
+            rep.completed() + rep.shards.iter().map(|s| s.shed + s.failed).sum::<u64>(),
+            rep.offered()
+        );
+        assert!(rep.fairness > 0.0 && rep.fairness <= 1.0 + 1e-9);
+        assert!(rep.makespan > SimTime::ZERO);
+        assert!(rep.latency.count() > 0);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_placement() {
+        // Two shards over 2×2 slots: round-robin sends shard 1 (homed on
+        // socket 1) to socket 0's device 1 — a UPI crosser — while
+        // NUMA-local keeps it home. The changed platform must show up in
+        // the merged digest.
+        let mk = |p| {
+            let cfg = FleetConfig::builder()
+                .sockets(2)
+                .devices_per_socket(2)
+                .shards(2)
+                .tenants(32)
+                .placement(p)
+                .build()
+                .unwrap();
+            Fleet::new(cfg).digest().unwrap()
+        };
+        let numa = mk(PoolPolicy::NumaLocal);
+        let rr = mk(PoolPolicy::RoundRobin);
+        assert_ne!(numa, rr, "placement must be visible in the fleet digest");
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_shapes() {
+        for (s, d, k, t) in [(0, 4, 8, 100), (2, 0, 8, 100), (2, 4, 0, 100), (2, 4, 8, 0)] {
+            let err = FleetConfig::builder()
+                .sockets(s)
+                .devices_per_socket(d)
+                .shards(k)
+                .tenants(t)
+                .build();
+            assert!(
+                matches!(err, Err(DsaError::InvalidService { .. })),
+                "shape ({s},{d},{k},{t}) must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_surfaces_shard_envelope_violations() {
+        // DedicatedPerTenant inside a 100-tenant shard blows the 8-WQ
+        // envelope; the FLEET builder must say so, not a worker thread.
+        let err =
+            FleetConfig::builder().shards(1).tenants(100).plan(WqPlan::DedicatedPerTenant).build();
+        assert!(matches!(err, Err(DsaError::InvalidConfig(_))), "got {err:?}");
+    }
+
+    #[test]
+    fn remote_placement_slows_the_fleet() {
+        // Same tenants, same devices; forcing every shard off-socket
+        // must cost makespan vs NUMA-local placement (guideline G4).
+        let mk = |p| tiny(p).run_sequential().unwrap().makespan;
+        let local = mk(PoolPolicy::NumaLocal);
+        let rr = mk(PoolPolicy::RoundRobin);
+        assert!(
+            rr >= local,
+            "round-robin (with UPI crossers) cannot beat NUMA-local: {rr:?} vs {local:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_profile_feeds_miss_curves() {
+        let mut profile = TenantProfile::small();
+        profile.xfer = 64 << 10;
+        profile.deadline = Some(SimDuration::from_ns(500)); // unmeetable
+        let cfg = FleetConfig::builder().shards(2).tenants(16).profile(profile).build().unwrap();
+        let rep = Fleet::new(cfg).run_sequential().unwrap();
+        assert!(rep.deadline_miss_rate() > 0.0, "unmeetable deadlines must show up");
+        assert!(rep.deadline_miss_rate() <= 1.0);
+    }
+}

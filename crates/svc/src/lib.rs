@@ -29,37 +29,55 @@
 //! ```
 //! use dsa_svc::prelude::*;
 //!
-//! let tenants = vec![
-//!     TenantSpec::new("latency", 4 << 10, 40)
-//!         .with_class(QosClass::Latency)
-//!         .with_arrival(Arrival::open(SimDuration::from_us(2))),
-//!     TenantSpec::new("bulk", 64 << 10, 40),
-//! ];
-//! let mut svc = DsaService::new(ServiceConfig::new(WqPlan::ByClass), tenants)?;
+//! let cfg = ServiceConfig::builder()
+//!     .plan(WqPlan::ByClass)
+//!     .tenant(
+//!         TenantSpec::new("latency", 4 << 10, 40)
+//!             .with_class(QosClass::Latency)
+//!             .with_arrival(Arrival::open(SimDuration::from_us(2))),
+//!     )
+//!     .tenant(TenantSpec::new("bulk", 64 << 10, 40))
+//!     .build()?;
+//! let mut svc = DsaService::from_config(cfg)?;
 //! let report = svc.run();
 //! assert_eq!(report.tenants[0].offered, 40);
 //! assert!(report.fairness > 0.0 && report.fairness <= 1.0);
-//! // Same specs + seed ⇒ bit-identical digest.
+//! // Same config ⇒ bit-identical digest.
 //! # Ok::<(), dsa_core::DsaError>(())
 //! ```
+//!
+//! At rack scale, [`Fleet`] shards the tenant space across N sockets × M
+//! DSA devices, runs one isolated `DsaService` per shard (optionally on K
+//! threads), and proves the parallel run bit-identical to a sequential
+//! replay through per-shard digests merged in shard order.
 
+pub mod actionq;
 pub mod admission;
 pub mod arrival;
+pub mod fleet;
 pub mod service;
+pub mod shard;
 pub mod tenant;
 
 pub use admission::TokenBucket;
 pub use arrival::Arrival;
-pub use service::{DsaService, JobOutcome, ServiceConfig, ServiceReport, Session, WqPlan};
+pub use fleet::{Fleet, FleetConfig, FleetReport, ShardReport, TenantProfile};
+pub use service::{
+    DsaService, JobOutcome, ServiceBuilder, ServiceConfig, ServiceReport, Session, WqPlan,
+};
+pub use shard::{ShardAssignment, ShardPlan};
 pub use tenant::{QosClass, TenantReport, TenantSpec, TenantStats};
 
 /// The types most service-layer programs need.
 pub mod prelude {
     pub use crate::admission::TokenBucket;
     pub use crate::arrival::Arrival;
+    pub use crate::fleet::{Fleet, FleetConfig, FleetReport, ShardReport, TenantProfile};
     pub use crate::service::{
-        DsaService, JobOutcome, ServiceConfig, ServiceReport, Session, WqPlan,
+        DsaService, JobOutcome, ServiceBuilder, ServiceConfig, ServiceReport, Session, WqPlan,
     };
+    pub use crate::shard::{ShardAssignment, ShardPlan};
     pub use crate::tenant::{QosClass, TenantReport, TenantSpec, TenantStats};
+    pub use dsa_core::backend::PoolPolicy;
     pub use dsa_sim::time::{SimDuration, SimTime};
 }

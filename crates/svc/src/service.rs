@@ -5,15 +5,22 @@
 //!
 //! N tenants share one [`DsaRuntime`] without threads: each tenant keeps a
 //! local clock cursor, and the service always processes the tenant whose
-//! next admissible action is earliest on the simulated timeline (ties break
-//! by tenant index). Per-tenant randomness comes from [`SplitMix64`]
-//! streams split off one master seed. Two services built from the same
-//! specs and seed therefore replay bit-identically — [`ServiceReport::digest`]
-//! makes that checkable in one comparison.
+//! next admissible action is earliest on the simulated timeline (ties
+//! break by scheduling order in the [`ActionQueue`], itself deterministic).
+//! A tenant's next-action instant depends only on its own state, so the
+//! service maintains it in a calendar-queue-backed action queue instead of
+//! rescanning all tenants per job — O(1) amortized per step, which is what
+//! lets one shard of the fleet layer carry thousands of tenants.
+//! Per-tenant randomness comes from [`SplitMix64`] streams split off one
+//! master seed. Two services built from the same config therefore replay
+//! bit-identically — [`ServiceReport::digest`] makes that checkable in one
+//! comparison.
 
+use crate::actionq::ActionQueue;
 use crate::admission::TokenBucket;
 use crate::tenant::{QosClass, TenantReport, TenantSpec, TenantStats};
 use dsa_core::config::AccelConfig;
+use dsa_core::digest::{Digestible, Fnv1a};
 use dsa_core::error::DsaError;
 use dsa_core::job::Job;
 use dsa_core::program::OpInstr;
@@ -67,25 +74,125 @@ impl WqPlan {
     }
 }
 
-/// Service-wide configuration.
-#[derive(Clone, Copy, Debug)]
+/// Service-wide configuration: plan, seed, platform, tenant placement,
+/// and the tenant roster itself.
+///
+/// Built exclusively through [`ServiceConfig::builder`], which validates
+/// the whole configuration (plan vs the DSA 1.0 envelope, buffer location
+/// vs the platform's memory devices) before any runtime is constructed —
+/// the same by-value builder idiom as
+/// [`AccelConfig::builder`](dsa_core::config::AccelConfig::builder).
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// WQ placement plan.
     pub plan: WqPlan,
     /// Master seed for all per-tenant randomness.
     pub seed: u64,
+    /// Platform the service's runtime simulates.
+    pub platform: Platform,
+    /// Where tenant buffers live. The fleet layer places remote shards'
+    /// buffers in remote DRAM so every transfer pays the UPI crossing.
+    pub location: Location,
+    /// The tenant roster, in tenant-index order.
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl ServiceConfig {
-    /// A configuration with the given plan and the default seed.
-    pub fn new(plan: WqPlan) -> ServiceConfig {
-        ServiceConfig { plan, seed: 0xD5A_5E1F_0CA5 }
+    /// Starts a builder with the defaults: [`WqPlan::DedicatedPerTenant`],
+    /// the stock seed, [`Platform::spr`], local-DRAM buffers, no tenants.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder {
+            plan: WqPlan::DedicatedPerTenant,
+            seed: 0xD5A_5E1F_0CA5,
+            platform: Platform::spr(),
+            location: Location::local_dram(),
+            tenants: Vec::new(),
+        }
+    }
+}
+
+/// By-value builder for [`ServiceConfig`]. See [`ServiceConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ServiceBuilder {
+    plan: WqPlan,
+    seed: u64,
+    platform: Platform,
+    location: Location,
+    tenants: Vec<TenantSpec>,
+}
+
+impl ServiceBuilder {
+    /// Sets the WQ placement plan.
+    pub fn plan(mut self, plan: WqPlan) -> ServiceBuilder {
+        self.plan = plan;
+        self
     }
 
-    /// Overrides the master seed.
-    pub fn with_seed(mut self, seed: u64) -> ServiceConfig {
+    /// Sets the master seed for all per-tenant randomness.
+    pub fn seed(mut self, seed: u64) -> ServiceBuilder {
         self.seed = seed;
         self
+    }
+
+    /// Sets the simulated platform (default [`Platform::spr`]).
+    pub fn platform(mut self, platform: Platform) -> ServiceBuilder {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets where tenant buffers are allocated (default local DRAM).
+    pub fn location(mut self, location: Location) -> ServiceBuilder {
+        self.location = location;
+        self
+    }
+
+    /// Appends one tenant to the roster.
+    pub fn tenant(mut self, spec: TenantSpec) -> ServiceBuilder {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Appends a batch of tenants to the roster.
+    pub fn tenants(mut self, specs: impl IntoIterator<Item = TenantSpec>) -> ServiceBuilder {
+        self.tenants.extend(specs);
+        self
+    }
+
+    /// Validates the full configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`DsaError::InvalidService`] when a tenant moves zero bytes per job
+    /// or the buffer location names a memory device the platform lacks;
+    /// [`DsaError::InvalidConfig`] when the plan violates the device
+    /// envelope for this roster (e.g. more dedicated tenants than the
+    /// 8-WQ envelope allows).
+    pub fn build(self) -> Result<ServiceConfig, DsaError> {
+        if self.tenants.iter().any(|t| t.xfer == 0) {
+            return Err(DsaError::InvalidService { reason: "tenant transfer size is zero" });
+        }
+        match self.location {
+            Location::Cxl if self.platform.cxl.is_none() => {
+                return Err(DsaError::InvalidService {
+                    reason: "tenant buffers placed in CXL memory on a platform without CXL",
+                });
+            }
+            Location::Dram { socket } if u32::from(socket) >= u32::from(self.platform.sockets) => {
+                return Err(DsaError::InvalidService {
+                    reason: "tenant buffer socket beyond the platform's socket count",
+                });
+            }
+            _ => {}
+        }
+        // Surface plan-vs-envelope violations at build time, not first use.
+        plan_device(self.plan, &self.tenants)?;
+        Ok(ServiceConfig {
+            plan: self.plan,
+            seed: self.seed,
+            platform: self.platform,
+            location: self.location,
+            tenants: self.tenants,
+        })
     }
 }
 
@@ -165,26 +272,30 @@ pub struct DsaService {
     rt: DsaRuntime,
     plan: WqPlan,
     tenants: Vec<TenantState>,
+    /// Earliest-next-action queue; one live entry per active tenant.
+    queue: ActionQueue,
 }
 
 impl DsaService {
-    /// Builds the device per `cfg.plan`, allocates per-tenant buffers, and
-    /// seeds per-tenant RNG streams.
+    /// Builds the device per `cfg.plan`, allocates per-tenant buffers at
+    /// `cfg.location` on `cfg.platform`, and seeds per-tenant RNG streams.
     ///
     /// # Errors
     ///
     /// Returns [`DsaError::InvalidConfig`] with the device-configuration
     /// constraint a plan violates (e.g. more dedicated tenants than the
-    /// 8-WQ envelope allows).
-    pub fn new(cfg: ServiceConfig, specs: Vec<TenantSpec>) -> Result<DsaService, DsaError> {
-        let device = plan_device(cfg.plan, &specs)?;
-        let wqs = assign_wqs(cfg.plan, &specs);
-        let mut rt = DsaRuntime::builder(Platform::spr()).device(device).build();
-        let mut master = SplitMix64::new(cfg.seed);
+    /// 8-WQ envelope allows). A config from
+    /// [`ServiceConfig::builder`] has already passed this validation.
+    pub fn from_config(cfg: ServiceConfig) -> Result<DsaService, DsaError> {
+        let ServiceConfig { plan, seed, platform, location, tenants: specs } = cfg;
+        let device = plan_device(plan, &specs)?;
+        let wqs = assign_wqs(plan, &specs);
+        let mut rt = DsaRuntime::builder(platform).device(device).build();
+        let mut master = SplitMix64::new(seed);
         let mut tenants = Vec::with_capacity(specs.len());
         for (i, spec) in specs.into_iter().enumerate() {
-            let src = rt.alloc(spec.xfer, Location::local_dram());
-            let dst = rt.alloc(spec.xfer, Location::local_dram());
+            let src = rt.alloc(spec.xfer, location);
+            let dst = rt.alloc(spec.xfer, location);
             rt.fill_pattern(&src, (i as u8).wrapping_mul(37).wrapping_add(1));
             rt.fill_pattern(&dst, 0);
             let mut rng = master.split();
@@ -216,7 +327,17 @@ impl DsaService {
                 spec,
             });
         }
-        Ok(DsaService { rt, plan: cfg.plan, tenants })
+        let queue = ActionQueue::with_tenants(tenants.len());
+        let mut svc = DsaService { rt, plan, tenants, queue };
+        // Prime the action queue in tenant-index order, so simultaneous
+        // first actions keep the historical index tie-break.
+        for i in 0..svc.tenants.len() {
+            if svc.tenants[i].active() {
+                let at = svc.next_action(i);
+                svc.queue.schedule(i, at);
+            }
+        }
+        Ok(svc)
     }
 
     /// The placement plan in force.
@@ -264,26 +385,10 @@ impl DsaService {
     /// Drives every tenant's stream to completion in deterministic merged
     /// timeline order and returns the final report.
     pub fn run(&mut self) -> ServiceReport {
-        while let Some(i) = self.pick() {
+        while let Some((_, i)) = self.queue.pop() {
             let _ = self.step(i);
         }
         self.report()
-    }
-
-    /// The tenant whose next admissible action is earliest (ties break by
-    /// index); `None` when every stream is exhausted.
-    fn pick(&self) -> Option<usize> {
-        let mut best: Option<(SimTime, usize)> = None;
-        for (i, t) in self.tenants.iter().enumerate() {
-            if !t.active() {
-                continue;
-            }
-            let at = self.next_action(i);
-            if best.is_none_or(|(bt, _)| at < bt) {
-                best = Some((at, i));
-            }
-        }
-        best.map(|(_, i)| i)
     }
 
     /// Earliest instant tenant `i` could start its next job: its arrival,
@@ -296,9 +401,27 @@ impl DsaService {
         t.bucket.ready_at(at)
     }
 
+    /// Processes tenant `i`'s next job, then re-queues the tenant's new
+    /// next-action instant (or retires it when the stream is exhausted).
+    /// Keeps the action queue exact whether the step came from [`run`]
+    /// (queue-driven) or a [`Session`] (caller-driven): the stale entry
+    /// the queue may still hold is invalidated by the re-schedule.
+    ///
+    /// [`run`]: Self::run
+    fn step(&mut self, i: usize) -> Result<JobOutcome, DsaError> {
+        let out = self.advance(i);
+        if self.tenants[i].active() {
+            let at = self.next_action(i);
+            self.queue.schedule(i, at);
+        } else {
+            self.queue.cancel(i);
+        }
+        out
+    }
+
     /// Processes tenant `i`'s next job end-to-end: admission, bounded-retry
     /// submission, fallback, accounting, and arrival-process advance.
-    fn step(&mut self, i: usize) -> Result<JobOutcome, DsaError> {
+    fn advance(&mut self, i: usize) -> Result<JobOutcome, DsaError> {
         let rt = &mut self.rt;
         let t = &mut self.tenants[i];
         let tid = i as u16;
@@ -534,14 +657,17 @@ impl ServiceReport {
     }
 
     /// FNV-1a hash of [`summary`](Self::summary) — one number to compare
-    /// for bit-identical replay.
+    /// for bit-identical replay. Equivalent to
+    /// [`Digestible::digest64`]; kept as the idiomatic name report
+    /// consumers already use.
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.summary().bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        self.digest64()
+    }
+}
+
+impl Digestible for ServiceReport {
+    fn fold(&self, h: &mut Fnv1a) {
+        h.write(self.summary().as_bytes());
     }
 }
 
@@ -636,6 +762,11 @@ mod tests {
     use super::*;
     use crate::arrival::Arrival;
 
+    fn svc(plan: WqPlan, specs: Vec<TenantSpec>) -> DsaService {
+        let cfg = ServiceConfig::builder().plan(plan).tenants(specs).build().unwrap();
+        DsaService::from_config(cfg).unwrap()
+    }
+
     fn two_tenants() -> Vec<TenantSpec> {
         vec![
             TenantSpec::new("a", 4 << 10, 20).with_arrival(Arrival::closed(SimDuration::ZERO)),
@@ -645,8 +776,7 @@ mod tests {
 
     #[test]
     fn dedicated_plan_runs_all_jobs_on_dsa() {
-        let mut svc =
-            DsaService::new(ServiceConfig::new(WqPlan::DedicatedPerTenant), two_tenants()).unwrap();
+        let mut svc = svc(WqPlan::DedicatedPerTenant, two_tenants());
         let rep = svc.run();
         for t in &rep.tenants {
             assert_eq!(t.offered, 20);
@@ -659,8 +789,7 @@ mod tests {
 
     #[test]
     fn shared_plan_maps_everyone_to_wq0() {
-        let mut svc =
-            DsaService::new(ServiceConfig::new(WqPlan::SharedAll), two_tenants()).unwrap();
+        let mut svc = svc(WqPlan::SharedAll, two_tenants());
         let rep = svc.run();
         assert!(rep.tenants.iter().all(|t| t.wq == 0));
         assert_eq!(rep.tenants[0].dsa_completed, 20);
@@ -672,7 +801,7 @@ mod tests {
             TenantSpec::new("lat", 4 << 10, 10).with_class(QosClass::Latency),
             TenantSpec::new("bulk", 16 << 10, 10),
         ];
-        let mut svc = DsaService::new(ServiceConfig::new(WqPlan::ByClass), specs).unwrap();
+        let mut svc = svc(WqPlan::ByClass, specs);
         let rep = svc.run();
         assert_eq!(rep.tenants[0].wq, 0, "latency tenant on the dedicated WQ");
         assert_eq!(rep.tenants[1].wq, 1, "throughput tenant on the shared WQ");
@@ -685,8 +814,7 @@ mod tests {
         // Closed loop with zero think, but metered to 100k jobs/s: 50 jobs
         // need ≥ 49 token intervals of 10 µs.
         let specs = vec![TenantSpec::new("paced", 1 << 10, 50).with_admission(100_000, 1)];
-        let mut svc =
-            DsaService::new(ServiceConfig::new(WqPlan::DedicatedPerTenant), specs).unwrap();
+        let mut svc = svc(WqPlan::DedicatedPerTenant, specs);
         let rep = svc.run();
         assert_eq!(rep.tenants[0].dsa_completed, 50);
         assert!(
@@ -705,8 +833,7 @@ mod tests {
             .with_outstanding(1)
             .with_arrival(Arrival::open(SimDuration::from_ns(200)))
             .with_deadline(SimDuration::from_us(1))];
-        let mut svc =
-            DsaService::new(ServiceConfig::new(WqPlan::DedicatedPerTenant), specs).unwrap();
+        let mut svc = svc(WqPlan::DedicatedPerTenant, specs);
         let rep = svc.run();
         let t = &rep.tenants[0];
         assert_eq!(t.offered, 8);
@@ -716,8 +843,7 @@ mod tests {
 
     #[test]
     fn session_drives_one_job_per_submit() {
-        let mut svc =
-            DsaService::new(ServiceConfig::new(WqPlan::DedicatedPerTenant), two_tenants()).unwrap();
+        let mut svc = svc(WqPlan::DedicatedPerTenant, two_tenants());
         let mut sess = svc.session(0);
         for k in 1..=5u64 {
             let out = sess.submit().unwrap();
@@ -725,5 +851,83 @@ mod tests {
             assert_eq!(sess.stats().dsa_completed, k);
         }
         assert_eq!(svc.stats(1).offered, 0, "other tenants untouched");
+    }
+
+    #[test]
+    fn session_then_run_finishes_every_stream() {
+        // Hand-driving a tenant must leave the action queue exact: the
+        // remaining jobs of BOTH tenants still complete under run().
+        let mut svc = svc(WqPlan::DedicatedPerTenant, two_tenants());
+        svc.session(0).submit().unwrap();
+        svc.session(0).submit().unwrap();
+        let rep = svc.run();
+        assert_eq!(rep.tenants[0].dsa_completed, 20);
+        assert_eq!(rep.tenants[1].dsa_completed, 20);
+    }
+
+    #[test]
+    fn builder_rejects_zero_transfer() {
+        let err = ServiceConfig::builder().tenant(TenantSpec::new("z", 0, 1)).build().unwrap_err();
+        assert!(matches!(err, DsaError::InvalidService { .. }), "got {err}");
+    }
+
+    #[test]
+    fn builder_rejects_cxl_buffers_without_cxl() {
+        let err = ServiceConfig::builder()
+            .platform(Platform::icx())
+            .location(Location::Cxl)
+            .tenant(TenantSpec::new("t", 4 << 10, 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DsaError::InvalidService { .. }), "got {err}");
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_socket() {
+        let err = ServiceConfig::builder()
+            .location(Location::Dram { socket: 7 })
+            .tenant(TenantSpec::new("t", 4 << 10, 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DsaError::InvalidService { .. }), "got {err}");
+    }
+
+    #[test]
+    fn builder_surfaces_plan_envelope_violations() {
+        // 9 dedicated tenants cannot fit the 8-WQ envelope.
+        let specs: Vec<TenantSpec> =
+            (0..9).map(|i| TenantSpec::new(&format!("t{i}"), 1 << 10, 1)).collect();
+        let err = ServiceConfig::builder()
+            .plan(WqPlan::DedicatedPerTenant)
+            .tenants(specs)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DsaError::InvalidConfig(_)), "got {err}");
+    }
+
+    #[test]
+    fn remote_dram_buffers_pay_the_upi_hop() {
+        let run_at = |loc: Location| {
+            let cfg = ServiceConfig::builder()
+                .location(loc)
+                .tenant(TenantSpec::new("t", 64 << 10, 10).with_outstanding(1))
+                .build()
+                .unwrap();
+            DsaService::from_config(cfg).unwrap().run().makespan
+        };
+        let local = run_at(Location::local_dram());
+        let remote = run_at(Location::remote_dram());
+        assert!(
+            remote > local,
+            "remote-DRAM tenants must be slower than local ({remote:?} vs {local:?})"
+        );
+    }
+
+    #[test]
+    fn report_digest_matches_unified_digestible() {
+        let mut s = svc(WqPlan::DedicatedPerTenant, two_tenants());
+        let rep = s.run();
+        assert_eq!(rep.digest(), rep.digest64());
+        assert_eq!(rep.digest(), Fnv1a::digest(rep.summary().as_bytes()));
     }
 }

@@ -1,0 +1,291 @@
+//! Deterministic partitioning of the tenant space across sockets and
+//! devices.
+//!
+//! A [`ShardPlan`] is pure data computed up front from the fleet
+//! configuration: contiguous, gap-free tenant ranges, one per shard, each
+//! mapped to an execution slot (socket × device) by a
+//! [`PoolPolicy`] and given its own RNG seed drawn from the master stream
+//! in shard order. Because the plan is fixed before any shard runs,
+//! shards share *nothing* at runtime — which is what makes the K-thread
+//! fleet run provably identical to the sequential replay.
+//!
+//! The plan also carries the fleet's lightweight inter-shard cost model:
+//!
+//! * **DDIO share** — shards whose devices land on the same socket split
+//!   that socket's DDIO ways ([`Platform::with_ddio_share`]), so packing
+//!   moves the leaky-DMA knee earlier (paper Fig. 12).
+//! * **UPI crossing** — a shard placed off its tenants' home socket runs
+//!   with its buffers in remote DRAM, paying the UPI hop latency, and all
+//!   crossing shards split the link bandwidth
+//!   ([`Platform::with_upi_share`]; paper Fig. 8, guideline G4).
+//!
+//! Each shard's runtime is socket-centric: the shard's device is "socket
+//! 0" of its private [`Platform`], and a remote placement maps tenant
+//! memory to remote DRAM (`Dram { socket: 1 }`) so every descriptor pays
+//! the crossing in both the latency and bandwidth terms.
+
+use dsa_core::backend::PoolPolicy;
+use dsa_mem::buffer::Location;
+use dsa_mem::topology::Platform;
+use dsa_sim::rng::SplitMix64;
+
+/// One shard's slice of the fleet: a contiguous tenant range bound to an
+/// execution slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Shard index (also the digest-merge position).
+    pub shard: u32,
+    /// Socket the shard's DSA device lives on.
+    pub socket: u32,
+    /// Device index within that socket.
+    pub device: u32,
+    /// Socket the shard's tenants are homed on (where their memory is).
+    pub home_socket: u32,
+    /// First global tenant id owned by this shard (inclusive).
+    pub tenant_lo: u64,
+    /// One past the last global tenant id owned by this shard.
+    pub tenant_hi: u64,
+    /// Master seed for the shard's private SplitMix64 stream.
+    pub seed: u64,
+}
+
+impl ShardAssignment {
+    /// Number of tenants this shard owns.
+    pub fn tenants(&self) -> u64 {
+        self.tenant_hi - self.tenant_lo
+    }
+
+    /// True when the shard's device is off its tenants' home socket, so
+    /// every transfer crosses the UPI link.
+    pub fn remote(&self) -> bool {
+        self.socket != self.home_socket
+    }
+}
+
+/// The fleet's deterministic partition: tenant ranges, placement, seeds,
+/// and the per-shard platform adjustments of the inter-shard cost model.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    sockets: u32,
+    devices_per_socket: u32,
+    placement: PoolPolicy,
+    shards: Vec<ShardAssignment>,
+}
+
+impl ShardPlan {
+    /// Partitions `tenants` tenant ids over `shards` shards placed on
+    /// `sockets × devices_per_socket` execution slots under `placement`,
+    /// drawing per-shard seeds from `seed` in shard order.
+    ///
+    /// The partition is total: ranges are contiguous, in order, gap-free
+    /// and overlap-free, with sizes differing by at most one (earlier
+    /// shards absorb the remainder). Tenants are homed on sockets in
+    /// contiguous blocks (shard `i`'s home is `i * sockets / shards`), so
+    /// "NUMA-local" has a well-defined meaning for every policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards`, `sockets`, or `devices_per_socket` is zero —
+    /// [`FleetConfig::builder`](crate::FleetConfig::builder) validates
+    /// these before constructing a plan.
+    pub fn new(
+        tenants: u64,
+        shards: u32,
+        sockets: u32,
+        devices_per_socket: u32,
+        placement: PoolPolicy,
+        seed: u64,
+    ) -> ShardPlan {
+        assert!(shards > 0 && sockets > 0 && devices_per_socket > 0, "degenerate fleet shape");
+        let mut master = SplitMix64::new(seed);
+        let slots = (sockets * devices_per_socket) as usize;
+        // Tenants assigned per execution slot, for the LeastLoaded greedy.
+        let mut slot_load = vec![0u64; slots];
+        // Next device (round-robin cursor) per socket, for NumaLocal.
+        let mut socket_cursor = vec![0u32; sockets as usize];
+
+        let base = tenants / u64::from(shards);
+        let rem = tenants % u64::from(shards);
+        let mut lo = 0u64;
+        let mut out = Vec::with_capacity(shards as usize);
+        for i in 0..shards {
+            let size = base + u64::from(u64::from(i) < rem);
+            let home_socket = (i * sockets) / shards;
+            let slot = match placement {
+                PoolPolicy::RoundRobin => i % slots as u32,
+                PoolPolicy::NumaLocal => {
+                    let dev = socket_cursor[home_socket as usize];
+                    socket_cursor[home_socket as usize] = (dev + 1) % devices_per_socket;
+                    home_socket * devices_per_socket + dev
+                }
+                PoolPolicy::LeastLoaded => {
+                    let mut best = 0usize;
+                    for s in 1..slots {
+                        if slot_load[s] < slot_load[best] {
+                            best = s;
+                        }
+                    }
+                    best as u32
+                }
+            };
+            slot_load[slot as usize] += size;
+            out.push(ShardAssignment {
+                shard: i,
+                socket: slot / devices_per_socket,
+                device: slot % devices_per_socket,
+                home_socket,
+                tenant_lo: lo,
+                tenant_hi: lo + size,
+                seed: master.next_u64(),
+            });
+            lo += size;
+        }
+        ShardPlan { sockets, devices_per_socket, placement, shards: out }
+    }
+
+    /// The shard assignments, in shard order.
+    pub fn shards(&self) -> &[ShardAssignment] {
+        &self.shards
+    }
+
+    /// The placement policy the plan was built under.
+    pub fn placement(&self) -> PoolPolicy {
+        self.placement
+    }
+
+    /// Sockets in the fleet.
+    pub fn sockets(&self) -> u32 {
+        self.sockets
+    }
+
+    /// Devices per socket.
+    pub fn devices_per_socket(&self) -> u32 {
+        self.devices_per_socket
+    }
+
+    /// Shards whose devices share shard `i`'s socket (including itself) —
+    /// the DDIO-way divisor of that socket.
+    pub fn socket_sharers(&self, i: usize) -> u32 {
+        let socket = self.shards[i].socket;
+        self.shards.iter().filter(|s| s.socket == socket).count() as u32
+    }
+
+    /// Shards that cross the UPI link — the bandwidth-share divisor every
+    /// crossing shard sees.
+    pub fn upi_crossers(&self) -> u32 {
+        self.shards.iter().filter(|s| s.remote()).count() as u32
+    }
+
+    /// The platform shard `i` simulates: `base` with its socket's DDIO
+    /// ways split among co-resident shards, and — when the shard crosses
+    /// sockets — the UPI bandwidth split among all crossing shards.
+    pub fn platform_for(&self, i: usize, base: &Platform) -> Platform {
+        let mut p = base.clone().with_ddio_share(self.socket_sharers(i));
+        if self.shards[i].remote() {
+            p = p.with_upi_share(self.upi_crossers());
+        }
+        p
+    }
+
+    /// Where shard `i`'s tenant buffers live in its private runtime:
+    /// device-local DRAM for a NUMA-local placement, remote DRAM (one UPI
+    /// hop from the device) when the shard was placed off-socket.
+    pub fn location_for(&self, i: usize) -> Location {
+        if self.shards[i].remote() {
+            Location::remote_dram()
+        } else {
+            Location::local_dram()
+        }
+    }
+
+    /// Verifies the partition is total over `tenants` ids: contiguous
+    /// in-order ranges, no gaps, no overlaps, full coverage. The property
+    /// test pins this for randomized fleet shapes.
+    pub fn covers(&self, tenants: u64) -> bool {
+        let mut next = 0u64;
+        for s in &self.shards {
+            if s.tenant_lo != next || s.tenant_hi < s.tenant_lo {
+                return false;
+            }
+            next = s.tenant_hi;
+        }
+        next == tenants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_total_and_balanced() {
+        let plan = ShardPlan::new(103, 8, 2, 2, PoolPolicy::RoundRobin, 7);
+        assert!(plan.covers(103));
+        let sizes: Vec<u64> = plan.shards().iter().map(|s| s.tenants()).collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 103);
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "balanced within one tenant: {sizes:?}");
+    }
+
+    #[test]
+    fn numa_local_never_crosses_sockets() {
+        let plan = ShardPlan::new(1000, 8, 2, 4, PoolPolicy::NumaLocal, 7);
+        assert!(plan.shards().iter().all(|s| !s.remote()), "{:?}", plan.shards());
+        assert_eq!(plan.upi_crossers(), 0);
+        // Both sockets are used: home sockets spread contiguously.
+        assert_eq!(plan.shards()[0].socket, 0);
+        assert_eq!(plan.shards()[7].socket, 1);
+    }
+
+    #[test]
+    fn round_robin_crosses_sockets_and_pays_upi() {
+        // 2 shards homed [0, 1), slots socket-major: shard 1 homed on
+        // socket 1 lands on socket 0's device 1 → one UPI crosser.
+        let plan = ShardPlan::new(100, 2, 2, 2, PoolPolicy::RoundRobin, 7);
+        assert_eq!(plan.upi_crossers(), 1);
+        let crosser = plan.shards().iter().position(|s| s.remote()).unwrap();
+        assert_eq!(plan.location_for(crosser), Location::remote_dram());
+        let p = plan.platform_for(crosser, &Platform::spr());
+        assert!(p.upi_mgbps <= Platform::spr().upi_mgbps);
+    }
+
+    #[test]
+    fn least_loaded_spreads_by_tenant_count() {
+        let plan = ShardPlan::new(64, 4, 2, 2, PoolPolicy::LeastLoaded, 7);
+        // 4 equal shards over 4 slots: every slot gets exactly one.
+        let mut slots: Vec<(u32, u32)> =
+            plan.shards().iter().map(|s| (s.socket, s.device)).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 4, "each slot used once: {:?}", plan.shards());
+    }
+
+    #[test]
+    fn ddio_share_counts_co_resident_shards() {
+        // 4 NumaLocal shards on 2 sockets × 1 device: 2 per socket.
+        let plan = ShardPlan::new(40, 4, 2, 1, PoolPolicy::NumaLocal, 7);
+        for i in 0..4 {
+            assert_eq!(plan.socket_sharers(i), 2);
+            let p = plan.platform_for(i, &Platform::spr());
+            assert_eq!(p.ddio_ways, 1, "2 SPR DDIO ways split across 2 shards");
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let a = ShardPlan::new(100, 8, 2, 2, PoolPolicy::RoundRobin, 42);
+        let b = ShardPlan::new(100, 8, 2, 2, PoolPolicy::RoundRobin, 42);
+        assert_eq!(a.shards(), b.shards(), "plans are pure functions of the config");
+        let mut seeds: Vec<u64> = a.shards().iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "every shard draws a distinct seed");
+    }
+
+    #[test]
+    fn more_shards_than_tenants_leaves_empty_tails() {
+        let plan = ShardPlan::new(3, 8, 2, 2, PoolPolicy::RoundRobin, 7);
+        assert!(plan.covers(3));
+        assert_eq!(plan.shards().iter().filter(|s| s.tenants() == 0).count(), 5);
+    }
+}

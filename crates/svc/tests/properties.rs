@@ -57,9 +57,13 @@ fn retry_exhaustion_is_a_typed_error() {
             .with_cpu_fallback(false),
         TenantSpec::new("idle", 4 << 10, 1),
     ];
-    let mut svc =
-        DsaService::new(ServiceConfig::new(WqPlan::DedicatedPerTenant).with_seed(11), specs)
-            .unwrap();
+    let cfg = ServiceConfig::builder()
+        .plan(WqPlan::DedicatedPerTenant)
+        .seed(11)
+        .tenants(specs)
+        .build()
+        .unwrap();
+    let mut svc = DsaService::from_config(cfg).unwrap();
     let mut sess = svc.session(0);
     let mut exhausted = None;
     for _ in 0..300 {
@@ -109,9 +113,14 @@ fn mixed_four_tenants() -> Vec<TenantSpec> {
 /// same summary string, same digest.
 #[test]
 fn four_tenant_replay_is_bit_identical() {
-    let cfg = ServiceConfig::new(WqPlan::SharedAll).with_seed(0xFEED);
-    let a = DsaService::new(cfg, mixed_four_tenants()).unwrap().run();
-    let b = DsaService::new(cfg, mixed_four_tenants()).unwrap().run();
+    let cfg = ServiceConfig::builder()
+        .plan(WqPlan::SharedAll)
+        .seed(0xFEED)
+        .tenants(mixed_four_tenants())
+        .build()
+        .unwrap();
+    let a = DsaService::from_config(cfg.clone()).unwrap().run();
+    let b = DsaService::from_config(cfg).unwrap().run();
     assert_eq!(a.summary(), b.summary());
     assert_eq!(a.digest(), b.digest());
     // And the run actually exercised contention, not a trivial timeline.
@@ -123,16 +132,17 @@ fn four_tenant_replay_is_bit_identical() {
 /// accelerator-served shares than one fully shared WQ.
 #[test]
 fn dedicated_wqs_are_fairer_than_shared_at_saturation() {
-    let ded = DsaService::new(
-        ServiceConfig::new(WqPlan::DedicatedPerTenant).with_seed(7),
-        mixed_four_tenants(),
-    )
-    .unwrap()
-    .run();
-    let sha =
-        DsaService::new(ServiceConfig::new(WqPlan::SharedAll).with_seed(7), mixed_four_tenants())
-            .unwrap()
-            .run();
+    let at_saturation = |plan: WqPlan| {
+        let cfg = ServiceConfig::builder()
+            .plan(plan)
+            .seed(7)
+            .tenants(mixed_four_tenants())
+            .build()
+            .unwrap();
+        DsaService::from_config(cfg).unwrap().run()
+    };
+    let ded = at_saturation(WqPlan::DedicatedPerTenant);
+    let sha = at_saturation(WqPlan::SharedAll);
     assert!(
         ded.fairness > sha.fairness,
         "dedicated {:.4} must beat shared {:.4}\n--- dedicated ---\n{}\n--- shared ---\n{}",

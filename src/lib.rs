@@ -47,6 +47,8 @@ pub mod prelude {
     pub use dsa_ops::OpKind;
     pub use dsa_sim::{SimDuration, SimTime};
     pub use dsa_svc::prelude::{
-        Arrival, DsaService, JobOutcome, QosClass, ServiceConfig, ServiceReport, TenantSpec, WqPlan,
+        Arrival, DsaService, Fleet, FleetConfig, FleetReport, JobOutcome, PoolPolicy, QosClass,
+        ServiceBuilder, ServiceConfig, ServiceReport, ShardAssignment, ShardPlan, ShardReport,
+        TenantProfile, TenantSpec, WqPlan,
     };
 }

@@ -15,11 +15,11 @@
 //!    yields per-tenant critical-path profiles.
 
 use dsa_bench::measure::{Measure, Mode};
+use dsa_core::digest::{Digestible, Fnv1a};
 use dsa_core::runtime::DsaRuntime;
 use dsa_mem::buffer::Location;
 use dsa_ops::OpKind;
 use dsa_sim::engine::{CausalEdge, Component, ComponentId, Ctx, Engine};
-use dsa_sim::stats::Fnv1a;
 use dsa_sim::time::{SimDuration, SimTime};
 use dsa_svc::prelude::*;
 use dsa_telemetry::{CausalGraph, Phase, SegmentKind};
@@ -111,7 +111,7 @@ enum Msg {
     Done { bytes: u64 },
 }
 
-impl Msg {
+impl Digestible for Msg {
     fn fold(&self, h: &mut Fnv1a) {
         match self {
             Msg::Tick => h.write_u64(1),
@@ -312,12 +312,18 @@ fn tenant_specs() -> Vec<TenantSpec> {
 
 #[test]
 fn service_digest_is_identical_with_tracing_enabled() {
-    let cfg = || ServiceConfig::new(WqPlan::DedicatedPerTenant).with_seed(0xFA1C_0DE5);
+    let cfg = || {
+        ServiceConfig::builder()
+            .plan(WqPlan::DedicatedPerTenant)
+            .seed(0xFA1C_0DE5)
+            .tenants(tenant_specs())
+            .build()
+            .expect("plan fits the envelope")
+    };
 
-    let plain =
-        DsaService::new(cfg(), tenant_specs()).expect("plan fits the envelope").run().digest();
+    let plain = DsaService::from_config(cfg()).expect("validated config builds").run().digest();
 
-    let mut svc = DsaService::new(cfg(), tenant_specs()).expect("plan fits the envelope");
+    let mut svc = DsaService::from_config(cfg()).expect("validated config builds");
     let hub = svc.trace();
     let traced = svc.run().digest();
     assert_eq!(plain, traced, "tracing must not perturb the replay digest");

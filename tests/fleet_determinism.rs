@@ -1,0 +1,102 @@
+//! The fleet's headline guarantee (ISSUE 9 acceptance): a K-thread
+//! sharded run is bit-identical to the sequential replay — per-shard
+//! FNV-1a digests merged in shard order agree exactly for K ∈ {1, 2, 8}
+//! across every placement policy — and the shard plan underneath it is a
+//! total partition of the tenant space (no gaps, no overlaps) for
+//! randomized fleet shapes.
+
+use dsa_repro::prelude::*;
+use dsa_sim::rng::SplitMix64;
+
+fn fleet(placement: PoolPolicy, seed: u64) -> Fleet {
+    let mut profile = TenantProfile::small();
+    profile.deadline = Some(SimDuration::from_us(200));
+    profile.latency_every = 4;
+    let cfg = FleetConfig::builder()
+        .sockets(2)
+        .devices_per_socket(2)
+        .shards(8)
+        .tenants(96)
+        .placement(placement)
+        .seed(seed)
+        .profile(profile)
+        .build()
+        .expect("a 2×2, 8-shard, 96-tenant fleet is a valid shape");
+    Fleet::new(cfg)
+}
+
+/// K ∈ {1, 2, 8} worker threads × three placement policies: every
+/// parallel run's merged digest equals the sequential replay's, and the
+/// aggregate counters agree too (the digest is not vacuous).
+#[test]
+fn parallel_runs_replay_bit_identically() {
+    for placement in [PoolPolicy::RoundRobin, PoolPolicy::LeastLoaded, PoolPolicy::NumaLocal] {
+        let f = fleet(placement, 0xD5A_F1EE7);
+        let seq = f.run_sequential().expect("sequential run");
+        assert!(seq.offered() > 0, "{placement:?}: the proof needs a non-trivial run");
+        assert!(seq.latency.count() > 0, "{placement:?}: no job ever completed");
+        for k in [1usize, 2, 8] {
+            let par = f.run_parallel(k).expect("parallel run");
+            assert_eq!(
+                par.digest, seq.digest,
+                "{placement:?} with {k} thread(s) diverged from the sequential replay"
+            );
+            assert_eq!(par.offered(), seq.offered(), "{placement:?}/{k}: offered drifted");
+            assert_eq!(par.completed(), seq.completed(), "{placement:?}/{k}: completed drifted");
+            assert_eq!(par.makespan, seq.makespan, "{placement:?}/{k}: makespan drifted");
+        }
+    }
+}
+
+/// Distinct placements are distinct timelines: on a shape where
+/// round-robin forces UPI crossers and NUMA-local does not, the merged
+/// digests must differ — the determinism proof would be worthless if the
+/// digest ignored the placement-dependent platform model.
+#[test]
+fn digest_distinguishes_placements() {
+    let numa = fleet(PoolPolicy::NumaLocal, 7).digest().expect("numa run");
+    let rr = fleet(PoolPolicy::RoundRobin, 7).digest().expect("rr run");
+    assert_ne!(numa, rr, "placement-dependent platforms must reach the digest");
+}
+
+/// Property test over randomized fleet shapes: every `ShardPlan` is a
+/// total partition — contiguous in-order ranges covering exactly
+/// `[0, tenants)` with no gaps and no overlaps — under every policy,
+/// including degenerate shapes (more shards than tenants, one slot).
+#[test]
+fn shard_plan_partitions_without_gaps_or_overlaps() {
+    let mut rng = SplitMix64::new(0x5EED_5EED);
+    for case in 0..200 {
+        let tenants = rng.next_below(5_000);
+        let shards = 1 + rng.next_below(63) as u32;
+        let sockets = 1 + rng.next_below(4) as u32;
+        let devices = 1 + rng.next_below(4) as u32;
+        let seed = rng.next_u64();
+        for placement in [PoolPolicy::RoundRobin, PoolPolicy::LeastLoaded, PoolPolicy::NumaLocal] {
+            let plan = ShardPlan::new(tenants, shards, sockets, devices, placement, seed);
+            assert!(
+                plan.covers(tenants),
+                "case {case}: {placement:?} plan over {tenants} tenants / {shards} shards / \
+                 {sockets}×{devices} slots is not a total partition: {:?}",
+                plan.shards()
+            );
+            assert_eq!(plan.shards().len(), shards as usize);
+            for s in plan.shards() {
+                assert!(s.socket < sockets, "case {case}: socket out of range: {s:?}");
+                assert!(s.device < devices, "case {case}: device out of range: {s:?}");
+                assert!(s.home_socket < sockets, "case {case}: home out of range: {s:?}");
+            }
+            // Balance: sizes differ by at most one.
+            let sizes: Vec<u64> = plan.shards().iter().map(|s| s.tenants()).collect();
+            let (min, max) = (
+                sizes.iter().min().copied().unwrap_or(0),
+                sizes.iter().max().copied().unwrap_or(0),
+            );
+            assert!(max - min <= 1, "case {case}: unbalanced partition {sizes:?}");
+            // NUMA-local placements never cross the UPI link.
+            if placement == PoolPolicy::NumaLocal {
+                assert_eq!(plan.upi_crossers(), 0, "case {case}: NUMA-local crossed sockets");
+            }
+        }
+    }
+}

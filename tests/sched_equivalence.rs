@@ -12,10 +12,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use dsa_core::digest::{Digestible, Fnv1a};
 use dsa_sim::engine::{Component, ComponentId, Ctx, Engine};
 use dsa_sim::rng::SplitMix64;
 use dsa_sim::sched::{CalendarScheduler, HeapScheduler, Scheduler};
-use dsa_sim::stats::Fnv1a;
 use dsa_sim::time::{SimDuration, SimTime};
 use dsa_svc::prelude::*;
 
@@ -36,7 +36,7 @@ enum Msg {
     Retry,
 }
 
-impl Msg {
+impl Digestible for Msg {
     fn fold(&self, h: &mut Fnv1a) {
         match self {
             Msg::Tick => h.write_u64(1),
@@ -262,13 +262,13 @@ fn service_replay_digest_is_stable() {
                 .with_outstanding(8)
                 .with_retry_budget(1),
         ];
-        DsaService::new(
-            ServiceConfig::new(WqPlan::DedicatedPerTenant).with_seed(0xFA1C_0DE5),
-            specs,
-        )
-        .expect("plan fits the DSA 1.0 envelope")
-        .run()
-        .digest()
+        let cfg = ServiceConfig::builder()
+            .plan(WqPlan::DedicatedPerTenant)
+            .seed(0xFA1C_0DE5)
+            .tenants(specs)
+            .build()
+            .expect("plan fits the DSA 1.0 envelope");
+        DsaService::from_config(cfg).expect("validated config always builds").run().digest()
     };
     assert_eq!(run(), run(), "service replay must be bit-identical");
 }
