@@ -48,7 +48,7 @@ fn specs(polite: usize) -> Vec<TenantSpec> {
     v
 }
 
-fn run_plan(plan: WqPlan, polite: usize) -> ServiceReport {
+fn run_plan(plan: PlanSpec, polite: usize) -> ServiceReport {
     let cfg = ServiceConfig::builder()
         .plan(plan)
         .seed(SEED)
@@ -75,12 +75,12 @@ fn main() {
     table::header(&["tenants", "plan", "fairness", "polite share", "polite p99 us", "cpu jobs"]);
     for polite in [1usize, 3, 7] {
         let mut fairness = Vec::new();
-        for plan in [WqPlan::DedicatedPerTenant, WqPlan::ByClass, WqPlan::SharedAll] {
+        for plan in [PlanSpec::Dedicated, PlanSpec::ByClass, PlanSpec::Shared] {
             let rep = run_plan(plan, polite);
             let (share, p99, cpu) = polite_view(&rep);
             table::row(&[
                 (polite + 1).to_string(),
-                rep.plan.label().to_string(),
+                rep.plan.clone(),
                 format!("{:.4}", rep.fairness),
                 format!("{share:.3}"),
                 table::f2(p99),
@@ -104,8 +104,8 @@ fn main() {
     );
 
     // Determinism gate: replaying one cell must be bit-identical.
-    let a = run_plan(WqPlan::DedicatedPerTenant, 3);
-    let b = run_plan(WqPlan::DedicatedPerTenant, 3);
+    let a = run_plan(PlanSpec::Dedicated, 3);
+    let b = run_plan(PlanSpec::Dedicated, 3);
     assert_eq!(a.digest(), b.digest(), "replay must be bit-identical");
     println!("replay digest: {:#018x} (bit-identical across runs)", a.digest());
 }

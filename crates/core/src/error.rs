@@ -14,8 +14,12 @@ use dsa_device::device::SubmitError;
 use dsa_sim::time::SimTime;
 
 /// Errors surfaced by the offload library.
+///
+/// Not `Copy`: [`InvalidService`](DsaError::InvalidService) carries an
+/// owned reason so builders can name the offending shard/slot/tenant in
+/// the message instead of a fixed string.
 #[non_exhaustive]
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DsaError {
     /// The device rejected the submission (other than a retryable full WQ).
     Submit(SubmitError),
@@ -50,8 +54,8 @@ pub enum DsaError {
     /// (surfaced by `ServiceConfig::builder()` / `FleetConfig::builder()`
     /// in `dsa-svc` before any runtime is constructed).
     InvalidService {
-        /// What the builder rejected.
-        reason: &'static str,
+        /// What the builder rejected, naming the offending element.
+        reason: String,
     },
 }
 
@@ -124,7 +128,7 @@ mod tests {
         let e = DsaError::DeadlineExceeded { deadline: SimTime::from_ns(100) };
         assert!(e.to_string().contains("deadline"));
         assert!(DsaError::UnknownDevice { device: 3 }.to_string().contains('3'));
-        let e = DsaError::InvalidService { reason: "zero shards" };
+        let e = DsaError::InvalidService { reason: "zero shards".into() };
         assert_eq!(e.to_string(), "invalid service configuration: zero shards");
     }
 

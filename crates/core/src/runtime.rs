@@ -180,6 +180,24 @@ impl DsaRuntime {
         &mut self.devices[i]
     }
 
+    /// Rebuilds device `i` under a new configuration — the plan-transition
+    /// path: a fresh device with empty WQs, as after a real drain +
+    /// re-enable cycle. In-flight work must already be accounted for by
+    /// the caller (the service layer quiesces to a barrier first). The
+    /// attached hub, if any, carries over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replace_device(&mut self, i: usize, config: DeviceConfig) {
+        assert!(i < self.devices.len(), "no device {i}");
+        let mut d = DsaDevice::new(i as u16, config, &self.platform);
+        if let Some(hub) = &self.hub {
+            d.attach_hub(hub.clone());
+        }
+        self.devices[i] = d;
+    }
+
     /// Destructured mutable access for submission paths that need the
     /// device, memory, and memory system simultaneously.
     pub(crate) fn parts(&mut self, dev: usize) -> (&mut DsaDevice, &mut Memory, &mut MemSystem) {

@@ -197,6 +197,40 @@ impl DurationHistogram {
         Some(Percentile { value, saturated })
     }
 
+    /// The distribution of samples recorded since `earlier` was snapshot
+    /// from this histogram: bucketwise `self - earlier`, with count/sum
+    /// recomputed from the delta buckets.
+    ///
+    /// `earlier` must be a past snapshot (clone) of this histogram —
+    /// histograms only ever grow, so every delta bucket is non-negative;
+    /// unrelated histograms give a meaningless (saturating) result. The
+    /// exact per-sample min/max are not recoverable from buckets alone,
+    /// so the delta's min/max are the tightest *bucket bounds* containing
+    /// the window's samples (clamped into the parent's observed range) —
+    /// good enough for the percentile queries windows exist to serve.
+    pub fn delta_since(&self, earlier: &DurationHistogram) -> DurationHistogram {
+        let mut out = DurationHistogram::new();
+        for (i, (&now, &was)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            let d = now.saturating_sub(was);
+            if d == 0 {
+                continue;
+            }
+            out.buckets[i] = d;
+            out.count += d;
+            out.sum_ps += (Self::bucket_value(i) as u128) * d as u128;
+            let lo = SimDuration::from_ps(Self::bucket_value(i)).max(self.min);
+            let hi = SimDuration::from_ps(Self::bucket_value((i + 1).min(MAJORS * MINORS - 1)))
+                .min(self.max);
+            if lo < out.min {
+                out.min = lo;
+            }
+            if hi > out.max {
+                out.max = hi.max(lo);
+            }
+        }
+        out
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &DurationHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -416,6 +450,28 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), SimDuration::from_ns(1));
         assert_eq!(a.max(), SimDuration::from_ns(1000));
+    }
+
+    #[test]
+    fn delta_since_isolates_the_window() {
+        let mut h = DurationHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_ns(i));
+        }
+        let snap = h.clone();
+        for i in 1..=500u64 {
+            h.record(SimDuration::from_us(10 + i));
+        }
+        let win = h.delta_since(&snap);
+        assert_eq!(win.count(), 500, "only post-snapshot samples in the window");
+        // The window's samples all live above 10 µs; its p50 must too,
+        // while the cumulative histogram's p50 stays down in the ns range.
+        assert!(win.percentile(50.0).unwrap() >= SimDuration::from_us(9));
+        assert!(h.percentile(50.0).unwrap() < SimDuration::from_us(2));
+        // An unchanged histogram yields an empty window.
+        let none = h.delta_since(&h.clone());
+        assert_eq!(none.count(), 0);
+        assert_eq!(none.percentile(99.0), None);
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub struct ActionQueue {
     /// they were scheduled under and are dead once the two disagree.
     stamp: Vec<u64>,
     seq: u64,
+    /// The earliest live entry, held out of the calendar by [`peek`]
+    /// (the calendar pops destructively, so peeking parks the head here
+    /// until the next [`pop`] consumes it or a schedule/cancel
+    /// invalidates it).
+    ///
+    /// [`peek`]: ActionQueue::peek
+    /// [`pop`]: ActionQueue::pop
+    head: Option<(SimTime, usize)>,
 }
 
 impl ActionQueue {
@@ -47,6 +55,7 @@ impl ActionQueue {
             store: EventStore::new(),
             stamp: vec![0; tenants],
             seq: 0,
+            head: None,
         }
     }
 
@@ -57,8 +66,20 @@ impl ActionQueue {
     ///
     /// Panics if `tenant` is out of range.
     pub fn schedule(&mut self, tenant: usize, at: SimTime) {
+        // A parked head must not go stale: the re-scheduled tenant's head
+        // entry is simply superseded; any other tenant's head goes back
+        // into the calendar (under its current stamp) so the global
+        // minimum stays exact against the new entry.
+        if let Some((ht, hi)) = self.head.take() {
+            if hi != tenant {
+                self.push_entry(hi, ht, self.stamp[hi]);
+            }
+        }
         self.stamp[tenant] += 1;
-        let stamp = self.stamp[tenant];
+        self.push_entry(tenant, at, self.stamp[tenant]);
+    }
+
+    fn push_entry(&mut self, tenant: usize, at: SimTime, stamp: u64) {
         let slot = self.store.alloc(at, self.seq, ComponentId::from_index(tenant), stamp);
         self.sched.push(EventKey { time: at, seq: self.seq, slot }, &self.store);
         self.seq += 1;
@@ -71,12 +92,32 @@ impl ActionQueue {
     ///
     /// Panics if `tenant` is out of range.
     pub fn cancel(&mut self, tenant: usize) {
+        if self.head.is_some_and(|(_, hi)| hi == tenant) {
+            self.head = None;
+        }
         self.stamp[tenant] += 1;
     }
 
     /// Removes and returns the earliest live `(time, tenant)` action, or
     /// `None` when no live entries remain.
     pub fn pop(&mut self) -> Option<(SimTime, usize)> {
+        if let Some(h) = self.head.take() {
+            return Some(h);
+        }
+        self.pop_calendar()
+    }
+
+    /// The earliest live `(time, tenant)` action without consuming it —
+    /// what lets a governed service run *up to* an epoch boundary and
+    /// hand control back with the queue exact.
+    pub fn peek(&mut self) -> Option<(SimTime, usize)> {
+        if self.head.is_none() {
+            self.head = self.pop_calendar();
+        }
+        self.head
+    }
+
+    fn pop_calendar(&mut self) -> Option<(SimTime, usize)> {
         let horizon = SimTime::from_ps(u64::MAX);
         while let Some(key) = self.sched.pop_before(horizon, &self.store) {
             let (target, stamp) = self.store.release(key.slot);
@@ -90,7 +131,7 @@ impl ActionQueue {
 
     /// Queued entries, live and stale alike (an upper bound on live work).
     pub fn len(&self) -> usize {
-        <CalendarScheduler as Scheduler<u64>>::len(&self.sched)
+        <CalendarScheduler as Scheduler<u64>>::len(&self.sched) + usize::from(self.head.is_some())
     }
 
     /// True when nothing is queued.
@@ -165,5 +206,49 @@ mod tests {
             assert!(w[0].0 <= w[1].0, "non-monotone pops: {order:?}");
         }
         assert_eq!(order.len(), 8, "4 initial + 4 rescheduled pops");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = ActionQueue::with_tenants(2);
+        q.schedule(0, t(10));
+        q.schedule(1, t(20));
+        assert_eq!(q.peek(), Some((t(10), 0)));
+        assert_eq!(q.peek(), Some((t(10), 0)), "peek is idempotent");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((t(10), 0)));
+        assert_eq!(q.peek(), Some((t(20), 1)));
+        assert_eq!(q.pop(), Some((t(20), 1)));
+        assert_eq!(q.peek(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peeked_head_survives_other_tenants_schedules() {
+        // An earlier entry scheduled for a *different* tenant after a peek
+        // must displace the parked head.
+        let mut q = ActionQueue::with_tenants(3);
+        q.schedule(0, t(30));
+        assert_eq!(q.peek(), Some((t(30), 0)));
+        q.schedule(1, t(10));
+        q.schedule(2, t(20));
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peeked_head_is_invalidated_by_its_own_reschedule_and_cancel() {
+        let mut q = ActionQueue::with_tenants(2);
+        q.schedule(0, t(10));
+        assert_eq!(q.peek(), Some((t(10), 0)));
+        q.schedule(0, t(50)); // supersedes the parked head
+        q.schedule(1, t(20));
+        assert_eq!(q.pop(), Some((t(20), 1)));
+        assert_eq!(q.peek(), Some((t(50), 0)));
+        q.cancel(0);
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
     }
 }

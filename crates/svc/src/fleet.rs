@@ -28,8 +28,10 @@
 //! test pins exactly that for K ∈ {1, 2, 8} over three placement
 //! policies.
 
-use crate::service::{DsaService, ServiceConfig, WqPlan};
+use crate::plan::PlanSpec;
+use crate::service::{DsaService, ServiceConfig, ServiceReport};
 use crate::shard::{ShardAssignment, ShardPlan};
+use crate::slo::SloTarget;
 use crate::tenant::{QosClass, TenantSpec};
 use dsa_core::backend::PoolPolicy;
 use dsa_core::digest::{merge_in_order, Digestible, Fnv1a};
@@ -58,6 +60,15 @@ pub struct TenantProfile {
     pub latency_every: u64,
     /// In-flight window depth per tenant.
     pub outstanding: usize,
+    /// Every `aggressor_every`-th tenant (0 = none) is a bulk aggressor:
+    /// 8× the base transfer size, held back until [`aggressor_start`] —
+    /// the mid-run churn that makes a statically-chosen plan go stale.
+    ///
+    /// [`aggressor_start`]: TenantProfile::aggressor_start
+    pub aggressor_every: u64,
+    /// When the aggressor tenants begin submitting (ignored when
+    /// `aggressor_every` is 0).
+    pub aggressor_start: SimDuration,
 }
 
 impl TenantProfile {
@@ -71,6 +82,8 @@ impl TenantProfile {
             deadline: None,
             latency_every: 0,
             outstanding: 4,
+            aggressor_every: 0,
+            aggressor_start: SimDuration::ZERO,
         }
     }
 
@@ -88,6 +101,10 @@ impl TenantProfile {
         if self.latency_every > 0 && gid.is_multiple_of(self.latency_every) {
             spec = spec.with_class(QosClass::Latency);
         }
+        if self.aggressor_every > 0 && gid.is_multiple_of(self.aggressor_every) {
+            spec.xfer = self.xfer.saturating_mul(8);
+            spec = spec.with_start(self.aggressor_start);
+        }
         spec
     }
 }
@@ -102,17 +119,18 @@ pub struct FleetConfig {
     shards: u32,
     tenants: u64,
     placement: PoolPolicy,
-    plan: WqPlan,
+    plan: PlanSpec,
     seed: u64,
     platform: Platform,
     profile: TenantProfile,
+    slo: Option<SloTarget>,
 }
 
 impl FleetConfig {
     /// Starts a builder with the defaults: 2 sockets × 4 devices, 8
     /// shards, 1024 tenants, [`PoolPolicy::NumaLocal`] placement,
-    /// [`WqPlan::SharedAll`] inside each shard, [`Platform::spr`], and
-    /// [`TenantProfile::small`].
+    /// [`PlanSpec::Shared`] inside each shard, [`Platform::spr`], no SLO,
+    /// and [`TenantProfile::small`].
     pub fn builder() -> FleetBuilder {
         FleetBuilder {
             sockets: 2,
@@ -120,10 +138,11 @@ impl FleetConfig {
             shards: 8,
             tenants: 1024,
             placement: PoolPolicy::NumaLocal,
-            plan: WqPlan::SharedAll,
+            plan: PlanSpec::Shared,
             seed: 0xF1EE_7D5A,
             platform: Platform::spr(),
             profile: TenantProfile::small(),
+            slo: None,
         }
     }
 
@@ -152,9 +171,9 @@ impl FleetConfig {
         self.placement
     }
 
-    /// Intra-shard WQ plan.
-    pub fn plan(&self) -> WqPlan {
-        self.plan
+    /// Intra-shard placement recipe.
+    pub fn plan(&self) -> &PlanSpec {
+        &self.plan
     }
 
     /// Master seed.
@@ -166,6 +185,11 @@ impl FleetConfig {
     pub fn profile(&self) -> TenantProfile {
         self.profile
     }
+
+    /// The SLO target every shard's service carries, when one is set.
+    pub fn slo(&self) -> Option<&SloTarget> {
+        self.slo.as_ref()
+    }
 }
 
 /// By-value builder for [`FleetConfig`]. See [`FleetConfig::builder`].
@@ -176,10 +200,11 @@ pub struct FleetBuilder {
     shards: u32,
     tenants: u64,
     placement: PoolPolicy,
-    plan: WqPlan,
+    plan: PlanSpec,
     seed: u64,
     platform: Platform,
     profile: TenantProfile,
+    slo: Option<SloTarget>,
 }
 
 impl FleetBuilder {
@@ -213,9 +238,18 @@ impl FleetBuilder {
         self
     }
 
-    /// Sets the WQ plan every shard's service uses internally.
-    pub fn plan(mut self, plan: WqPlan) -> FleetBuilder {
-        self.plan = plan;
+    /// Sets the placement recipe every shard's service uses internally.
+    /// Accepts a [`PlanSpec`] or a concrete [`Plan`](crate::plan::Plan)
+    /// (via `Into`).
+    pub fn plan(mut self, plan: impl Into<PlanSpec>) -> FleetBuilder {
+        self.plan = plan.into();
+        self
+    }
+
+    /// Sets the typed SLO target every shard's service is judged against
+    /// (and that the `dsa-ctl` control plane re-plans toward).
+    pub fn slo(mut self, slo: SloTarget) -> FleetBuilder {
+        self.slo = Some(slo);
         self
     }
 
@@ -237,27 +271,39 @@ impl FleetBuilder {
         self
     }
 
-    /// Validates the fleet shape and a representative shard.
+    /// Validates the fleet shape and **every** shard's derived service
+    /// configuration.
     ///
     /// # Errors
     ///
     /// [`DsaError::InvalidService`] for a degenerate shape (zero sockets,
     /// devices, shards, or tenants; a cross-socket placement on a
-    /// single-socket platform), and whatever
-    /// [`ServiceConfig::builder`] reports for shard 0's roster (the
-    /// largest shard) — zero-byte transfers, envelope violations, etc.
+    /// single-socket platform), and for any shard whose roster fails
+    /// [`ServiceConfig::builder`] validation — zero-byte transfers, WQ
+    /// envelope violations, etc. — with the offending shard and its
+    /// socket/device slot named in the reason. Shard rosters are not all
+    /// identical (class mix and aggressor marks vary with the tenant
+    /// range), so shard 0 passing does not prove the rest would.
     pub fn build(self) -> Result<FleetConfig, DsaError> {
         if self.sockets == 0 || self.devices_per_socket == 0 {
-            return Err(DsaError::InvalidService { reason: "fleet needs at least one device" });
+            return Err(DsaError::InvalidService {
+                reason: "fleet needs at least one device".into(),
+            });
         }
         if self.shards == 0 {
-            return Err(DsaError::InvalidService { reason: "fleet needs at least one shard" });
+            return Err(DsaError::InvalidService {
+                reason: "fleet needs at least one shard".into(),
+            });
         }
         if self.tenants == 0 {
-            return Err(DsaError::InvalidService { reason: "fleet needs at least one tenant" });
+            return Err(DsaError::InvalidService {
+                reason: "fleet needs at least one tenant".into(),
+            });
         }
         if self.profile.jobs == 0 {
-            return Err(DsaError::InvalidService { reason: "tenant profile offers zero jobs" });
+            return Err(DsaError::InvalidService {
+                reason: "tenant profile offers zero jobs".into(),
+            });
         }
         let cfg = FleetConfig {
             sockets: self.sockets,
@@ -269,17 +315,28 @@ impl FleetBuilder {
             seed: self.seed,
             platform: self.platform,
             profile: self.profile,
+            slo: self.slo,
         };
         let plan = cfg.shard_plan();
         if plan.upi_crossers() > 0 && cfg.platform.sockets < 2 {
             return Err(DsaError::InvalidService {
-                reason: "cross-socket placement on a single-socket platform",
+                reason: "cross-socket placement on a single-socket platform".into(),
             });
         }
-        // Validate the largest shard's roster through the service builder
-        // so plan-vs-envelope and profile errors surface here, not on a
-        // worker thread mid-run.
-        cfg.shard_service_config(&plan, 0)?;
+        // Validate every shard's roster through the service builder so
+        // plan-vs-envelope and profile errors surface here — naming the
+        // shard — not on a worker thread mid-run.
+        for i in 0..plan.shards().len() {
+            if let Err(e) = cfg.shard_service_config(&plan, i) {
+                let a = plan.shards()[i];
+                return Err(DsaError::InvalidService {
+                    reason: format!(
+                        "shard {} (socket {} device {}): {e}",
+                        a.shard, a.socket, a.device
+                    ),
+                });
+            }
+        }
         Ok(cfg)
     }
 }
@@ -300,13 +357,16 @@ impl FleetConfig {
     /// The fully-derived [`ServiceConfig`] of shard `i` under `plan`.
     fn shard_service_config(&self, plan: &ShardPlan, i: usize) -> Result<ServiceConfig, DsaError> {
         let a = plan.shards()[i];
-        ServiceConfig::builder()
-            .plan(self.plan)
+        let mut b = ServiceConfig::builder()
+            .plan(self.plan.clone())
             .seed(a.seed)
             .platform(plan.platform_for(i, &self.platform))
             .location(plan.location_for(i))
-            .tenants((a.tenant_lo..a.tenant_hi).map(|gid| self.profile.spec(gid)))
-            .build()
+            .tenants((a.tenant_lo..a.tenant_hi).map(|gid| self.profile.spec(gid)));
+        if let Some(slo) = self.slo {
+            b = b.slo(slo);
+        }
+        b.build()
     }
 }
 
@@ -355,6 +415,52 @@ pub struct ShardReport {
     pub digest: u64,
 }
 
+impl ShardReport {
+    /// Aggregates a finished shard service into its compact report row.
+    /// Public so custom drivers (the `dsa-ctl` governed fleet) can run a
+    /// shard's service their own way and still produce the same row the
+    /// stock [`Fleet::run_parallel`] loop would.
+    pub fn from_service(a: ShardAssignment, svc: &DsaService, rep: &ServiceReport) -> ShardReport {
+        let mut out = ShardReport {
+            shard: a.shard,
+            socket: a.socket,
+            device: a.device,
+            remote: a.remote(),
+            tenants: a.tenants(),
+            offered: 0,
+            dsa_completed: 0,
+            cpu_completed: 0,
+            shed: 0,
+            failed: 0,
+            deadline_misses: 0,
+            offered_bytes: 0,
+            dsa_bytes: 0,
+            share_sum: 0.0,
+            share_sumsq: 0.0,
+            fairness: rep.fairness,
+            makespan: rep.makespan,
+            latency: DurationHistogram::new(),
+            digest: rep.digest(),
+        };
+        for t in 0..svc.tenant_count() {
+            let st = svc.stats(t);
+            out.offered += st.offered;
+            out.dsa_completed += st.dsa_completed;
+            out.cpu_completed += st.cpu_completed;
+            out.shed += st.shed;
+            out.failed += st.failed;
+            out.deadline_misses += st.deadline_misses;
+            out.offered_bytes += st.offered_bytes;
+            out.dsa_bytes += st.dsa_bytes;
+            let share = st.dsa_share();
+            out.share_sum += share;
+            out.share_sumsq += share * share;
+            out.latency.merge(&st.latency);
+        }
+        out
+    }
+}
+
 impl Digestible for ShardReport {
     fn fold(&self, h: &mut Fnv1a) {
         h.write_u64(u64::from(self.shard));
@@ -382,7 +488,10 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
-    fn from_shards(placement: PoolPolicy, shards: Vec<ShardReport>) -> FleetReport {
+    /// Merges per-shard rows (in shard order) into the fleet-wide report,
+    /// order-merging the digests. Public for custom drivers that produce
+    /// their own [`ShardReport`]s via [`ShardReport::from_service`].
+    pub fn from_shards(placement: PoolPolicy, shards: Vec<ShardReport>) -> FleetReport {
         let digests: Vec<u64> = shards.iter().map(|s| s.digest).collect();
         let mut latency = DurationHistogram::new();
         let (mut n, mut sum, mut sumsq) = (0u64, 0.0f64, 0.0f64);
@@ -469,51 +578,42 @@ impl Fleet {
         &self.cfg
     }
 
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> usize {
+        self.plan.shards().len()
+    }
+
+    /// Shard `i`'s deterministic assignment (tenant range, slot, seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_assignment(&self, i: usize) -> ShardAssignment {
+        self.plan.shards()[i]
+    }
+
+    /// Builds shard `i`'s private [`DsaService`], primed at time zero and
+    /// not yet run — the entry point for custom drivers (epoch loops,
+    /// governed runs) that need more than [`run_parallel`]'s
+    /// start-to-finish semantics.
+    ///
+    /// [`run_parallel`]: Fleet::run_parallel
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's service-construction error (a config from
+    /// [`FleetConfig::builder`] has already validated every shard).
+    pub fn shard_service(&self, i: usize) -> Result<DsaService, DsaError> {
+        let cfg = self.cfg.shard_service_config(&self.plan, i)?;
+        DsaService::from_config(cfg)
+    }
+
     /// Runs one shard start-to-finish: build its private service, drive
     /// every tenant stream, aggregate, drop the runtime. Pure function of
     /// the shard assignment — the core of the determinism argument.
-    fn run_shard(&self, i: usize) -> Result<ShardReport, DsaError> {
-        let a: ShardAssignment = self.plan.shards()[i];
-        let cfg = self.cfg.shard_service_config(&self.plan, i)?;
-        let mut svc = DsaService::from_config(cfg)?;
+    fn run_shard(&self, i: usize, mut svc: DsaService) -> ShardReport {
         let rep = svc.run();
-        let mut out = ShardReport {
-            shard: a.shard,
-            socket: a.socket,
-            device: a.device,
-            remote: a.remote(),
-            tenants: a.tenants(),
-            offered: 0,
-            dsa_completed: 0,
-            cpu_completed: 0,
-            shed: 0,
-            failed: 0,
-            deadline_misses: 0,
-            offered_bytes: 0,
-            dsa_bytes: 0,
-            share_sum: 0.0,
-            share_sumsq: 0.0,
-            fairness: rep.fairness,
-            makespan: rep.makespan,
-            latency: DurationHistogram::new(),
-            digest: rep.digest(),
-        };
-        for t in 0..svc.tenant_count() {
-            let st = svc.stats(t);
-            out.offered += st.offered;
-            out.dsa_completed += st.dsa_completed;
-            out.cpu_completed += st.cpu_completed;
-            out.shed += st.shed;
-            out.failed += st.failed;
-            out.deadline_misses += st.deadline_misses;
-            out.offered_bytes += st.offered_bytes;
-            out.dsa_bytes += st.dsa_bytes;
-            let share = st.dsa_share();
-            out.share_sum += share;
-            out.share_sumsq += share * share;
-            out.latency.merge(&st.latency);
-        }
-        Ok(out)
+        ShardReport::from_service(self.plan.shards()[i], &svc, &rep)
     }
 
     /// Runs every shard on the calling thread, in shard order — the
@@ -522,35 +622,59 @@ impl Fleet {
     /// # Errors
     ///
     /// Propagates the first shard's service-construction error (a config
-    /// from [`FleetConfig::builder`] has already validated shard 0).
+    /// from [`FleetConfig::builder`] has already validated every shard).
     pub fn run_sequential(&self) -> Result<FleetReport, DsaError> {
-        let mut shards = Vec::with_capacity(self.plan.shards().len());
-        for i in 0..self.plan.shards().len() {
-            shards.push(self.run_shard(i)?);
-        }
-        Ok(FleetReport::from_shards(self.cfg.placement, shards))
+        self.run_parallel(1)
     }
 
     /// Runs the shards on up to `threads` worker threads (clamped to
-    /// `[1, shards]`) and merges the reports in shard order.
-    ///
-    /// Workers own contiguous shard chunks and write completed reports
-    /// into disjoint slices of one result vector — the scoped fork-join
-    /// needs no locks, no atomics, and no channels, so the shard-isolation
-    /// lint (R8) holds for this module too. The merged digest is
-    /// bit-identical to [`run_sequential`](Self::run_sequential)'s for
-    /// any thread count.
+    /// `[1, shards]`) and merges the reports in shard order. The merged
+    /// digest is bit-identical to [`run_sequential`](Self::run_sequential)'s
+    /// for any thread count.
     ///
     /// # Errors
     ///
     /// Propagates the first failing shard's error, in shard order.
     pub fn run_parallel(&self, threads: usize) -> Result<FleetReport, DsaError> {
+        let shards = self.map_shards(threads, |i, svc| Ok(self.run_shard(i, svc)))?;
+        Ok(FleetReport::from_shards(self.cfg.placement, shards))
+    }
+
+    /// Drives every shard's freshly-built service through `f` — on the
+    /// calling thread in shard order when `threads <= 1`, else on up to
+    /// `threads` workers over contiguous shard chunks — and returns the
+    /// per-shard results **in shard order** regardless of thread count.
+    ///
+    /// This is the generalized core under [`run_parallel`]: `f` takes
+    /// ownership of the shard's service and may drive it however it
+    /// likes (the stock loop calls [`DsaService::run`]; the `dsa-ctl`
+    /// governed fleet runs an epoch/re-plan loop). Workers own contiguous
+    /// chunks and write into disjoint slices of one result vector — the
+    /// scoped fork-join needs no locks, no atomics, and no channels, so
+    /// the shard-isolation lint (R8) holds here too. Because each shard's
+    /// service is a pure function of its assignment and `f` is applied
+    /// per-shard, any deterministic `f` yields thread-count-independent
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's construction or `f` error, in
+    /// shard order.
+    pub fn map_shards<T, F>(&self, threads: usize, f: F) -> Result<Vec<T>, DsaError>
+    where
+        T: Send,
+        F: Fn(usize, DsaService) -> Result<T, DsaError> + Sync,
+    {
         let n = self.plan.shards().len();
         let threads = threads.clamp(1, n.max(1));
         if threads == 1 {
-            return self.run_sequential();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(f(i, self.shard_service(i)?)?);
+            }
+            return Ok(out);
         }
-        let mut results: Vec<Option<Result<ShardReport, DsaError>>> = Vec::new();
+        let mut results: Vec<Option<Result<T, DsaError>>> = Vec::new();
         results.resize_with(n, || None);
         let chunk = n.div_ceil(threads);
         // Scoped fork-join: `scope` joins every worker before returning
@@ -559,23 +683,25 @@ impl Fleet {
         std::thread::scope(|scope| {
             for (ci, out) in results.chunks_mut(chunk).enumerate() {
                 let lo = ci * chunk;
+                let f = &f;
                 scope.spawn(move || {
                     for (k, slot) in out.iter_mut().enumerate() {
-                        *slot = Some(self.run_shard(lo + k));
+                        let i = lo + k;
+                        *slot = Some(self.shard_service(i).and_then(|svc| f(i, svc)));
                     }
                 });
             }
         });
-        let mut shards = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
         for r in results {
             match r {
-                Some(Ok(rep)) => shards.push(rep),
+                Some(Ok(v)) => out.push(v),
                 Some(Err(e)) => return Err(e),
                 // Unreachable: every slot is covered by exactly one chunk.
-                None => return Err(DsaError::InvalidService { reason: "shard never ran" }),
+                None => return Err(DsaError::InvalidService { reason: "shard never ran".into() }),
             }
         }
-        Ok(FleetReport::from_shards(self.cfg.placement, shards))
+        Ok(out)
     }
 
     /// The fleet's merged replay digest from a sequential run — the
@@ -679,12 +805,61 @@ mod tests {
     }
 
     #[test]
-    fn builder_surfaces_shard_envelope_violations() {
-        // DedicatedPerTenant inside a 100-tenant shard blows the 8-WQ
-        // envelope; the FLEET builder must say so, not a worker thread.
-        let err =
-            FleetConfig::builder().shards(1).tenants(100).plan(WqPlan::DedicatedPerTenant).build();
-        assert!(matches!(err, Err(DsaError::InvalidConfig(_))), "got {err:?}");
+    fn builder_surfaces_shard_envelope_violations_naming_the_shard() {
+        // A dedicated plan inside a 100-tenant shard blows the 8-WQ
+        // envelope; the FLEET builder must say so — naming the shard and
+        // its slot — not a worker thread mid-run.
+        let err = FleetConfig::builder().shards(1).tenants(100).plan(PlanSpec::Dedicated).build();
+        match err {
+            Err(DsaError::InvalidService { reason }) => {
+                assert!(reason.contains("shard 0"), "reason must name the shard: {reason}");
+                assert!(reason.contains("socket"), "reason must name the slot: {reason}");
+            }
+            other => panic!("expected InvalidService naming the shard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_validates_every_shard_not_just_shard_zero() {
+        // Four shards of 10 tenants each — every dedicated roster blows
+        // the 8-WQ envelope, and the loop reports the first offender in
+        // shard order; a valid multi-shard dedicated config still builds.
+        let err = FleetConfig::builder().shards(4).tenants(40).plan(PlanSpec::Dedicated).build();
+        assert!(
+            matches!(err, Err(DsaError::InvalidService { ref reason }) if reason.contains("shard 0")),
+            "got {err:?}"
+        );
+        let ok = FleetConfig::builder().shards(4).tenants(16).plan(PlanSpec::Dedicated).build();
+        assert!(ok.is_ok(), "4 tenants per shard fits the dedicated envelope: {ok:?}");
+    }
+
+    #[test]
+    fn aggressor_profile_marks_late_heavy_tenants() {
+        let mut p = TenantProfile::small();
+        p.aggressor_every = 4;
+        p.aggressor_start = SimDuration::from_us(5);
+        let agg = p.spec(8);
+        assert_eq!(agg.xfer, p.xfer * 8);
+        assert_eq!(agg.start, SimDuration::from_us(5));
+        let plain = p.spec(3);
+        assert_eq!(plain.xfer, p.xfer);
+        assert_eq!(plain.start, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn map_shards_matches_stock_run_in_any_thread_count() {
+        let fleet = tiny(PoolPolicy::NumaLocal);
+        let stock = fleet.run_sequential().unwrap();
+        for threads in [1usize, 3] {
+            let shards = fleet
+                .map_shards(threads, |i, mut svc| {
+                    let rep = svc.run();
+                    Ok(ShardReport::from_service(fleet.shard_assignment(i), &svc, &rep))
+                })
+                .unwrap();
+            let rep = FleetReport::from_shards(fleet.config().placement(), shards);
+            assert_eq!(rep.digest, stock.digest, "threads={threads}");
+        }
     }
 
     #[test]

@@ -11,9 +11,15 @@
 //! * **Admission control** ([`TokenBucket`]) — per-tenant rate/burst
 //!   metering plus a max-outstanding in-flight window, so a tenant's burst
 //!   is bounded before it reaches the portal.
-//! * **Placement** ([`WqPlan`]) — tenants map onto dedicated WQs, one
-//!   shared WQ, or by QoS class ([`QosClass`]); the service builds the
-//!   matching device configuration itself.
+//! * **Placement** ([`Plan`] / [`PlanSpec`]) — tenants map onto dedicated
+//!   WQs, one shared WQ, by QoS class ([`QosClass`]), or any explicit
+//!   layout built through [`Plan::builder`]; the service builds the
+//!   matching device configuration itself, and a live service can
+//!   [`transition`](DsaService::transition) between plans with the stall
+//!   priced by [`Plan::diff`].
+//! * **Objectives** ([`SloTarget`]) — typed p99 / miss-rate / fairness
+//!   targets on the config; [`ServiceReport::slo_violations`] and the
+//!   `dsa-ctl` control plane both check against the same object.
 //! * **Deadlines and bounded retry** — jobs whose queueing delay exceeds
 //!   their deadline are shed
 //!   ([`DsaError::DeadlineExceeded`](dsa_core::DsaError)); `WqFull` portal
@@ -30,7 +36,7 @@
 //! use dsa_svc::prelude::*;
 //!
 //! let cfg = ServiceConfig::builder()
-//!     .plan(WqPlan::ByClass)
+//!     .plan(PlanSpec::ByClass)
 //!     .tenant(
 //!         TenantSpec::new("latency", 4 << 10, 40)
 //!             .with_class(QosClass::Latency)
@@ -55,17 +61,25 @@ pub mod actionq;
 pub mod admission;
 pub mod arrival;
 pub mod fleet;
+pub mod plan;
 pub mod service;
 pub mod shard;
+pub mod slo;
 pub mod tenant;
 
 pub use admission::TokenBucket;
 pub use arrival::Arrival;
 pub use fleet::{Fleet, FleetConfig, FleetReport, ShardReport, TenantProfile};
+#[allow(deprecated)]
+pub use plan::WqPlan;
+pub use plan::{
+    Plan, PlanBuilder, PlanDelta, PlanGroup, PlanSpec, PlanWq, TransitionCosts, Wiring,
+};
 pub use service::{
-    DsaService, JobOutcome, ServiceBuilder, ServiceConfig, ServiceReport, Session, WqPlan,
+    DsaService, JobOutcome, PlanTransition, ServiceBuilder, ServiceConfig, ServiceReport, Session,
 };
 pub use shard::{ShardAssignment, ShardPlan};
+pub use slo::{SloTarget, SloViolation};
 pub use tenant::{QosClass, TenantReport, TenantSpec, TenantStats};
 
 /// The types most service-layer programs need.
@@ -73,10 +87,13 @@ pub mod prelude {
     pub use crate::admission::TokenBucket;
     pub use crate::arrival::Arrival;
     pub use crate::fleet::{Fleet, FleetConfig, FleetReport, ShardReport, TenantProfile};
+    pub use crate::plan::{Plan, PlanDelta, PlanSpec, TransitionCosts};
     pub use crate::service::{
-        DsaService, JobOutcome, ServiceBuilder, ServiceConfig, ServiceReport, Session, WqPlan,
+        DsaService, JobOutcome, PlanTransition, ServiceBuilder, ServiceConfig, ServiceReport,
+        Session,
     };
     pub use crate::shard::{ShardAssignment, ShardPlan};
+    pub use crate::slo::{SloTarget, SloViolation};
     pub use crate::tenant::{QosClass, TenantReport, TenantSpec, TenantStats};
     pub use dsa_core::backend::PoolPolicy;
     pub use dsa_sim::time::{SimDuration, SimTime};

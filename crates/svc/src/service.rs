@@ -18,15 +18,15 @@
 
 use crate::actionq::ActionQueue;
 use crate::admission::TokenBucket;
+use crate::plan::{Plan, PlanDelta, PlanSpec, TransitionCosts};
+use crate::slo::{SloTarget, SloViolation};
 use crate::tenant::{QosClass, TenantReport, TenantSpec, TenantStats};
-use dsa_core::config::AccelConfig;
 use dsa_core::digest::{Digestible, Fnv1a};
 use dsa_core::error::DsaError;
 use dsa_core::job::Job;
 use dsa_core::program::OpInstr;
 use dsa_core::runtime::DsaRuntime;
 use dsa_core::submit::InflightWindow;
-use dsa_device::config::DeviceConfig;
 use dsa_device::descriptor::Descriptor;
 use dsa_device::device::SubmitError;
 use dsa_mem::buffer::Location;
@@ -38,41 +38,8 @@ use dsa_sim::stats::jain_fairness;
 use dsa_sim::time::{SimDuration, SimTime};
 use dsa_telemetry::{Hub, Labels};
 
-/// DSA 1.0 envelope the plans carve up (see `DeviceCaps::dsa1`).
-const TOTAL_ENGINES: u32 = 4;
-const TOTAL_WQ_ENTRIES: u32 = 128;
-const MAX_GROUPS: usize = 4;
-
 /// Exponential-backoff cap: base backoff never grows beyond 64×.
 const MAX_BACKOFF_SHIFT: u32 = 6;
-
-/// How tenants are mapped onto the device's work queues.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum WqPlan {
-    /// One dedicated WQ per tenant (Fig. 9 "DWQ: N"): the 128 WQ entries
-    /// and 4 engines are split evenly, so a flooding tenant can only fill
-    /// its own queue.
-    DedicatedPerTenant,
-    /// One shared 128-entry WQ behind all 4 engines: maximum pooling,
-    /// zero isolation — every tenant contends for the same slots via
-    /// `ENQCMD`.
-    SharedAll,
-    /// QoS placement: [`QosClass::Latency`] tenants get dedicated WQs
-    /// (half the entries, one engine per group), [`QosClass::Throughput`]
-    /// tenants pool on one shared WQ with the remaining engines.
-    ByClass,
-}
-
-impl WqPlan {
-    /// Short lowercase label for tables and digests.
-    pub fn label(self) -> &'static str {
-        match self {
-            WqPlan::DedicatedPerTenant => "dedicated",
-            WqPlan::SharedAll => "shared",
-            WqPlan::ByClass => "by-class",
-        }
-    }
-}
 
 /// Service-wide configuration: plan, seed, platform, tenant placement,
 /// and the tenant roster itself.
@@ -84,8 +51,9 @@ impl WqPlan {
 /// [`AccelConfig::builder`](dsa_core::config::AccelConfig::builder).
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// WQ placement plan.
-    pub plan: WqPlan,
+    /// The materialized placement plan (recipes from the builder are
+    /// resolved against the roster at `build()`).
+    pub plan: Plan,
     /// Master seed for all per-tenant randomness.
     pub seed: u64,
     /// Platform the service's runtime simulates.
@@ -93,19 +61,24 @@ pub struct ServiceConfig {
     /// Where tenant buffers live. The fleet layer places remote shards'
     /// buffers in remote DRAM so every transfer pays the UPI crossing.
     pub location: Location,
+    /// Service-level objectives, if any (feeds
+    /// [`ServiceReport::slo_violations`] and the control plane).
+    pub slo: Option<SloTarget>,
     /// The tenant roster, in tenant-index order.
     pub tenants: Vec<TenantSpec>,
 }
 
 impl ServiceConfig {
-    /// Starts a builder with the defaults: [`WqPlan::DedicatedPerTenant`],
-    /// the stock seed, [`Platform::spr`], local-DRAM buffers, no tenants.
+    /// Starts a builder with the defaults: [`PlanSpec::Dedicated`],
+    /// the stock seed, [`Platform::spr`], local-DRAM buffers, no SLO, no
+    /// tenants.
     pub fn builder() -> ServiceBuilder {
         ServiceBuilder {
-            plan: WqPlan::DedicatedPerTenant,
+            plan: PlanSpec::Dedicated,
             seed: 0xD5A_5E1F_0CA5,
             platform: Platform::spr(),
             location: Location::local_dram(),
+            slo: None,
             tenants: Vec::new(),
         }
     }
@@ -114,17 +87,26 @@ impl ServiceConfig {
 /// By-value builder for [`ServiceConfig`]. See [`ServiceConfig::builder`].
 #[derive(Clone, Debug)]
 pub struct ServiceBuilder {
-    plan: WqPlan,
+    plan: PlanSpec,
     seed: u64,
     platform: Platform,
     location: Location,
+    slo: Option<SloTarget>,
     tenants: Vec<TenantSpec>,
 }
 
 impl ServiceBuilder {
-    /// Sets the WQ placement plan.
-    pub fn plan(mut self, plan: WqPlan) -> ServiceBuilder {
-        self.plan = plan;
+    /// Sets the placement plan: a [`PlanSpec`] recipe, a concrete
+    /// [`Plan`] (via `Plan -> PlanSpec`), or a deprecated `WqPlan`
+    /// variant during migration.
+    pub fn plan(mut self, plan: impl Into<PlanSpec>) -> ServiceBuilder {
+        self.plan = plan.into();
+        self
+    }
+
+    /// Sets the service-level objectives the run is held to.
+    pub fn slo(mut self, slo: SloTarget) -> ServiceBuilder {
+        self.slo = Some(slo);
         self
     }
 
@@ -169,28 +151,30 @@ impl ServiceBuilder {
     /// 8-WQ envelope allows).
     pub fn build(self) -> Result<ServiceConfig, DsaError> {
         if self.tenants.iter().any(|t| t.xfer == 0) {
-            return Err(DsaError::InvalidService { reason: "tenant transfer size is zero" });
+            return Err(DsaError::InvalidService { reason: "tenant transfer size is zero".into() });
         }
         match self.location {
             Location::Cxl if self.platform.cxl.is_none() => {
                 return Err(DsaError::InvalidService {
-                    reason: "tenant buffers placed in CXL memory on a platform without CXL",
+                    reason: "tenant buffers placed in CXL memory on a platform without CXL".into(),
                 });
             }
             Location::Dram { socket } if u32::from(socket) >= u32::from(self.platform.sockets) => {
                 return Err(DsaError::InvalidService {
-                    reason: "tenant buffer socket beyond the platform's socket count",
+                    reason: "tenant buffer socket beyond the platform's socket count".into(),
                 });
             }
             _ => {}
         }
-        // Surface plan-vs-envelope violations at build time, not first use.
-        plan_device(self.plan, &self.tenants)?;
+        // Materializing the plan surfaces plan-vs-envelope violations at
+        // build time, not first use.
+        let plan = self.plan.materialize(&self.tenants)?;
         Ok(ServiceConfig {
-            plan: self.plan,
+            plan,
             seed: self.seed,
             platform: self.platform,
             location: self.location,
+            slo: self.slo,
             tenants: self.tenants,
         })
     }
@@ -270,10 +254,32 @@ impl TenantState {
 /// and fallback. See the crate docs for the full policy tour.
 pub struct DsaService {
     rt: DsaRuntime,
-    plan: WqPlan,
+    plan: Plan,
+    seed: u64,
+    location: Location,
+    slo: Option<SloTarget>,
     tenants: Vec<TenantState>,
     /// Earliest-next-action queue; one live entry per active tenant.
     queue: ActionQueue,
+    /// Plan transitions applied so far (see [`transition`]).
+    ///
+    /// [`transition`]: DsaService::transition
+    transitions: u32,
+}
+
+/// What one [`DsaService::transition`] call did: the quiesce barrier,
+/// the instant tenants resume, and the priced delta.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanTransition {
+    /// The quiesce instant: every in-flight job had completed and every
+    /// tenant cursor had been reached by here.
+    pub barrier: SimTime,
+    /// When tenants resume: `barrier` plus the transition cost.
+    pub ready: SimTime,
+    /// What changed between the plans.
+    pub delta: PlanDelta,
+    /// Tenants whose WQ wiring moved.
+    pub moved: u64,
 }
 
 impl DsaService {
@@ -287,9 +293,9 @@ impl DsaService {
     /// 8-WQ envelope allows). A config from
     /// [`ServiceConfig::builder`] has already passed this validation.
     pub fn from_config(cfg: ServiceConfig) -> Result<DsaService, DsaError> {
-        let ServiceConfig { plan, seed, platform, location, tenants: specs } = cfg;
-        let device = plan_device(plan, &specs)?;
-        let wqs = assign_wqs(plan, &specs);
+        let ServiceConfig { plan, seed, platform, location, slo, tenants: specs } = cfg;
+        let device = plan.device_config()?;
+        let wqs = plan.assign(&specs);
         let mut rt = DsaRuntime::builder(platform).device(device).build();
         let mut master = SplitMix64::new(seed);
         let mut tenants = Vec::with_capacity(specs.len());
@@ -299,11 +305,9 @@ impl DsaService {
             rt.fill_pattern(&src, (i as u8).wrapping_mul(37).wrapping_add(1));
             rt.fill_pattern(&dst, 0);
             let mut rng = master.split();
-            let first = if spec.arrival.is_open() {
-                SimTime::ZERO + spec.arrival.gap(&mut rng)
-            } else {
-                SimTime::ZERO
-            };
+            let base = SimTime::ZERO + spec.start;
+            let first =
+                if spec.arrival.is_open() { base + spec.arrival.gap(&mut rng) } else { base };
             // Compile the tenant's steady-state op once (placement + the
             // same descriptor `Job::memcpy(...).on_wq(wq)` would build),
             // so the retry loop below allocates nothing per attempt.
@@ -328,7 +332,7 @@ impl DsaService {
             });
         }
         let queue = ActionQueue::with_tenants(tenants.len());
-        let mut svc = DsaService { rt, plan, tenants, queue };
+        let mut svc = DsaService { rt, plan, seed, location, slo, tenants, queue, transitions: 0 };
         // Prime the action queue in tenant-index order, so simultaneous
         // first actions keep the historical index tie-break.
         for i in 0..svc.tenants.len() {
@@ -341,8 +345,47 @@ impl DsaService {
     }
 
     /// The placement plan in force.
-    pub fn plan(&self) -> WqPlan {
-        self.plan
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The master seed the service was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Where tenant buffers live.
+    pub fn location(&self) -> Location {
+        self.location
+    }
+
+    /// The service-level objectives, if any.
+    pub fn slo(&self) -> Option<&SloTarget> {
+        self.slo.as_ref()
+    }
+
+    /// Plan transitions applied so far.
+    pub fn transitions(&self) -> u32 {
+        self.transitions
+    }
+
+    /// The spec of tenant `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tenant_spec(&self, i: usize) -> &TenantSpec {
+        &self.tenants[i].spec
+    }
+
+    /// Jobs tenant `i` has yet to issue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn remaining_jobs(&self, i: usize) -> u64 {
+        let t = &self.tenants[i];
+        t.spec.jobs - t.issued
     }
 
     /// Number of tenants.
@@ -391,6 +434,99 @@ impl DsaService {
         self.report()
     }
 
+    /// Drives the merged timeline up to (and including) every action at
+    /// or before `until`, then stops — the epoch primitive the control
+    /// plane's governed loop is built on. Returns the number of steps
+    /// taken. The queue stays exact: [`run`](Self::run) (or another
+    /// `run_until`) picks up where this left off.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut steps = 0;
+        while let Some((at, _)) = self.queue.peek() {
+            if at > until {
+                break;
+            }
+            if let Some((_, i)) = self.queue.pop() {
+                let _ = self.step(i);
+                steps += 1;
+            }
+        }
+        steps
+    }
+
+    /// True when no tenant has a pending action (every stream drained).
+    pub fn is_idle(&mut self) -> bool {
+        self.queue.peek().is_none()
+    }
+
+    /// The instant of the earliest pending action, if any.
+    pub fn next_ready(&mut self) -> Option<SimTime> {
+        self.queue.peek().map(|(at, _)| at)
+    }
+
+    /// Transitions the live service to plan `to`: quiesces to a barrier
+    /// (all in-flight completions and tenant cursors), rebuilds the
+    /// device under the new layout, re-wires every tenant, and charges
+    /// the priced transition stall before tenants resume. Open-loop
+    /// arrival schedules march on through the stall, so a transition
+    /// under pressure genuinely costs queueing — the control plane's
+    /// digital twin weighs exactly that.
+    ///
+    /// # Errors
+    ///
+    /// [`DsaError::InvalidConfig`] when `to` violates the device
+    /// envelope; the service is left untouched on error.
+    pub fn transition(
+        &mut self,
+        to: Plan,
+        costs: &TransitionCosts,
+    ) -> Result<PlanTransition, DsaError> {
+        let device = to.device_config()?;
+        let classes: Vec<QosClass> = self.tenants.iter().map(|t| t.spec.class).collect();
+        let assign = to.assign_classes(&classes);
+        let delta = self.plan.diff(&to);
+        let moved =
+            self.tenants.iter().enumerate().filter(|(i, t)| assign[*i] != t.wq).count() as u64;
+        // Quiesce: the barrier is past every completion the old device
+        // has promised and every tenant's core cursor, so dropping the
+        // old device loses no in-flight accounting.
+        let mut barrier = self.rt.now();
+        for t in &self.tenants {
+            barrier = barrier.max(t.cursor).max(t.stats.last_completion);
+        }
+        let ready = barrier + delta.cost(costs, moved);
+        if delta.is_empty() && moved == 0 {
+            return Ok(PlanTransition { barrier, ready: barrier, delta, moved });
+        }
+        self.rt.replace_device(0, device);
+        self.rt.set_now(ready);
+        for (i, t) in self.tenants.iter_mut().enumerate() {
+            if assign[i] != t.wq {
+                t.stats.migrations += 1;
+                t.wq = assign[i];
+                t.instr = OpInstr::from_descriptor(
+                    &Descriptor::memmove(t.src.addr(), t.dst.addr(), t.spec.xfer as u32),
+                    0,
+                    t.wq as u16,
+                );
+            }
+            t.cursor = t.cursor.max(ready);
+            while t.window.pop_completed(ready).is_some() {}
+        }
+        // Re-prime in tenant-index order, as from_config does, so
+        // simultaneous resumes keep the index tie-break.
+        for i in 0..self.tenants.len() {
+            if self.tenants[i].active() {
+                let at = self.next_action(i);
+                self.queue.schedule(i, at);
+            } else {
+                self.queue.cancel(i);
+            }
+        }
+        self.plan = to;
+        self.transitions += 1;
+        Ok(PlanTransition { barrier, ready, delta, moved })
+    }
+
     /// Earliest instant tenant `i` could start its next job: its arrival,
     /// its core cursor, a free in-flight slot, and an admission token must
     /// all line up.
@@ -433,6 +569,9 @@ impl DsaService {
         t.issued += 1;
         t.stats.offered += 1;
         t.stats.offered_bytes += t.spec.xfer;
+        if let Some(hub) = rt.hub() {
+            hub.counter_add("svc_offered", Labels::tenant(tid), 1);
+        }
 
         // Shed at admission: if queueing delay alone blows the deadline,
         // reject before occupying a WQ slot or burning a token.
@@ -500,6 +639,9 @@ impl DsaService {
                 if let Some(hub) = rt.hub() {
                     hub.counter_add("svc_jobs", Labels::tenant(tid), 1);
                     hub.observe("svc_latency", Labels::tenant_wq(tid, 0, t.wq as u16), latency);
+                    if t.spec.deadline.is_some_and(|d| latency > d) {
+                        hub.counter_add("svc_deadline_miss", Labels::tenant(tid), 1);
+                    }
                 }
                 t.schedule_next(completion);
                 Ok(JobOutcome::Dsa { completion, latency })
@@ -517,6 +659,9 @@ impl DsaService {
                 if let Some(hub) = rt.hub() {
                     hub.counter_add("svc_degraded", Labels::tenant(tid), 1);
                     hub.observe("svc_latency", Labels::tenant_wq(tid, 0, t.wq as u16), latency);
+                    if t.spec.deadline.is_some_and(|d| latency > d) {
+                        hub.counter_add("svc_deadline_miss", Labels::tenant(tid), 1);
+                    }
                 }
                 t.schedule_next(completion);
                 Ok(JobOutcome::Cpu { completion, latency })
@@ -567,7 +712,14 @@ impl DsaService {
         let shares: Vec<f64> = tenants.iter().map(|t| t.dsa_share).collect();
         let makespan =
             self.tenants.iter().map(|t| t.stats.last_completion).max().unwrap_or(SimTime::ZERO);
-        ServiceReport { plan: self.plan, fairness: jain_fairness(&shares), makespan, tenants }
+        ServiceReport {
+            plan: self.plan.label().to_string(),
+            fairness: jain_fairness(&shares),
+            makespan,
+            slo: self.slo,
+            transitions: self.transitions,
+            tenants,
+        }
     }
 }
 
@@ -606,8 +758,8 @@ impl Session<'_> {
 /// Final report: per-tenant rows plus cross-tenant fairness.
 #[derive(Clone, Debug)]
 pub struct ServiceReport {
-    /// Placement plan the run used.
-    pub plan: WqPlan,
+    /// Label of the placement plan the run ended under.
+    pub plan: String,
     /// Per-tenant outcomes, in tenant order.
     pub tenants: Vec<TenantReport>,
     /// Jain fairness index over per-tenant accelerator-served shares
@@ -615,9 +767,62 @@ pub struct ServiceReport {
     pub fairness: f64,
     /// Latest completion across all tenants.
     pub makespan: SimTime,
+    /// The objectives the run was held to, if any.
+    pub slo: Option<SloTarget>,
+    /// Plan transitions applied during the run.
+    pub transitions: u32,
 }
 
 impl ServiceReport {
+    /// Jobs generated across all tenants.
+    pub fn offered(&self) -> u64 {
+        self.tenants.iter().map(|t| t.offered).sum()
+    }
+
+    /// Jobs that failed their deadline — completed too late or shed at
+    /// admission because queueing alone had already blown it.
+    pub fn deadline_failures(&self) -> u64 {
+        self.tenants.iter().map(|t| t.deadline_misses + t.shed).sum()
+    }
+
+    /// Deadline failures as a fraction of offered jobs (0.0 when nothing
+    /// was offered).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.deadline_failures() as f64 / offered as f64
+        }
+    }
+
+    /// Every objective of the report's [`SloTarget`] the run failed,
+    /// derived from the same per-tenant histograms the control plane
+    /// reads. Empty when no SLO was set or everything held.
+    pub fn slo_violations(&self) -> Vec<SloViolation> {
+        let mut out = Vec::new();
+        let Some(slo) = &self.slo else { return out };
+        if let Some(target) = slo.p99 {
+            for (i, t) in self.tenants.iter().enumerate() {
+                if t.p99 > target {
+                    out.push(SloViolation::P99 { tenant: i, observed: t.p99, target });
+                }
+            }
+        }
+        if let Some(target) = slo.deadline_miss_frac {
+            let observed = self.deadline_miss_rate();
+            if observed > target {
+                out.push(SloViolation::MissRate { observed, target });
+            }
+        }
+        if let Some(target) = slo.min_jain {
+            if self.fairness < target {
+                out.push(SloViolation::Fairness { observed: self.fairness, target });
+            }
+        }
+        out
+    }
+
     /// Canonical multi-line rendering — integer picosecond timings, so the
     /// string (and [`digest`](Self::digest)) is bit-identical across
     /// replays of the same configuration.
@@ -627,7 +832,7 @@ impl ServiceReport {
         let _ = writeln!(
             out,
             "plan={} fairness={:.4} makespan_ps={}",
-            self.plan.label(),
+            self.plan,
             self.fairness,
             self.makespan.as_ps()
         );
@@ -671,98 +876,12 @@ impl Digestible for ServiceReport {
     }
 }
 
-/// Builds the device configuration a plan implies for these tenants.
-fn plan_device(plan: WqPlan, specs: &[TenantSpec]) -> Result<DeviceConfig, DsaError> {
-    let n = specs.len().max(1);
-    let mut cfg = AccelConfig::builder();
-    match plan {
-        WqPlan::SharedAll => {
-            cfg = cfg.group(TOTAL_ENGINES).shared_wq(TOTAL_WQ_ENTRIES);
-        }
-        WqPlan::DedicatedPerTenant => {
-            let groups = n.min(MAX_GROUPS);
-            let size = (TOTAL_WQ_ENTRIES / n as u32).max(1);
-            for g in 0..groups {
-                cfg = cfg.group(engines_for(g, groups));
-            }
-            for t in 0..n {
-                cfg = cfg.dedicated_wq_in(size, t % groups);
-            }
-        }
-        WqPlan::ByClass => {
-            let latency = specs.iter().filter(|s| s.class == QosClass::Latency).count();
-            let throughput = n - latency;
-            if throughput == 0 {
-                return plan_device(WqPlan::DedicatedPerTenant, specs);
-            }
-            if latency == 0 {
-                return plan_device(WqPlan::SharedAll, specs);
-            }
-            // Dedicated side: one engine per group, up to 3 groups, half
-            // the WQ entries; shared side: the remaining engines and
-            // entries in the last group.
-            let dgroups = latency.min(MAX_GROUPS - 1);
-            for _ in 0..dgroups {
-                cfg = cfg.group(1);
-            }
-            let shared_group = dgroups;
-            cfg = cfg.group(TOTAL_ENGINES - dgroups as u32);
-            let dsize = ((TOTAL_WQ_ENTRIES / 2) / latency as u32).max(1);
-            for t in 0..latency {
-                cfg = cfg.dedicated_wq_in(dsize, t % dgroups);
-            }
-            cfg = cfg.shared_wq_in(TOTAL_WQ_ENTRIES / 2, shared_group);
-        }
-    }
-    cfg.build()
-}
-
-/// Engines assigned to group `g` of `groups`: the 4 engines split as
-/// evenly as possible, earlier groups taking the remainder.
-fn engines_for(g: usize, groups: usize) -> u32 {
-    let base = TOTAL_ENGINES / groups as u32;
-    let extra = TOTAL_ENGINES as usize % groups;
-    base + u32::from(g < extra)
-}
-
-/// The WQ index each tenant lands on. Must mirror the WQ layout
-/// [`plan_device`] builds.
-fn assign_wqs(plan: WqPlan, specs: &[TenantSpec]) -> Vec<usize> {
-    match plan {
-        WqPlan::SharedAll => vec![0; specs.len()],
-        WqPlan::DedicatedPerTenant => (0..specs.len()).collect(),
-        WqPlan::ByClass => {
-            let latency = specs.iter().filter(|s| s.class == QosClass::Latency).count();
-            if latency == 0 {
-                return vec![0; specs.len()];
-            }
-            if latency == specs.len() {
-                return (0..specs.len()).collect();
-            }
-            // Dedicated WQs 0..latency in tenant order; the shared WQ is
-            // appended after them.
-            let mut next_dedicated = 0usize;
-            specs
-                .iter()
-                .map(|s| match s.class {
-                    QosClass::Latency => {
-                        let wq = next_dedicated;
-                        next_dedicated += 1;
-                        wq
-                    }
-                    QosClass::Throughput => latency,
-                })
-                .collect()
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::arrival::Arrival;
 
-    fn svc(plan: WqPlan, specs: Vec<TenantSpec>) -> DsaService {
+    fn svc(plan: PlanSpec, specs: Vec<TenantSpec>) -> DsaService {
         let cfg = ServiceConfig::builder().plan(plan).tenants(specs).build().unwrap();
         DsaService::from_config(cfg).unwrap()
     }
@@ -776,7 +895,7 @@ mod tests {
 
     #[test]
     fn dedicated_plan_runs_all_jobs_on_dsa() {
-        let mut svc = svc(WqPlan::DedicatedPerTenant, two_tenants());
+        let mut svc = svc(PlanSpec::Dedicated, two_tenants());
         let rep = svc.run();
         for t in &rep.tenants {
             assert_eq!(t.offered, 20);
@@ -789,7 +908,7 @@ mod tests {
 
     #[test]
     fn shared_plan_maps_everyone_to_wq0() {
-        let mut svc = svc(WqPlan::SharedAll, two_tenants());
+        let mut svc = svc(PlanSpec::Shared, two_tenants());
         let rep = svc.run();
         assert!(rep.tenants.iter().all(|t| t.wq == 0));
         assert_eq!(rep.tenants[0].dsa_completed, 20);
@@ -801,7 +920,7 @@ mod tests {
             TenantSpec::new("lat", 4 << 10, 10).with_class(QosClass::Latency),
             TenantSpec::new("bulk", 16 << 10, 10),
         ];
-        let mut svc = svc(WqPlan::ByClass, specs);
+        let mut svc = svc(PlanSpec::ByClass, specs);
         let rep = svc.run();
         assert_eq!(rep.tenants[0].wq, 0, "latency tenant on the dedicated WQ");
         assert_eq!(rep.tenants[1].wq, 1, "throughput tenant on the shared WQ");
@@ -814,7 +933,7 @@ mod tests {
         // Closed loop with zero think, but metered to 100k jobs/s: 50 jobs
         // need ≥ 49 token intervals of 10 µs.
         let specs = vec![TenantSpec::new("paced", 1 << 10, 50).with_admission(100_000, 1)];
-        let mut svc = svc(WqPlan::DedicatedPerTenant, specs);
+        let mut svc = svc(PlanSpec::Dedicated, specs);
         let rep = svc.run();
         assert_eq!(rep.tenants[0].dsa_completed, 50);
         assert!(
@@ -833,7 +952,7 @@ mod tests {
             .with_outstanding(1)
             .with_arrival(Arrival::open(SimDuration::from_ns(200)))
             .with_deadline(SimDuration::from_us(1))];
-        let mut svc = svc(WqPlan::DedicatedPerTenant, specs);
+        let mut svc = svc(PlanSpec::Dedicated, specs);
         let rep = svc.run();
         let t = &rep.tenants[0];
         assert_eq!(t.offered, 8);
@@ -843,7 +962,7 @@ mod tests {
 
     #[test]
     fn session_drives_one_job_per_submit() {
-        let mut svc = svc(WqPlan::DedicatedPerTenant, two_tenants());
+        let mut svc = svc(PlanSpec::Dedicated, two_tenants());
         let mut sess = svc.session(0);
         for k in 1..=5u64 {
             let out = sess.submit().unwrap();
@@ -857,7 +976,7 @@ mod tests {
     fn session_then_run_finishes_every_stream() {
         // Hand-driving a tenant must leave the action queue exact: the
         // remaining jobs of BOTH tenants still complete under run().
-        let mut svc = svc(WqPlan::DedicatedPerTenant, two_tenants());
+        let mut svc = svc(PlanSpec::Dedicated, two_tenants());
         svc.session(0).submit().unwrap();
         svc.session(0).submit().unwrap();
         let rep = svc.run();
@@ -897,11 +1016,8 @@ mod tests {
         // 9 dedicated tenants cannot fit the 8-WQ envelope.
         let specs: Vec<TenantSpec> =
             (0..9).map(|i| TenantSpec::new(&format!("t{i}"), 1 << 10, 1)).collect();
-        let err = ServiceConfig::builder()
-            .plan(WqPlan::DedicatedPerTenant)
-            .tenants(specs)
-            .build()
-            .unwrap_err();
+        let err =
+            ServiceConfig::builder().plan(PlanSpec::Dedicated).tenants(specs).build().unwrap_err();
         assert!(matches!(err, DsaError::InvalidConfig(_)), "got {err}");
     }
 
@@ -925,7 +1041,7 @@ mod tests {
 
     #[test]
     fn report_digest_matches_unified_digestible() {
-        let mut s = svc(WqPlan::DedicatedPerTenant, two_tenants());
+        let mut s = svc(PlanSpec::Dedicated, two_tenants());
         let rep = s.run();
         assert_eq!(rep.digest(), rep.digest64());
         assert_eq!(rep.digest(), Fnv1a::digest(rep.summary().as_bytes()));

@@ -1,0 +1,103 @@
+//! Typed service-level objectives.
+//!
+//! An [`SloTarget`] turns the thresholds benches used to hard-code into
+//! a first-class config field: set it on
+//! [`ServiceConfig::builder`](crate::service::ServiceConfig::builder)
+//! (or the fleet builder) and the same object drives both offline
+//! reporting ([`ServiceReport::slo_violations`]) and the online control
+//! plane's pressure detection — one definition of "violated", derived
+//! from the same latency histograms in both places.
+//!
+//! [`ServiceReport::slo_violations`]: crate::service::ServiceReport::slo_violations
+
+use dsa_sim::time::SimDuration;
+
+/// The service-level objectives a tenant population is held to. All
+/// fields are optional; an unset field is simply not checked.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SloTarget {
+    /// Per-tenant p99 arrival-to-completion latency ceiling.
+    pub p99: Option<SimDuration>,
+    /// Ceiling on the fraction of offered jobs that fail their deadline
+    /// (completions past deadline plus admission sheds).
+    pub deadline_miss_frac: Option<f64>,
+    /// Floor on the Jain fairness index over accelerator-served shares.
+    pub min_jain: Option<f64>,
+}
+
+impl SloTarget {
+    /// A target with no objectives set (nothing is checked).
+    pub fn new() -> SloTarget {
+        SloTarget::default()
+    }
+
+    /// Caps every tenant's p99 latency.
+    pub fn with_p99(mut self, p99: SimDuration) -> SloTarget {
+        self.p99 = Some(p99);
+        self
+    }
+
+    /// Caps the deadline-miss fraction over offered jobs.
+    pub fn with_deadline_miss_frac(mut self, frac: f64) -> SloTarget {
+        self.deadline_miss_frac = Some(frac);
+        self
+    }
+
+    /// Floors the Jain fairness index.
+    pub fn with_min_jain(mut self, jain: f64) -> SloTarget {
+        self.min_jain = Some(jain);
+        self
+    }
+
+    /// True when no objective is set.
+    pub fn is_empty(&self) -> bool {
+        self.p99.is_none() && self.deadline_miss_frac.is_none() && self.min_jain.is_none()
+    }
+}
+
+/// One objective a run failed, from
+/// [`ServiceReport::slo_violations`](crate::service::ServiceReport::slo_violations).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SloViolation {
+    /// A tenant's p99 latency exceeded the target.
+    P99 {
+        /// Tenant index.
+        tenant: usize,
+        /// Observed p99.
+        observed: SimDuration,
+        /// The target it blew.
+        target: SimDuration,
+    },
+    /// The deadline-miss fraction exceeded the target.
+    MissRate {
+        /// Observed miss fraction.
+        observed: f64,
+        /// The target it blew.
+        target: f64,
+    },
+    /// The Jain fairness index fell below the floor.
+    Fairness {
+        /// Observed Jain index.
+        observed: f64,
+        /// The floor it undercut.
+        target: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_each_objective() {
+        let slo = SloTarget::new()
+            .with_p99(SimDuration::from_us(50))
+            .with_deadline_miss_frac(0.01)
+            .with_min_jain(0.9);
+        assert_eq!(slo.p99, Some(SimDuration::from_us(50)));
+        assert_eq!(slo.deadline_miss_frac, Some(0.01));
+        assert_eq!(slo.min_jain, Some(0.9));
+        assert!(!slo.is_empty());
+        assert!(SloTarget::new().is_empty());
+    }
+}

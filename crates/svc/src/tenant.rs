@@ -4,8 +4,8 @@ use crate::arrival::Arrival;
 use dsa_sim::stats::DurationHistogram;
 use dsa_sim::time::{SimDuration, SimTime};
 
-/// QoS class of a tenant, used by [`WqPlan::ByClass`](crate::WqPlan) to
-/// map the tenant onto a dedicated (latency-isolated) or shared
+/// QoS class of a tenant, used by [`PlanSpec::ByClass`](crate::PlanSpec)
+/// to map the tenant onto a dedicated (latency-isolated) or shared
 /// (bandwidth-pooled) work queue — the paper's DWQ-vs-SWQ trade (§4.1,
 /// Fig. 9) recast as a placement policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -25,6 +25,11 @@ pub struct TenantSpec {
     pub class: QosClass,
     /// Arrival process of the job stream.
     pub arrival: Arrival,
+    /// Offset of the stream's first arrival from t=0 (zero = from the
+    /// start). Lets churn workloads stage tenants onto a running service
+    /// without breaking determinism: the offset is part of the spec, so
+    /// every replay stages identically.
+    pub start: SimDuration,
     /// Bytes moved per job.
     pub xfer: u64,
     /// Total jobs the tenant offers before going idle.
@@ -60,6 +65,7 @@ impl TenantSpec {
             name: name.to_string(),
             class: QosClass::Throughput,
             arrival: Arrival::closed(SimDuration::ZERO),
+            start: SimDuration::ZERO,
             xfer,
             jobs,
             rate: 0,
@@ -81,6 +87,12 @@ impl TenantSpec {
     /// Sets the arrival process.
     pub fn with_arrival(mut self, arrival: Arrival) -> TenantSpec {
         self.arrival = arrival;
+        self
+    }
+
+    /// Delays the stream's first arrival by `start` from t=0.
+    pub fn with_start(mut self, start: SimDuration) -> TenantSpec {
+        self.start = start;
         self
     }
 
@@ -143,6 +155,8 @@ pub struct TenantStats {
     pub faults: u64,
     /// Completed jobs that finished past their deadline.
     pub deadline_misses: u64,
+    /// Times a plan transition moved this tenant to a different WQ.
+    pub migrations: u64,
     /// Bytes offered across all generated jobs.
     pub offered_bytes: u64,
     /// Bytes served by the accelerator.
@@ -168,6 +182,7 @@ impl TenantStats {
             exhausted: 0,
             faults: 0,
             deadline_misses: 0,
+            migrations: 0,
             offered_bytes: 0,
             dsa_bytes: 0,
             cpu_bytes: 0,

@@ -57,12 +57,8 @@ fn retry_exhaustion_is_a_typed_error() {
             .with_cpu_fallback(false),
         TenantSpec::new("idle", 4 << 10, 1),
     ];
-    let cfg = ServiceConfig::builder()
-        .plan(WqPlan::DedicatedPerTenant)
-        .seed(11)
-        .tenants(specs)
-        .build()
-        .unwrap();
+    let cfg =
+        ServiceConfig::builder().plan(PlanSpec::Dedicated).seed(11).tenants(specs).build().unwrap();
     let mut svc = DsaService::from_config(cfg).unwrap();
     let mut sess = svc.session(0);
     let mut exhausted = None;
@@ -114,7 +110,7 @@ fn mixed_four_tenants() -> Vec<TenantSpec> {
 #[test]
 fn four_tenant_replay_is_bit_identical() {
     let cfg = ServiceConfig::builder()
-        .plan(WqPlan::SharedAll)
+        .plan(PlanSpec::Shared)
         .seed(0xFEED)
         .tenants(mixed_four_tenants())
         .build()
@@ -132,7 +128,7 @@ fn four_tenant_replay_is_bit_identical() {
 /// accelerator-served shares than one fully shared WQ.
 #[test]
 fn dedicated_wqs_are_fairer_than_shared_at_saturation() {
-    let at_saturation = |plan: WqPlan| {
+    let at_saturation = |plan: PlanSpec| {
         let cfg = ServiceConfig::builder()
             .plan(plan)
             .seed(7)
@@ -141,8 +137,8 @@ fn dedicated_wqs_are_fairer_than_shared_at_saturation() {
             .unwrap();
         DsaService::from_config(cfg).unwrap().run()
     };
-    let ded = at_saturation(WqPlan::DedicatedPerTenant);
-    let sha = at_saturation(WqPlan::SharedAll);
+    let ded = at_saturation(PlanSpec::Dedicated);
+    let sha = at_saturation(PlanSpec::Shared);
     assert!(
         ded.fairness > sha.fairness,
         "dedicated {:.4} must beat shared {:.4}\n--- dedicated ---\n{}\n--- shared ---\n{}",

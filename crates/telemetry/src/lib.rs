@@ -19,6 +19,9 @@
 //!   from the sim engine, per-job critical paths attributed to typed
 //!   segments, and per-tenant/WQ [`CritPathProfile`] breakdowns with
 //!   blame-shift detection across sweeps.
+//! * [`window`] — delta views over the hub ([`HubWindow`]): per-epoch
+//!   counter growth and histogram windows, the observation primitive the
+//!   `dsa-ctl` control loop reads instead of cumulative totals.
 //! * [`export`] — Chrome trace-event JSON loadable in Perfetto /
 //!   `chrome://tracing` (with causal flow arrows), flamegraph-style
 //!   folded stacks, a machine-readable metrics CSV, and a PCM-style
@@ -29,6 +32,7 @@ pub mod export;
 pub mod hub;
 pub mod metrics;
 pub mod span;
+pub mod window;
 
 pub use causal::{
     blame_shifts, BlameShift, Breakdown, CausalGraph, CritPathProfile, JobTrace, SegmentKind,
@@ -38,3 +42,4 @@ pub use export::{chrome_trace_json, folded_stacks, metrics_csv, pcm_dashboard};
 pub use hub::Hub;
 pub use metrics::{Labels, Metric, Metrics};
 pub use span::{DescriptorSpan, Event, Phase, Span, Track};
+pub use window::HubWindow;

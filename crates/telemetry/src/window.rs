@@ -1,0 +1,125 @@
+//! Windowed metric reads over a [`Hub`]: what changed since the last
+//! [`mark`](HubWindow::mark).
+//!
+//! The hub's counters and histograms are cumulative — the right shape for
+//! end-of-run reports, the wrong shape for a control loop that must judge
+//! *this epoch's* pressure without the whole past averaging it away. A
+//! [`HubWindow`] snapshots the registry at each mark and answers delta
+//! queries against the live hub: counter differences exactly, histogram
+//! windows bucketwise via
+//! [`DurationHistogram::delta_since`](dsa_sim::stats::DurationHistogram::delta_since).
+//! Everything here is read-only over deterministic state, so windowed
+//! observations replay bit-identically with the run that produced them.
+
+use crate::hub::Hub;
+use crate::metrics::{Labels, Metrics};
+use dsa_sim::stats::DurationHistogram;
+
+/// A delta view over a [`Hub`], anchored at the last [`mark`].
+///
+/// [`mark`]: HubWindow::mark
+#[derive(Clone, Debug)]
+pub struct HubWindow {
+    hub: Hub,
+    snapshot: Metrics,
+}
+
+impl HubWindow {
+    /// A window over `hub`, anchored at the hub's *current* state (an
+    /// immediate query reports empty deltas).
+    pub fn new(hub: Hub) -> HubWindow {
+        let snapshot = hub.with_metrics(|m| m.clone());
+        HubWindow { hub, snapshot }
+    }
+
+    /// Re-anchors the window at the hub's current state, closing the
+    /// previous epoch.
+    pub fn mark(&mut self) {
+        self.snapshot = self.hub.with_metrics(|m| m.clone());
+    }
+
+    /// The hub this window reads.
+    pub fn hub(&self) -> &Hub {
+        &self.hub
+    }
+
+    /// Counter growth under `(name, labels)` since the last mark.
+    pub fn counter_delta(&self, name: &'static str, labels: Labels) -> u64 {
+        self.hub.counter(name, labels).saturating_sub(self.snapshot.counter(name, labels))
+    }
+
+    /// The distribution of samples recorded under `(name, labels)` since
+    /// the last mark (empty if the key never existed or saw no samples).
+    pub fn histogram_delta(&self, name: &'static str, labels: Labels) -> DurationHistogram {
+        self.hub.with_metrics(|m| {
+            match (m.histogram(name, labels), self.snapshot.histogram(name, labels)) {
+                (Some(now), Some(was)) => now.delta_since(was),
+                (Some(now), None) => now.clone(),
+                (None, _) => DurationHistogram::new(),
+            }
+        })
+    }
+
+    /// The merged window distribution under `name` across every label set
+    /// belonging to `tenant` — e.g. a tenant's `svc_latency` samples,
+    /// which land under per-WQ labels that change when the tenant is
+    /// re-wired mid-run. Merge order follows the registry's deterministic
+    /// `BTreeMap` key order.
+    pub fn histogram_delta_tenant(&self, name: &'static str, tenant: u16) -> DurationHistogram {
+        self.hub.with_metrics(|m| {
+            let mut out = DurationHistogram::new();
+            for (n, labels, metric) in m.iter() {
+                if n != name || labels.tenant != Some(tenant) {
+                    continue;
+                }
+                if let crate::metrics::Metric::Histogram(now) = metric {
+                    match self.snapshot.histogram(name, labels) {
+                        Some(was) => out.merge(&now.delta_since(was)),
+                        None => out.merge(now),
+                    }
+                }
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_sim::time::SimDuration;
+
+    #[test]
+    fn deltas_track_only_the_current_epoch() {
+        let hub = Hub::new();
+        hub.counter_add("jobs", Labels::tenant(0), 5);
+        hub.observe("lat", Labels::tenant(0), SimDuration::from_ns(100));
+
+        let mut w = HubWindow::new(hub.clone());
+        assert_eq!(w.counter_delta("jobs", Labels::tenant(0)), 0);
+        assert_eq!(w.histogram_delta("lat", Labels::tenant(0)).count(), 0);
+
+        hub.counter_add("jobs", Labels::tenant(0), 3);
+        hub.observe("lat", Labels::tenant(0), SimDuration::from_us(50));
+        assert_eq!(w.counter_delta("jobs", Labels::tenant(0)), 3);
+        let win = w.histogram_delta("lat", Labels::tenant(0));
+        assert_eq!(win.count(), 1);
+        assert!(win.percentile(99.0).unwrap() >= SimDuration::from_us(40));
+
+        w.mark();
+        assert_eq!(w.counter_delta("jobs", Labels::tenant(0)), 0);
+        assert_eq!(w.histogram_delta("lat", Labels::tenant(0)).count(), 0);
+    }
+
+    #[test]
+    fn keys_born_inside_the_window_count_in_full() {
+        let hub = Hub::new();
+        let w = HubWindow::new(hub.clone());
+        hub.counter_add("new", Labels::none(), 7);
+        hub.observe("fresh", Labels::none(), SimDuration::from_ns(10));
+        assert_eq!(w.counter_delta("new", Labels::none()), 7);
+        assert_eq!(w.histogram_delta("fresh", Labels::none()).count(), 1);
+        assert_eq!(w.counter_delta("absent", Labels::none()), 0);
+        assert_eq!(w.histogram_delta("absent", Labels::none()).count(), 0);
+    }
+}

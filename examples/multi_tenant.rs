@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_deadline(SimDuration::from_ms(2)),
     ];
 
-    let cfg = ServiceConfig::builder().plan(WqPlan::ByClass).tenants(specs).build()?;
+    let cfg = ServiceConfig::builder().plan(PlanSpec::ByClass).tenants(specs).build()?;
     let mut svc = DsaService::from_config(cfg)?;
 
     // Drive a few jobs by hand through a session handle first — the same

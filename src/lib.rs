@@ -20,6 +20,7 @@
 
 pub use dsa_bench as bench;
 pub use dsa_core as core;
+pub use dsa_ctl as ctl;
 pub use dsa_device as device;
 pub use dsa_mem as mem;
 pub use dsa_ops as ops;
@@ -35,20 +36,26 @@ pub use dsa_workloads as workloads;
 /// `Dispatcher`), configuration (`AccelConfig`, the [`presets`] module,
 /// `DeviceConfig`/`DeviceCaps`), the guideline advisors ([`guidelines`]),
 /// operation kinds ([`OpKind`]), the service layer (`DsaService`,
-/// `TenantSpec`, …), measurement helpers (`Measure`/`Mode`), and the
-/// simulated clock (`SimTime`/`SimDuration`).
+/// `TenantSpec`, …), the plan/SLO objects and the `dsa-ctl` control
+/// plane (`Plan`, `PlanSpec`, `SloTarget`, `Governor`), measurement
+/// helpers (`Measure`/`Mode`), and the simulated clock
+/// (`SimTime`/`SimDuration`).
 pub mod prelude {
     pub use dsa_bench::{Measure, Mode, Sweep};
     pub use dsa_core::config::presets;
     pub use dsa_core::guidelines;
     pub use dsa_core::prelude::*;
+    pub use dsa_ctl::prelude::{
+        ControlReport, ControllerConfig, Decision, GovernedFleet, Governor,
+    };
     pub use dsa_device::config::{DeviceCaps, DeviceConfig};
     pub use dsa_mem::buffer::Location;
     pub use dsa_ops::OpKind;
     pub use dsa_sim::{SimDuration, SimTime};
     pub use dsa_svc::prelude::{
-        Arrival, DsaService, Fleet, FleetConfig, FleetReport, JobOutcome, PoolPolicy, QosClass,
-        ServiceBuilder, ServiceConfig, ServiceReport, ShardAssignment, ShardPlan, ShardReport,
-        TenantProfile, TenantSpec, WqPlan,
+        Arrival, DsaService, Fleet, FleetConfig, FleetReport, JobOutcome, Plan, PlanSpec,
+        PoolPolicy, QosClass, ServiceBuilder, ServiceConfig, ServiceReport, ShardAssignment,
+        ShardPlan, ShardReport, SloTarget, SloViolation, TenantProfile, TenantSpec,
+        TransitionCosts,
     };
 }

@@ -314,7 +314,7 @@ fn tenant_specs() -> Vec<TenantSpec> {
 fn service_digest_is_identical_with_tracing_enabled() {
     let cfg = || {
         ServiceConfig::builder()
-            .plan(WqPlan::DedicatedPerTenant)
+            .plan(PlanSpec::Dedicated)
             .seed(0xFA1C_0DE5)
             .tenants(tenant_specs())
             .build()

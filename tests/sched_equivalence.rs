@@ -263,7 +263,7 @@ fn service_replay_digest_is_stable() {
                 .with_retry_budget(1),
         ];
         let cfg = ServiceConfig::builder()
-            .plan(WqPlan::DedicatedPerTenant)
+            .plan(PlanSpec::Dedicated)
             .seed(0xFA1C_0DE5)
             .tenants(specs)
             .build()
